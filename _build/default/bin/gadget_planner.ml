@@ -1,0 +1,193 @@
+(* Command-line front end.
+
+     gadget_planner compile  <prog> [--obf PRESET]    run a corpus program
+     gadget_planner scan     <prog> [--obf PRESET]    gadget census
+     gadget_planner plan     <prog> [--obf PRESET] [--goal G] [--max N]
+     gadget_planner netperf  [--obf PRESET]           end-to-end case study
+     gadget_planner list                              list corpus programs
+
+   <prog> is a corpus program name (see `list`) or a path to a mini-C
+   source file. *)
+
+open Cmdliner
+
+let load_source prog =
+  if Sys.file_exists prog then begin
+    let ic = open_in_bin prog in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  end
+  else
+    (List.find
+       (fun (e : Gp_corpus.Programs.entry) -> e.Gp_corpus.Programs.name = prog)
+       (Gp_corpus.Programs.all @ Gp_corpus.Spec.all @ [ Gp_corpus.Netperf.entry ]))
+      .Gp_corpus.Programs.source
+
+let obf_of_name = function
+  | "none" | "original" -> Gp_obf.Obf.none
+  | "ollvm" | "llvm-obf" -> Gp_obf.Obf.ollvm
+  | "tigress" -> Gp_obf.Obf.tigress
+  | s -> Gp_obf.Obf.single (Gp_obf.Obf.pass_of_name s)
+
+let goal_of_name = function
+  | "execve" -> Gp_core.Goal.Execve "/bin/sh"
+  | "mprotect" -> Gp_core.Goal.Mprotect (Gp_emu.Machine.stack_base, 0x1000L, 7L)
+  | "mmap" -> Gp_core.Goal.Mmap (0L, 0x1000L, 7L)
+  | s -> invalid_arg ("unknown goal: " ^ s)
+
+let prog_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
+
+let obf_arg =
+  Arg.(value & opt string "none"
+       & info [ "obf" ] ~docv:"PRESET"
+           ~doc:"Obfuscation: none, ollvm, tigress, or a single pass name.")
+
+let compile_image prog obf =
+  Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform (obf_of_name obf))
+    (load_source prog)
+
+(* ----- compile ----- *)
+
+let compile_cmd =
+  let run prog obf =
+    let image = compile_image prog obf in
+    Printf.printf "code: %d bytes, data: %d bytes, entry 0x%Lx\n"
+      (Gp_util.Image.code_size image) (Gp_util.Image.data_size image)
+      image.Gp_util.Image.entry;
+    let m = Gp_emu.Machine.create image in
+    Gp_emu.Memory.write64 m.Gp_emu.Machine.mem Gp_corpus.Netperf.input_area 2L;
+    match Gp_emu.Machine.run ~fuel:50_000_000 m with
+    | Gp_emu.Machine.Exited v -> Printf.printf "exited with %Ld\n" v
+    | Gp_emu.Machine.Fault msg -> Printf.printf "fault: %s\n" msg
+    | Gp_emu.Machine.Attacked _ -> print_endline "attacked?!"
+    | Gp_emu.Machine.Timeout -> print_endline "timeout"
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile (and optionally obfuscate) and run.")
+    Term.(const run $ prog_arg $ obf_arg)
+
+(* ----- scan ----- *)
+
+let scan_cmd =
+  let run prog obf =
+    let image = compile_image prog obf in
+    let counts = Gp_core.Extract.raw_counts image in
+    let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
+    Printf.printf "raw gadget census (%d total):\n" total;
+    List.iter
+      (fun (k, c) -> Printf.printf "  %-6s %6d\n" (Gp_core.Gadget.kind_name k) c)
+      counts;
+    let a = Gp_core.Api.analyze image in
+    Printf.printf "planner pool after subsumption: %d (from %d summaries)\n"
+      (Gp_core.Pool.size a.Gp_core.Api.pool) a.Gp_core.Api.raw_extracted
+  in
+  Cmd.v (Cmd.info "scan" ~doc:"Count gadgets (the Fig. 1 / Table I census).")
+    Term.(const run $ prog_arg $ obf_arg)
+
+(* ----- plan ----- *)
+
+let plan_cmd =
+  let goal_arg =
+    Arg.(value & opt string "execve"
+         & info [ "goal" ] ~docv:"GOAL" ~doc:"execve, mprotect, or mmap.")
+  in
+  let max_arg =
+    Arg.(value & opt int 8 & info [ "max" ] ~docv:"N" ~doc:"Payloads to emit.")
+  in
+  let run prog obf goal maxn =
+    let image = compile_image prog obf in
+    let a = Gp_core.Api.analyze image in
+    let o =
+      Gp_core.Api.run_with_analysis
+        ~planner_config:
+          { Gp_core.Planner.max_plans = maxn; node_budget = 4000;
+            time_budget = 30.; branch_cap = 10; goal_cap = 6; max_steps = 14 }
+        a (goal_of_name goal)
+    in
+    Printf.printf "pool %d gadgets; %d validated payload(s)\n\n"
+      (Gp_core.Pool.size a.Gp_core.Api.pool)
+      (List.length o.Gp_core.Api.chains);
+    List.iteri
+      (fun i c ->
+        Printf.printf "--- payload %d ---\n%s\n" (i + 1)
+          (Gp_core.Payload.describe c))
+      o.Gp_core.Api.chains
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
+    Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg)
+
+(* ----- netperf ----- *)
+
+let netperf_cmd =
+  let run obf =
+    let b =
+      Gp_harness.Workspace.build ~config_name:obf ~cfg:(obf_of_name obf)
+        Gp_corpus.Netperf.entry
+    in
+    match Gp_harness.Netperf_attack.run b with
+    | None -> print_endline "probe failed"
+    | Some r ->
+      Printf.printf "return-address cell at 0x%Lx (%d filler words)\n"
+        r.Gp_harness.Netperf_attack.probe.Gp_harness.Netperf_attack.ret_cell
+        r.Gp_harness.Netperf_attack.probe.Gp_harness.Netperf_attack.filler_words;
+      Printf.printf "%d chain(s) confirmed end-to-end\n"
+        (List.length r.Gp_harness.Netperf_attack.chains);
+      match r.Gp_harness.Netperf_attack.chains with
+      | c :: _ -> print_string (Gp_core.Payload.describe c)
+      | [] -> ()
+  in
+  Cmd.v (Cmd.info "netperf" ~doc:"Run the netperf end-to-end case study.")
+    Term.(const run $ obf_arg)
+
+(* ----- disasm ----- *)
+
+let disasm_cmd =
+  let run prog obf =
+    let image = compile_image prog obf in
+    let code = image.Gp_util.Image.code in
+    let base = image.Gp_util.Image.code_base in
+    let pos = ref 0 in
+    while !pos < Bytes.length code do
+      let addr = Int64.add base (Int64.of_int !pos) in
+      (match Gp_util.Image.symbol_at image addr with
+       | Some s when s.Gp_util.Image.sym_addr = addr ->
+         Printf.printf "\n%s:\n" s.Gp_util.Image.sym_name
+       | _ -> ());
+      match Gp_x86.Decode.decode code !pos with
+      | Some (insn, len) ->
+        Printf.printf "  %08Lx  %-24s %s\n" addr
+          (Gp_util.Hex.of_bytes (Bytes.sub code !pos len))
+          (Gp_x86.Insn.to_string insn);
+        pos := !pos + len
+      | None ->
+        Printf.printf "  %08Lx  %02x                      (bad)\n" addr
+          (Bytes.get_uint8 code !pos);
+        incr pos
+    done
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Linear disassembly of a compiled program.")
+    Term.(const run $ prog_arg $ obf_arg)
+
+(* ----- list ----- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Gp_corpus.Programs.entry) ->
+        Printf.printf "%-16s %s\n" e.Gp_corpus.Programs.name
+          e.Gp_corpus.Programs.description)
+      (Gp_corpus.Programs.all @ Gp_corpus.Spec.all @ [ Gp_corpus.Netperf.entry ])
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the corpus programs.") Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "gadget_planner" ~version:"1.0.0"
+             ~doc:"Code-reuse attack construction on obfuscated binaries.")
+          [ compile_cmd; scan_cmd; plan_cmd; netperf_cmd; disasm_cmd; list_cmd ]))

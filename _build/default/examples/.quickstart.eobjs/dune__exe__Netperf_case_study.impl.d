@@ -1,0 +1,1 @@
+examples/netperf_case_study.ml: Gp_core Gp_corpus Gp_emu Gp_harness Gp_obf Gp_util List Printf

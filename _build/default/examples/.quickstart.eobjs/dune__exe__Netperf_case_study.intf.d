@@ -1,0 +1,1 @@
+examples/netperf_case_study.mli:

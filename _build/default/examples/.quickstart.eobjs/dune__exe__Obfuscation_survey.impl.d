@@ -1,0 +1,1 @@
+examples/obfuscation_survey.ml: Gp_core Gp_corpus Gp_harness Gp_obf Gp_util List Printf

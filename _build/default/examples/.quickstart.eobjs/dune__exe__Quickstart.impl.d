@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gp_codegen Gp_core Gp_emu Gp_obf Gp_util List Printf

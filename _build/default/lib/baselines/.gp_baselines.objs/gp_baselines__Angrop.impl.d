@@ -1,0 +1,1 @@
+lib/baselines/angrop.ml: Gp_core Gp_symx Gp_util List Option Report Unix

@@ -1,0 +1,1 @@
+lib/baselines/angrop.mli: Gp_core Gp_util Report

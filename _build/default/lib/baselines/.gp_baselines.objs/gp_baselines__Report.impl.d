@@ -1,0 +1,1 @@
+lib/baselines/report.ml: Gp_core List

@@ -1,0 +1,1 @@
+lib/baselines/report.mli: Gp_core

@@ -1,0 +1,1 @@
+lib/baselines/ropgadget.ml: Gp_core Gp_symx Gp_util Gp_x86 Insn List Option Reg Report Unix

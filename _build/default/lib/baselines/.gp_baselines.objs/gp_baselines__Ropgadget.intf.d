@@ -1,0 +1,1 @@
+lib/baselines/ropgadget.mli: Gp_core Gp_util Report

@@ -1,0 +1,1 @@
+lib/baselines/sgc.ml: Gp_core Gp_util Gp_x86 Hashtbl List Report Unix

@@ -1,0 +1,1 @@
+lib/baselines/sgc.mli: Gp_core Gp_util Report

@@ -1,0 +1,120 @@
+(* Angrop-style baseline (paper §II-B "Symbolic Execution").
+
+   Faithful to the tool's strategy: gadgets are recognized SEMANTICALLY
+   (symbolic execution, so `pop rdx; pop r11; ret` counts as an rdx
+   setter even though no literal `pop rdx; ret` exists) — but only
+   SIMPLE ret-gadgets qualify: unconditional, no memory traffic, no
+   pre-conditions.  Chaining is greedy (`set_regs`): one shortest setter
+   per register, ordered so later setters don't clobber earlier targets,
+   then a syscall.  At most one chain per goal — "all gadget chains
+   constructed by Angrop share identical patterns". *)
+
+let name = "angrop"
+
+let simple (g : Gp_core.Gadget.t) =
+  g.Gp_core.Gadget.kind = Gp_core.Gadget.Return
+  && g.Gp_core.Gadget.pre = []
+  && g.Gp_core.Gadget.mem_reads = []
+  && g.Gp_core.Gadget.ptr_writes = []
+  && g.Gp_core.Gadget.stack_writes = []
+  && (match g.Gp_core.Gadget.stack_delta with
+      | Gp_core.Gadget.Sdelta d -> d >= 8 && d <= 0x88
+      | _ -> false)
+
+(* A syscall gadget is acceptable when the argument registers pass
+   through unchanged (angrop jumps to a bare `syscall`). *)
+let simple_syscall (g : Gp_core.Gadget.t) =
+  match g.Gp_core.Gadget.syscall_state with
+  | None -> false
+  | Some sys ->
+    g.Gp_core.Gadget.pre = []
+    && List.for_all
+         (fun (r, t) -> t = Gp_symx.State.reg_var r)
+         sys
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let run ?(pool : Gp_core.Gadget.t list option) (image : Gp_util.Image.t)
+    (goal : Gp_core.Goal.t) : Report.t =
+  let t0 = Unix.gettimeofday () in
+  let gadgets =
+    match pool with Some g -> g | None -> Gp_core.Extract.harvest image
+  in
+  let usable = List.filter simple gadgets in
+  let syscalls = List.filter simple_syscall gadgets in
+  let t1 = Unix.gettimeofday () in
+  let concrete = Gp_core.Goal.concretize image goal in
+  let chains =
+    if concrete.Gp_core.Goal.mem <> [] then []   (* no write-what-where *)
+    else begin
+      (* shortest setter per register *)
+      let setter r =
+        List.filter
+          (fun (g : Gp_core.Gadget.t) -> List.mem_assoc r g.Gp_core.Gadget.controlled)
+          usable
+        |> List.sort (fun (a : Gp_core.Gadget.t) b ->
+               compare a.Gp_core.Gadget.len b.Gp_core.Gadget.len)
+        |> function [] -> None | g :: _ -> Some g
+      in
+      let needed = concrete.Gp_core.Goal.regs in
+      let setters = List.map (fun (r, v) -> (r, v, setter r)) needed in
+      if List.exists (fun (_, _, s) -> s = None) setters || syscalls = [] then []
+      else begin
+        let setters = List.map (fun (r, v, s) -> (r, v, Option.get s)) setters in
+        (* find an order where no later setter clobbers an earlier target *)
+        let ok_order order =
+          let rec check done_ = function
+            | [] -> true
+            | (r, _, (g : Gp_core.Gadget.t)) :: rest ->
+              if List.exists (fun r' -> List.mem r' g.Gp_core.Gadget.clobbered) done_
+              then false
+              else check (r :: done_) rest
+          in
+          check [] order
+        in
+        match List.find_opt ok_order (permutations setters) with
+        | None -> []
+        | Some order -> (
+          let goal_step =
+            List.find_map
+              (fun g -> Gp_core.Plan.instantiate_goal g concrete ~sid:0)
+              (List.filteri (fun i _ -> i < 4) syscalls)
+          in
+          let steps =
+            List.mapi
+              (fun i (r, v, g) ->
+                Gp_core.Plan.instantiate_for g (Gp_core.Plan.Creg (r, v)) ~sid:(i + 1))
+              order
+          in
+          match goal_step with
+          | Some s0 when List.for_all Option.is_some steps ->
+            let steps = List.map Option.get steps in
+            let n = List.length steps in
+            let orderings =
+              List.init (n - 1) (fun i -> (i + 1, i + 2)) @ [ (n, 0) ]
+            in
+            let plan =
+              { Gp_core.Plan.steps = s0 :: steps;
+                orderings;
+                links = [];
+                open_conds = [];
+                next_sid = n + 1 }
+            in
+            (match Gp_core.Payload.build_opt plan concrete with
+             | Some c when Gp_core.Payload.validate image c -> [ c ]
+             | _ -> [])
+          | _ -> [])
+      end
+    end
+  in
+  { Report.tool = name;
+    pool_total = List.length gadgets;
+    chains;
+    gadget_time = t1 -. t0;
+    chain_time = Unix.gettimeofday () -. t1 }

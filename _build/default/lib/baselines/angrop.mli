@@ -1,0 +1,18 @@
+(** Angrop-style baseline (paper §II-B "Symbolic Execution"): gadgets are
+    recognized semantically, but only SIMPLE ret-gadgets qualify
+    (unconditional, no memory traffic, no pre-conditions); chaining is
+    greedy — one shortest setter per register, clobber-compatible order,
+    then a pass-through syscall.  At most one chain per goal: "all gadget
+    chains constructed by Angrop share identical patterns". *)
+
+val name : string
+
+val simple : Gp_core.Gadget.t -> bool
+(** The gadget filter described above. *)
+
+val simple_syscall : Gp_core.Gadget.t -> bool
+(** Syscall gadgets whose argument registers pass through unchanged. *)
+
+val run :
+  ?pool:Gp_core.Gadget.t list -> Gp_util.Image.t -> Gp_core.Goal.t -> Report.t
+(** [pool] reuses an existing harvest (so comparisons share extraction). *)

@@ -1,0 +1,56 @@
+(* Common result shape for the three peer tools (paper §II-B), so the
+   comparison tables can treat all four systems uniformly. *)
+
+type t = {
+  tool : string;
+  pool_total : int;                       (* gadgets collected *)
+  chains : Gp_core.Payload.chain list;    (* validated chains *)
+  gadget_time : float;
+  chain_time : float;
+}
+
+let chain_count r = List.length r.chains
+
+(* Average gadget length (instructions) and chain length across chains. *)
+let avg_gadget_len r =
+  let lens =
+    List.concat_map
+      (fun (c : Gp_core.Payload.chain) ->
+        List.map
+          (fun (s : Gp_core.Plan.step) -> s.Gp_core.Plan.gadget.Gp_core.Gadget.len)
+          c.Gp_core.Payload.c_steps)
+      r.chains
+  in
+  if lens = [] then 0.
+  else float_of_int (List.fold_left ( + ) 0 lens) /. float_of_int (List.length lens)
+
+let avg_chain_len r =
+  let lens =
+    List.map
+      (fun (c : Gp_core.Payload.chain) ->
+        List.fold_left
+          (fun acc (s : Gp_core.Plan.step) ->
+            acc + s.Gp_core.Plan.gadget.Gp_core.Gadget.len)
+          0 c.Gp_core.Payload.c_steps)
+      r.chains
+  in
+  if lens = [] then 0.
+  else float_of_int (List.fold_left ( + ) 0 lens) /. float_of_int (List.length lens)
+
+(* Percentage of each gadget kind across all chain steps. *)
+let kind_percentages r =
+  let kinds =
+    List.concat_map
+      (fun (c : Gp_core.Payload.chain) ->
+        List.map
+          (fun (s : Gp_core.Plan.step) -> s.Gp_core.Plan.gadget.Gp_core.Gadget.kind)
+          c.Gp_core.Payload.c_steps)
+      r.chains
+  in
+  let total = max 1 (List.length kinds) in
+  let pct p = 100. *. float_of_int (List.length (List.filter p kinds)) /. float_of_int total in
+  (* Ret / IJ / DJ / CJ in the paper's Table V sense *)
+  ( pct (fun k -> k = Gp_core.Gadget.Return || k = Gp_core.Gadget.Sys),
+    pct (fun k -> k = Gp_core.Gadget.UIJ),
+    pct (fun k -> k = Gp_core.Gadget.UDJ),
+    pct (fun k -> k = Gp_core.Gadget.CDJ || k = Gp_core.Gadget.CIJ) )

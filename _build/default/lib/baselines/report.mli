@@ -1,0 +1,22 @@
+(** Common result shape for the three peer tools (paper §II-B), so the
+    comparison tables treat all four systems uniformly. *)
+
+type t = {
+  tool : string;
+  pool_total : int;                         (** gadgets collected *)
+  chains : Gp_core.Payload.chain list;      (** validated chains *)
+  gadget_time : float;
+  chain_time : float;
+}
+
+val chain_count : t -> int
+
+val avg_gadget_len : t -> float
+(** Mean instructions per chain gadget (0 when no chains). *)
+
+val avg_chain_len : t -> float
+(** Mean instructions per chain. *)
+
+val kind_percentages : t -> float * float * float * float
+(** (Ret, IJ, DJ, CJ) percentages across chain steps, in the paper's
+    Table V sense. *)

@@ -1,0 +1,105 @@
+(* ROPGadget-style baseline (paper §II-B "Pattern Matching").
+
+   Faithful to the tool's strategy:
+   - gadget discovery is purely SYNTACTIC: slide a decoder, keep short
+     runs ending in ret;
+   - chain building is a hard-coded TEMPLATE for execve only (the real
+     tool's --ropchain): one pop-run per argument register plus a syscall,
+     junk-padding extra pops, with the "/bin/sh" string taken from the
+     binary.  If any template slot has no matching pattern, the whole
+     build fails — exactly the brittleness the paper demonstrates. *)
+
+open Gp_x86
+
+let name = "ropgadget"
+
+(* A "pop-run" for [r]: pop r; (pop junk;)* ret — with nothing else. *)
+let is_pop_run_for (r : Reg.t) (insns : Insn.t list) =
+  match insns with
+  | Insn.Pop r0 :: rest when r0 = r ->
+    let rec tail = function
+      | [ Insn.Ret ] -> true
+      | Insn.Pop _ :: rest -> tail rest
+      | _ -> false
+    in
+    List.length insns <= 9 && tail rest
+  | _ -> false
+
+let is_syscall_start (insns : Insn.t list) =
+  match insns with Insn.Syscall :: _ -> true | _ -> false
+
+let find_pattern (raws : Gp_core.Extract.raw list) p =
+  List.find_opt (fun (r : Gp_core.Extract.raw) -> p r.Gp_core.Extract.raw_insns) raws
+
+(* Build the tool's execve template as a plan over symbolically summarized
+   copies of the pattern-matched gadgets (the summaries are only used to
+   emit and validate the payload; selection was purely syntactic). *)
+let gadget_at image addr =
+  match Gp_symx.Exec.summarize image addr with
+  | s :: _ -> Some (Gp_core.Gadget.of_summary s)
+  | [] -> None
+
+let run (image : Gp_util.Image.t) (goal : Gp_core.Goal.t) : Report.t =
+  let t0 = Unix.gettimeofday () in
+  let raws = Gp_core.Extract.raw_scan image in
+  let rets =
+    List.filter
+      (fun (r : Gp_core.Extract.raw) ->
+        r.Gp_core.Extract.raw_kind = Gp_core.Gadget.Return
+        && List.length r.Gp_core.Extract.raw_insns <= 10)
+      raws
+  in
+  let t1 = Unix.gettimeofday () in
+  let chains =
+    match goal with
+    | Gp_core.Goal.Mprotect _ | Gp_core.Goal.Mmap _ ->
+      (* ROPGadget's chain generator only knows execve *)
+      []
+    | Gp_core.Goal.Execve _ -> (
+      let concrete = Gp_core.Goal.concretize image goal in
+      if concrete.Gp_core.Goal.mem <> [] then
+        (* template has no write-what-where; needs the string in-binary *)
+        []
+      else begin
+        let find r = find_pattern rets (is_pop_run_for r) in
+        let syscall_g = find_pattern raws is_syscall_start in
+        match find Reg.RAX, find Reg.RDI, find Reg.RSI, find Reg.RDX, syscall_g with
+        | Some g_rax, Some g_rdi, Some g_rsi, Some g_rdx, Some g_sys -> (
+          (* instantiate each template slot and assemble the plan *)
+          let mk i (raw : Gp_core.Extract.raw) cond =
+            Option.bind (gadget_at image raw.Gp_core.Extract.raw_addr) (fun g ->
+                Gp_core.Plan.instantiate_for g cond ~sid:i)
+          in
+          let regs = concrete.Gp_core.Goal.regs in
+          let v r = List.assoc r regs in
+          let goal_step =
+            Option.bind (gadget_at image g_sys.Gp_core.Extract.raw_addr) (fun g ->
+                Gp_core.Plan.instantiate_goal g concrete ~sid:0)
+          in
+          match
+            ( goal_step,
+              mk 1 g_rax (Gp_core.Plan.Creg (Reg.RAX, v Reg.RAX)),
+              mk 2 g_rdi (Gp_core.Plan.Creg (Reg.RDI, v Reg.RDI)),
+              mk 3 g_rsi (Gp_core.Plan.Creg (Reg.RSI, v Reg.RSI)),
+              mk 4 g_rdx (Gp_core.Plan.Creg (Reg.RDX, v Reg.RDX)) )
+          with
+          | Some s0, Some s1, Some s2, Some s3, Some s4 ->
+            let plan =
+              { Gp_core.Plan.steps = [ s0; s1; s2; s3; s4 ];
+                orderings = [ (1, 2); (2, 3); (3, 4); (4, 0) ];
+                links = [];
+                open_conds = [];
+                next_sid = 5 }
+            in
+            (match Gp_core.Payload.build_opt plan concrete with
+             | Some c when Gp_core.Payload.validate image c -> [ c ]
+             | _ -> [])
+          | _ -> [])
+        | _ -> []
+      end)
+  in
+  { Report.tool = name;
+    pool_total = List.length rets;
+    chains;
+    gadget_time = t1 -. t0;
+    chain_time = Unix.gettimeofday () -. t1 }

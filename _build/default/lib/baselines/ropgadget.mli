@@ -1,0 +1,11 @@
+(** ROPGadget-style baseline (paper §II-B "Pattern Matching"): purely
+    SYNTACTIC gadget discovery plus a hard-coded execve-only chain
+    template (the real tool's --ropchain) — one pop-run per argument
+    register and a syscall, with the "/bin/sh" string taken from the
+    binary.  Any missing template slot fails the whole build. *)
+
+val name : string
+
+val run : Gp_util.Image.t -> Gp_core.Goal.t -> Report.t
+(** Returns 0 chains for non-execve goals, and at most one (validated)
+    execve chain. *)

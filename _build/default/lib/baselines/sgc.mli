@@ -1,0 +1,19 @@
+(** SGC-style baseline (paper §II-B "Program Synthesis"): chains are
+    synthesized against logical pre/post-conditions over RETURN and
+    INDIRECT-JUMP gadgets, but (a) a selection function shrinks the pool
+    to a few gadgets per register, and (b) conditional, merged, and
+    pivoting gadgets are invisible to it.  Realized by running the same
+    planning engine over the SGC-restricted pool with tight caps —
+    comparing STRATEGY CLASSES, per DESIGN.md §2. *)
+
+val name : string
+
+val eligible : Gp_core.Gadget.t -> bool
+val select : ?k:int -> Gp_core.Gadget.t list -> Gp_core.Gadget.t list
+(** Keep the [k] (default 3) shortest gadgets per register + syscalls. *)
+
+val planner_config : Gp_core.Planner.config
+(** Tight caps modelling SGC's one-solution-per-query enumeration. *)
+
+val run :
+  ?pool:Gp_core.Gadget.t list -> Gp_util.Image.t -> Gp_core.Goal.t -> Report.t

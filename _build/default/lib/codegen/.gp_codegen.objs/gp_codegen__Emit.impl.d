@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Bytes Encode Gp_util Gp_x86 Hashtbl Insn Int64 List Option Printf Reg

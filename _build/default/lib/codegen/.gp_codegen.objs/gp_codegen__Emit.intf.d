@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Bytes Gp_util Gp_x86

@@ -1,0 +1,1 @@
+lib/codegen/isel.ml: Array Bytes Emit Encode Gp_ir Gp_util Gp_x86 Hashtbl Insn Int64 List Option Printf Reg

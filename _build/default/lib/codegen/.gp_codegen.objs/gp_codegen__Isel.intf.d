@@ -1,0 +1,1 @@
+lib/codegen/isel.mli: Emit Gp_ir Gp_util

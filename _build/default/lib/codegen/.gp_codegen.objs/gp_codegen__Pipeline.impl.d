@@ -1,0 +1,1 @@
+lib/codegen/pipeline.ml: Gp_ir Gp_minic Gp_util Isel

@@ -1,0 +1,1 @@
+lib/codegen/pipeline.mli: Gp_ir Gp_util

@@ -1,0 +1,146 @@
+(* Assembler/linker: turns the instruction-selection item stream into a
+   loadable [Image].
+
+   Two passes over the items (sizes then bytes), one patch pass for jump
+   tables (data cells holding absolute code addresses, used by Switch
+   lowering and by obfuscation dispatchers). *)
+
+open Gp_x86
+
+type item =
+  | Ins of Insn.t
+  | Label of string                 (* position marker: block or function *)
+  | JmpL of string                  (* jmp rel32 to label *)
+  | JccL of Insn.cond * string      (* jcc rel32 to label *)
+  | CallF of string                 (* call rel32 to function label *)
+  | MovSym of Reg.t * string        (* movabs reg, &symbol (data or code) *)
+
+exception Link_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Link_error m)) fmt
+
+let item_size = function
+  | Ins i -> Encode.length i
+  | Label _ -> 0
+  | JmpL _ -> 5
+  | JccL _ -> 6
+  | CallF _ -> 5
+  | MovSym _ -> 10
+
+type layout = {
+  label_off : (string, int) Hashtbl.t;     (* label -> code offset *)
+  data_off : (string, int) Hashtbl.t;      (* symbol -> data offset *)
+  code_size : int;
+  data_size : int;
+}
+
+let compute_layout items data =
+  let label_off = Hashtbl.create 64 in
+  let off = ref 0 in
+  List.iter
+    (fun item ->
+      (match item with
+       | Label l ->
+         if Hashtbl.mem label_off l then fail "duplicate label %s" l;
+         Hashtbl.replace label_off l !off
+       | _ -> ());
+      off := !off + item_size item)
+    items;
+  let data_off = Hashtbl.create 64 in
+  let doff = ref 0 in
+  List.iter
+    (fun (name, bytes) ->
+      if Hashtbl.mem data_off name then fail "duplicate data symbol %s" name;
+      Hashtbl.replace data_off name !doff;
+      (* keep every global 8-aligned *)
+      doff := !doff + (Bytes.length bytes + 7) / 8 * 8)
+    data;
+  { label_off; data_off; code_size = !off; data_size = !doff }
+
+let assemble ?(code_base = Gp_util.Image.default_code_base)
+    ?(data_base = Gp_util.Image.default_data_base) ~items ~data
+    ~(jump_tables : (string * string array) list) ~func_names ~entry_label () =
+  let lay = compute_layout items data in
+  let label_addr l =
+    match Hashtbl.find_opt lay.label_off l with
+    | Some off -> Int64.add code_base (Int64.of_int off)
+    | None -> fail "undefined label %s" l
+  in
+  let sym_addr s =
+    match Hashtbl.find_opt lay.data_off s with
+    | Some off -> Int64.add data_base (Int64.of_int off)
+    | None -> label_addr s
+  in
+  (* code *)
+  let buf = Buffer.create lay.code_size in
+  let off = ref 0 in
+  List.iter
+    (fun item ->
+      let size = item_size item in
+      (match item with
+       | Ins i -> Encode.to_buffer buf i
+       | Label _ -> ()
+       | JmpL l ->
+         let rel = Int64.to_int (Int64.sub (label_addr l) code_base) - (!off + size) in
+         Encode.to_buffer buf (Insn.Jmp rel)
+       | JccL (c, l) ->
+         let rel = Int64.to_int (Int64.sub (label_addr l) code_base) - (!off + size) in
+         Encode.to_buffer buf (Insn.Jcc (c, rel))
+       | CallF f ->
+         let rel = Int64.to_int (Int64.sub (label_addr f) code_base) - (!off + size) in
+         Encode.to_buffer buf (Insn.Call rel)
+       | MovSym (r, s) -> Encode.to_buffer buf (Insn.Movabs (r, sym_addr s)));
+      off := !off + size;
+      if Buffer.length buf <> !off then
+        fail "size mismatch at offset %d (item encoded to unexpected length)" !off)
+    items;
+  let code = Buffer.to_bytes buf in
+  (* data *)
+  let dbytes = Bytes.make lay.data_size '\000' in
+  List.iter
+    (fun (name, b) ->
+      let off = Hashtbl.find lay.data_off name in
+      Bytes.blit b 0 dbytes off (Bytes.length b))
+    data;
+  (* patch jump tables with absolute code addresses *)
+  List.iter
+    (fun (table, labels) ->
+      match Hashtbl.find_opt lay.data_off table with
+      | None -> fail "jump table %s has no data cell" table
+      | Some off ->
+        Array.iteri
+          (fun j l -> Bytes.set_int64_le dbytes (off + (8 * j)) (label_addr l))
+          labels)
+    jump_tables;
+  (* symbol table: functions with sizes, data symbols *)
+  let func_syms =
+    let sorted =
+      List.sort compare
+        (List.filter_map
+           (fun f -> Option.map (fun o -> (o, f)) (Hashtbl.find_opt lay.label_off f))
+           func_names)
+    in
+    let rec sizes = function
+      | [] -> []
+      | [ (off, f) ] ->
+        [ { Gp_util.Image.sym_name = f;
+            sym_addr = Int64.add code_base (Int64.of_int off);
+            sym_size = lay.code_size - off } ]
+      | (off, f) :: ((off', _) :: _ as rest) ->
+        { Gp_util.Image.sym_name = f;
+          sym_addr = Int64.add code_base (Int64.of_int off);
+          sym_size = off' - off }
+        :: sizes rest
+    in
+    sizes sorted
+  in
+  let data_syms =
+    List.map
+      (fun (name, b) ->
+        { Gp_util.Image.sym_name = name;
+          sym_addr = sym_addr name;
+          sym_size = Bytes.length b })
+      data
+  in
+  Gp_util.Image.create ~code_base ~data_base ~symbols:(func_syms @ data_syms)
+    ~entry:(label_addr entry_label) ~code ~data:dbytes ()

@@ -1,0 +1,30 @@
+(** Assembler/linker: turns the instruction-selection item stream into a
+    loadable {!Gp_util.Image.t}.  Two passes over the items (sizes then
+    bytes), one patch pass for jump tables (data cells holding absolute
+    code addresses). *)
+
+type item =
+  | Ins of Gp_x86.Insn.t
+  | Label of string                 (** position marker: block or function *)
+  | JmpL of string                  (** jmp rel32 to label *)
+  | JccL of Gp_x86.Insn.cond * string
+  | CallF of string                 (** call rel32 to function label *)
+  | MovSym of Gp_x86.Reg.t * string (** movabs reg, &symbol (data or code) *)
+
+exception Link_error of string
+
+val item_size : item -> int
+
+val assemble :
+  ?code_base:int64 ->
+  ?data_base:int64 ->
+  items:item list ->
+  data:(string * Bytes.t) list ->
+  jump_tables:(string * string array) list ->
+  func_names:string list ->
+  entry_label:string ->
+  unit ->
+  Gp_util.Image.t
+(** Lay out data (8-aligned), resolve labels, encode, patch jump tables
+    with absolute code addresses, and build the symbol table.  Raises
+    {!Link_error} on duplicate or undefined labels. *)

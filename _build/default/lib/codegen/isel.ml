@@ -1,0 +1,332 @@
+(* Instruction selection: IR -> x86-64 item stream.
+
+   Deliberately unoptimizing, like a -O0 C compiler: every temp lives in a
+   stack slot, every IR instruction reloads its operands.  This is
+   faithful to the paper's setting (their benchmarks are compiled without
+   aggressive optimization) and produces the rich memory-access
+   instruction mix that gadget harvesting feeds on. *)
+
+open Gp_x86
+
+exception Isel_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Isel_error m)) fmt
+
+type fctx = {
+  func : Gp_ir.Ir.func;
+  mutable items : Emit.item list;            (* reversed *)
+  mutable jump_tables : (string * string array) list;
+  mutable next_local : int;                  (* local label counter *)
+  mutable next_table : int ref;              (* program-wide jump table counter *)
+  scratch2 : Reg.t;                          (* second scratch: rcx or callee-saved *)
+  save_scratch2 : bool;                      (* scratch2 is callee-saved *)
+}
+
+(* Pick the function's secondary scratch register like a register
+   allocator would: sometimes a caller-saved one, sometimes callee-saved
+   (which real compilers then save/restore in the epilogue — the classic
+   source of pop-reg gadgets). *)
+let pick_scratch2 name =
+  let h = Hashtbl.hash name in
+  match h mod 4 with
+  | 0 -> (Reg.RCX, false)
+  | 1 -> (Reg.RBX, true)
+  | 2 -> (Reg.R12, true)
+  | _ -> (Reg.R14, true)
+
+let emit ctx item = ctx.items <- item :: ctx.items
+let ins ctx i = emit ctx (Emit.Ins i)
+
+let fresh_local ctx prefix =
+  let n = ctx.next_local in
+  ctx.next_local <- n + 1;
+  Printf.sprintf "%s.L%s%d" ctx.func.Gp_ir.Ir.f_name prefix n
+
+(* Frame: saved callee-saved reg (optional), then alloca slots, then temp
+   spill slots — all rbp-relative. *)
+let save_area ctx = if ctx.save_scratch2 then 8 else 0
+
+let slot_disp ctx slot = -(save_area ctx + (8 * (slot + 1)))
+
+let temp_disp ctx t =
+  -(save_area ctx + (8 * (ctx.func.Gp_ir.Ir.f_frame_slots + t + 1)))
+
+let frame_size ctx =
+  let words = ctx.func.Gp_ir.Ir.f_frame_slots + ctx.func.Gp_ir.Ir.f_next_temp in
+  ((save_area ctx + (words * 8)) + 15) / 16 * 16 - save_area ctx
+
+(* Load an operand into a register. *)
+let load ctx reg (op : Gp_ir.Ir.operand) =
+  match op with
+  | Gp_ir.Ir.T t -> ins ctx (Insn.Mov (Insn.Reg reg, Insn.Mem (Insn.mem ~disp:(temp_disp ctx t) Reg.RBP)))
+  | Gp_ir.Ir.I i ->
+    if Encode.fits_imm32 i then ins ctx (Insn.Mov (Insn.Reg reg, Insn.Imm i))
+    else ins ctx (Insn.Movabs (reg, i))
+  | Gp_ir.Ir.G g -> emit ctx (Emit.MovSym (reg, g))
+
+(* Store a register into a temp's slot. *)
+let store_temp ctx t reg =
+  ins ctx (Insn.Mov (Insn.Mem (Insn.mem ~disp:(temp_disp ctx t) Reg.RBP), Insn.Reg reg))
+
+let cond_of_relop = function
+  | Gp_ir.Ir.Eq -> Insn.E | Gp_ir.Ir.Ne -> Insn.NE | Gp_ir.Ir.Lt -> Insn.L
+  | Gp_ir.Ir.Le -> Insn.LE | Gp_ir.Ir.Gt -> Insn.G | Gp_ir.Ir.Ge -> Insn.GE
+
+let sel_instr ctx (i : Gp_ir.Ir.instr) =
+  match i with
+  | Gp_ir.Ir.Mov (d, s) ->
+    load ctx Reg.RAX s;
+    store_temp ctx d Reg.RAX
+  | Gp_ir.Ir.Bin (op, d, a, b) -> (
+    load ctx Reg.RAX a;
+    (match op with
+     | Gp_ir.Ir.Shl | Gp_ir.Ir.Shr | Gp_ir.Ir.Sar -> (
+       match b with
+       | Gp_ir.Ir.I k when k >= 0L && k < 64L ->
+         let k = Int64.to_int k in
+         ins ctx
+           (match op with
+            | Gp_ir.Ir.Shl -> Insn.Shl (Reg.RAX, k)
+            | Gp_ir.Ir.Shr -> Insn.Shr (Reg.RAX, k)
+            | _ -> Insn.Sar (Reg.RAX, k))
+       | _ -> fail "%s: variable shift amount" ctx.func.Gp_ir.Ir.f_name)
+     | _ ->
+       let rb = ctx.scratch2 in
+       load ctx rb b;
+       ins ctx
+         (match op with
+          | Gp_ir.Ir.Add -> Insn.Add (Insn.Reg Reg.RAX, Insn.Reg rb)
+          | Gp_ir.Ir.Sub -> Insn.Sub (Insn.Reg Reg.RAX, Insn.Reg rb)
+          | Gp_ir.Ir.Mul -> Insn.Imul (Reg.RAX, rb)
+          | Gp_ir.Ir.And -> Insn.And_ (Insn.Reg Reg.RAX, Insn.Reg rb)
+          | Gp_ir.Ir.Or -> Insn.Or_ (Insn.Reg Reg.RAX, Insn.Reg rb)
+          | Gp_ir.Ir.Xor -> Insn.Xor (Insn.Reg Reg.RAX, Insn.Reg rb)
+          | Gp_ir.Ir.Shl | Gp_ir.Ir.Shr | Gp_ir.Ir.Sar -> assert false));
+    store_temp ctx d Reg.RAX)
+  | Gp_ir.Ir.Cmp (rel, d, a, b) ->
+    load ctx Reg.RAX a;
+    load ctx ctx.scratch2 b;
+    let l_true = fresh_local ctx "cmp" in
+    ins ctx (Insn.Mov (Insn.Reg Reg.RDX, Insn.Imm 1L));
+    ins ctx (Insn.Cmp (Insn.Reg Reg.RAX, Insn.Reg ctx.scratch2));
+    emit ctx (Emit.JccL (cond_of_relop rel, l_true));
+    ins ctx (Insn.Mov (Insn.Reg Reg.RDX, Insn.Imm 0L));
+    emit ctx (Emit.Label l_true);
+    store_temp ctx d Reg.RDX
+  | Gp_ir.Ir.Load (d, addr, off) ->
+    load ctx Reg.RAX addr;
+    ins ctx (Insn.Mov (Insn.Reg Reg.RAX, Insn.Mem (Insn.mem ~disp:off Reg.RAX)));
+    store_temp ctx d Reg.RAX
+  | Gp_ir.Ir.Store (addr, off, src) ->
+    load ctx Reg.RAX addr;
+    load ctx ctx.scratch2 src;
+    ins ctx (Insn.Mov (Insn.Mem (Insn.mem ~disp:off Reg.RAX), Insn.Reg ctx.scratch2))
+  | Gp_ir.Ir.AddrLocal (d, slot) ->
+    ins ctx (Insn.Lea (Reg.RAX, Insn.mem ~disp:(slot_disp ctx slot) Reg.RBP));
+    store_temp ctx d Reg.RAX
+  | Gp_ir.Ir.CallI (d, f, args) ->
+    if List.length args > List.length Reg.args then fail "call %s: too many args" f;
+    List.iteri (fun k arg -> load ctx (List.nth Reg.args k) arg) args;
+    emit ctx (Emit.CallF f);
+    Option.iter (fun t -> store_temp ctx t Reg.RAX) d
+  | Gp_ir.Ir.CallPtr (d, target, args) ->
+    if List.length args > List.length Reg.args then fail "indirect call: too many args";
+    List.iteri (fun k arg -> load ctx (List.nth Reg.args k) arg) args;
+    (* r10 is neither an argument register nor the return register *)
+    load ctx Reg.R10 target;
+    ins ctx (Insn.CallReg Reg.R10);
+    Option.iter (fun t -> store_temp ctx t Reg.RAX) d
+  | Gp_ir.Ir.SyscallI (d, args) -> (
+    match args with
+    | nr :: rest when List.length rest <= 3 ->
+      List.iteri (fun k arg -> load ctx (List.nth Reg.args k) arg) rest;
+      load ctx Reg.RAX nr;
+      ins ctx Insn.Syscall;
+      Option.iter (fun t -> store_temp ctx t Reg.RAX) d
+    | _ -> fail "syscall: expected 1-4 operands")
+
+let sel_terminator ctx (t : Gp_ir.Ir.terminator) =
+  match t with
+  | Gp_ir.Ir.Jmp l -> emit ctx (Emit.JmpL l)
+  | Gp_ir.Ir.Br (c, l1, l2) ->
+    load ctx Reg.RAX c;
+    ins ctx (Insn.Test (Reg.RAX, Reg.RAX));
+    emit ctx (Emit.JccL (Insn.NE, l1));
+    emit ctx (Emit.JmpL l2)
+  | Gp_ir.Ir.Switch (idx, labels) ->
+    (* movabs rdx, &table; rcx = idx*8; jmp [rdx + rcx] via add *)
+    let n = !(ctx.next_table) in
+    incr ctx.next_table;
+    let table = Printf.sprintf "jt$%d" n in
+    ctx.jump_tables <- (table, labels) :: ctx.jump_tables;
+    load ctx Reg.RCX idx;
+    ins ctx (Insn.Shl (Reg.RCX, 3));
+    emit ctx (Emit.MovSym (Reg.RDX, table));
+    ins ctx (Insn.Add (Insn.Reg Reg.RDX, Insn.Reg Reg.RCX));
+    ins ctx (Insn.Mov (Insn.Reg Reg.RDX, Insn.Mem (Insn.mem Reg.RDX)));
+    ins ctx (Insn.JmpReg Reg.RDX)
+  | Gp_ir.Ir.Ret v ->
+    (match v with
+     | Some op -> load ctx Reg.RAX op
+     | None -> ins ctx (Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 0L)));
+    if ctx.save_scratch2 then begin
+      (* restore the callee-saved scratch: classic compiler epilogue *)
+      ins ctx (Insn.Lea (Reg.RSP, Insn.mem ~disp:(-8) Reg.RBP));
+      ins ctx (Insn.Pop ctx.scratch2);
+      ins ctx (Insn.Pop Reg.RBP);
+      ins ctx Insn.Ret
+    end
+    else begin
+      ins ctx Insn.Leave;
+      ins ctx Insn.Ret
+    end
+
+let sel_func ~table_counter (f : Gp_ir.Ir.func) =
+  let scratch2, save_scratch2 = pick_scratch2 f.Gp_ir.Ir.f_name in
+  let ctx =
+    { func = f; items = []; jump_tables = []; next_local = 0;
+      next_table = table_counter; scratch2; save_scratch2 }
+  in
+  emit ctx (Emit.Label f.Gp_ir.Ir.f_name);
+  ins ctx (Insn.Push Reg.RBP);
+  ins ctx (Insn.Mov (Insn.Reg Reg.RBP, Insn.Reg Reg.RSP));
+  if save_scratch2 then ins ctx (Insn.Push scratch2);
+  let fsize = frame_size ctx in
+  if fsize > 0 then ins ctx (Insn.Sub (Insn.Reg Reg.RSP, Insn.Imm (Int64.of_int fsize)));
+  (* spill incoming arguments to their temp slots *)
+  List.iteri
+    (fun k t ->
+      if k >= List.length Reg.args then fail "%s: too many params" f.Gp_ir.Ir.f_name;
+      ins ctx
+        (Insn.Mov
+           (Insn.Mem (Insn.mem ~disp:(temp_disp ctx t) Reg.RBP),
+            Insn.Reg (List.nth Reg.args k))))
+    f.Gp_ir.Ir.f_params;
+  List.iter
+    (fun (b : Gp_ir.Ir.block) ->
+      emit ctx (Emit.Label b.Gp_ir.Ir.b_label);
+      List.iter (sel_instr ctx) b.Gp_ir.Ir.b_instrs;
+      sel_terminator ctx b.Gp_ir.Ir.b_term)
+    f.Gp_ir.Ir.f_blocks;
+  (List.rev ctx.items, ctx.jump_tables)
+
+(* The runtime support routines every image links, standing in for the
+   libc/csu code real binaries carry (DESIGN.md §2).  Their encodings are
+   faithful to the real thing — in particular [__rt_restore]'s pop chain
+   of REX-prefixed registers is byte-for-byte the pattern that gives real
+   binaries their unaligned pop-rdi/rsi/rdx gadgets (e.g. 41 5F = pop
+   r15; skipping the REX byte yields 5F = pop rdi). *)
+let runtime_items =
+  [ (* generic 3-argument syscall wrapper, like libc's syscall(2) *)
+    Emit.Label "__rt_syscall3";
+    Emit.Ins (Insn.Push Reg.RBP);
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RBP, Insn.Reg Reg.RSP));
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RAX, Insn.Reg Reg.RDI));
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RDI, Insn.Reg Reg.RSI));
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RSI, Insn.Reg Reg.RDX));
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RDX, Insn.Reg Reg.RCX));
+    Emit.Ins Insn.Syscall;
+    Emit.Ins (Insn.Pop Reg.RBP);
+    Emit.Ins Insn.Ret;
+    (* register save/restore frame, like __libc_csu_init / a signal
+       trampoline: saves the registers a runtime init would use, does its
+       (empty) init-array walk, restores *)
+    Emit.Label "__rt_restore";
+    Emit.Ins (Insn.Push Reg.R15);
+    Emit.Ins (Insn.Push Reg.R14);
+    Emit.Ins (Insn.Push Reg.R13);
+    Emit.Ins (Insn.Push Reg.R12);
+    Emit.Ins (Insn.Push Reg.R11);
+    Emit.Ins (Insn.Push Reg.R10);
+    Emit.Ins (Insn.Push Reg.R9);
+    Emit.Ins (Insn.Push Reg.R8);
+    Emit.Ins (Insn.Push Reg.RBP);
+    Emit.Ins (Insn.Push Reg.RBX);
+    Emit.Ins Insn.Nop;
+    Emit.Ins (Insn.Pop Reg.RBX);
+    Emit.Ins (Insn.Pop Reg.RBP);
+    Emit.Ins (Insn.Pop Reg.R8);
+    Emit.Ins (Insn.Pop Reg.R9);
+    Emit.Ins (Insn.Pop Reg.R10);
+    Emit.Ins (Insn.Pop Reg.R11);
+    Emit.Ins (Insn.Pop Reg.R12);
+    Emit.Ins (Insn.Pop Reg.R13);
+    Emit.Ins (Insn.Pop Reg.R14);
+    Emit.Ins (Insn.Pop Reg.R15);
+    Emit.Ins Insn.Ret;
+    (* clamp(n): n > LIMIT ? LIMIT : n — the bounds-check shape every
+       runtime carries (memcpy_chk, allocation guards).  Each branch is a
+       conditional-setter gadget: rax = rdi under a condition on rdi. *)
+    Emit.Label "__rt_clamp";
+    Emit.Ins (Insn.Cmp (Insn.Reg Reg.RDI, Insn.Imm 0x10000L));
+    Emit.JccL (Insn.G, "__rt_clamp.big");
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RAX, Insn.Reg Reg.RDI));
+    Emit.Ins Insn.Ret;
+    Emit.Label "__rt_clamp.big";
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 0x10000L));
+    Emit.Ins Insn.Ret;
+    (* select(c, a, b): c ? a : b — how ternaries compile without cmov.
+       The taken arm falls through a direct jump to the shared tail, so
+       harvesting also yields merged (direct-jump) gadgets. *)
+    Emit.Label "__rt_select";
+    Emit.Ins (Insn.Test (Reg.RDI, Reg.RDI));
+    Emit.JccL (Insn.E, "__rt_select.else");
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RAX, Insn.Reg Reg.RSI));
+    Emit.JmpL "__rt_select.end";
+    Emit.Label "__rt_select.else";
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RAX, Insn.Reg Reg.RDX));
+    Emit.Label "__rt_select.end";
+    Emit.Ins Insn.Ret;
+    (* iabs(n): branchy absolute value, another conditional setter *)
+    Emit.Label "__rt_iabs";
+    Emit.Ins (Insn.Test (Reg.RDI, Reg.RDI));
+    Emit.JccL (Insn.S, "__rt_iabs.neg");
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RAX, Insn.Reg Reg.RDI));
+    Emit.Ins Insn.Ret;
+    Emit.Label "__rt_iabs.neg";
+    Emit.Ins (Insn.Mov (Insn.Reg Reg.RAX, Insn.Reg Reg.RDI));
+    Emit.Ins (Insn.Neg Reg.RAX);
+    Emit.Ins Insn.Ret ]
+
+(* Whole program -> image.  Adds the _start stub: runtime init, call
+   main, exit(rax) through the syscall wrapper. *)
+let compile_program (p : Gp_ir.Ir.program) : Gp_util.Image.t =
+  let table_counter = ref 0 in
+  let start_items =
+    [ Emit.Label "_start";
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RBP, Insn.Reg Reg.RSP));
+      Emit.CallF "__rt_restore";
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RDI, Insn.Imm 1L));
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RSI, Insn.Imm 1L));
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RDX, Insn.Imm 0L));
+      Emit.CallF "__rt_select";
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RDI, Insn.Reg Reg.RAX));
+      Emit.CallF "__rt_clamp";
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RDI, Insn.Reg Reg.RAX));
+      Emit.CallF "__rt_iabs";
+      Emit.CallF "main";
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RSI, Insn.Reg Reg.RAX));
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RDI, Insn.Imm 60L));
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RDX, Insn.Imm 0L));
+      Emit.Ins (Insn.Mov (Insn.Reg Reg.RCX, Insn.Imm 0L));
+      Emit.CallF "__rt_syscall3";
+      Emit.Ins Insn.Hlt ]
+    @ runtime_items
+  in
+  let per_func = List.map (sel_func ~table_counter) p.Gp_ir.Ir.p_funcs in
+  let items = start_items @ List.concat_map fst per_func in
+  let jump_tables = List.concat_map snd per_func in
+  let data =
+    List.map (fun (d : Gp_ir.Ir.data) -> (d.Gp_ir.Ir.d_name, d.Gp_ir.Ir.d_bytes)) p.Gp_ir.Ir.p_data
+    @ List.map
+        (fun (name, labels) -> (name, Bytes.make (8 * Array.length labels) '\000'))
+        jump_tables
+    (* real libc carries "/bin/sh" for system(3); our runtime does too *)
+    @ [ ("__rt_shell", Bytes.of_string "/bin/sh\000") ]
+  in
+  let func_names =
+    "_start" :: "__rt_syscall3" :: "__rt_restore" :: "__rt_clamp"
+    :: "__rt_select" :: "__rt_iabs"
+    :: List.map (fun f -> f.Gp_ir.Ir.f_name) p.Gp_ir.Ir.p_funcs
+  in
+  Emit.assemble ~items ~data ~jump_tables ~func_names ~entry_label:"_start" ()

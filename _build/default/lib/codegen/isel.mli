@@ -1,0 +1,28 @@
+(** Instruction selection: IR -> x86-64 item stream.
+
+    Deliberately unoptimizing, like a -O0 C compiler: every temp lives in
+    a stack slot and every IR instruction reloads its operands — faithful
+    to the paper's setting and productive of the memory-access-rich
+    instruction mix gadget harvesting feeds on.  Per function, the
+    secondary scratch register is sometimes callee-saved (pushed in the
+    prologue, popped in the epilogue), reproducing the classic
+    pop-register epilogue gadgets of real compiled code.
+
+    Every image also links a small RUNTIME standing in for libc/csu
+    (DESIGN.md §7): a syscall wrapper, a register save/restore frame
+    whose encoding yields the classic unaligned pop-rdi/rsi/rdx gadgets,
+    branchy clamp/select/iabs helpers, and the "/bin/sh" string. *)
+
+exception Isel_error of string
+
+val runtime_items : Emit.item list
+(** The runtime routines linked into every image. *)
+
+val sel_func :
+  table_counter:int ref ->
+  Gp_ir.Ir.func ->
+  Emit.item list * (string * string array) list
+(** Select one function; returns its items and any jump tables. *)
+
+val compile_program : Gp_ir.Ir.program -> Gp_util.Image.t
+(** Whole program: _start stub + runtime + all functions, assembled. *)

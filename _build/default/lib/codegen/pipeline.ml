@@ -1,0 +1,19 @@
+(* End-to-end compilation: mini-C source -> binary image.
+
+   [transform] is the obfuscation hook: an IR-to-IR pass pipeline is
+   applied between lowering and instruction selection, mirroring where
+   Obfuscator-LLVM sits in the real toolchain. *)
+
+let compile ?(transform = fun (p : Gp_ir.Ir.program) -> p) (src : string) : Gp_util.Image.t =
+  let ast = Gp_minic.Check.parse_and_check src in
+  let ir = Gp_ir.Lower.lower_program ast in
+  let ir = transform ir in
+  Isel.compile_program ir
+
+let compile_ir ?(transform = fun (p : Gp_ir.Ir.program) -> p) (ir : Gp_ir.Ir.program) :
+    Gp_util.Image.t =
+  Isel.compile_program (transform ir)
+
+(* Parse + lower only (for obfuscation-pass unit tests). *)
+let to_ir (src : string) : Gp_ir.Ir.program =
+  Gp_ir.Lower.lower_program (Gp_minic.Check.parse_and_check src)

@@ -1,0 +1,17 @@
+(** End-to-end compilation: mini-C source -> binary image.
+
+    [transform] is the obfuscation hook: an IR-to-IR pass pipeline
+    applied between lowering and instruction selection, mirroring where
+    Obfuscator-LLVM sits in the real toolchain. *)
+
+val compile :
+  ?transform:(Gp_ir.Ir.program -> Gp_ir.Ir.program) -> string -> Gp_util.Image.t
+(** Parse, check, lower, transform, select, assemble. *)
+
+val compile_ir :
+  ?transform:(Gp_ir.Ir.program -> Gp_ir.Ir.program) ->
+  Gp_ir.Ir.program ->
+  Gp_util.Image.t
+
+val to_ir : string -> Gp_ir.Ir.program
+(** Parse + lower only (for obfuscation-pass unit tests). *)

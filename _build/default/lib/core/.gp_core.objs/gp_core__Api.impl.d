@@ -1,0 +1,1 @@
+lib/core/api.ml: Extract Gadget Goal Gp_util Hashtbl List Payload Planner Pool Subsume Unix

@@ -1,0 +1,1 @@
+lib/core/api.mli: Extract Gadget Goal Gp_util Payload Planner Pool

@@ -1,0 +1,1 @@
+lib/core/extract.ml: Bytes Decode Fun Gadget Gp_symx Gp_util Gp_x86 Insn Int64 List

@@ -1,0 +1,1 @@
+lib/core/extract.mli: Gadget Gp_util Gp_x86

@@ -1,0 +1,1 @@
+lib/core/gadget.ml: Buffer Formula Gp_smt Gp_symx Gp_x86 Insn Int64 List Printf Reg String Term

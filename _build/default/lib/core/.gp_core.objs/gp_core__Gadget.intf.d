@@ -1,0 +1,1 @@
+lib/core/gadget.mli: Formula Gp_smt Gp_symx Gp_x86 Term

@@ -1,0 +1,1 @@
+lib/core/goal.ml: Bytes Gp_emu Gp_util Gp_x86 Int64 Layout List Reg String

@@ -1,0 +1,1 @@
+lib/core/goal.mli: Gp_emu Gp_util Gp_x86

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Gp_emu Gp_smt Int64 List

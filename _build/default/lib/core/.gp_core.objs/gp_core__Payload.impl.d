@@ -1,0 +1,1 @@
+lib/core/payload.ml: Array Buffer Gadget Goal Gp_emu Gp_smt Gp_symx Gp_util Gp_x86 Hashtbl Int64 Layout List Plan Printf String Term

@@ -1,0 +1,1 @@
+lib/core/payload.mli: Goal Gp_smt Gp_util Plan

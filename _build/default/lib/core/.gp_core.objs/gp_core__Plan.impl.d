@@ -1,0 +1,1 @@
+lib/core/plan.ml: Digest Formula Gadget Goal Gp_smt Gp_symx Gp_x86 Hashtbl Int64 Layout List Marshal Printf Reg Solver String Term

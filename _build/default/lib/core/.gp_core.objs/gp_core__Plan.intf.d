@@ -1,0 +1,1 @@
+lib/core/plan.mli: Digest Gadget Goal Gp_smt Gp_x86

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Gadget Goal Hashtbl Layout List Map Option Plan Pool Unix

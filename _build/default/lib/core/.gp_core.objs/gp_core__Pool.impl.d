@@ -1,0 +1,1 @@
+lib/core/pool.ml: Gadget Gp_x86 List Reg

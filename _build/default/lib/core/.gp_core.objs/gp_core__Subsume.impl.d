@@ -1,0 +1,1 @@
+lib/core/subsume.ml: Formula Gadget Gp_smt Gp_symx Gp_x86 Hashtbl List Solver String Term

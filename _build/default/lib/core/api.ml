@@ -1,0 +1,105 @@
+(* High-level Gadget-Planner API: the four-stage pipeline of Fig. 3.
+
+     image --(1) gadget extraction--> gadgets
+           --(2) subsumption testing--> minimal pool
+           --(3) partial-order planning--> plans
+           --(4) post-processing + validation--> payloads
+
+   [run] executes all four stages and returns only chains whose payloads
+   drive the emulator to the goal syscall (validation-first; DESIGN.md). *)
+
+type stage_stats = {
+  extracted : int;
+  deduped : int;
+  pool_size : int;
+  plans_found : int;
+  chains_built : int;
+  chains_validated : int;
+  extract_time : float;
+  subsume_time : float;
+  plan_time : float;
+}
+
+type analysis = {
+  image : Gp_util.Image.t;
+  gadgets : Gadget.t list;      (* post-subsumption *)
+  pool : Pool.t;
+  raw_extracted : int;
+  extract_time : float;
+  subsume_time : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+
+let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
+    (image : Gp_util.Image.t) : analysis =
+  let harvested, extract_time = timed (fun () -> Extract.harvest ~config:extract_config image) in
+  let (minimal, _stats), subsume_time =
+    timed (fun () ->
+        if subsume then Subsume.minimize harvested
+        else (harvested, { Subsume.input = List.length harvested;
+                           after_dedup = List.length harvested;
+                           after_subsume = List.length harvested }))
+  in
+  { image;
+    gadgets = minimal;
+    pool = Pool.build minimal;
+    raw_extracted = List.length harvested;
+    extract_time;
+    subsume_time }
+
+type outcome = {
+  goal : Goal.concrete;
+  chains : Payload.chain list;   (* validated only *)
+  stats : stage_stats;
+}
+
+let run_with_analysis ?(planner_config = Planner.default_config)
+    ?(validate = true) (a : analysis) (goal : Goal.t) : outcome =
+  let concrete = Goal.concretize a.image goal in
+  (* a completed plan only counts if its payload assembles, is a chain we
+     have not already emitted, and (when requested) survives end-to-end
+     execution in the emulator *)
+  let seen = Hashtbl.create 16 in
+  let chains = ref [] in
+  let accept p =
+    match Payload.build_opt p concrete with
+    | None -> false
+    | Some c ->
+      let k = Payload.chain_set_key c in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        if (not validate) || Payload.validate a.image c then begin
+          chains := c :: !chains;
+          true
+        end
+        else false
+      end
+  in
+  let result, plan_time =
+    timed (fun () -> Planner.search ~config:planner_config ~accept a.pool concrete)
+  in
+  let built = List.rev !chains in
+  let validated = built in
+  { goal = concrete;
+    chains = validated;
+    stats =
+      { extracted = a.raw_extracted;
+        deduped = List.length a.gadgets;
+        pool_size = Pool.size a.pool;
+        plans_found = List.length result.Planner.plans;
+        chains_built = List.length built;
+        chains_validated = List.length validated;
+        extract_time = a.extract_time;
+        subsume_time = a.subsume_time;
+        plan_time } }
+
+let run ?extract_config ?(planner_config = Planner.default_config)
+    ?(validate = true) (image : Gp_util.Image.t) (goal : Goal.t) : outcome =
+  let a = analyze ?extract_config image in
+  run_with_analysis ~planner_config ~validate a goal

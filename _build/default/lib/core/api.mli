@@ -1,0 +1,63 @@
+(** High-level Gadget-Planner API: the four-stage pipeline of Fig. 3.
+
+    {v
+    image --(1) gadget extraction----> gadgets
+          --(2) subsumption testing--> minimal pool
+          --(3) partial-order planning-> plans
+          --(4) post-processing + validation-> payloads
+    v}
+
+    {!run} executes all four stages and returns only chains whose
+    payloads drive the emulator to the goal syscall. *)
+
+type stage_stats = {
+  extracted : int;          (** summaries before minimization *)
+  deduped : int;            (** pool after subsumption *)
+  pool_size : int;
+  plans_found : int;        (** accepted complete plans *)
+  chains_built : int;
+  chains_validated : int;
+  extract_time : float;
+  subsume_time : float;
+  plan_time : float;
+}
+
+(** Stages 1–2, reusable across goals and planner configurations. *)
+type analysis = {
+  image : Gp_util.Image.t;
+  gadgets : Gadget.t list;      (** post-subsumption *)
+  pool : Pool.t;
+  raw_extracted : int;
+  extract_time : float;
+  subsume_time : float;
+}
+
+val timed : (unit -> 'a) -> 'a * float
+
+val analyze :
+  ?extract_config:Extract.config -> ?subsume:bool -> Gp_util.Image.t -> analysis
+
+type outcome = {
+  goal : Goal.concrete;
+  chains : Payload.chain list;   (** validated only *)
+  stats : stage_stats;
+}
+
+val run_with_analysis :
+  ?planner_config:Planner.config ->
+  ?validate:bool ->
+  analysis ->
+  Goal.t ->
+  outcome
+(** Stages 3–4 over a prepared analysis.  Chains are deduplicated by
+    gadget set and (unless [validate:false]) each one is confirmed by
+    concrete execution before being counted. *)
+
+val run :
+  ?extract_config:Extract.config ->
+  ?planner_config:Planner.config ->
+  ?validate:bool ->
+  Gp_util.Image.t ->
+  Goal.t ->
+  outcome
+(** The whole pipeline in one call. *)

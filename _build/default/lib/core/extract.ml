@@ -1,0 +1,150 @@
+(* Gadget extraction (paper §IV-B).
+
+   Two modes:
+
+   - [raw_scan]: the cheap syntactic census every tool starts from — slide
+     a decoder over every byte offset (catching unaligned instruction
+     streams), follow direct jumps and conditional falls, classify the
+     resulting run.  This is what Fig. 1 / Table I count.
+
+   - [harvest]: the full pipeline — prefilter byte offsets syntactically,
+     then symbolically execute each surviving start (forking at
+     conditional jumps, merging through direct jumps) and build gadget
+     records for the planner. *)
+
+open Gp_x86
+
+type config = {
+  unaligned : bool;           (* start at every byte, not just insn starts *)
+  max_insns : int;
+  max_forks : int;
+  max_merges : int;
+  max_gadget_bytes : int;     (* ignore starts whose first insn run is huge *)
+}
+
+let default_config =
+  (* max_insns must span the distance from a comparison to the following
+     epilogue in unoptimized code, or conditional gadgets never complete *)
+  { unaligned = true; max_insns = 30; max_forks = 2; max_merges = 2;
+    max_gadget_bytes = 96 }
+
+(* ----- syntactic census ----- *)
+
+type raw = {
+  raw_addr : int64;
+  raw_insns : Insn.t list;
+  raw_kind : Gadget.kind;
+}
+
+(* Follow a run until a control transfer.  With [merge] (the harvest
+   prefilter), direct jumps/calls are followed like the symbolic stage
+   will; without it (the census behind Fig. 1 / Table I), a direct
+   transfer ENDS the gadget, matching the paper's taxonomy: UDJ/CDJ end
+   with a direct jump, UIJ/CIJ with an indirect one, conditional kinds
+   contain a jcc on the way. *)
+let scan_run ?(merge = true) ~config (image : Gp_util.Image.t) pos =
+  let code = image.Gp_util.Image.code in
+  let limit = Bytes.length code in
+  let rec go acc pos n merges has_cond =
+    if n > config.max_insns || pos < 0 || pos >= limit then None
+    else
+      match Decode.decode code pos with
+      | None -> None
+      | Some (insn, len) -> (
+        let acc = insn :: acc in
+        let next = pos + len in
+        match insn with
+        | Insn.Ret | Insn.RetImm _ ->
+          Some (List.rev acc, (if has_cond then Gadget.CDJ else Gadget.Return))
+        | Insn.JmpReg _ | Insn.JmpMem _ | Insn.CallReg _ | Insn.CallMem _ ->
+          Some (List.rev acc, (if has_cond then Gadget.CIJ else Gadget.UIJ))
+        | Insn.Syscall -> Some (List.rev acc, Gadget.Sys)
+        | Insn.Jmp rel | Insn.Call rel ->
+          if merge && merges < config.max_merges then
+            go acc (next + rel) (n + 1) (merges + 1) has_cond
+          else if n > 0 then
+            (* a bare jmp with no useful body is not a gadget *)
+            Some (List.rev acc, (if has_cond then Gadget.CDJ else Gadget.UDJ))
+          else None
+        | Insn.Jcc (_, _) ->
+          (* fall through, remembering the conditional *)
+          go acc next (n + 1) merges true
+        | Insn.Int3 | Insn.Hlt -> None
+        | _ -> go acc next (n + 1) merges has_cond)
+  in
+  go [] pos 0 0 false
+
+let start_positions ~config (image : Gp_util.Image.t) =
+  let n = Gp_util.Image.code_size image in
+  if config.unaligned then List.init n Fun.id
+  else begin
+    (* aligned mode: decode forward from 0, collecting boundaries *)
+    let rec walk pos acc =
+      if pos >= n then List.rev acc
+      else
+        match Decode.decode image.Gp_util.Image.code pos with
+        | Some (_, len) -> walk (pos + len) (pos :: acc)
+        | None -> walk (pos + 1) acc
+    in
+    walk 0 []
+  end
+
+let raw_scan ?(config = { default_config with max_insns = 24 })
+    (image : Gp_util.Image.t) : raw list =
+  let base = image.Gp_util.Image.code_base in
+  List.filter_map
+    (fun pos ->
+      match scan_run ~merge:false ~config image pos with
+      | Some (insns, kind) ->
+        Some
+          { raw_addr = Int64.add base (Int64.of_int pos);
+            raw_insns = insns;
+            raw_kind = kind }
+      | None -> None)
+    (start_positions ~config image)
+
+let raw_counts ?config image =
+  let raws = raw_scan ?config image in
+  let count k = List.length (List.filter (fun r -> r.raw_kind = k) raws) in
+  [ (Gadget.Return, count Gadget.Return);
+    (Gadget.UDJ, count Gadget.UDJ);
+    (Gadget.UIJ, count Gadget.UIJ);
+    (Gadget.CDJ, count Gadget.CDJ);
+    (Gadget.CIJ, count Gadget.CIJ);
+    (Gadget.Sys, count Gadget.Sys) ]
+
+(* ----- symbolic harvest ----- *)
+
+(* A gadget is usable by the planner only if its stack behaviour is
+   understood. *)
+let usable (g : Gadget.t) =
+  match g.Gadget.stack_delta with
+  | Gadget.Sunknown -> (
+    match g.Gadget.jmp with
+    | Gp_symx.Exec.Jfall _ -> true   (* terminal syscall gadgets need no delta *)
+    | _ -> false)
+  | Gadget.Spivot d -> d >= -64 && d <= 512   (* leave-style frame pivots *)
+  | Gadget.Sdelta d -> (
+    match g.Gadget.jmp with
+    | Gp_symx.Exec.Jret _ -> d >= 8 && d <= 512
+    | Gp_symx.Exec.Jind _ -> d >= -16 && d <= 512
+    | Gp_symx.Exec.Jfall _ -> true)
+
+let harvest ?(config = default_config) (image : Gp_util.Image.t) : Gadget.t list =
+  let base = image.Gp_util.Image.code_base in
+  let sym_config =
+    { Gp_symx.Exec.max_insns = config.max_insns;
+      max_forks = config.max_forks;
+      max_merges = config.max_merges }
+  in
+  List.concat_map
+    (fun pos ->
+      (* cheap prefilter: must syntactically reach a terminator *)
+      match scan_run ~config image pos with
+      | None -> []
+      | Some _ ->
+        let addr = Int64.add base (Int64.of_int pos) in
+        Gp_symx.Exec.summarize ~config:sym_config image addr
+        |> List.map Gadget.of_summary
+        |> List.filter usable)
+    (start_positions ~config image)

@@ -1,0 +1,53 @@
+(** Gadget extraction (paper §IV-B).
+
+    Two modes: {!raw_scan} is the cheap syntactic census every tool
+    starts from (slide a decoder over every byte offset, classify the
+    run) — what Fig. 1 / Table I count; {!harvest} is the full pipeline —
+    prefilter byte offsets syntactically, then symbolically execute each
+    surviving start and build planner-ready gadget records. *)
+
+type config = {
+  unaligned : bool;           (** start at every byte, not just insn starts *)
+  max_insns : int;
+  max_forks : int;
+  max_merges : int;
+  max_gadget_bytes : int;
+}
+
+val default_config : config
+
+(** {1 Syntactic census} *)
+
+type raw = {
+  raw_addr : int64;
+  raw_insns : Gp_x86.Insn.t list;
+  raw_kind : Gadget.kind;
+}
+
+val scan_run :
+  ?merge:bool ->
+  config:config ->
+  Gp_util.Image.t ->
+  int ->
+  (Gp_x86.Insn.t list * Gadget.kind) option
+(** Follow a run from a byte offset until a control transfer.  With
+    [merge] (the harvest prefilter) direct jumps/calls are followed;
+    without it (the census) a direct transfer ends the gadget, matching
+    the paper's UDJ/CDJ taxonomy. *)
+
+val raw_scan : ?config:config -> Gp_util.Image.t -> raw list
+(** The census behind Fig. 1 / Table I (default census depth: 24
+    instructions). *)
+
+val raw_counts : ?config:config -> Gp_util.Image.t -> (Gadget.kind * int) list
+
+(** {1 Symbolic harvest} *)
+
+val usable : Gadget.t -> bool
+(** Can the planner place this gadget in a chain?  Requires an understood
+    stack effect (bounded positive delta for ret gadgets, bounded pivots,
+    anything for terminal syscall gadgets). *)
+
+val harvest : ?config:config -> Gp_util.Image.t -> Gadget.t list
+(** Full extraction: every byte offset, symbolically summarized, filtered
+    to usable records.  Feed the result to {!Subsume.minimize}. *)

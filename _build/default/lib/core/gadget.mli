@@ -1,0 +1,64 @@
+(** The gadget record (paper Table II) plus classification (Table I).
+
+    A gadget is a symbolic summary of an instruction run ending in a
+    controllable transfer, reduced to the fields the planner consumes:
+    which registers it clobbers, which it sets from attacker-controlled
+    stack slots, its pre-condition formulas, its post-condition terms,
+    and how control leaves it. *)
+
+open Gp_smt
+
+(** Table I taxonomy. *)
+type kind =
+  | Return   (** ends in ret, unconditional, unmerged *)
+  | UDJ      (** crossed a direct jump (merged) *)
+  | UIJ      (** ends in an indirect jump/call *)
+  | CDJ      (** conditional, ending in a direct transfer *)
+  | CIJ      (** conditional, ending in an indirect transfer *)
+  | Sys      (** ends at a syscall *)
+
+val kind_name : kind -> string
+
+(** How the gadget leaves the stack pointer. *)
+type stack_effect =
+  | Sdelta of int      (** rsp_final = rsp_entry + d: normal chain motion *)
+  | Spivot of int      (** rsp_final = rbp_entry + d: frame pivot (leave) *)
+  | Sunknown
+
+type t = {
+  id : int;                              (** unique per process *)
+  addr : int64;                          (** location *)
+  len : int;                             (** instruction count *)
+  insns : Gp_x86.Insn.t list;
+  kind : kind;
+  jmp : Gp_symx.Exec.jump;
+  clobbered : Gp_x86.Reg.t list;         (** clob-reg *)
+  controlled : (Gp_x86.Reg.t * int) list;
+      (** ctrl-reg: register <- payload slot at offset *)
+  pre : Formula.t list;                  (** pre-cond *)
+  post : (Gp_x86.Reg.t * Term.t) list;   (** post-cond: every register *)
+  stack_delta : stack_effect;
+  stack_writes : (int * Term.t) list;
+  consumed : int list;                   (** payload slots this gadget reads *)
+  ptr_writes : (Term.t * Term.t) list;   (** write-what-where effects *)
+  mem_reads : (string * Term.t * bool) list;  (** var, address, reliable *)
+  syscall_state : (Gp_x86.Reg.t * Term.t) list option;
+      (** register state at the FIRST syscall executed, if any *)
+  has_cond : bool;
+  has_merge : bool;
+  alias_hazard : bool;
+}
+
+val classify : Gp_symx.Exec.summary -> kind
+
+val of_summary : Gp_symx.Exec.summary -> t
+(** Build the record from a symbolic summary (assigns a fresh id). *)
+
+val post_of : t -> Gp_x86.Reg.t -> Term.t
+(** Final value term of a register. *)
+
+val to_string : t -> string
+(** One-line rendering: address, kind, instructions. *)
+
+val describe : t -> string
+(** Multi-line rendering including pre/post conditions. *)

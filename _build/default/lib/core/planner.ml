@@ -1,0 +1,293 @@
+(* The partial-order planner (paper §IV-D, Algorithm 1).
+
+   Greedy best-first search, backward from the attack goal: the root
+   plans each contain one GOAL step (an instantiated syscall gadget whose
+   pre-conditions encode the target register state).  Each expansion pops
+   the best partial plan, selects an open pre-condition, and tries to
+   close it either by REUSING an existing step's effect (adding a causal
+   link) or by INSTANTIATING a new gadget from the register-indexed pool.
+   Threatened causal links are protected by promotion/demotion.
+
+   Heuristics (paper's, in priority order): fewest open pre-conditions,
+   then fewest accumulated constraints (we use demand+binding count),
+   then fewest steps.
+
+   The search does NOT stop at the first complete plan: it keeps going,
+   emitting distinct complete plans until the node budget or the plan
+   quota is exhausted (paper: "Gadget-Planner does not stop when finding
+   one gadget chain"). *)
+
+type config = {
+  max_plans : int;            (* distinct complete plans to emit *)
+  node_budget : int;          (* expansions before giving up *)
+  time_budget : float;        (* seconds before giving up *)
+  branch_cap : int;           (* candidate gadgets tried per open cond *)
+  goal_cap : int;             (* syscall gadgets tried as roots *)
+  max_steps : int;            (* plan size cap *)
+}
+
+let default_config =
+  { max_plans = 32; node_budget = 4000; time_budget = 30.; branch_cap = 10;
+    goal_cap = 6; max_steps = 14 }
+
+(* Plan cost for the priority queue: fewest open pre-conditions, then
+   fewest constraints, then fewest steps (the paper's heuristics) — plus a
+   DIVERSITY pressure: gadgets that already appear in emitted chains incur
+   a growing penalty, so once the easy chains are exhausted the search
+   drifts to unexplored (conditional, merged, pivoting) providers, which
+   is how "diverse gadget chains" keep coming (paper §IV-D). *)
+let cost ~usage (p : Plan.t) =
+  let constraints = ref 0 in
+  let penalty = ref 0 in
+  List.iter
+    (fun (s : Plan.step) ->
+      constraints :=
+        !constraints + List.length s.Plan.demands + List.length s.Plan.bindings;
+      match Hashtbl.find_opt usage s.Plan.gadget.Gadget.addr with
+      | Some n -> penalty := !penalty + min n 40
+      | None -> ())
+    p.Plan.steps;
+  (List.length p.Plan.open_conds, !constraints + !penalty, List.length p.Plan.steps)
+
+module Pq = struct
+  (* simple pairing-heap-free priority queue over a sorted map of costs *)
+  module M = Map.Make (struct
+    type t = int * int * int
+    let compare = compare
+  end)
+
+  type t = { mutable m : Plan.t list M.t; mutable size : int }
+
+  let create () = { m = M.empty; size = 0 }
+
+  let push ~usage q p =
+    let c = cost ~usage p in
+    let cur = match M.find_opt c q.m with Some l -> l | None -> [] in
+    q.m <- M.add c (p :: cur) q.m;
+    q.size <- q.size + 1
+
+  let pop q =
+    match M.min_binding_opt q.m with
+    | None -> None
+    | Some (c, []) ->
+      q.m <- M.remove c q.m;
+      None   (* unreachable by construction, but stay total *)
+    | Some (c, [ p ]) ->
+      q.m <- M.remove c q.m;
+      q.size <- q.size - 1;
+      Some (c, p)
+    | Some (c, p :: rest) ->
+      q.m <- M.add c rest q.m;
+      q.size <- q.size - 1;
+      Some (c, p)
+
+  (* reinsert with an explicit (recomputed) key *)
+  let push_key q c p =
+    let cur = match M.find_opt c q.m with Some l -> l | None -> [] in
+    q.m <- M.add c (p :: cur) q.m;
+    q.size <- q.size + 1
+end
+
+(* Add a step's demands as open conditions. *)
+let open_demands (s : Plan.step) =
+  List.map (fun d -> (s.Plan.sid, d)) s.Plan.demands
+
+(* Try to close (consumer, cond) by linking from an existing step. *)
+let reuse_successors (p : Plan.t) consumer cond : Plan.t list =
+  List.filter_map
+    (fun (s : Plan.step) ->
+      if s.Plan.sid = consumer then None
+      else
+        let provides =
+          match cond with
+          | Plan.Creg (r, v) -> List.assoc_opt r s.Plan.effects = Some v
+          | Plan.Cmem (a, v) -> List.mem (a, v) s.Plan.mem_effects
+        in
+        if not provides then None
+        else
+          let p =
+            { p with
+              Plan.links = (s.Plan.sid, cond, consumer) :: p.Plan.links;
+              open_conds =
+                List.filter (fun oc -> oc <> (consumer, cond)) p.Plan.open_conds }
+          in
+          Option.bind (Plan.add_ordering p s.Plan.sid consumer) (fun p ->
+              Plan.protect_link p s.Plan.sid cond consumer))
+    p.Plan.steps
+
+(* Instantiation is plan-independent (only the step id differs), so each
+   (gadget, condition) pair is solved at most once per search. *)
+type memo = (int * Plan.cond, Plan.step option) Hashtbl.t
+
+let instantiate_memo (memo : memo) (g : Gadget.t) cond ~sid : Plan.step option =
+  let key = (g.Gadget.id, cond) in
+  let template =
+    match Hashtbl.find_opt memo key with
+    | Some t -> t
+    | None ->
+      let t = Plan.instantiate_for g cond ~sid:(-1) in
+      Hashtbl.add memo key t;
+      t
+  in
+  Option.map (fun (st : Plan.step) -> { st with Plan.sid = sid }) template
+
+(* Candidate gadgets for a condition: instantiate first (this is
+   Algorithm 1's PickIfSatisfy), then keep the [cap] cheapest successful
+   instantiations — fewest new demands, then fewest pre-conditions and
+   shortest gadget.  Dead-end gadgets (ending at a syscall) never apply. *)
+let candidate_steps (memo : memo) (pool : Pool.t) (p : Plan.t) cond ~cap :
+    Plan.step list =
+  let gs =
+    match cond with
+    | Plan.Creg (r, _) -> Pool.setting pool r
+    | Plan.Cmem _ -> pool.Pool.mem_writers
+  in
+  let insts =
+    List.filter_map
+      (fun g -> instantiate_memo memo g cond ~sid:p.Plan.next_sid)
+      gs
+  in
+  let ranked =
+    List.sort
+      (fun (a : Plan.step) (b : Plan.step) ->
+        compare
+          ( List.length a.Plan.demands,
+            List.length a.Plan.gadget.Gadget.pre,
+            a.Plan.gadget.Gadget.len )
+          ( List.length b.Plan.demands,
+            List.length b.Plan.gadget.Gadget.pre,
+            b.Plan.gadget.Gadget.len ))
+      insts
+  in
+  (* Diversity quota: plain ret gadgets are so plentiful that they would
+     monopolize the cut; reserve part of it for the gadget kinds that set
+     Gadget-Planner apart (conditional, merged, indirect, pivots), so the
+     search actually exercises them (paper Table V). *)
+  let category (st : Plan.step) =
+    let g = st.Plan.gadget in
+    if g.Gadget.has_cond || g.Gadget.has_merge then `Branchy
+    else if
+      g.Gadget.kind = Gadget.Return
+      && (match g.Gadget.stack_delta with Gadget.Sdelta _ -> true | _ -> false)
+    then `Plain
+    else `Other
+  in
+  let of_cat c = List.filter (fun st -> category st = c) ranked in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let branchy_quota = max 2 (cap / 4) in
+  let other_quota = max 2 (cap / 4) in
+  let picked =
+    take (cap - branchy_quota - other_quota) (of_cat `Plain)
+    @ take branchy_quota (of_cat `Branchy)
+    @ take other_quota (of_cat `Other)
+  in
+  if List.length picked < cap then take cap ranked else picked
+
+(* Close (consumer, cond) with a freshly instantiated gadget. *)
+let new_step_successors (cfg : config) (memo : memo) (pool : Pool.t) (p : Plan.t)
+    consumer cond : Plan.t list =
+  if List.length p.Plan.steps >= cfg.max_steps then []
+  else
+    List.filter_map
+      (fun step ->
+        let p' =
+          { Plan.steps = step :: p.Plan.steps;
+            orderings = p.Plan.orderings;
+            links = (step.Plan.sid, cond, consumer) :: p.Plan.links;
+            open_conds =
+              open_demands step
+              @ List.filter (fun oc -> oc <> (consumer, cond)) p.Plan.open_conds;
+            next_sid = p.Plan.next_sid + 1 }
+        in
+        Option.bind (Plan.add_ordering p' step.Plan.sid consumer) (fun p' ->
+            Option.bind (Plan.protect_link p' step.Plan.sid cond consumer)
+              (fun p' -> Plan.protect_from p' step)))
+      (candidate_steps memo pool p cond ~cap:cfg.branch_cap)
+
+type result = {
+  plans : Plan.t list;
+  expanded : int;
+  exhausted : bool;   (* true if the whole space was searched *)
+}
+
+(* [accept] gates completed plans: a complete plan that fails it (e.g.
+   its payload cannot be assembled, or it duplicates a chain already
+   emitted) is discarded WITHOUT consuming the plan quota, and the search
+   keeps going. *)
+let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
+    (pool : Pool.t) (goal : Goal.concrete) : result =
+  let q = Pq.create () in
+  let memo : memo = Hashtbl.create 1024 in
+  let usage : (int64, int) Hashtbl.t = Hashtbl.create 64 in
+  let deadline = Unix.gettimeofday () +. config.time_budget in
+  (* root plans: one per candidate syscall gadget *)
+  let roots =
+    List.filteri (fun i _ -> i < config.goal_cap) pool.Pool.syscall_gadgets
+  in
+  List.iter
+    (fun g ->
+      match Plan.instantiate_goal g goal ~sid:0 with
+      | None -> ()
+      | Some step ->
+        (* payload-region cells are delivered with the payload itself;
+           only cells elsewhere need write-what-where steps *)
+        let mem_conds =
+          List.filter_map
+            (fun (a, v) ->
+              if Layout.in_payload a then None else Some (0, Plan.Cmem (a, v)))
+            goal.Goal.mem
+        in
+        Pq.push ~usage q
+          { Plan.steps = [ step ];
+            orderings = [];
+            links = [];
+            open_conds = open_demands step @ mem_conds;
+            next_sid = 1 })
+    roots;
+  let visited = Hashtbl.create 1024 in
+  let complete = ref [] in
+  let expanded = ref 0 in
+  let exhausted = ref true in
+  (try
+     while !expanded < config.node_budget do
+       if !expanded land 63 = 0 && Unix.gettimeofday () > deadline then begin
+         exhausted := false;
+         raise Exit
+       end;
+       match Pq.pop q with
+       | None -> raise Exit
+       | Some (key, p) when cost ~usage p > key ->
+         (* the diversity penalty grew since this plan was queued: rescore
+            lazily instead of expanding a stale-cheap entry *)
+         Pq.push_key q (cost ~usage p) p
+       | Some (_, p) ->
+         let sig_ = Plan.signature p in
+         if not (Hashtbl.mem visited sig_) then begin
+           Hashtbl.add visited sig_ ();
+           incr expanded;
+           match p.Plan.open_conds with
+           | [] ->
+             if accept p then begin
+               complete := p :: !complete;
+               List.iter
+                 (fun (s : Plan.step) ->
+                   let a = s.Plan.gadget.Gadget.addr in
+                   Hashtbl.replace usage a
+                     (1 + (match Hashtbl.find_opt usage a with Some n -> n | None -> 0)))
+                 p.Plan.steps;
+               if List.length !complete >= config.max_plans then begin
+                 exhausted := false;
+                 raise Exit
+               end
+             end
+           | (consumer, cond) :: _ ->
+             let succs =
+               reuse_successors p consumer cond
+               @ new_step_successors config memo pool p consumer cond
+             in
+             List.iter (Pq.push ~usage q) succs
+         end
+     done;
+     exhausted := false
+   with Exit -> ());
+  { plans = List.rev !complete; expanded = !expanded; exhausted = !exhausted }

@@ -1,0 +1,56 @@
+(** The partial-order planner (paper §IV-D, Algorithm 1).
+
+    Greedy best-first search, backward from the attack goal: root plans
+    each contain one GOAL step (an instantiated syscall gadget whose
+    demands encode the target register state).  Each expansion closes an
+    open pre-condition either by REUSING an existing step's effect or by
+    INSTANTIATING a new gadget from the register-indexed pool; threatened
+    causal links are protected by promotion/demotion.
+
+    Heuristics (the paper's, in priority order): fewest open
+    pre-conditions, fewest accumulated constraints, fewest steps — plus a
+    diversity pressure that penalizes gadgets already appearing in
+    emitted chains (with lazy queue rescoring), so the search keeps
+    producing DIFFERENT chains rather than permutations of the first. *)
+
+type config = {
+  max_plans : int;            (** accepted complete plans to emit *)
+  node_budget : int;          (** expansions before giving up *)
+  time_budget : float;        (** seconds before giving up *)
+  branch_cap : int;           (** candidate steps tried per open cond *)
+  goal_cap : int;             (** syscall gadgets tried as roots *)
+  max_steps : int;            (** plan size cap *)
+}
+
+val default_config : config
+
+type memo = (int * Plan.cond, Plan.step option) Hashtbl.t
+(** Instantiation is plan-independent (only the step id differs), so each
+    (gadget, condition) pair is solved at most once per search. *)
+
+val instantiate_memo :
+  memo -> Gadget.t -> Plan.cond -> sid:Plan.step_id -> Plan.step option
+
+val candidate_steps :
+  memo -> Pool.t -> Plan.t -> Plan.cond -> cap:int -> Plan.step list
+(** Algorithm 1's PickIfSatisfy: instantiate candidates, rank by (new
+    demands, pre-conditions, length), and reserve part of the cut for
+    conditional/merged/indirect/pivot gadgets so the planner's
+    distinguishing gadget classes actually get exercised. *)
+
+type result = {
+  plans : Plan.t list;     (** accepted complete plans *)
+  expanded : int;
+  exhausted : bool;        (** the whole space was searched *)
+}
+
+val search :
+  ?config:config ->
+  ?accept:(Plan.t -> bool) ->
+  Pool.t ->
+  Goal.concrete ->
+  result
+(** Run the search.  [accept] gates completed plans: a complete plan that
+    fails it (payload unbuildable, duplicate chain, failed validation) is
+    discarded WITHOUT consuming the plan quota and the search continues —
+    the paper's "does not stop when finding one gadget chain". *)

@@ -1,0 +1,36 @@
+(* Register-indexed gadget library (paper §V): "the gadget library as a
+   dictionary keyed on the register name" — the planner asks for gadgets
+   affecting a specific register, which slashes the branching factor. *)
+
+open Gp_x86
+
+type t = {
+  all : Gadget.t list;
+  by_reg : (Reg.t * Gadget.t list) list;   (* gadgets that WRITE the register *)
+  syscall_gadgets : Gadget.t list;         (* candidates for the final step *)
+  mem_writers : Gadget.t list;             (* gadgets with pointer writes *)
+}
+
+let build (gadgets : Gadget.t list) : t =
+  let by_reg =
+    List.map
+      (fun r ->
+        ( r,
+          List.filter (fun g -> List.mem r g.Gadget.clobbered) gadgets ))
+      Reg.all
+  in
+  let rank (a : Gadget.t) (b : Gadget.t) =
+    compare
+      (List.length a.Gadget.pre, a.Gadget.len)
+      (List.length b.Gadget.pre, b.Gadget.len)
+  in
+  { all = gadgets;
+    by_reg;
+    syscall_gadgets =
+      List.sort rank (List.filter (fun g -> g.Gadget.syscall_state <> None) gadgets);
+    mem_writers =
+      List.sort rank (List.filter (fun g -> g.Gadget.ptr_writes <> []) gadgets) }
+
+let setting t r = List.assoc r t.by_reg
+
+let size t = List.length t.all

@@ -1,0 +1,20 @@
+(** Register-indexed gadget library (paper §V): the planner asks for
+    gadgets affecting a specific register, which slashes the branching
+    factor of the search. *)
+
+type t = {
+  all : Gadget.t list;
+  by_reg : (Gp_x86.Reg.t * Gadget.t list) list;
+      (** gadgets that WRITE each register *)
+  syscall_gadgets : Gadget.t list;
+      (** goal-step candidates, cheapest first *)
+  mem_writers : Gadget.t list;
+      (** gadgets with pointer writes (write-what-where), cheapest first *)
+}
+
+val build : Gadget.t list -> t
+
+val setting : t -> Gp_x86.Reg.t -> Gadget.t list
+(** Gadgets that write the register. *)
+
+val size : t -> int

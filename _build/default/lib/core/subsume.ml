@@ -1,0 +1,137 @@
+(* Subsumption testing (paper §IV-C).
+
+   g1 subsumes g2 when (pre2 -> pre1) ∧ (post1 = post2): g1 does the same
+   thing under a pre-condition at least as weak, so g2 adds nothing and is
+   dropped.  Checked with the solver per formula (1).  Two speedups:
+
+   - an exact-duplicate pass first (unaligned sliding produces thousands
+     of byte-identical summaries at different addresses — we canonicalize
+     on semantics, keeping one address per class);
+   - candidates are bucketed by a cheap signature (jump kind, stack delta,
+     clobber set) so the quadratic comparison only runs inside buckets. *)
+
+open Gp_smt
+
+let jump_sig (g : Gadget.t) =
+  match g.Gadget.jmp with
+  | Gp_symx.Exec.Jret _ -> 0
+  | Gp_symx.Exec.Jind _ -> 1
+  | Gp_symx.Exec.Jfall _ -> 2
+
+let signature (g : Gadget.t) =
+  ( jump_sig g,
+    g.Gadget.stack_delta,
+    List.map Gp_x86.Reg.number g.Gadget.clobbered,
+    List.length g.Gadget.pre,
+    g.Gadget.syscall_state <> None )
+
+(* Canonical semantic key: printable form of the full post state, the jump
+   target, stack writes, and pre-conditions.  Equal keys = equal
+   semantics (terms are canonicalized by construction). *)
+let semantic_key (g : Gadget.t) =
+  let post =
+    String.concat ";"
+      (List.map
+         (fun (r, t) -> Gp_x86.Reg.name r ^ "=" ^ Term.to_string t)
+         g.Gadget.post)
+  in
+  let jmp =
+    match g.Gadget.jmp with
+    | Gp_symx.Exec.Jret t -> "ret:" ^ Term.to_string t
+    | Gp_symx.Exec.Jind t -> "ind:" ^ Term.to_string t
+    | Gp_symx.Exec.Jfall _ -> "sys"
+  in
+  let writes =
+    String.concat ";"
+      (List.map
+         (fun (o, t) -> string_of_int o ^ ":" ^ Term.to_string t)
+         g.Gadget.stack_writes)
+  in
+  let ptrw =
+    String.concat ";"
+      (List.map
+         (fun (a, v) -> Term.to_string a ^ "<-" ^ Term.to_string v)
+         g.Gadget.ptr_writes)
+  in
+  let pre = String.concat "&&" (List.map Formula.to_string g.Gadget.pre) in
+  String.concat "|" [ post; jmp; writes; ptrw; pre ]
+
+(* Same observable effects (post, jump, writes); pre-conditions may differ. *)
+let same_effects (g1 : Gadget.t) (g2 : Gadget.t) =
+  let jump_eq =
+    match g1.Gadget.jmp, g2.Gadget.jmp with
+    | Gp_symx.Exec.Jret a, Gp_symx.Exec.Jret b
+    | Gp_symx.Exec.Jind a, Gp_symx.Exec.Jind b -> Solver.prove_equal a b
+    | Gp_symx.Exec.Jfall _, Gp_symx.Exec.Jfall _ -> true
+    | _ -> false
+  in
+  jump_eq
+  && List.for_all2
+       (fun (_, t1) (_, t2) -> Solver.prove_equal t1 t2)
+       g1.Gadget.post g2.Gadget.post
+  && List.length g1.Gadget.stack_writes = List.length g2.Gadget.stack_writes
+  && List.for_all2
+       (fun (o1, t1) (o2, t2) -> o1 = o2 && Solver.prove_equal t1 t2)
+       g1.Gadget.stack_writes g2.Gadget.stack_writes
+  && List.length g1.Gadget.ptr_writes = List.length g2.Gadget.ptr_writes
+  && (match g1.Gadget.syscall_state, g2.Gadget.syscall_state with
+      | None, None -> true
+      | Some s1, Some s2 ->
+        List.for_all2 (fun (_, t1) (_, t2) -> Solver.prove_equal t1 t2) s1 s2
+      | _ -> false)
+
+(* Formula (1): (pre2 -> pre1) ∧ (post1 = post2). *)
+let subsumes (g1 : Gadget.t) (g2 : Gadget.t) =
+  same_effects g1 g2
+  && List.for_all (fun f -> Solver.entails g2.Gadget.pre f) g1.Gadget.pre
+
+type stats = {
+  input : int;
+  after_dedup : int;
+  after_subsume : int;
+}
+
+let minimize ?(max_bucket = 64) (gadgets : Gadget.t list) : Gadget.t list * stats =
+  let input = List.length gadgets in
+  (* pass 1: exact semantic duplicates *)
+  let seen = Hashtbl.create 1024 in
+  let dedup =
+    List.filter
+      (fun g ->
+        let key = semantic_key g in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      gadgets
+  in
+  let after_dedup = List.length dedup in
+  (* pass 2: bucketed pairwise subsumption *)
+  let buckets = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      let s = signature g in
+      let cur = try Hashtbl.find buckets s with Not_found -> [] in
+      Hashtbl.replace buckets s (g :: cur))
+    dedup;
+  let kept = ref [] in
+  Hashtbl.iter
+    (fun _ bucket ->
+      (* prefer shorter gadgets as survivors *)
+      let bucket =
+        List.sort (fun a b -> compare a.Gadget.len b.Gadget.len) bucket
+      in
+      let bucket =
+        if List.length bucket > max_bucket then List.filteri (fun i _ -> i < max_bucket) bucket
+        else bucket
+      in
+      let survivors = ref [] in
+      List.iter
+        (fun g ->
+          if not (List.exists (fun s -> subsumes s g) !survivors) then
+            survivors := !survivors @ [ g ])
+        bucket;
+      kept := !survivors @ !kept)
+    buckets;
+  (!kept, { input; after_dedup; after_subsume = List.length !kept })

@@ -1,0 +1,29 @@
+(** Subsumption testing (paper §IV-C).
+
+    [g1] subsumes [g2] when [(pre2 -> pre1) ∧ (post1 = post2)] —
+    formula (1): same observable effects under a pre-condition at least
+    as weak, so [g2] adds nothing. *)
+
+val semantic_key : Gadget.t -> string
+(** Canonical printable form of the full semantics (post state, jump,
+    writes, pre).  Equal keys = equal semantics, because terms are
+    canonicalized by construction. *)
+
+val same_effects : Gadget.t -> Gadget.t -> bool
+(** Equal post-conditions, jump behaviour, and memory effects
+    (pre-conditions may differ). *)
+
+val subsumes : Gadget.t -> Gadget.t -> bool
+(** Formula (1): [subsumes g1 g2] — keep [g1], drop [g2]. *)
+
+type stats = {
+  input : int;
+  after_dedup : int;      (** after exact-duplicate removal *)
+  after_subsume : int;    (** final pool size *)
+}
+
+val minimize : ?max_bucket:int -> Gadget.t list -> Gadget.t list * stats
+(** Pool minimization: an exact-duplicate pass (unaligned sliding
+    produces thousands of byte-identical summaries), then pairwise
+    subsumption inside cheap signature buckets.  Shorter gadgets are
+    preferred as survivors. *)

@@ -1,0 +1,1 @@
+lib/corpus/netperf.ml: Programs

@@ -1,0 +1,1 @@
+lib/corpus/programs.ml: List

@@ -1,0 +1,1 @@
+lib/corpus/spec.ml: Programs

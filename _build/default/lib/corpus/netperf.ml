@@ -1,0 +1,80 @@
+(* netperf-like case-study program (paper §VI-C, Fig. 7).
+
+   netperf 2.6.0's client crashes in [break_args]: it copies the '-a'
+   option argument into fixed-size stack buffers without length checking.
+   This program reproduces that shape: a network-bandwidth-test "client"
+   that parses a length-prefixed option block from its input area and
+   copies it into a 4-word stack buffer with no bounds check — the
+   attacker-controlled write-to-stack of the threat model (§III-A).
+
+   The input area stands in for argv: the harness writes the attack
+   payload at [input_area] before the run, exactly as the paper passes
+   the payload via the '-a' command-line option.
+
+   The copy is word-granular and length-prefixed (input[0] = word count),
+   so payloads may contain zero words — the equivalent of netperf parsing
+   a binary test-parameter block. *)
+
+let input_area = 0x700400L
+
+let entry : Programs.entry = {
+  name = "netperf";
+  description = "network test client with a break_args stack overflow";
+  source = {|
+int remote_host[8];
+int local_host[8];
+int test_duration = 10;
+int send_size = 1024;
+int banner = "netperf-like: TCP STREAM test";
+
+/* Fig. 7: copies from s into arg1/arg2 without length checking.
+   s points at a length-prefixed block: s[0] = number of words. */
+int break_args(int s) {
+  int arg1[4];
+  int arg2[4];
+  int n = *s;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    /* overflow: i is bounded only by the attacker's length field */
+    arg1[i] = *(s + 8 + i * 8);
+  }
+  arg2[0] = arg1[0];
+  return n;
+}
+
+int checksum(int seed) {
+  int acc = seed;
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    acc = acc * 31 + remote_host[i] + local_host[i];
+  }
+  return acc;
+}
+
+int simulate_transfer(int bytes) {
+  int sent = 0;
+  int packets = 0;
+  while (sent < bytes) {
+    sent = sent + send_size;
+    packets = packets + 1;
+    if (packets > 64) { return packets; }
+  }
+  return packets;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    remote_host[i] = (i * 77 + 1) & 255;
+    local_host[i] = (i * 31 + 7) & 255;
+  }
+  int packets = simulate_transfer(test_duration * send_size);
+  int chk = checksum(packets);
+  /* parse command-line options: '-a' argument lives at the input area */
+  int optarg = 0x700400;
+  break_args(optarg);
+  print(chk);
+  return chk & 127;
+}
+|};
+}

@@ -1,0 +1,10 @@
+(** netperf-like case-study program (paper §VI-C, Fig. 7): a network
+    bandwidth-test "client" whose [break_args] copies a length-prefixed
+    option block into a 4-word stack buffer with no bounds check — the
+    attacker-controlled stack write of the threat model. *)
+
+val input_area : int64
+(** Where the harness writes the option block ("the '-a' argument"):
+    word 0 is the word count, the block follows. *)
+
+val entry : Programs.entry

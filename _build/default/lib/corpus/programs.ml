@@ -1,0 +1,465 @@
+(* The obfuscation benchmark corpus (substitute for Banescu et al. [53];
+   DESIGN.md §2): sixteen small C programs with diverse functionality and
+   control-flow shape — sorting, searching, numeric kernels, bit tricks,
+   string processing, a tiny stack interpreter.  Every program prints a
+   deterministic checksum, which the differential tests use to confirm
+   that obfuscation preserved semantics. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+}
+
+let bubble_sort = {
+  name = "bubble_sort";
+  description = "bubble sort over a pseudo-random array";
+  source = {|
+int main() {
+  int a[16];
+  int i; int j;
+  for (i = 0; i < 16; i = i + 1) { a[i] = (1103515245 * i + 12345) & 1023; }
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j + 1 < 16 - i; j = j + 1) {
+      if (a[j] > a[j + 1]) { int t = a[j]; a[j] = a[j + 1]; a[j + 1] = t; }
+    }
+  }
+  int chk = 0;
+  for (i = 0; i < 16; i = i + 1) { chk = chk * 31 + a[i]; }
+  print(chk);
+  return chk & 127;
+}
+|};
+}
+
+let binary_search = {
+  name = "binary_search";
+  description = "binary search over a sorted table";
+  source = {|
+int table[16] = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53};
+int search(int x) {
+  int lo = 0;
+  int hi = 15;
+  while (lo <= hi) {
+    int mid = (lo + hi) >> 1;
+    if (table[mid] == x) { return mid; }
+    if (table[mid] < x) { lo = mid + 1; } else { hi = mid - 1; }
+  }
+  return 0 - 1;
+}
+int main() {
+  int found = 0;
+  int i;
+  for (i = 0; i < 60; i = i + 1) {
+    if (search(i) >= 0) { found = found + 1; }
+  }
+  print(found);
+  return found;
+}
+|};
+}
+
+let matrix_mult = {
+  name = "matrix_mult";
+  description = "4x4 integer matrix multiplication";
+  source = {|
+int main() {
+  int a[16]; int b[16]; int c[16];
+  int i; int j; int k;
+  for (i = 0; i < 16; i = i + 1) { a[i] = i + 1; b[i] = 16 - i; c[i] = 0; }
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = 0; j < 4; j = j + 1) {
+      for (k = 0; k < 4; k = k + 1) {
+        c[i * 4 + j] = c[i * 4 + j] + a[i * 4 + k] * b[k * 4 + j];
+      }
+    }
+  }
+  int chk = 0;
+  for (i = 0; i < 16; i = i + 1) { chk = chk ^ (c[i] * (i + 1)); }
+  print(chk);
+  return chk & 127;
+}
+|};
+}
+
+let crc_check = {
+  name = "crc_check";
+  description = "CRC-style rolling checksum of a message";
+  source = {|
+int msg = "the quick brown fox jumps over the lazy dog";
+int main() {
+  int crc = 0xffff;
+  int i;
+  for (i = 0; i < 44; i = i + 1) {
+    int byte = *(msg + i) & 255;
+    crc = crc ^ byte;
+    int k;
+    for (k = 0; k < 8; k = k + 1) {
+      if (crc & 1) { crc = (crc >> 1) ^ 0xa001; } else { crc = crc >> 1; }
+      crc = crc & 0xffff;
+    }
+  }
+  print(crc);
+  return crc & 127;
+}
+|};
+}
+
+let rc4_stream = {
+  name = "rc4_stream";
+  description = "RC4-like key-scheduling and stream generation";
+  source = {|
+int main() {
+  int s[64];
+  int i;
+  for (i = 0; i < 64; i = i + 1) { s[i] = i; }
+  int j = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    j = (j + s[i] + (i * 7 + 3)) & 63;
+    int t = s[i]; s[i] = s[j]; s[j] = t;
+  }
+  int out = 0;
+  int x = 0;
+  j = 0;
+  for (i = 0; i < 32; i = i + 1) {
+    x = (x + 1) & 63;
+    j = (j + s[x]) & 63;
+    int t = s[x]; s[x] = s[j]; s[j] = t;
+    out = (out * 3) ^ s[(s[x] + s[j]) & 63];
+  }
+  print(out);
+  return out & 127;
+}
+|};
+}
+
+let quicksort = {
+  name = "quicksort";
+  description = "recursive quicksort";
+  source = {|
+int a[32];
+int sort(int lo, int hi) {
+  if (lo >= hi) { return 0; }
+  int pivot = a[hi];
+  int i = lo;
+  int k;
+  for (k = lo; k < hi; k = k + 1) {
+    if (a[k] < pivot) {
+      int t = a[i]; a[i] = a[k]; a[k] = t;
+      i = i + 1;
+    }
+  }
+  int t = a[i]; a[i] = a[hi]; a[hi] = t;
+  sort(lo, i - 1);
+  sort(i + 1, hi);
+  return 0;
+}
+int main() {
+  int i;
+  for (i = 0; i < 32; i = i + 1) { a[i] = (i * 2654435761) & 4095; }
+  sort(0, 31);
+  int chk = 0;
+  for (i = 0; i < 32; i = i + 1) { chk = chk * 17 + a[i]; }
+  print(chk);
+  return chk & 127;
+}
+|};
+}
+
+let fibonacci = {
+  name = "fibonacci";
+  description = "naive recursive Fibonacci";
+  source = {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 12; i = i + 1) { s = s + fib(i); }
+  print(s);
+  return s & 127;
+}
+|};
+}
+
+let gcd_lcm = {
+  name = "gcd_lcm";
+  description = "subtraction-based gcd over number pairs";
+  source = {|
+int gcd(int a, int b) {
+  while (a != b) {
+    if (a > b) { a = a - b; } else { b = b - a; }
+  }
+  return a;
+}
+int main() {
+  int acc = 0;
+  int i;
+  for (i = 1; i < 20; i = i + 1) {
+    acc = acc + gcd(i * 6, i * 4 + 8);
+  }
+  print(acc);
+  return acc & 127;
+}
+|};
+}
+
+let string_reverse = {
+  name = "string_reverse";
+  description = "in-place word reversal and palindrome check";
+  source = {|
+int main() {
+  int buf[24];
+  int i;
+  for (i = 0; i < 24; i = i + 1) { buf[i] = (i * 37 + 5) & 255; }
+  int lo = 0;
+  int hi = 23;
+  while (lo < hi) {
+    int t = buf[lo]; buf[lo] = buf[hi]; buf[hi] = t;
+    lo = lo + 1;
+    hi = hi - 1;
+  }
+  int chk = 0;
+  for (i = 0; i < 24; i = i + 1) { chk = chk * 13 + buf[i]; }
+  print(chk);
+  return chk & 127;
+}
+|};
+}
+
+let prime_sieve = {
+  name = "prime_sieve";
+  description = "sieve of Eratosthenes";
+  source = {|
+int main() {
+  int sieve[128];
+  int i;
+  for (i = 0; i < 128; i = i + 1) { sieve[i] = 1; }
+  sieve[0] = 0;
+  sieve[1] = 0;
+  for (i = 2; i < 128; i = i + 1) {
+    if (sieve[i]) {
+      int k;
+      for (k = i + i; k < 128; k = k + i) { sieve[k] = 0; }
+    }
+  }
+  int count = 0;
+  for (i = 0; i < 128; i = i + 1) { count = count + sieve[i]; }
+  print(count);
+  return count;
+}
+|};
+}
+
+let bitcount = {
+  name = "bitcount";
+  description = "population count via bit tricks";
+  source = {|
+int popcount(int x) {
+  int c = 0;
+  while (x != 0) {
+    x = x & (x - 1);
+    c = c + 1;
+  }
+  return c;
+}
+int main() {
+  int acc = 0;
+  int i;
+  int x = 0x12345;
+  for (i = 0; i < 40; i = i + 1) {
+    x = x * 6364136223846793005 + 1442695040888963407;
+    acc = acc + popcount(x & 0xffffffff);
+  }
+  print(acc);
+  return acc & 127;
+}
+|};
+}
+
+let stack_machine = {
+  name = "stack_machine";
+  description = "tiny stack-machine interpreter over a fixed program";
+  source = {|
+int code[24] = {1, 6, 1, 7, 2, 1, 5, 3, 1, 3, 2, 1, 2, 4, 1, 100, 3, 0, 0, 0, 0, 0, 0, 0};
+int main() {
+  int stack[16];
+  int sp = 0;
+  int pc = 0;
+  int running = 1;
+  while (running) {
+    int op = code[pc];
+    if (op == 0) { running = 0; }
+    if (op == 1) { stack[sp] = code[pc + 1]; sp = sp + 1; pc = pc + 2; }
+    if (op == 2) {
+      int b = stack[sp - 1]; int a = stack[sp - 2];
+      stack[sp - 2] = a + b; sp = sp - 1; pc = pc + 1;
+    }
+    if (op == 3) {
+      int b = stack[sp - 1]; int a = stack[sp - 2];
+      stack[sp - 2] = a * b; sp = sp - 1; pc = pc + 1;
+    }
+    if (op == 4) {
+      int b = stack[sp - 1]; int a = stack[sp - 2];
+      stack[sp - 2] = a - b; sp = sp - 1; pc = pc + 1;
+    }
+    if (op > 4) { running = 0; }
+  }
+  int result = stack[0];
+  print(result);
+  return result & 127;
+}
+|};
+}
+
+
+let hash_table = {
+  name = "hash_table";
+  description = "open-addressing hash table insert/lookup";
+  source = {|
+int keys[32];
+int vals[32];
+int used[32];
+int insert(int k, int v) {
+  int h = (k * 2654435761) & 31;
+  int probes = 0;
+  while (used[h] && probes < 32) {
+    if (keys[h] == k) { vals[h] = v; return h; }
+    h = (h + 1) & 31;
+    probes = probes + 1;
+  }
+  used[h] = 1;
+  keys[h] = k;
+  vals[h] = v;
+  return h;
+}
+int lookup(int k) {
+  int h = (k * 2654435761) & 31;
+  int probes = 0;
+  while (used[h] && probes < 32) {
+    if (keys[h] == k) { return vals[h]; }
+    h = (h + 1) & 31;
+    probes = probes + 1;
+  }
+  return 0 - 1;
+}
+int main() {
+  int i;
+  for (i = 0; i < 20; i = i + 1) { insert(i * 7 + 1, i * i); }
+  int acc = 0;
+  for (i = 0; i < 20; i = i + 1) { acc = acc + lookup(i * 7 + 1); }
+  acc = acc + lookup(9999);
+  print(acc);
+  return acc & 127;
+}
+|};
+}
+
+let kmp_match = {
+  name = "kmp_match";
+  description = "substring search with a failure table";
+  source = {|
+int text = "abababcababcabababcc";
+int pat = "ababc";
+int fail[8];
+int main() {
+  int m = 5;
+  /* build the failure function */
+  fail[0] = 0;
+  int k = 0;
+  int q;
+  for (q = 1; q < m; q = q + 1) {
+    while (k > 0 && (*(pat + k) & 255) != (*(pat + q) & 255)) { k = fail[k - 1]; }
+    if ((*(pat + k) & 255) == (*(pat + q) & 255)) { k = k + 1; }
+    fail[q] = k;
+  }
+  /* scan the text */
+  int matches = 0;
+  int n = 20;
+  k = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    while (k > 0 && (*(pat + k) & 255) != (*(text + i) & 255)) { k = fail[k - 1]; }
+    if ((*(pat + k) & 255) == (*(text + i) & 255)) { k = k + 1; }
+    if (k == m) { matches = matches + 1; k = fail[k - 1]; }
+  }
+  print(matches);
+  return matches;
+}
+|};
+}
+
+let tea_cipher = {
+  name = "tea_cipher";
+  description = "TEA-like block cipher rounds";
+  source = {|
+int main() {
+  int v0 = 0x12345678;
+  int v1 = 0x9abcdef0;
+  int k0 = 0xa56babcd; int k1 = 0xf000a5a5;
+  int k2 = 0x00112233; int k3 = 0x44556677;
+  int sum = 0;
+  int round;
+  for (round = 0; round < 32; round = round + 1) {
+    sum = (sum + 0x9e3779b9) & 0xffffffff;
+    v0 = (v0 + (((v1 << 4) + k0) ^ (v1 + sum) ^ ((v1 >> 5) + k1))) & 0xffffffff;
+    v1 = (v1 + (((v0 << 4) + k2) ^ (v0 + sum) ^ ((v0 >> 5) + k3))) & 0xffffffff;
+  }
+  int out = v0 ^ v1;
+  print(out);
+  return out & 127;
+}
+|};
+}
+
+let dijkstra_lite = {
+  name = "dijkstra_lite";
+  description = "single-source shortest paths on a small dense graph";
+  source = {|
+int dist[10];
+int visited[10];
+int edge[100];
+int main() {
+  int n = 10;
+  int i; int j;
+  int x = 5;
+  for (i = 0; i < 100; i = i + 1) {
+    x = x * 1103515245 + 12345;
+    edge[i] = ((x >> 16) & 63) + 1;
+  }
+  for (i = 0; i < n; i = i + 1) { dist[i] = 100000; visited[i] = 0; }
+  dist[0] = 0;
+  int round;
+  for (round = 0; round < n; round = round + 1) {
+    /* pick the nearest unvisited node */
+    int best = 0 - 1;
+    int bestd = 100001;
+    for (i = 0; i < n; i = i + 1) {
+      if (!visited[i] && dist[i] < bestd) { best = i; bestd = dist[i]; }
+    }
+    if (best < 0) { break; }
+    visited[best] = 1;
+    for (j = 0; j < n; j = j + 1) {
+      int nd = dist[best] + edge[best * 10 + j];
+      if (nd < dist[j]) { dist[j] = nd; }
+    }
+  }
+  int chk = 0;
+  for (i = 0; i < n; i = i + 1) { chk = chk * 7 + dist[i]; }
+  print(chk);
+  return chk & 127;
+}
+|};
+}
+
+let all : entry list =
+  [ bubble_sort; binary_search; matrix_mult; crc_check; rc4_stream; quicksort;
+    fibonacci; gcd_lcm; string_reverse; prime_sieve; bitcount; stack_machine;
+    hash_table; kmp_match; tea_cipher; dijkstra_lite ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> invalid_arg ("Corpus.Programs.find: unknown program " ^ name)

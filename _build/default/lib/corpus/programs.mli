@@ -1,0 +1,17 @@
+(** The obfuscation benchmark corpus (substitute for Banescu et al.;
+    DESIGN.md §2): sixteen small C programs with diverse functionality
+    and control-flow shape.  Every program prints a deterministic
+    checksum, which the differential tests use to confirm obfuscation
+    preserved semantics. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;        (** mini-C source text *)
+}
+
+val all : entry list
+(** The sixteen benchmark programs. *)
+
+val find : string -> entry
+(** Lookup by name; raises [Invalid_argument] if unknown. *)

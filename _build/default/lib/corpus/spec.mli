@@ -1,0 +1,11 @@
+(** SPEC CPU2006-like programs (substitute per DESIGN.md §2): four larger
+    mini-C programs whose code SHAPE mimics the four benchmarks the paper
+    obfuscates — 401.bzip2, 429.mcf, 445.gobmk, 456.hmmer. *)
+
+type entry = Programs.entry = {
+  name : string;
+  description : string;
+  source : string;
+}
+
+val all : entry list

@@ -1,0 +1,1 @@
+lib/emu/machine.ml: Array Buffer Bytes Decode Gp_util Gp_x86 Insn Int64 Memory Printf Reg String

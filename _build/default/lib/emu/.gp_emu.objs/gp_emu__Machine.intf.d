@@ -1,0 +1,1 @@
+lib/emu/machine.mli: Buffer Gp_util Gp_x86 Memory

@@ -1,0 +1,1 @@
+lib/emu/memory.ml: Buffer Bytes Char Int64 List Option Printf

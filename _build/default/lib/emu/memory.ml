@@ -1,0 +1,76 @@
+(* Flat emulated memory: a few contiguous regions (code, data, stack,
+   scratch) with byte granularity.  Code is writable — real processes can
+   be self-modifying and the simulated self-mod/JIT obfuscations rely on
+   it. *)
+
+exception Fault of string
+
+type region = { r_name : string; r_base : int64; r_bytes : Bytes.t }
+
+type t = { mutable regions : region list }
+
+let create () = { regions = [] }
+
+let map t name base size =
+  t.regions <- { r_name = name; r_base = base; r_bytes = Bytes.make size '\000' } :: t.regions
+
+let map_bytes t name base bytes =
+  t.regions <- { r_name = name; r_base = base; r_bytes = Bytes.copy bytes } :: t.regions
+
+let region_end r = Int64.add r.r_base (Int64.of_int (Bytes.length r.r_bytes))
+
+let find t addr =
+  List.find_opt (fun r -> addr >= r.r_base && addr < region_end r) t.regions
+
+let region_of_addr t addr = Option.map (fun r -> r.r_name) (find t addr)
+
+let read8 t addr =
+  match find t addr with
+  | Some r -> Bytes.get_uint8 r.r_bytes (Int64.to_int (Int64.sub addr r.r_base))
+  | None -> raise (Fault (Printf.sprintf "read of unmapped address 0x%Lx" addr))
+
+let write8 t addr v =
+  match find t addr with
+  | Some r -> Bytes.set_uint8 r.r_bytes (Int64.to_int (Int64.sub addr r.r_base)) (v land 0xff)
+  | None -> raise (Fault (Printf.sprintf "write to unmapped address 0x%Lx" addr))
+
+let read64 t addr =
+  let rec go acc k =
+    if k = 8 then acc
+    else
+      let b = Int64.of_int (read8 t (Int64.add addr (Int64.of_int k))) in
+      go (Int64.logor acc (Int64.shift_left b (8 * k))) (k + 1)
+  in
+  go 0L 0
+
+let write64 t addr v =
+  for k = 0 to 7 do
+    write8 t
+      (Int64.add addr (Int64.of_int k))
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xffL))
+  done
+
+(* Snapshot [len] bytes starting at [addr] (faults if any byte unmapped). *)
+let read_bytes t addr len =
+  let b = Bytes.create len in
+  for k = 0 to len - 1 do
+    Bytes.set_uint8 b k (read8 t (Int64.add addr (Int64.of_int k)))
+  done;
+  b
+
+let write_bytes t addr bytes =
+  Bytes.iteri (fun k c -> write8 t (Int64.add addr (Int64.of_int k)) (Char.code c)) bytes
+
+let read_cstring t addr =
+  let buf = Buffer.create 16 in
+  let rec loop a =
+    let b = read8 t a in
+    if b = 0 then Buffer.contents buf
+    else begin
+      Buffer.add_char buf (Char.chr b);
+      loop (Int64.add a 1L)
+    end
+  in
+  loop addr
+
+let is_mapped t addr = find t addr <> None

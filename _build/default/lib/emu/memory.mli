@@ -1,0 +1,38 @@
+(** Flat emulated memory: contiguous regions (code, data, stack, scratch)
+    with byte granularity.  Code is writable — real processes can be
+    self-modifying and the simulated self-mod/JIT obfuscations rely on
+    it. *)
+
+exception Fault of string
+(** Raised on access to an unmapped address. *)
+
+type t
+
+val create : unit -> t
+
+val map : t -> string -> int64 -> int -> unit
+(** [map t name base size] adds a zeroed region. *)
+
+val map_bytes : t -> string -> int64 -> Bytes.t -> unit
+(** Add a region initialized with a copy of the bytes. *)
+
+val region_of_addr : t -> int64 -> string option
+(** Name of the region covering the address. *)
+
+val read8 : t -> int64 -> int
+val write8 : t -> int64 -> int -> unit
+
+val read64 : t -> int64 -> int64
+(** Little-endian 8-byte read. *)
+
+val write64 : t -> int64 -> int64 -> unit
+
+val read_bytes : t -> int64 -> int -> Bytes.t
+(** Snapshot [len] bytes (faults if any byte is unmapped). *)
+
+val write_bytes : t -> int64 -> Bytes.t -> unit
+
+val read_cstring : t -> int64 -> string
+(** NUL-terminated string at the address. *)
+
+val is_mapped : t -> int64 -> bool

@@ -1,0 +1,1 @@
+lib/harness/cfi_study.ml: Gp_codegen Gp_corpus Gp_emu Gp_obf Gp_util List Table Workspace

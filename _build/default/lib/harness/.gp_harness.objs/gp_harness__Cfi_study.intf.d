@@ -1,0 +1,1 @@
+lib/harness/cfi_study.mli: Gp_corpus Gp_obf

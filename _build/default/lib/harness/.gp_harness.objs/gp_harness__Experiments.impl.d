@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Buffer Gc Gp_baselines Gp_codegen Gp_core Gp_corpus Gp_obf Hashtbl List Netperf_attack Printf Table Unix Workspace

@@ -1,0 +1,1 @@
+lib/harness/netperf_attack.ml: Array Fun Gp_core Gp_corpus Gp_emu Gp_util Int64 List Workspace

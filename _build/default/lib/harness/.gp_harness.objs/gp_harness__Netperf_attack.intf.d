@@ -1,0 +1,1 @@
+lib/harness/netperf_attack.mli: Gp_core Gp_util Workspace

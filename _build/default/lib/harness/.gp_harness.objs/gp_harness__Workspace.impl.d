@@ -1,0 +1,1 @@
+lib/harness/workspace.ml: Gp_codegen Gp_core Gp_corpus Gp_obf Gp_util Gp_x86 Hashtbl List String

@@ -1,0 +1,1 @@
+lib/harness/workspace.mli: Gp_core Gp_corpus Gp_obf Gp_util Hashtbl

@@ -1,0 +1,20 @@
+(** CFI-infeasibility study (supports the threat model, paper §III-A):
+    classic entry-only forward-edge CFI applied to BENIGN runs.  Original
+    programs make no indirect transfers; obfuscated programs dispatch
+    through jump tables whose targets are basic blocks — every transfer
+    is a false positive, so a deployed CFI monitor would kill the
+    legitimate program. *)
+
+type row = {
+  cfi_program : string;
+  cfi_config : string;
+  cfi_transfers : int;      (** indirect transfers executed *)
+  cfi_violations : int;     (** flagged by the entry-only policy *)
+}
+
+val run_one : Gp_corpus.Programs.entry -> string * Gp_obf.Obf.config -> row
+
+val study :
+  ?entries:Gp_corpus.Programs.entry list -> unit -> string * row list
+(** Rendered table + rows for the default program subset under the three
+    standard configurations. *)

@@ -1,0 +1,651 @@
+(* The paper's evaluation, experiment by experiment (DESIGN.md §4).
+
+   Every function regenerates one table or figure and returns the
+   rendered text (plus structured data where tests consume it).  [quick]
+   mode runs a representative subset of the corpus so the whole suite
+   finishes in a few minutes; full mode runs everything. *)
+
+let quick_benchmark_names =
+  [ "bubble_sort"; "crc_check"; "fibonacci"; "stack_machine" ]
+
+let benchmark_entries ~quick =
+  if quick then List.map Gp_corpus.Programs.find quick_benchmark_names
+  else Gp_corpus.Programs.all
+
+(* ---------- Fig. 1: gadget counts, original vs obfuscated ---------- *)
+
+type fig1_row = {
+  f1_program : string;
+  f1_counts : (string * int) list;   (* config -> raw gadget count *)
+}
+
+let fig1 ?(quick = true) () =
+  let rows =
+    List.map
+      (fun entry ->
+        let counts =
+          List.map
+            (fun (cname, cfg) ->
+              let image =
+                Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform cfg)
+                  entry.Gp_corpus.Programs.source
+              in
+              (cname, List.length (Gp_core.Extract.raw_scan image)))
+            Workspace.obf_configs
+        in
+        { f1_program = entry.Gp_corpus.Programs.name; f1_counts = counts })
+      (benchmark_entries ~quick)
+  in
+  let t =
+    Table.create ~title:"Fig. 1: number of gadgets, original vs obfuscated"
+      ~header:("program" :: List.map fst Workspace.obf_configs)
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        (r.f1_program :: List.map (fun (_, c) -> string_of_int c) r.f1_counts))
+    rows;
+  (Table.render t, rows)
+
+(* ---------- Table I: gadget types and increase rate ---------- *)
+
+let tab1 ?(quick = true) () =
+  let kinds =
+    [ (Gp_core.Gadget.Return, "Return");
+      (Gp_core.Gadget.UDJ, "UDJ");
+      (Gp_core.Gadget.UIJ, "UIJ");
+      (Gp_core.Gadget.CDJ, "CDJ");
+      (Gp_core.Gadget.CIJ, "CIJ") ]
+  in
+  let totals config_filter =
+    List.fold_left
+      (fun acc entry ->
+        let cname, cfg = config_filter in
+        ignore cname;
+        let image =
+          Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform cfg)
+            entry.Gp_corpus.Programs.source
+        in
+        let counts = Gp_core.Extract.raw_counts image in
+        List.map2 (fun (k, _) a -> a + List.assoc k counts) kinds acc)
+      (List.map (fun _ -> 0) kinds)
+      (benchmark_entries ~quick)
+  in
+  let original = totals ("original", Gp_obf.Obf.none) in
+  let ollvm = totals ("llvm-obf", Gp_obf.Obf.ollvm) in
+  let tigress = totals ("tigress", Gp_obf.Obf.tigress) in
+  (* "Obfuscated" column: mean of the two obfuscators, as the paper
+     aggregates across tools *)
+  let obfuscated = List.map2 (fun a b -> (a + b) / 2) ollvm tigress in
+  let t =
+    Table.create ~title:"Table I: gadget types, original vs obfuscated"
+      ~header:[ "type"; "original"; "obfuscated"; "increase" ]
+  in
+  let data =
+    List.map2 (fun (k, name) (o, ob) -> (k, name, o, ob))
+      kinds
+      (List.combine original obfuscated)
+  in
+  List.iter
+    (fun (_, name, o, ob) ->
+      let rate =
+        if o = 0 then "-"
+        else Printf.sprintf "%.1f%%" (100. *. float_of_int (ob - o) /. float_of_int o)
+      in
+      Table.add_row t [ name; string_of_int o; string_of_int ob; rate ])
+    data;
+  (Table.render t, data)
+
+(* ---------- shared tool runners ---------- *)
+
+type tool_result = {
+  tr_tool : string;
+  tr_pool : int;
+  tr_chains : Gp_core.Payload.chain list;
+}
+
+let run_tools (b : Workspace.built) goal : tool_result list =
+  let pool_list = b.Workspace.analysis.Gp_core.Api.gadgets in
+  let rg = Gp_baselines.Ropgadget.run b.Workspace.image goal in
+  let ag = Gp_baselines.Angrop.run ~pool:pool_list b.Workspace.image goal in
+  let sg = Gp_baselines.Sgc.run ~pool:pool_list b.Workspace.image goal in
+  let gp = Workspace.run_gp b goal in
+  [ { tr_tool = "ropgadget";
+      tr_pool = rg.Gp_baselines.Report.pool_total;
+      tr_chains = rg.Gp_baselines.Report.chains };
+    { tr_tool = "angrop";
+      tr_pool = ag.Gp_baselines.Report.pool_total;
+      tr_chains = ag.Gp_baselines.Report.chains };
+    { tr_tool = "sgc";
+      tr_pool = sg.Gp_baselines.Report.pool_total;
+      tr_chains = sg.Gp_baselines.Report.chains };
+    { tr_tool = "gadget-planner";
+      tr_pool = Gp_core.Pool.size b.Workspace.analysis.Gp_core.Api.pool;
+      tr_chains = gp.Gp_core.Api.chains } ]
+
+(* ---------- Fig. 2: chains built by existing tools ---------- *)
+
+let fig2 ?(quick = true) () =
+  let tools = [ "ropgadget"; "angrop"; "sgc" ] in
+  let t =
+    Table.create
+      ~title:"Fig. 2: payloads built by EXISTING tools (all goals, summed)"
+      ~header:("config" :: tools)
+  in
+  let data =
+    List.map
+      (fun (cname, cfg) ->
+        let per_tool = Hashtbl.create 4 in
+        List.iter (fun tool -> Hashtbl.replace per_tool tool 0) tools;
+        List.iter
+          (fun entry ->
+            let b = Workspace.build ~config_name:cname ~cfg entry in
+            List.iter
+              (fun goal ->
+                List.iter
+                  (fun tr ->
+                    if List.mem tr.tr_tool tools then
+                      Hashtbl.replace per_tool tr.tr_tool
+                        (Hashtbl.find per_tool tr.tr_tool
+                        + List.length tr.tr_chains))
+                  (run_tools b goal))
+              Workspace.goals)
+          (benchmark_entries ~quick);
+        (cname, List.map (fun tool -> (tool, Hashtbl.find per_tool tool)) tools))
+      Workspace.obf_configs
+  in
+  List.iter
+    (fun (cname, counts) ->
+      Table.add_row t (cname :: List.map (fun (_, c) -> string_of_int c) counts))
+    data;
+  (Table.render t, data)
+
+(* ---------- Table IV: the main comparison ---------- *)
+
+type tab4_cell = {
+  t4_pool : int;
+  t4_used : int;
+  t4_goals : (string * int) list;   (* goal -> validated payload count *)
+  t4_new : int;                     (* payloads using obfuscation-new gadgets *)
+}
+
+type tab4_row = { t4_config : string; t4_tools : (string * tab4_cell) list }
+
+let tab4 ?(quick = true) () =
+  let entries = benchmark_entries ~quick in
+  (* per-program original pool texts, to classify "new" chains *)
+  let baseline_texts =
+    List.map
+      (fun entry ->
+        let b = Workspace.build entry in
+        (entry.Gp_corpus.Programs.name, Workspace.pool_texts b.Workspace.analysis))
+      entries
+  in
+  let rows =
+    List.map
+      (fun (cname, cfg) ->
+        let acc = Hashtbl.create 8 in
+        List.iter
+          (fun entry ->
+            let b = Workspace.build ~config_name:cname ~cfg entry in
+            let texts = List.assoc entry.Gp_corpus.Programs.name baseline_texts in
+            List.iter
+              (fun goal ->
+                List.iter
+                  (fun tr ->
+                    let prev =
+                      match Hashtbl.find_opt acc tr.tr_tool with
+                      | Some v -> v
+                      | None ->
+                        { t4_pool = 0; t4_used = 0;
+                          t4_goals = List.map (fun g -> (Gp_core.Goal.name g, 0)) Workspace.goals;
+                          t4_new = 0 }
+                    in
+                    let nnew =
+                      if cname = "original" then 0
+                      else
+                        List.length
+                          (List.filter (Workspace.chain_is_new texts) tr.tr_chains)
+                    in
+                    let goals =
+                      List.map
+                        (fun (gn, c) ->
+                          if gn = Gp_core.Goal.name goal then
+                            (gn, c + List.length tr.tr_chains)
+                          else (gn, c))
+                        prev.t4_goals
+                    in
+                    Hashtbl.replace acc tr.tr_tool
+                      { t4_pool = prev.t4_pool + tr.tr_pool;
+                        t4_used = prev.t4_used + Workspace.used_gadgets tr.tr_chains;
+                        t4_goals = goals;
+                        t4_new = prev.t4_new + nnew })
+                  (run_tools b goal))
+              Workspace.goals)
+          entries;
+        { t4_config = cname;
+          t4_tools =
+            List.map
+              (fun tool -> (tool, Hashtbl.find acc tool))
+              [ "ropgadget"; "angrop"; "sgc"; "gadget-planner" ] })
+      Workspace.obf_configs
+  in
+  let t =
+    Table.create
+      ~title:
+        "Table IV: gadgets (pool/used) and validated payloads per tool \
+         (execve/mprotect/mmap, total, new-by-obfuscation)"
+      ~header:
+        [ "config"; "tool"; "pool"; "used"; "execve"; "mprotect"; "mmap";
+          "total"; "(new)" ]
+  in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (tool, cell) ->
+          let goal_count g = List.assoc g cell.t4_goals in
+          let total = List.fold_left (fun a (_, c) -> a + c) 0 cell.t4_goals in
+          Table.add_row t
+            [ row.t4_config; tool;
+              string_of_int cell.t4_pool;
+              string_of_int cell.t4_used;
+              string_of_int (goal_count "execve");
+              string_of_int (goal_count "mprotect");
+              string_of_int (goal_count "mmap");
+              string_of_int total;
+              (if row.t4_config = "original" then "-"
+               else Printf.sprintf "(%d)" cell.t4_new) ])
+        row.t4_tools)
+    rows;
+  (Table.render t, rows)
+
+(* ---------- Table V: chain properties ---------- *)
+
+let tab5 ?(quick = true) () =
+  (* collect chains per tool across the obfuscated configs *)
+  let acc : (string, Gp_core.Payload.chain list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun tool -> Hashtbl.replace acc tool (ref []))
+    [ "ropgadget"; "angrop"; "sgc"; "gadget-planner" ];
+  List.iter
+    (fun (cname, cfg) ->
+      if cname <> "original" then
+        List.iter
+          (fun entry ->
+            let b = Workspace.build ~config_name:cname ~cfg entry in
+            List.iter
+              (fun goal ->
+                List.iter
+                  (fun tr ->
+                    let r = Hashtbl.find acc tr.tr_tool in
+                    r := tr.tr_chains @ !r)
+                  (run_tools b goal))
+              Workspace.goals)
+          (benchmark_entries ~quick))
+    Workspace.obf_configs;
+  let t =
+    Table.create ~title:"Table V: gadget chain properties (obfuscated programs)"
+      ~header:[ "tool"; "gadget len"; "chain len"; "Ret"; "IJ"; "DJ"; "CJ" ]
+  in
+  let data =
+    List.map
+      (fun tool ->
+        let chains = !(Hashtbl.find acc tool) in
+        let report =
+          { Gp_baselines.Report.tool; pool_total = 0; chains;
+            gadget_time = 0.; chain_time = 0. }
+        in
+        let ret, ij, dj, cj = Gp_baselines.Report.kind_percentages report in
+        ( tool,
+          Gp_baselines.Report.avg_gadget_len report,
+          Gp_baselines.Report.avg_chain_len report,
+          (ret, ij, dj, cj) ))
+      [ "ropgadget"; "angrop"; "sgc"; "gadget-planner" ]
+  in
+  List.iter
+    (fun (tool, glen, clen, (ret, ij, dj, cj)) ->
+      Table.add_row t
+        [ tool; Table.fmt_f1 glen; Table.fmt_f1 clen; Table.fmt_pct ret;
+          Table.fmt_pct ij; Table.fmt_pct dj; Table.fmt_pct cj ])
+    data;
+  (Table.render t, data)
+
+(* ---------- Fig. 5: payloads per individual obfuscation ---------- *)
+
+let fig5 ?(quick = true) () =
+  (* the risk a method ADDS: payloads that use at least one gadget the
+     original binary did not have (same notion as Table IV's "(new)") *)
+  let t =
+    Table.create
+      ~title:
+        "Fig. 5: obfuscation-introduced Gadget-Planner payloads per method"
+      ~header:[ "obfuscation"; "new payloads (all goals)" ]
+  in
+  let entries = benchmark_entries ~quick in
+  let baseline_texts =
+    List.map
+      (fun entry ->
+        let b = Workspace.build entry in
+        (entry.Gp_corpus.Programs.name, Workspace.pool_texts b.Workspace.analysis))
+      entries
+  in
+  let data =
+    List.map
+      (fun pass ->
+        let cfg = Gp_obf.Obf.single pass in
+        let total =
+          List.fold_left
+            (fun acc entry ->
+              let b =
+                Workspace.build ~config_name:(Gp_obf.Obf.pass_name pass) ~cfg entry
+              in
+              let texts = List.assoc entry.Gp_corpus.Programs.name baseline_texts in
+              List.fold_left
+                (fun acc goal ->
+                  acc
+                  + List.length
+                      (List.filter (Workspace.chain_is_new texts)
+                         (Workspace.run_gp b goal).Gp_core.Api.chains))
+                acc Workspace.goals)
+            0 entries
+        in
+        (Gp_obf.Obf.pass_name pass, total))
+      Gp_obf.Obf.all_passes
+  in
+  let ranked = List.sort (fun (_, a) (_, b) -> compare b a) data in
+  List.iter
+    (fun (name, total) -> Table.add_row t [ name; string_of_int total ])
+    ranked;
+  (Table.render t, data)
+
+(* ---------- Table VI: SPEC-like programs ---------- *)
+
+let tab6 () =
+  let t =
+    Table.create
+      ~title:"Table VI: SPEC-like programs — gadgets and chains per tool"
+      ~header:
+        [ "benchmark"; "config"; "gadgets"; "RG"; "angrop"; "SGC"; "GP" ]
+  in
+  let data =
+    List.concat_map
+      (fun entry ->
+        List.map
+          (fun (cname, cfg) ->
+            let b = Workspace.build ~config_name:cname ~cfg entry in
+            let raw = List.length (Gp_core.Extract.raw_scan b.Workspace.image) in
+            (* chains summed over the three goals *)
+            let per_tool = Hashtbl.create 4 in
+            List.iter
+              (fun goal ->
+                List.iter
+                  (fun tr ->
+                    Hashtbl.replace per_tool tr.tr_tool
+                      ((match Hashtbl.find_opt per_tool tr.tr_tool with
+                        | Some c -> c
+                        | None -> 0)
+                      + List.length tr.tr_chains))
+                  (run_tools b goal))
+              Workspace.goals;
+            let count tool =
+              match Hashtbl.find_opt per_tool tool with Some c -> c | None -> 0
+            in
+            ( entry.Gp_corpus.Programs.name, cname, raw,
+              count "ropgadget", count "angrop", count "sgc",
+              count "gadget-planner" ))
+          Workspace.obf_configs)
+      Gp_corpus.Spec.all
+  in
+  List.iter
+    (fun (name, cname, raw, rg, ag, sg, gp) ->
+      Table.add_row t
+        [ name; cname; string_of_int raw; string_of_int rg; string_of_int ag;
+          string_of_int sg; string_of_int gp ])
+    data;
+  (Table.render t, data)
+
+(* ---------- Fig. 6: an mcf chain no baseline finds ---------- *)
+
+let fig6 () =
+  let entry = List.nth Gp_corpus.Spec.all 1 (* 429.mcf *) in
+  let b = Workspace.build ~config_name:"llvm-obf" ~cfg:Gp_obf.Obf.ollvm entry in
+  let goal = Gp_core.Goal.Execve "/bin/sh" in
+  let o = Workspace.run_gp b goal in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "== Fig. 6: a Gadget-Planner chain from obfuscated 429.mcf ==\n";
+  (match
+     (* prefer a chain showing off a conditional or merged gadget *)
+     let interesting (c : Gp_core.Payload.chain) =
+       List.exists
+         (fun (s : Gp_core.Plan.step) ->
+           s.Gp_core.Plan.gadget.Gp_core.Gadget.has_cond
+           || s.Gp_core.Plan.gadget.Gp_core.Gadget.has_merge)
+         c.Gp_core.Payload.c_steps
+     in
+     match List.find_opt interesting o.Gp_core.Api.chains with
+     | Some c -> Some c
+     | None -> (match o.Gp_core.Api.chains with c :: _ -> Some c | [] -> None)
+   with
+   | Some c -> Buffer.add_string buf (Gp_core.Payload.describe c)
+   | None -> Buffer.add_string buf "no chain found\n");
+  (* baseline verdicts on the same binary *)
+  List.iter
+    (fun goal ->
+      let rg = Gp_baselines.Ropgadget.run b.Workspace.image goal in
+      let ag =
+        Gp_baselines.Angrop.run ~pool:b.Workspace.analysis.Gp_core.Api.gadgets
+          b.Workspace.image goal
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "baselines on %s: ropgadget=%d angrop=%d\n"
+           (Gp_core.Goal.name goal)
+           (List.length rg.Gp_baselines.Report.chains)
+           (List.length ag.Gp_baselines.Report.chains)))
+    [ goal ];
+  (Buffer.contents buf, o)
+
+(* ---------- Fig. 8: the netperf case study ---------- *)
+
+let fig8 () =
+  let b =
+    Workspace.build ~config_name:"llvm-obf" ~cfg:Gp_obf.Obf.ollvm
+      Gp_corpus.Netperf.entry
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "== Fig. 8: netperf case study (end-to-end) ==\n";
+  let result = Netperf_attack.run b in
+  (match result with
+   | None -> Buffer.add_string buf "probe failed: overflow not reachable\n"
+   | Some r ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          "probe: return address cell at 0x%Lx, %d filler words\n"
+          r.Netperf_attack.probe.Netperf_attack.ret_cell
+          r.Netperf_attack.probe.Netperf_attack.filler_words);
+     Buffer.add_string buf
+       (Printf.sprintf "chains confirmed end-to-end: %d (of %d planned)\n"
+          (List.length r.Netperf_attack.chains)
+          r.Netperf_attack.attempted);
+     (match r.Netperf_attack.chains with
+      | c :: _ -> Buffer.add_string buf (Gp_core.Payload.describe c)
+      | [] -> ()));
+  (Buffer.contents buf, result)
+
+(* ---------- Table VII: per-stage performance on netperf ---------- *)
+
+let tab7 () =
+  let image =
+    Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform Gp_obf.Obf.ollvm)
+      Gp_corpus.Netperf.entry.Gp_corpus.Programs.source
+  in
+  let timed f =
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0, (Gc.allocated_bytes () -. a0) /. 1048576.)
+  in
+  let t =
+    Table.create
+      ~title:"Table VII: per-stage cost on obfuscated netperf"
+      ~header:[ "tool"; "stage"; "time (s)"; "alloc (MB)" ]
+  in
+  (* Gadget-Planner stages *)
+  let harvested, ext_t, ext_m = timed (fun () -> Gp_core.Extract.harvest image) in
+  let (minimal, _), sub_t, sub_m = timed (fun () -> Gp_core.Subsume.minimize harvested) in
+  let pool = Gp_core.Pool.build minimal in
+  let goal = Gp_core.Goal.concretize image (Gp_core.Goal.Execve "/bin/sh") in
+  let _, plan_t, plan_m =
+    timed (fun () ->
+        let seen = Hashtbl.create 16 in
+        let accept p =
+          match Gp_core.Payload.build_opt p goal with
+          | None -> false
+          | Some c ->
+            let k = Gp_core.Payload.chain_set_key c in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              Gp_core.Payload.validate image c
+            end
+        in
+        Gp_core.Planner.search ~config:Workspace.gp_planner_config ~accept pool goal)
+  in
+  let add tool stage tm mem =
+    Table.add_row t [ tool; stage; Printf.sprintf "%.2f" tm; Printf.sprintf "%.0f" mem ]
+  in
+  add "gadget-planner" "gadget extraction" ext_t ext_m;
+  add "gadget-planner" "subsumption testing" sub_t sub_m;
+  add "gadget-planner" "planning" plan_t plan_m;
+  add "gadget-planner" "total" (ext_t +. sub_t +. plan_t) (ext_m +. sub_m +. plan_m);
+  (* Angrop *)
+  let ag, ag_t, ag_m =
+    timed (fun () -> Gp_baselines.Angrop.run image (Gp_core.Goal.Execve "/bin/sh"))
+  in
+  add "angrop" "find + chain" (ag.Gp_baselines.Report.gadget_time +. ag.Gp_baselines.Report.chain_time) ag_m;
+  ignore ag_t;
+  (* SGC *)
+  let sg, sg_t, sg_m =
+    timed (fun () -> Gp_baselines.Sgc.run image (Gp_core.Goal.Execve "/bin/sh"))
+  in
+  add "sgc" "find + chain" (sg.Gp_baselines.Report.gadget_time +. sg.Gp_baselines.Report.chain_time) sg_m;
+  ignore sg_t;
+  (Table.render t, (ext_t, sub_t, plan_t))
+
+(* ---------- ablations (DESIGN.md §5) ---------- *)
+
+let ablation_unaligned () =
+  let t =
+    Table.create ~title:"Ablation: unaligned decoding"
+      ~header:[ "program"; "aligned-only"; "unaligned"; "gain" ]
+  in
+  List.iter
+    (fun entry ->
+      let image =
+        Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform Gp_obf.Obf.ollvm)
+          entry.Gp_corpus.Programs.source
+      in
+      let census unaligned =
+        { Gp_core.Extract.default_config with
+          Gp_core.Extract.unaligned; max_insns = 24 }
+      in
+      let aligned =
+        List.length (Gp_core.Extract.raw_scan ~config:(census false) image)
+      in
+      let unaligned =
+        List.length (Gp_core.Extract.raw_scan ~config:(census true) image)
+      in
+      Table.add_row t
+        [ entry.Gp_corpus.Programs.name; string_of_int aligned;
+          string_of_int unaligned;
+          Printf.sprintf "%.1fx" (float_of_int unaligned /. float_of_int (max 1 aligned)) ])
+    (benchmark_entries ~quick:true);
+  Table.render t
+
+let ablation_subsumption () =
+  let t =
+    Table.create ~title:"Ablation: subsumption testing (pool reduction)"
+      ~header:[ "program"; "harvested"; "deduped"; "subsumed"; "reduction" ]
+  in
+  List.iter
+    (fun entry ->
+      let image =
+        Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform Gp_obf.Obf.ollvm)
+          entry.Gp_corpus.Programs.source
+      in
+      let harvested = Gp_core.Extract.harvest image in
+      let _, stats = Gp_core.Subsume.minimize harvested in
+      Table.add_row t
+        [ entry.Gp_corpus.Programs.name;
+          string_of_int stats.Gp_core.Subsume.input;
+          string_of_int stats.Gp_core.Subsume.after_dedup;
+          string_of_int stats.Gp_core.Subsume.after_subsume;
+          Printf.sprintf "%.2fx"
+            (float_of_int stats.Gp_core.Subsume.input
+            /. float_of_int (max 1 stats.Gp_core.Subsume.after_subsume)) ])
+    (benchmark_entries ~quick:true);
+  Table.render t
+
+(* gadget-count stability across obfuscation seeds *)
+let ablation_seeds () =
+  let t =
+    Table.create ~title:"Ablation: obfuscation seed variance (llvm-obf preset)"
+      ~header:[ "program"; "min"; "mean"; "max" ]
+  in
+  List.iter
+    (fun entry ->
+      let counts =
+        List.map
+          (fun seed ->
+            let cfg = Gp_obf.Obf.config ~seed Gp_obf.Obf.ollvm.Gp_obf.Obf.passes in
+            let image =
+              Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform cfg)
+                entry.Gp_corpus.Programs.source
+            in
+            List.length (Gp_core.Extract.raw_scan image))
+          [ 1; 2; 3; 4; 5 ]
+      in
+      let mn = List.fold_left min max_int counts in
+      let mx = List.fold_left max 0 counts in
+      let mean = List.fold_left ( + ) 0 counts / List.length counts in
+      Table.add_row t
+        [ entry.Gp_corpus.Programs.name; string_of_int mn; string_of_int mean;
+          string_of_int mx ])
+    (benchmark_entries ~quick:true);
+  Table.render t
+
+let ablation_condjump () =
+  let t =
+    Table.create
+      ~title:"Ablation: conditional/merged gadgets excluded from the pool"
+      ~header:[ "program"; "full pool"; "chains"; "restricted pool"; "chains" ]
+  in
+  List.iter
+    (fun entry ->
+      let b =
+        Workspace.build ~config_name:"tigress" ~cfg:Gp_obf.Obf.tigress entry
+      in
+      let goal = Gp_core.Goal.Execve "/bin/sh" in
+      let full = Workspace.run_gp b goal in
+      let restricted_gadgets =
+        List.filter
+          (fun (g : Gp_core.Gadget.t) ->
+            (not g.Gp_core.Gadget.has_cond) && not g.Gp_core.Gadget.has_merge)
+          b.Workspace.analysis.Gp_core.Api.gadgets
+      in
+      let restricted_analysis =
+        { b.Workspace.analysis with
+          Gp_core.Api.gadgets = restricted_gadgets;
+          pool = Gp_core.Pool.build restricted_gadgets }
+      in
+      let restr =
+        Gp_core.Api.run_with_analysis ~planner_config:Workspace.gp_planner_config
+          restricted_analysis goal
+      in
+      Table.add_row t
+        [ entry.Gp_corpus.Programs.name;
+          string_of_int (List.length b.Workspace.analysis.Gp_core.Api.gadgets);
+          string_of_int (List.length full.Gp_core.Api.chains);
+          string_of_int (List.length restricted_gadgets);
+          string_of_int (List.length restr.Gp_core.Api.chains) ])
+    (benchmark_entries ~quick:true);
+  Table.render t

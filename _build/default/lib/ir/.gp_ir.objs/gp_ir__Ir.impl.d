@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Buffer Bytes Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Bytes Gp_minic Gp_util Int64 Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Gp_minic Ir

@@ -1,0 +1,177 @@
+(* Three-address IR with an explicit CFG.
+
+   Sits between the mini-C front end and the x86 back end; it is also the
+   level at which the Obfuscator-LLVM-style passes operate (mirroring
+   their position in the real pipeline).  [Switch] exists so control-flow
+   flattening and the virtualization interpreter can lower to jump tables
+   — which is what produces the indirect-jump gadgets the paper observes
+   in obfuscated binaries. *)
+
+type temp = int
+
+type operand =
+  | T of temp       (* virtual register *)
+  | I of int64      (* immediate *)
+  | G of string     (* address of a global symbol *)
+
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr | Sar
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge   (* signed *)
+
+type instr =
+  | Bin of binop * temp * operand * operand
+  | Mov of temp * operand
+  | Load of temp * operand * int            (* dst = mem[addr + off] *)
+  | Store of operand * int * operand        (* mem[addr + off] = src *)
+  | Cmp of relop * temp * operand * operand (* dst = (a rel b) ? 1 : 0 *)
+  | CallI of temp option * string * operand list
+  | CallPtr of temp option * operand * operand list  (* indirect call *)
+  | SyscallI of temp option * operand list  (* rax, then up to 3 args *)
+  | AddrLocal of temp * int                 (* dst = address of frame slot *)
+
+type label = string
+
+type terminator =
+  | Jmp of label
+  | Br of operand * label * label           (* nonzero -> first *)
+  | Switch of operand * label array         (* jump table, index must be in range *)
+  | Ret of operand option
+
+type block = {
+  b_label : label;
+  mutable b_instrs : instr list;
+  mutable b_term : terminator;
+}
+
+type func = {
+  f_name : string;
+  mutable f_params : temp list;
+  mutable f_blocks : block list;      (* head is the entry block *)
+  mutable f_next_temp : int;
+  mutable f_frame_slots : int;        (* 8-byte alloca slots *)
+  mutable f_next_label : int;
+}
+
+type data = { d_name : string; d_bytes : Bytes.t }
+
+type program = {
+  mutable p_funcs : func list;
+  mutable p_data : data list;
+}
+
+(* ----- construction helpers ----- *)
+
+let fresh_temp f =
+  let t = f.f_next_temp in
+  f.f_next_temp <- t + 1;
+  t
+
+let fresh_label f prefix =
+  let n = f.f_next_label in
+  f.f_next_label <- n + 1;
+  Printf.sprintf "%s.%s%d" f.f_name prefix n
+
+(* Reserve [n] 8-byte frame slots; returns the index of the first. *)
+let alloc_slots f n =
+  let s = f.f_frame_slots in
+  f.f_frame_slots <- s + n;
+  s
+
+let find_block f label =
+  match List.find_opt (fun b -> b.b_label = label) f.f_blocks with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Ir.find_block: no block %s in %s" label f.f_name)
+
+let add_data p name bytes =
+  p.p_data <- p.p_data @ [ { d_name = name; d_bytes = bytes } ]
+
+let successors = function
+  | Jmp l -> [ l ]
+  | Br (_, l1, l2) -> [ l1; l2 ]
+  | Switch (_, ls) -> Array.to_list ls
+  | Ret _ -> []
+
+(* ----- printing (for tests and debugging) ----- *)
+
+let string_of_operand = function
+  | T t -> Printf.sprintf "t%d" t
+  | I i -> Int64.to_string i
+  | G g -> "&" ^ g
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | And -> "and" | Or -> "or"
+  | Xor -> "xor" | Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+
+let string_of_relop = function
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let string_of_instr i =
+  let sop = string_of_operand in
+  match i with
+  | Bin (op, d, a, b) ->
+    Printf.sprintf "t%d = %s %s, %s" d (string_of_binop op) (sop a) (sop b)
+  | Mov (d, s) -> Printf.sprintf "t%d = %s" d (sop s)
+  | Load (d, a, off) -> Printf.sprintf "t%d = load [%s + %d]" d (sop a) off
+  | Store (a, off, s) -> Printf.sprintf "store [%s + %d] = %s" (sop a) off (sop s)
+  | Cmp (r, d, a, b) ->
+    Printf.sprintf "t%d = %s %s %s" d (sop a) (string_of_relop r) (sop b)
+  | CallI (d, f, args) ->
+    Printf.sprintf "%s%s(%s)"
+      (match d with Some t -> Printf.sprintf "t%d = " t | None -> "")
+      f
+      (String.concat ", " (List.map sop args))
+  | CallPtr (d, target, args) ->
+    Printf.sprintf "%s(*%s)(%s)"
+      (match d with Some t -> Printf.sprintf "t%d = " t | None -> "")
+      (sop target)
+      (String.concat ", " (List.map sop args))
+  | SyscallI (d, args) ->
+    Printf.sprintf "%ssyscall(%s)"
+      (match d with Some t -> Printf.sprintf "t%d = " t | None -> "")
+      (String.concat ", " (List.map sop args))
+  | AddrLocal (d, slot) -> Printf.sprintf "t%d = &slot[%d]" d slot
+
+let string_of_terminator = function
+  | Jmp l -> "jmp " ^ l
+  | Br (c, l1, l2) -> Printf.sprintf "br %s, %s, %s" (string_of_operand c) l1 l2
+  | Switch (c, ls) ->
+    Printf.sprintf "switch %s [%s]" (string_of_operand c)
+      (String.concat "; " (Array.to_list ls))
+  | Ret None -> "ret"
+  | Ret (Some v) -> "ret " ^ string_of_operand v
+
+let string_of_func f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s(%s) slots=%d\n" f.f_name
+       (String.concat ", " (List.map (Printf.sprintf "t%d") f.f_params))
+       f.f_frame_slots);
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (b.b_label ^ ":\n");
+      List.iter
+        (fun i -> Buffer.add_string buf ("  " ^ string_of_instr i ^ "\n"))
+        b.b_instrs;
+      Buffer.add_string buf ("  " ^ string_of_terminator b.b_term ^ "\n"))
+    f.f_blocks;
+  Buffer.contents buf
+
+let string_of_program p =
+  String.concat "\n" (List.map string_of_func p.p_funcs)
+
+(* Count of instructions across a function, terminators included. *)
+let func_size f =
+  List.fold_left (fun acc b -> acc + List.length b.b_instrs + 1) 0 f.f_blocks
+
+let program_size p = List.fold_left (fun acc f -> acc + func_size f) 0 p.p_funcs
+
+(* Deep copy, so obfuscation passes can mutate freely without destroying
+   the caller's IR (experiments compile the same program many ways). *)
+let clone_block b = { b with b_instrs = b.b_instrs }
+
+let clone_func f =
+  { f with f_blocks = List.map clone_block f.f_blocks }
+
+let clone_program p =
+  { p_funcs = List.map clone_func p.p_funcs;
+    p_data = List.map (fun d -> { d with d_bytes = Bytes.copy d.d_bytes }) p.p_data }

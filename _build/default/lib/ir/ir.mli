@@ -1,0 +1,96 @@
+(** Three-address IR with an explicit CFG.
+
+    Sits between the mini-C front end and the x86 back end; it is also
+    the level at which the Obfuscator-LLVM-style passes operate.
+    [Switch] exists so control-flow flattening and the virtualization
+    interpreter can lower to jump tables — which is what produces the
+    indirect-jump gadgets the paper observes in obfuscated binaries. *)
+
+type temp = int
+(** Virtual register. *)
+
+type operand =
+  | T of temp       (** virtual register *)
+  | I of int64      (** immediate *)
+  | G of string     (** address of a global symbol *)
+
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr | Sar
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge   (** signed *)
+
+type instr =
+  | Bin of binop * temp * operand * operand
+  | Mov of temp * operand
+  | Load of temp * operand * int            (** dst = mem[addr + off] *)
+  | Store of operand * int * operand        (** mem[addr + off] = src *)
+  | Cmp of relop * temp * operand * operand (** dst = (a rel b) ? 1 : 0 *)
+  | CallI of temp option * string * operand list
+  | CallPtr of temp option * operand * operand list  (** indirect call *)
+  | SyscallI of temp option * operand list  (** number, then up to 3 args *)
+  | AddrLocal of temp * int                 (** dst = address of frame slot *)
+
+type label = string
+
+type terminator =
+  | Jmp of label
+  | Br of operand * label * label           (** nonzero -> first *)
+  | Switch of operand * label array         (** jump table; index in range *)
+  | Ret of operand option
+
+type block = {
+  b_label : label;
+  mutable b_instrs : instr list;
+  mutable b_term : terminator;
+}
+
+type func = {
+  f_name : string;
+  mutable f_params : temp list;
+  mutable f_blocks : block list;      (** head is the entry block *)
+  mutable f_next_temp : int;
+  mutable f_frame_slots : int;        (** 8-byte alloca slots *)
+  mutable f_next_label : int;
+}
+
+type data = { d_name : string; d_bytes : Bytes.t }
+
+type program = {
+  mutable p_funcs : func list;
+  mutable p_data : data list;
+}
+
+(** {1 Construction helpers} *)
+
+val fresh_temp : func -> temp
+val fresh_label : func -> string -> label
+(** [fresh_label f prefix] — function-qualified unique label. *)
+
+val alloc_slots : func -> int -> int
+(** Reserve [n] 8-byte frame slots; returns the first index.  Slots grow
+    DOWNWARD in memory: an array's base is its highest slot index. *)
+
+val find_block : func -> label -> block
+val add_data : program -> string -> Bytes.t -> unit
+val successors : terminator -> label list
+
+(** {1 Printing} *)
+
+val string_of_operand : operand -> string
+val string_of_instr : instr -> string
+val string_of_terminator : terminator -> string
+val string_of_func : func -> string
+val string_of_program : program -> string
+
+val func_size : func -> int
+(** Instruction count, terminators included. *)
+
+val program_size : program -> int
+
+(** {1 Cloning}
+
+    Obfuscation passes mutate in place; cloning lets one IR be compiled
+    under many configurations. *)
+
+val clone_block : block -> block
+val clone_func : func -> func
+val clone_program : program -> program

@@ -1,0 +1,438 @@
+(* Lowering mini-C AST to IR.
+
+   Storage policy: scalars live in virtual registers unless their address
+   is taken; arrays and address-taken scalars get frame slots.  Short-
+   circuit &&/|| and comparisons lower to explicit control flow, as an
+   unoptimizing C compiler would emit. *)
+
+exception Lower_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Lower_error m)) fmt
+
+type binding =
+  | Btemp of Ir.temp
+  | Bslot of int               (* address-taken scalar: frame slot index *)
+  | Barray of int * int        (* frame slot index, element count *)
+  | Bglobal_scalar
+  | Bglobal_blob               (* arrays / strings: name denotes an address *)
+
+type ctx = {
+  prog : Ir.program;
+  func : Ir.func;
+  mutable cur : Ir.block;                 (* block being filled (reversed instrs) *)
+  mutable scopes : (string * binding) list list;
+  mutable loops : (Ir.label * Ir.label) list;  (* (break, continue) *)
+  globals : (string * binding) list;
+  str_count : int ref;
+  addr_taken : string list;               (* names forced into frame slots *)
+}
+
+let emit ctx i = ctx.cur.b_instrs <- i :: ctx.cur.b_instrs
+
+(* Blocks collect instructions reversed; sealing restores order. *)
+let seal_block ctx term =
+  ctx.cur.b_term <- term;
+  ctx.cur.b_instrs <- List.rev ctx.cur.b_instrs
+
+let start_block ctx label =
+  let b = { Ir.b_label = label; b_instrs = []; b_term = Ir.Ret None } in
+  ctx.func.f_blocks <- ctx.func.f_blocks @ [ b ];
+  ctx.cur <- b
+
+let lookup ctx name =
+  let rec in_scopes = function
+    | [] -> List.assoc_opt name ctx.globals
+    | s :: rest -> (
+      match List.assoc_opt name s with Some b -> Some b | None -> in_scopes rest)
+  in
+  match in_scopes ctx.scopes with
+  | Some b -> b
+  | None -> fail "lowering: unbound variable %s" name
+
+let bind ctx name b =
+  match ctx.scopes with
+  | s :: rest -> ctx.scopes <- ((name, b) :: s) :: rest
+  | [] -> assert false
+
+let as_temp ctx (op : Ir.operand) =
+  match op with
+  | Ir.T t -> t
+  | _ ->
+    let t = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.Mov (t, op));
+    t
+
+let intern_string ctx s =
+  let n = !(ctx.str_count) in
+  incr ctx.str_count;
+  let name = Printf.sprintf "str$%d" n in
+  let bytes = Bytes.of_string (s ^ "\000") in
+  Ir.add_data ctx.prog name bytes;
+  name
+
+let relop_of_ast = function
+  | Gp_minic.Ast.Eq -> Ir.Eq | Gp_minic.Ast.Ne -> Ir.Ne
+  | Gp_minic.Ast.Lt -> Ir.Lt | Gp_minic.Ast.Le -> Ir.Le
+  | Gp_minic.Ast.Gt -> Ir.Gt | Gp_minic.Ast.Ge -> Ir.Ge
+  | _ -> assert false
+
+let binop_of_ast = function
+  | Gp_minic.Ast.Add -> Ir.Add | Gp_minic.Ast.Sub -> Ir.Sub | Gp_minic.Ast.Mul -> Ir.Mul
+  | Gp_minic.Ast.BitAnd -> Ir.And | Gp_minic.Ast.BitOr -> Ir.Or
+  | Gp_minic.Ast.BitXor -> Ir.Xor
+  | Gp_minic.Ast.Shl -> Ir.Shl | Gp_minic.Ast.Shr -> Ir.Sar
+    (* C's >> on signed int is arithmetic in practice *)
+  | _ -> assert false
+
+(* ----- expressions ----- *)
+
+let rec lower_expr ctx (e : Gp_minic.Ast.expr) : Ir.operand =
+  match e with
+  | Int v -> Ir.I v
+  | Str s -> Ir.G (intern_string ctx s)
+  | Var name -> (
+    match lookup ctx name with
+    | Btemp t -> Ir.T t
+    | Bslot slot ->
+      let a = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.AddrLocal (a, slot));
+      let d = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.Load (d, Ir.T a, 0));
+      Ir.T d
+    | Barray (slot, size) ->
+      let a = Ir.fresh_temp ctx.func in
+      (* slots grow downward: the array base is its highest slot index *)
+      emit ctx (Ir.AddrLocal (a, slot + size - 1));
+      Ir.T a
+    | Bglobal_scalar ->
+      let d = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.Load (d, Ir.G name, 0));
+      Ir.T d
+    | Bglobal_blob -> Ir.G name)
+  | Unary (Neg, a) ->
+    let va = lower_expr ctx a in
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.Bin (Ir.Sub, d, Ir.I 0L, va));
+    Ir.T d
+  | Unary (BitNot, a) ->
+    let va = lower_expr ctx a in
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.Bin (Ir.Xor, d, va, Ir.I (-1L)));
+    Ir.T d
+  | Unary (LogNot, a) ->
+    let va = lower_expr ctx a in
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.Cmp (Ir.Eq, d, va, Ir.I 0L));
+    Ir.T d
+  | Binary (LogAnd, a, b) -> lower_shortcircuit ctx ~is_and:true a b
+  | Binary (LogOr, a, b) -> lower_shortcircuit ctx ~is_and:false a b
+  | Binary ((Eq | Ne | Lt | Le | Gt | Ge) as op, a, b) ->
+    let va = lower_expr ctx a in
+    let vb = lower_expr ctx b in
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.Cmp (relop_of_ast op, d, va, vb));
+    Ir.T d
+  | Binary (op, a, b) ->
+    let va = lower_expr ctx a in
+    let vb = lower_expr ctx b in
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.Bin (binop_of_ast op, d, va, vb));
+    Ir.T d
+  | Call (f, args) -> lower_call ctx f args
+  | Index (a, i) ->
+    let addr, off = lower_address ctx (Gp_minic.Ast.Index (a, i)) in
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.Load (d, addr, off));
+    Ir.T d
+  | Deref a ->
+    let va = lower_expr ctx a in
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.Load (d, va, 0));
+    Ir.T d
+  | AddrOf lv ->
+    let addr, off = lower_address ctx lv in
+    if off = 0 then addr
+    else begin
+      let d = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.Bin (Ir.Add, d, addr, Ir.I (Int64.of_int off)));
+      Ir.T d
+    end
+
+(* Address of an lvalue, as (base operand, byte offset). *)
+and lower_address ctx (e : Gp_minic.Ast.expr) : Ir.operand * int =
+  match e with
+  | Var name -> (
+    match lookup ctx name with
+    | Btemp _ -> fail "cannot take the address of register variable %s" name
+    | Bslot slot ->
+      let a = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.AddrLocal (a, slot));
+      (Ir.T a, 0)
+    | Barray (slot, size) ->
+      let a = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.AddrLocal (a, slot + size - 1));
+      (Ir.T a, 0)
+    | Bglobal_scalar | Bglobal_blob -> (Ir.G name, 0))
+  | Index (a, i) -> (
+    let base = lower_expr ctx a in
+    match lower_expr ctx i with
+    | Ir.I k -> (base, 8 * Int64.to_int k)
+    | idx ->
+      let scaled = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.Bin (Ir.Shl, scaled, idx, Ir.I 3L));
+      let addr = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.Bin (Ir.Add, addr, base, Ir.T scaled));
+      (Ir.T addr, 0))
+  | Deref a -> (lower_expr ctx a, 0)
+  | _ -> fail "expression is not an lvalue"
+
+and lower_shortcircuit ctx ~is_and a b =
+  let d = Ir.fresh_temp ctx.func in
+  let l_rhs = Ir.fresh_label ctx.func "sc_rhs" in
+  let l_done = Ir.fresh_label ctx.func "sc_done" in
+  let l_short = Ir.fresh_label ctx.func "sc_short" in
+  let va = lower_expr ctx a in
+  let ta = as_temp ctx va in
+  if is_and then seal_block ctx (Ir.Br (Ir.T ta, l_rhs, l_short))
+  else seal_block ctx (Ir.Br (Ir.T ta, l_short, l_rhs));
+  start_block ctx l_short;
+  emit ctx (Ir.Mov (d, Ir.I (if is_and then 0L else 1L)));
+  seal_block ctx (Ir.Jmp l_done);
+  start_block ctx l_rhs;
+  let vb = lower_expr ctx b in
+  emit ctx (Ir.Cmp (Ir.Ne, d, vb, Ir.I 0L));
+  seal_block ctx (Ir.Jmp l_done);
+  start_block ctx l_done;
+  Ir.T d
+
+and lower_call ctx f args =
+  let vargs = List.map (lower_expr ctx) args in
+  match f, vargs with
+  | "print", [ v ] ->
+    (* write(1, &tmp, 8): spill to a slot so the value has an address *)
+    let slot = Ir.alloc_slots ctx.func 1 in
+    let a = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.AddrLocal (a, slot));
+    emit ctx (Ir.Store (Ir.T a, 0, v));
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.SyscallI (Some d, [ Ir.I 1L; Ir.I 1L; Ir.T a; Ir.I 8L ]));
+    Ir.T d
+  | "exit", [ v ] ->
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.SyscallI (Some d, [ Ir.I 60L; v ]));
+    Ir.T d
+  | _ ->
+    if List.length vargs > 6 then fail "%s: more than 6 arguments" f;
+    let d = Ir.fresh_temp ctx.func in
+    emit ctx (Ir.CallI (Some d, f, vargs));
+    Ir.T d
+
+(* ----- statements ----- *)
+
+(* Scan a function body for address-taken scalars (&x forces x into memory). *)
+let addr_taken_vars (body : Gp_minic.Ast.stmt list) =
+  let acc = ref [] in
+  let rec expr (e : Gp_minic.Ast.expr) =
+    match e with
+    | AddrOf (Var v) -> acc := v :: !acc
+    | AddrOf a | Unary (_, a) | Deref a -> expr a
+    | Binary (_, a, b) | Index (a, b) -> expr a; expr b
+    | Call (_, args) -> List.iter expr args
+    | Int _ | Str _ | Var _ -> ()
+  in
+  let rec stmt (s : Gp_minic.Ast.stmt) =
+    match s with
+    | Decl (_, init) -> Option.iter expr init
+    | DeclArray _ -> ()
+    | Assign (a, b) -> expr a; expr b
+    | If (c, t, e) -> expr c; List.iter stmt t; List.iter stmt e
+    | While (c, body) -> expr c; List.iter stmt body
+    | For (i, c, st, body) ->
+      Option.iter stmt i;
+      Option.iter expr c;
+      Option.iter stmt st;
+      List.iter stmt body
+    | Return e -> Option.iter expr e
+    | Break | Continue -> ()
+    | ExprStmt e -> expr e
+    | Block body -> List.iter stmt body
+  in
+  List.iter stmt body;
+  !acc
+
+let rec lower_stmt ctx (s : Gp_minic.Ast.stmt) =
+  match s with
+  | Decl (name, init) ->
+    let v = match init with Some e -> lower_expr ctx e | None -> Ir.I 0L in
+    if List.mem name ctx.addr_taken then begin
+      let slot = Ir.alloc_slots ctx.func 1 in
+      let a = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.AddrLocal (a, slot));
+      emit ctx (Ir.Store (Ir.T a, 0, v));
+      bind ctx name (Bslot slot)
+    end
+    else begin
+      let t = Ir.fresh_temp ctx.func in
+      emit ctx (Ir.Mov (t, v));
+      bind ctx name (Btemp t)
+    end
+  | DeclArray (name, size) ->
+    let slot = Ir.alloc_slots ctx.func size in
+    bind ctx name (Barray (slot, size))
+  | Assign (lv, rhs) -> (
+    let v = lower_expr ctx rhs in
+    match lv with
+    | Var name -> (
+      match lookup ctx name with
+      | Btemp t -> emit ctx (Ir.Mov (t, v))
+      | Bslot slot ->
+        let a = Ir.fresh_temp ctx.func in
+        emit ctx (Ir.AddrLocal (a, slot));
+        emit ctx (Ir.Store (Ir.T a, 0, v))
+      | Bglobal_scalar -> emit ctx (Ir.Store (Ir.G name, 0, v))
+      | Barray _ | Bglobal_blob -> fail "cannot assign to array %s" name)
+    | _ ->
+      let addr, off = lower_address ctx lv in
+      emit ctx (Ir.Store (addr, off, v)))
+  | If (c, then_, else_) ->
+    let vc = lower_expr ctx c in
+    let tc = as_temp ctx vc in
+    let l_then = Ir.fresh_label ctx.func "then" in
+    let l_else = Ir.fresh_label ctx.func "else" in
+    let l_end = Ir.fresh_label ctx.func "endif" in
+    seal_block ctx (Ir.Br (Ir.T tc, l_then, l_else));
+    start_block ctx l_then;
+    lower_stmts ctx then_;
+    seal_block ctx (Ir.Jmp l_end);
+    start_block ctx l_else;
+    lower_stmts ctx else_;
+    seal_block ctx (Ir.Jmp l_end);
+    start_block ctx l_end
+  | While (c, body) ->
+    let l_cond = Ir.fresh_label ctx.func "wcond" in
+    let l_body = Ir.fresh_label ctx.func "wbody" in
+    let l_end = Ir.fresh_label ctx.func "wend" in
+    seal_block ctx (Ir.Jmp l_cond);
+    start_block ctx l_cond;
+    let vc = lower_expr ctx c in
+    let tc = as_temp ctx vc in
+    seal_block ctx (Ir.Br (Ir.T tc, l_body, l_end));
+    start_block ctx l_body;
+    ctx.loops <- (l_end, l_cond) :: ctx.loops;
+    lower_stmts ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    seal_block ctx (Ir.Jmp l_cond);
+    start_block ctx l_end
+  | For (init, cond, step, body) ->
+    ctx.scopes <- [] :: ctx.scopes;
+    Option.iter (lower_stmt ctx) init;
+    let l_cond = Ir.fresh_label ctx.func "fcond" in
+    let l_body = Ir.fresh_label ctx.func "fbody" in
+    let l_step = Ir.fresh_label ctx.func "fstep" in
+    let l_end = Ir.fresh_label ctx.func "fend" in
+    seal_block ctx (Ir.Jmp l_cond);
+    start_block ctx l_cond;
+    (match cond with
+     | Some c ->
+       let vc = lower_expr ctx c in
+       let tc = as_temp ctx vc in
+       seal_block ctx (Ir.Br (Ir.T tc, l_body, l_end))
+     | None -> seal_block ctx (Ir.Jmp l_body));
+    start_block ctx l_body;
+    ctx.loops <- (l_end, l_step) :: ctx.loops;
+    lower_stmts ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    seal_block ctx (Ir.Jmp l_step);
+    start_block ctx l_step;
+    Option.iter (lower_stmt ctx) step;
+    seal_block ctx (Ir.Jmp l_cond);
+    start_block ctx l_end;
+    ctx.scopes <- List.tl ctx.scopes
+  | Return e ->
+    let v = Option.map (lower_expr ctx) e in
+    seal_block ctx (Ir.Ret v);
+    start_block ctx (Ir.fresh_label ctx.func "dead")
+  | Break -> (
+    match ctx.loops with
+    | (l_break, _) :: _ ->
+      seal_block ctx (Ir.Jmp l_break);
+      start_block ctx (Ir.fresh_label ctx.func "dead")
+    | [] -> fail "break outside loop")
+  | Continue -> (
+    match ctx.loops with
+    | (_, l_cont) :: _ ->
+      seal_block ctx (Ir.Jmp l_cont);
+      start_block ctx (Ir.fresh_label ctx.func "dead")
+    | [] -> fail "continue outside loop")
+  | ExprStmt e -> ignore (lower_expr ctx e)
+  | Block body -> lower_stmts ctx body
+
+and lower_stmts ctx stmts =
+  ctx.scopes <- [] :: ctx.scopes;
+  List.iter (lower_stmt ctx) stmts;
+  ctx.scopes <- List.tl ctx.scopes
+
+(* ----- functions and programs ----- *)
+
+let lower_func prog globals str_count (f : Gp_minic.Ast.func) =
+  let func =
+    { Ir.f_name = f.fname;
+      f_params = [];
+      f_blocks = [];
+      f_next_temp = 0;
+      f_frame_slots = 0;
+      f_next_label = 0 }
+  in
+  let entry = { Ir.b_label = f.fname ^ ".entry"; b_instrs = []; b_term = Ir.Ret None } in
+  func.f_blocks <- [ entry ];
+  let taken = addr_taken_vars f.body in
+  let ctx =
+    { prog; func; cur = entry; scopes = [ [] ]; loops = []; globals; str_count;
+      addr_taken = taken }
+  in
+  (* parameters: one temp each; address-taken params are copied to a slot *)
+  let params =
+    List.map
+      (fun name ->
+        let t = Ir.fresh_temp func in
+        if List.mem name taken then begin
+          let slot = Ir.alloc_slots func 1 in
+          let a = Ir.fresh_temp func in
+          emit ctx (Ir.AddrLocal (a, slot));
+          emit ctx (Ir.Store (Ir.T a, 0, Ir.T t));
+          bind ctx name (Bslot slot)
+        end
+        else bind ctx name (Btemp t);
+        t)
+      f.params
+  in
+  func.f_params <- params;
+  lower_stmts ctx f.body;
+  (* fall off the end: return 0 *)
+  seal_block ctx (Ir.Ret (Some (Ir.I 0L)));
+  func
+
+let lower_program (p : Gp_minic.Ast.program) : Ir.program =
+  let prog = { Ir.p_funcs = []; p_data = [] } in
+  (* globals first: they define the name environment *)
+  let globals =
+    List.map
+      (fun (g : Gp_minic.Ast.global) ->
+        let binding, bytes =
+          match g.ginit with
+          | Gint v -> (Bglobal_scalar, Gp_util.Hex.int64_le v)
+          | Garray (size, init) ->
+            let b = Bytes.make (8 * size) '\000' in
+            List.iteri
+              (fun i v -> if i < size then Bytes.set_int64_le b (8 * i) v)
+              init;
+            (Bglobal_blob, b)
+          | Gstring s -> (Bglobal_blob, Bytes.of_string (s ^ "\000"))
+        in
+        Ir.add_data prog g.gname bytes;
+        (g.gname, binding))
+      p.globals
+  in
+  let str_count = ref 0 in
+  prog.p_funcs <- List.map (lower_func prog globals str_count) p.funcs;
+  prog

@@ -1,0 +1,10 @@
+(** Lowering mini-C AST to IR.
+
+    Storage policy: scalars live in virtual registers unless their
+    address is taken; arrays and address-taken scalars get frame slots.
+    Short-circuit &&/|| and comparisons lower to explicit control flow,
+    as an unoptimizing C compiler would emit. *)
+
+exception Lower_error of string
+
+val lower_program : Gp_minic.Ast.program -> Ir.program

@@ -1,0 +1,1 @@
+lib/minic/check.ml: Ast List Option Parser Printf Set String

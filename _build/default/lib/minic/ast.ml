@@ -1,0 +1,65 @@
+(* AST for mini-C, the corpus language.
+
+   A deliberately small C subset, mirroring Tigress's role as a
+   source-level tool: 64-bit ints, pointers, arrays, string literals (as
+   byte blobs), functions, the usual statements.  Shift amounts must be
+   constant (the x86 subset has no variable-count shifts; the corpus does
+   not need them). *)
+
+type unop =
+  | Neg          (* -e *)
+  | BitNot       (* ~e *)
+  | LogNot       (* !e *)
+
+type binop =
+  | Add | Sub | Mul
+  | BitAnd | BitOr | BitXor
+  | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LogAnd | LogOr
+
+type expr =
+  | Int of int64
+  | Str of string               (* address of a NUL-terminated blob *)
+  | Var of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+  | Index of expr * expr        (* e1[e2], element size 8 *)
+  | Deref of expr               (* *e *)
+  | AddrOf of expr              (* &lvalue *)
+
+type stmt =
+  | Decl of string * expr option        (* int x; / int x = e; *)
+  | DeclArray of string * int           (* int a[N]; *)
+  | Assign of expr * expr               (* lvalue = e; *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | ExprStmt of expr
+  | Block of stmt list
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+}
+
+type ginit =
+  | Gint of int64
+  | Garray of int * int64 list   (* size in elements, leading initializers *)
+  | Gstring of string
+
+type global = { gname : string; ginit : ginit }
+
+type program = { globals : global list; funcs : func list }
+
+(* Builtins lowered to inline syscalls by the code generator, standing in
+   for the libc each real binary links (they are why corpus binaries
+   contain syscall instructions, like real programs do). *)
+let builtins = [ ("print", 1); ("exit", 1) ]
+
+let find_func p name = List.find_opt (fun f -> f.fname = name) p.funcs

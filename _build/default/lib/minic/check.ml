@@ -1,0 +1,123 @@
+(* Scope and arity checking for mini-C programs.
+
+   Types are erased (everything is a 64-bit value), so "checking" means:
+   every variable is declared before use, no duplicate declarations in a
+   scope, calls match arity (builtins included), break/continue appear
+   inside loops, and every function referenced exists. *)
+
+type error = string
+
+exception Check_error of error
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Check_error m)) fmt
+
+module Sset = Set.Make (String)
+
+type env = {
+  globals : Sset.t;
+  funcs : (string * int) list;    (* name, arity *)
+  mutable scopes : Sset.t list;   (* innermost first *)
+  mutable loop_depth : int;
+}
+
+let declared env name =
+  List.exists (fun s -> Sset.mem name s) env.scopes || Sset.mem name env.globals
+
+let declare env name =
+  match env.scopes with
+  | scope :: rest ->
+    if Sset.mem name scope then fail "duplicate declaration of %s" name;
+    env.scopes <- Sset.add name scope :: rest
+  | [] -> assert false
+
+let rec check_expr env (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Str _ -> ()
+  | Ast.Var v -> if not (declared env v) then fail "undeclared variable %s" v
+  | Ast.Unary (_, a) -> check_expr env a
+  | Ast.Binary (op, a, b) ->
+    check_expr env a;
+    check_expr env b;
+    (match op, b with
+     | (Ast.Shl | Ast.Shr), Ast.Int n when n >= 0L && n < 64L -> ()
+     | (Ast.Shl | Ast.Shr), _ -> fail "shift amount must be a constant in [0,64)"
+     | _ -> ())
+  | Ast.Call (f, args) -> (
+    List.iter (check_expr env) args;
+    match List.assoc_opt f env.funcs with
+    | Some arity ->
+      if List.length args <> arity then
+        fail "%s expects %d argument(s), got %d" f arity (List.length args)
+    | None -> fail "call to undefined function %s" f)
+  | Ast.Index (a, i) ->
+    check_expr env a;
+    check_expr env i
+  | Ast.Deref a -> check_expr env a
+  | Ast.AddrOf a -> (
+    check_expr env a;
+    match a with
+    | Ast.Var _ | Ast.Index _ | Ast.Deref _ -> ()
+    | _ -> fail "&-operand must be an lvalue")
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (name, init) ->
+    Option.iter (check_expr env) init;
+    declare env name
+  | Ast.DeclArray (name, size) ->
+    if size <= 0 then fail "array %s has non-positive size" name;
+    declare env name
+  | Ast.Assign (lv, rhs) ->
+    check_expr env lv;
+    check_expr env rhs
+  | Ast.If (c, t, e) ->
+    check_expr env c;
+    check_stmts env t;
+    check_stmts env e
+  | Ast.While (c, body) ->
+    check_expr env c;
+    env.loop_depth <- env.loop_depth + 1;
+    check_stmts env body;
+    env.loop_depth <- env.loop_depth - 1
+  | Ast.For (init, cond, step, body) ->
+    env.scopes <- Sset.empty :: env.scopes;
+    Option.iter (check_stmt env) init;
+    Option.iter (check_expr env) cond;
+    env.loop_depth <- env.loop_depth + 1;
+    check_stmts env body;
+    Option.iter (check_stmt env) step;
+    env.loop_depth <- env.loop_depth - 1;
+    env.scopes <- List.tl env.scopes
+  | Ast.Return e -> Option.iter (check_expr env) e
+  | Ast.Break | Ast.Continue ->
+    if env.loop_depth = 0 then fail "break/continue outside of a loop"
+  | Ast.ExprStmt e -> check_expr env e
+  | Ast.Block stmts -> check_stmts env stmts
+
+and check_stmts env stmts =
+  env.scopes <- Sset.empty :: env.scopes;
+  List.iter (check_stmt env) stmts;
+  env.scopes <- List.tl env.scopes
+
+let check_program (p : Ast.program) =
+  let globals =
+    List.fold_left (fun s g -> Sset.add g.Ast.gname s) Sset.empty p.globals
+  in
+  let funcs =
+    Ast.builtins
+    @ List.map (fun f -> (f.Ast.fname, List.length f.Ast.params)) p.funcs
+  in
+  (match Ast.find_func p "main" with
+   | Some _ -> ()
+   | None -> fail "program has no main function");
+  List.iter
+    (fun (f : Ast.func) ->
+      let env = { globals; funcs; scopes = [ Sset.of_list f.params ]; loop_depth = 0 } in
+      check_stmts env f.body)
+    p.funcs
+
+(* Convenience: parse + check. *)
+let parse_and_check src =
+  let p = Parser.parse src in
+  check_program p;
+  p

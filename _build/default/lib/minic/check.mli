@@ -1,0 +1,16 @@
+(** Scope and arity checking for mini-C programs.
+
+    Types are erased (everything is a 64-bit value), so "checking" means:
+    variables declared before use, no duplicate declarations per scope,
+    call arity (builtins included), break/continue inside loops, constant
+    shift amounts, and a [main] function exists. *)
+
+type error = string
+
+exception Check_error of error
+
+val check_program : Ast.program -> unit
+(** Raises {!Check_error} on the first violation. *)
+
+val parse_and_check : string -> Ast.program
+(** Parse then check. *)

@@ -1,0 +1,115 @@
+(* Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int64
+  | STRING of string
+  | IDENT of string
+  | KW of string          (* int, if, else, while, for, return, break, continue *)
+  | PUNCT of string       (* operators and delimiters *)
+  | EOF
+
+type error = { line : int; msg : string }
+
+exception Lex_error of error
+
+let keywords = [ "int"; "if"; "else"; "while"; "for"; "return"; "break"; "continue" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Multi-char punctuation, longest first. *)
+let puncts =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; "," ]
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let fail msg = raise (Lex_error { line = !line; msg }) in
+  let tokens = ref [] in
+  let push t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i + 1 < n && not !closed do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then push (KW word) else push (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X') then begin
+        i := !i + 2;
+        while !i < n && is_hex src.[!i] do incr i done
+      end
+      else while !i < n && is_digit src.[!i] do incr i done;
+      let text = String.sub src start (!i - start) in
+      match Int64.of_string_opt text with
+      | Some v -> push (INT v)
+      | None -> fail (Printf.sprintf "bad integer literal %s" text)
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while !i < n && not !closed do
+        let c = src.[!i] in
+        if c = '"' then begin closed := true; incr i end
+        else if c = '\\' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | '0' -> Buffer.add_char buf '\000'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '"' -> Buffer.add_char buf '"'
+           | e -> fail (Printf.sprintf "bad escape \\%c" e));
+          i := !i + 2
+        end
+        else begin
+          if c = '\n' then fail "newline in string literal";
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then fail "unterminated string literal";
+      push (STRING (Buffer.contents buf))
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !i + l <= n && String.sub src !i l = p)
+          puncts
+      in
+      match matched with
+      | Some p ->
+        push (PUNCT p);
+        i := !i + String.length p
+      | None -> fail (Printf.sprintf "unexpected character %c" c)
+    end
+  done;
+  push EOF;
+  List.rev !tokens

@@ -1,0 +1,18 @@
+(** Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int64
+  | STRING of string
+  | IDENT of string
+  | KW of string          (** int, if, else, while, for, return, break, continue *)
+  | PUNCT of string       (** operators and delimiters *)
+  | EOF
+
+type error = { line : int; msg : string }
+
+exception Lex_error of error
+
+val tokenize : string -> (token * int) list
+(** Tokens paired with their source line, [EOF] last.  Handles decimal
+    and hex integers, string literals with escapes, and both comment
+    styles. *)

@@ -1,0 +1,346 @@
+(* Recursive-descent parser for mini-C. *)
+
+type error = { line : int; msg : string }
+
+exception Parse_error of error
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg = raise (Parse_error { line = line st; msg })
+
+let token_desc = function
+  | Lexer.INT v -> Printf.sprintf "integer %Ld" v
+  | Lexer.STRING _ -> "string literal"
+  | Lexer.IDENT s -> Printf.sprintf "identifier %s" s
+  | Lexer.KW s -> Printf.sprintf "keyword %s" s
+  | Lexer.PUNCT s -> Printf.sprintf "'%s'" s
+  | Lexer.EOF -> "end of input"
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" p (token_desc t))
+
+let expect_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k -> advance st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" k (token_desc t))
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (token_desc t))
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    v
+  | Lexer.PUNCT "-" -> (
+    advance st;
+    match peek st with
+    | Lexer.INT v ->
+      advance st;
+      Int64.neg v
+    | t -> fail st (Printf.sprintf "expected integer, found %s" (token_desc t)))
+  | t -> fail st (Printf.sprintf "expected integer, found %s" (token_desc t))
+
+(* ----- expressions, precedence climbing ----- *)
+
+let binop_of_punct = function
+  | "+" -> Some Ast.Add | "-" -> Some Ast.Sub | "*" -> Some Ast.Mul
+  | "&" -> Some Ast.BitAnd | "|" -> Some Ast.BitOr | "^" -> Some Ast.BitXor
+  | "<<" -> Some Ast.Shl | ">>" -> Some Ast.Shr
+  | "==" -> Some Ast.Eq | "!=" -> Some Ast.Ne
+  | "<" -> Some Ast.Lt | "<=" -> Some Ast.Le
+  | ">" -> Some Ast.Gt | ">=" -> Some Ast.Ge
+  | "&&" -> Some Ast.LogAnd | "||" -> Some Ast.LogOr
+  | _ -> None
+
+(* Precedence levels, loosest first. *)
+let levels =
+  [ [ "||" ]; [ "&&" ]; [ "|" ]; [ "^" ]; [ "&" ];
+    [ "=="; "!=" ]; [ "<"; "<="; ">"; ">=" ]; [ "<<"; ">>" ];
+    [ "+"; "-" ]; [ "*" ] ]
+
+let rec parse_expr st = parse_level st levels
+
+and parse_level st = function
+  | [] -> parse_unary st
+  | ops :: rest ->
+    let lhs = ref (parse_level st rest) in
+    let continue_ = ref true in
+    while !continue_ do
+      match peek st with
+      | Lexer.PUNCT p when List.mem p ops -> (
+        advance st;
+        let rhs = parse_level st rest in
+        match binop_of_punct p with
+        | Some op -> lhs := Ast.Binary (op, !lhs, rhs)
+        | None -> fail st (Printf.sprintf "unsupported operator '%s'" p))
+      | Lexer.PUNCT ("/" | "%") ->
+        fail st "division is not supported in mini-C (no idiv in the ISA subset)"
+      | _ -> continue_ := false
+    done;
+    !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Ast.Unary (Ast.Neg, parse_unary st)
+  | Lexer.PUNCT "~" ->
+    advance st;
+    Ast.Unary (Ast.BitNot, parse_unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Ast.Unary (Ast.LogNot, parse_unary st)
+  | Lexer.PUNCT "*" ->
+    advance st;
+    Ast.Deref (parse_unary st)
+  | Lexer.PUNCT "&" ->
+    advance st;
+    Ast.AddrOf (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept_punct st "[" then begin
+      let idx = parse_expr st in
+      expect_punct st "]";
+      e := Ast.Index (!e, idx)
+    end
+    else continue_ := false
+  done;
+  !e
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    Ast.Int v
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Str s
+  | Lexer.IDENT name ->
+    advance st;
+    if accept_punct st "(" then begin
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        args := [ parse_expr st ];
+        while accept_punct st "," do
+          args := parse_expr st :: !args
+        done;
+        expect_punct st ")"
+      end;
+      Ast.Call (name, List.rev !args)
+    end
+    else Ast.Var name
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (token_desc t))
+
+(* ----- statements ----- *)
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Lexer.KW "int" -> (
+    advance st;
+    (* pointer declarations are type-erased: int *p == int p *)
+    let _ = accept_punct st "*" in
+    let name = expect_ident st in
+    if accept_punct st "[" then begin
+      let size = Int64.to_int (expect_int st) in
+      expect_punct st "]";
+      expect_punct st ";";
+      Ast.DeclArray (name, size)
+    end
+    else if accept_punct st "=" then begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Ast.Decl (name, Some e)
+    end
+    else begin
+      expect_punct st ";";
+      Ast.Decl (name, None)
+    end)
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_stmt_as_block st in
+    let else_ =
+      match peek st with
+      | Lexer.KW "else" ->
+        advance st;
+        parse_stmt_as_block st
+      | _ -> []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    Ast.While (cond, parse_stmt_as_block st)
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init = if accept_punct st ";" then None else begin
+      let s = parse_simple st in
+      expect_punct st ";";
+      Some s
+    end in
+    let cond = if accept_punct st ";" then None else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Some e
+    end in
+    let step =
+      match peek st with
+      | Lexer.PUNCT ")" -> None
+      | _ -> Some (parse_simple st)
+    in
+    expect_punct st ")";
+    Ast.For (init, cond, step, parse_stmt_as_block st)
+  | Lexer.KW "return" ->
+    advance st;
+    if accept_punct st ";" then Ast.Return None
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Ast.Return (Some e)
+    end
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    Ast.Break
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    Ast.Continue
+  | Lexer.PUNCT "{" -> Ast.Block (parse_block st)
+  | _ ->
+    let s = parse_simple st in
+    expect_punct st ";";
+    s
+
+(* assignment or expression statement (no trailing ';') *)
+and parse_simple st =
+  let e = parse_expr st in
+  if accept_punct st "=" then begin
+    let rhs = parse_expr st in
+    (match e with
+     | Ast.Var _ | Ast.Index _ | Ast.Deref _ -> ()
+     | _ -> fail st "left side of assignment is not an lvalue");
+    Ast.Assign (e, rhs)
+  end
+  else Ast.ExprStmt e
+
+and parse_block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (accept_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_stmt_as_block st =
+  match peek st with
+  | Lexer.PUNCT "{" -> parse_block st
+  | _ -> [ parse_stmt st ]
+
+(* ----- top level ----- *)
+
+let parse_global st name =
+  if accept_punct st "[" then begin
+    let size = Int64.to_int (expect_int st) in
+    expect_punct st "]";
+    let init =
+      if accept_punct st "=" then begin
+        expect_punct st "{";
+        let vals = ref [] in
+        if not (accept_punct st "}") then begin
+          vals := [ expect_int st ];
+          while accept_punct st "," do
+            vals := expect_int st :: !vals
+          done;
+          expect_punct st "}"
+        end;
+        List.rev !vals
+      end
+      else []
+    in
+    expect_punct st ";";
+    { Ast.gname = name; ginit = Ast.Garray (size, init) }
+  end
+  else if accept_punct st "=" then begin
+    match peek st with
+    | Lexer.STRING s ->
+      advance st;
+      expect_punct st ";";
+      { Ast.gname = name; ginit = Ast.Gstring s }
+    | _ ->
+      let v = expect_int st in
+      expect_punct st ";";
+      { Ast.gname = name; ginit = Ast.Gint v }
+  end
+  else begin
+    expect_punct st ";";
+    { Ast.gname = name; ginit = Ast.Gint 0L }
+  end
+
+let parse_program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let globals = ref [] in
+  let funcs = ref [] in
+  while peek st <> Lexer.EOF do
+    expect_kw st "int";
+    let _ = accept_punct st "*" in
+    let name = expect_ident st in
+    if accept_punct st "(" then begin
+      let params = ref [] in
+      if not (accept_punct st ")") then begin
+        let param () =
+          expect_kw st "int";
+          let _ = accept_punct st "*" in
+          expect_ident st
+        in
+        params := [ param () ];
+        while accept_punct st "," do
+          params := param () :: !params
+        done;
+        expect_punct st ")"
+      end;
+      let body = parse_block st in
+      funcs := { Ast.fname = name; params = List.rev !params; body } :: !funcs
+    end
+    else globals := parse_global st name :: !globals
+  done;
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+(* Parse, raising [Failure] with a printable message on error. *)
+let parse src =
+  try parse_program src with
+  | Parse_error e -> failwith (Printf.sprintf "parse error at line %d: %s" e.line e.msg)
+  | Lexer.Lex_error e -> failwith (Printf.sprintf "lex error at line %d: %s" e.line e.msg)

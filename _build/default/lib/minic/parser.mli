@@ -1,0 +1,13 @@
+(** Recursive-descent parser for mini-C (precedence-climbing
+    expressions, C-like precedence levels). *)
+
+type error = { line : int; msg : string }
+
+exception Parse_error of error
+
+val parse_program : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error} with positions. *)
+
+val parse : string -> Ast.program
+(** Like {!parse_program} but converts errors into [Failure] with a
+    printable message. *)

@@ -1,0 +1,1 @@
+lib/obf/bogus_cf.ml: Bytes Gp_ir Gp_util Int64 Ir List Opaque Printf

@@ -1,0 +1,1 @@
+lib/obf/bogus_cf.mli: Gp_ir Gp_util

@@ -1,0 +1,1 @@
+lib/obf/encode_lit.ml: Gp_ir Gp_util Int64 Ir List

@@ -1,0 +1,1 @@
+lib/obf/encode_lit.mli: Gp_ir Gp_util

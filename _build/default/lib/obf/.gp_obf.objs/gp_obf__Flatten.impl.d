@@ -1,0 +1,1 @@
+lib/obf/flatten.ml: Array Gp_ir Int64 Ir List Printf

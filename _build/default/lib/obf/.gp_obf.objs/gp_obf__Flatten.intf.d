@@ -1,0 +1,1 @@
+lib/obf/flatten.mli: Gp_ir Gp_util

@@ -1,0 +1,1 @@
+lib/obf/jit_sim.ml: Bytes Encode Gp_ir Gp_util Gp_x86 Insn Int64 Ir List Printf Reg

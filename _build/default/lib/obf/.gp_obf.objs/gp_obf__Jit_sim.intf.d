@@ -1,0 +1,1 @@
+lib/obf/jit_sim.mli: Gp_ir Gp_util

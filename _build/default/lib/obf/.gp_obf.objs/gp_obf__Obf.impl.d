@@ -1,0 +1,1 @@
+lib/obf/obf.ml: Bogus_cf Encode_lit Flatten Gp_ir Gp_util Jit_sim List Self_mod String Substitution Virtualize

@@ -1,0 +1,1 @@
+lib/obf/obf.mli: Gp_ir

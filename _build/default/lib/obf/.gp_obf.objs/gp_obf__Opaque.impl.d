@@ -1,0 +1,1 @@
+lib/obf/opaque.ml: Gp_ir Gp_util Ir Printf

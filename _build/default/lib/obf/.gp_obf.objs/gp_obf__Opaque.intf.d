@@ -1,0 +1,1 @@
+lib/obf/opaque.mli: Gp_ir Gp_util

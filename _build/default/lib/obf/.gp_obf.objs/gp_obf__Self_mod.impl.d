@@ -1,0 +1,1 @@
+lib/obf/self_mod.ml: Bytes Gp_ir Gp_util Int64 Ir List Printf

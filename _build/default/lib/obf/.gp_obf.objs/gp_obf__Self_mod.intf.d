@@ -1,0 +1,1 @@
+lib/obf/self_mod.mli: Gp_ir Gp_util

@@ -1,0 +1,1 @@
+lib/obf/substitution.ml: Gp_ir Gp_util Ir List

@@ -1,0 +1,1 @@
+lib/obf/substitution.mli: Gp_ir Gp_util

@@ -1,0 +1,1 @@
+lib/obf/virtualize.ml: Array Bytes Gp_ir Int64 Ir List Printf

@@ -1,0 +1,1 @@
+lib/obf/virtualize.mli: Gp_ir Gp_util

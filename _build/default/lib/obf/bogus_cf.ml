@@ -1,0 +1,59 @@
+(* Bogus control flow (paper §II-A(2), Obfuscator-LLVM -bcf): guard each
+   chosen block with an opaque-true predicate whose false branch leads to
+   junk code.  The junk never executes but is present in the binary — it
+   is decoded by every gadget-harvesting tool. *)
+
+open Gp_ir
+
+let junk_counter = ref 0
+
+let fresh_junk_global (prog : Ir.program) =
+  let n = !junk_counter in
+  incr junk_counter;
+  let name = Printf.sprintf "junk$%d" n in
+  Ir.add_data prog name (Bytes.make 8 '\000');
+  name
+
+(* A few plausible-looking but pointless instructions. *)
+let junk_instrs rng prog (f : Ir.func) =
+  let g = fresh_junk_global prog in
+  let t1 = Ir.fresh_temp f in
+  let t2 = Ir.fresh_temp f in
+  let t3 = Ir.fresh_temp f in
+  let k = Gp_util.Rng.next_int64 rng in
+  [ Ir.Load (t1, Ir.G g, 0);
+    Ir.Bin (Ir.Mul, t2, Ir.T t1, Ir.I k);
+    Ir.Bin (Ir.Xor, t3, Ir.T t2, Ir.I (Int64.lognot k));
+    Ir.Store (Ir.G g, 0, Ir.T t3) ]
+
+(* Transform block B with incoming label L into:
+     L:      <opaque-true computation>; br c, L.real, L.junk
+     L.real: <original body and terminator>
+     L.junk: <junk>; jmp L.real
+   All edges into L are preserved because L keeps its label. *)
+let guard_block rng prog (f : Ir.func) (blk : Ir.block) =
+  let l_real = Ir.fresh_label f "bcf_real" in
+  let l_junk = Ir.fresh_label f "bcf_junk" in
+  let real =
+    { Ir.b_label = l_real; b_instrs = blk.Ir.b_instrs; b_term = blk.Ir.b_term }
+  in
+  let junk =
+    { Ir.b_label = l_junk;
+      b_instrs = junk_instrs rng prog f;
+      b_term = Ir.Jmp l_real }
+  in
+  let opaque_instrs, cond = Opaque.always_true rng prog f in
+  blk.Ir.b_instrs <- opaque_instrs;
+  blk.Ir.b_term <- Ir.Br (Ir.T cond, l_real, l_junk);
+  f.Ir.f_blocks <- f.Ir.f_blocks @ [ real; junk ]
+
+let run ?(prob = 0.4) rng (prog : Ir.program) =
+  List.iter
+    (fun (f : Ir.func) ->
+      (* snapshot: we append new blocks while iterating *)
+      let original = f.Ir.f_blocks in
+      List.iter
+        (fun blk -> if Gp_util.Rng.flip rng prob then guard_block rng prog f blk)
+        original)
+    prog.Ir.p_funcs;
+  prog

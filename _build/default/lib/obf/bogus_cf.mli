@@ -1,0 +1,7 @@
+(** Bogus control flow (paper §II-A(2), Obfuscator-LLVM -bcf): guard each
+    chosen block with an opaque-true predicate whose false branch leads
+    to junk code.  The junk never executes but is present in the binary —
+    decoded by every gadget-harvesting tool. *)
+
+val run : ?prob:float -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program
+(** Guard each block with probability [prob] (default 0.4). *)

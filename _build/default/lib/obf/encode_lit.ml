@@ -1,0 +1,97 @@
+(* Encode Data / literal encoding (paper §II-A(6), Tigress EncodeLiterals):
+   integer literals are replaced by computations that produce the same
+   value at run time (xor-split against a random key), so constants no
+   longer appear in the instruction stream. *)
+
+open Gp_ir
+
+(* Rewrite an operand, returning (extra instructions, new operand). *)
+let encode_operand rng (f : Ir.func) (op : Ir.operand) =
+  match op with
+  | Ir.I n ->
+    let key = Gp_util.Rng.next_int64 rng in
+    let t1 = Ir.fresh_temp f in
+    let t2 = Ir.fresh_temp f in
+    ( [ Ir.Mov (t1, Ir.I (Int64.logxor n key));
+        Ir.Bin (Ir.Xor, t2, Ir.T t1, Ir.I key) ],
+      Ir.T t2 )
+  | _ -> ([], op)
+
+let encode_instr rng prob (f : Ir.func) (i : Ir.instr) : Ir.instr list =
+  let enc op =
+    match op with
+    | Ir.I _ when Gp_util.Rng.flip rng prob -> encode_operand rng f op
+    | _ -> ([], op)
+  in
+  match i with
+  | Ir.Bin ((Ir.Shl | Ir.Shr | Ir.Sar), _, _, _) ->
+    (* shift amounts must stay constant for the ISA subset *)
+    [ i ]
+  | Ir.Bin (op, d, a, b) ->
+    let ia, a' = enc a in
+    let ib, b' = enc b in
+    ia @ ib @ [ Ir.Bin (op, d, a', b') ]
+  | Ir.Mov (d, s) ->
+    let is_, s' = enc s in
+    is_ @ [ Ir.Mov (d, s') ]
+  | Ir.Load (d, a, off) ->
+    let ia, a' = enc a in
+    ia @ [ Ir.Load (d, a', off) ]
+  | Ir.Store (a, off, s) ->
+    let ia, a' = enc a in
+    let is_, s' = enc s in
+    ia @ is_ @ [ Ir.Store (a', off, s') ]
+  | Ir.Cmp (r, d, a, b) ->
+    let ia, a' = enc a in
+    let ib, b' = enc b in
+    ia @ ib @ [ Ir.Cmp (r, d, a', b') ]
+  | Ir.CallI (d, name, args) ->
+    let extra, args' =
+      List.fold_right
+        (fun arg (acc, args) ->
+          let ia, a' = enc arg in
+          (ia @ acc, a' :: args))
+        args ([], [])
+    in
+    extra @ [ Ir.CallI (d, name, args') ]
+  | Ir.CallPtr (d, target, args) ->
+    let it, target' = enc target in
+    let extra, args' =
+      List.fold_right
+        (fun arg (acc, args) ->
+          let ia, a' = enc arg in
+          (ia @ acc, a' :: args))
+        args ([], [])
+    in
+    it @ extra @ [ Ir.CallPtr (d, target', args') ]
+  | Ir.SyscallI (d, args) ->
+    let extra, args' =
+      List.fold_right
+        (fun arg (acc, args) ->
+          let ia, a' = enc arg in
+          (ia @ acc, a' :: args))
+        args ([], [])
+    in
+    extra @ [ Ir.SyscallI (d, args') ]
+  | Ir.AddrLocal _ -> [ i ]
+
+let run ?(prob = 0.5) rng (prog : Ir.program) =
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (blk : Ir.block) ->
+          blk.Ir.b_instrs <-
+            List.concat_map (encode_instr rng prob f) blk.Ir.b_instrs;
+          (* encode the branch condition operand too *)
+          match blk.Ir.b_term with
+          | Ir.Br (c, l1, l2) when Gp_util.Rng.flip rng prob -> (
+            match c with
+            | Ir.I _ ->
+              let extra, c' = encode_operand rng f c in
+              blk.Ir.b_instrs <- blk.Ir.b_instrs @ extra;
+              blk.Ir.b_term <- Ir.Br (c', l1, l2)
+            | _ -> ())
+          | _ -> ())
+        f.Ir.f_blocks)
+    prog.Ir.p_funcs;
+  prog

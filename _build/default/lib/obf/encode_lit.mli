@@ -1,0 +1,6 @@
+(** Encode Data / literal encoding (paper §II-A(6), Tigress
+    EncodeLiterals): integer literals become xor-split computations, so
+    constants no longer appear in the instruction stream.  Shift amounts
+    are exempt (they must stay constant for the ISA subset). *)
+
+val run : ?prob:float -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program

@@ -1,0 +1,116 @@
+(* Control-flow flattening (paper §II-A(3), Obfuscator-LLVM -fla): every
+   block returns to a central dispatcher that transfers control according
+   to a state variable.  With [use_switch] (the default, matching how
+   compilers lower large switches) the dispatcher is a jump table —
+   injecting the indirect-jump gadgets the paper finds in flattened
+   binaries; otherwise it is a compare-and-branch chain. *)
+
+open Gp_ir
+
+(* Normalize an arbitrary truth value to 0/1 and select between two
+   constant state indices: st = (c != 0) * i1 + (1 - (c != 0)) * i2. *)
+let select_state f st c i1 i2 =
+  let norm = Ir.fresh_temp f in
+  let l = Ir.fresh_temp f in
+  let inv = Ir.fresh_temp f in
+  let r = Ir.fresh_temp f in
+  [ Ir.Cmp (Ir.Ne, norm, c, Ir.I 0L);
+    Ir.Bin (Ir.Mul, l, Ir.T norm, Ir.I (Int64.of_int i1));
+    Ir.Bin (Ir.Sub, inv, Ir.I 1L, Ir.T norm);
+    Ir.Bin (Ir.Mul, r, Ir.T inv, Ir.I (Int64.of_int i2));
+    Ir.Bin (Ir.Add, st, Ir.T l, Ir.T r) ]
+
+let flatten_func ~use_switch (f : Ir.func) =
+  match f.Ir.f_blocks with
+  | [] | [ _ ] | [ _; _ ] -> ()   (* too small to be worth flattening *)
+  | blocks ->
+    let st = Ir.fresh_temp f in
+    let l_dispatch = Ir.fresh_label f "dispatch" in
+    (* leave blocks ending in Switch alone (e.g. a VM dispatcher): their
+       targets must remain direct *)
+    let flattenable =
+      List.filter
+        (fun b -> match b.Ir.b_term with Ir.Switch _ -> false | _ -> true)
+        blocks
+    in
+    let index = List.mapi (fun i b -> (b.Ir.b_label, i)) flattenable in
+    let idx l = List.assoc l index in
+    let labels = Array.of_list (List.map (fun b -> b.Ir.b_label) flattenable) in
+    if
+      List.length flattenable < 3
+      || not (List.mem_assoc (List.hd blocks).Ir.b_label index)
+    then ()
+    else begin
+    (* rewrite terminators to route through the dispatcher *)
+    List.iter
+      (fun (b : Ir.block) ->
+        match b.Ir.b_term with
+        | Ir.Jmp l when List.mem_assoc l index ->
+          b.Ir.b_instrs <- b.Ir.b_instrs @ [ Ir.Mov (st, Ir.I (Int64.of_int (idx l))) ];
+          b.Ir.b_term <- Ir.Jmp l_dispatch
+        | Ir.Br (c, l1, l2) when List.mem_assoc l1 index && List.mem_assoc l2 index ->
+          b.Ir.b_instrs <- b.Ir.b_instrs @ select_state f st c (idx l1) (idx l2);
+          b.Ir.b_term <- Ir.Jmp l_dispatch
+        | Ir.Jmp _ | Ir.Br _ | Ir.Switch _ | Ir.Ret _ -> ())
+      flattenable;
+    (* dispatcher *)
+    let dispatch =
+      if use_switch then
+        { Ir.b_label = l_dispatch; b_instrs = []; b_term = Ir.Switch (Ir.T st, labels) }
+      else begin
+        (* chain of compares, each in its own block *)
+        let rec chain i =
+          if i = Array.length labels - 1 then []
+          else begin
+            let this = if i = 0 then l_dispatch else Printf.sprintf "%s.c%d" l_dispatch i in
+            let next = Printf.sprintf "%s.c%d" l_dispatch (i + 1) in
+            let next_label = if i = Array.length labels - 2 then labels.(i + 1) else next in
+            let t = Ir.fresh_temp f in
+            { Ir.b_label = this;
+              b_instrs = [ Ir.Cmp (Ir.Eq, t, Ir.T st, Ir.I (Int64.of_int i)) ];
+              b_term = Ir.Br (Ir.T t, labels.(i), next_label) }
+            :: chain (i + 1)
+          end
+        in
+        match chain 0 with
+        | [] -> { Ir.b_label = l_dispatch; b_instrs = []; b_term = Ir.Jmp labels.(0) }
+        | first :: rest ->
+          f.Ir.f_blocks <- f.Ir.f_blocks @ rest;
+          first
+      end
+    in
+    (* new entry: set the initial state, fall into the dispatcher *)
+    let entry_label = (List.hd blocks).Ir.b_label in
+    let l_moved = Ir.fresh_label f "flat_first" in
+    let old_entry = List.hd blocks in
+    let moved =
+      { Ir.b_label = l_moved;
+        b_instrs = old_entry.Ir.b_instrs;
+        b_term = old_entry.Ir.b_term }
+    in
+    (* the old entry keeps its label/position but now just dispatches *)
+    old_entry.Ir.b_instrs <- [ Ir.Mov (st, Ir.I (Int64.of_int (idx entry_label))) ];
+    old_entry.Ir.b_term <- Ir.Jmp l_dispatch;
+    (* the moved body takes the old entry's slot in the index *)
+    let labels' =
+      Array.map (fun l -> if l = entry_label then l_moved else l) labels
+    in
+    (match dispatch.Ir.b_term with
+     | Ir.Switch (op, _) -> dispatch.Ir.b_term <- Ir.Switch (op, labels')
+     | _ ->
+       (* fix the chain blocks' targets *)
+       List.iter
+         (fun b ->
+           match b.Ir.b_term with
+           | Ir.Br (c, l1, l2) ->
+             let fix l = if l = entry_label then l_moved else l in
+             b.Ir.b_term <- Ir.Br (c, fix l1, fix l2)
+           | Ir.Jmp l when l = entry_label -> b.Ir.b_term <- Ir.Jmp l_moved
+           | _ -> ())
+         f.Ir.f_blocks);
+    f.Ir.f_blocks <- f.Ir.f_blocks @ [ moved; dispatch ]
+    end
+
+let run ?(use_switch = true) _rng (prog : Ir.program) =
+  List.iter (flatten_func ~use_switch) prog.Ir.p_funcs;
+  prog

@@ -1,0 +1,8 @@
+(** Control-flow flattening (paper §II-A(3), Obfuscator-LLVM -fla): every
+    block returns to a central dispatcher that transfers control
+    according to a state variable.  With [use_switch] (the default) the
+    dispatcher is a jump table — injecting the indirect-jump gadgets the
+    paper finds in flattened binaries. *)
+
+val run :
+  ?use_switch:bool -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program

@@ -1,0 +1,65 @@
+(* JIT dynamic, SIMULATED (paper §II-A(4); see DESIGN.md §2).
+
+   Tigress's JitDynamic compiles a function's intermediate form to machine
+   code at run time and jumps to it.  The statically-visible footprint —
+   what this study measures — is (a) a template of machine-code bytes in
+   the data section, (b) a copy loop moving them into writable/executable
+   memory, and (c) an indirect call into the fresh code.  We emit all
+   three and they genuinely execute in the emulator: the copied stub
+   (movabs rax, <tag>; ret) runs from scratch memory via an indirect
+   call.  Only the *work done* by the jitted code is a placeholder, which
+   keeps the pass semantics-preserving. *)
+
+open Gp_x86
+open Gp_ir
+
+let counter = ref 0
+
+(* Scratch addresses must stay inside the emulator's scratch region but
+   clear of the solver's pointer pool; see Emu.Machine. *)
+let jit_area_base = 0x708000L
+let jit_area_slot = 64
+
+let instrument_func rng (prog : Ir.program) (f : Ir.func) =
+  match f.Ir.f_blocks with
+  | [] -> ()
+  | old_entry :: _ ->
+    let n = !counter in
+    incr counter;
+    if n >= 200 then ()   (* don't run out of scratch space *)
+    else begin
+      let tag = Int64.logor 0x4a170000L (Int64.of_int n) in
+      let template = Encode.insns [ Insn.Movabs (Reg.RAX, tag); Insn.Ret ] in
+      let words = (Bytes.length template + 7) / 8 in
+      let padded = Bytes.make (8 * words) '\x90' in
+      Bytes.blit template 0 padded 0 (Bytes.length template);
+      let tmpl_name = Printf.sprintf "jit$%d" n in
+      Ir.add_data prog tmpl_name padded;
+      let dest = Int64.add jit_area_base (Int64.of_int (n * jit_area_slot)) in
+      (* move original entry body aside *)
+      let l_moved = Ir.fresh_label f "jit_orig" in
+      let moved =
+        { Ir.b_label = l_moved;
+          b_instrs = old_entry.Ir.b_instrs;
+          b_term = old_entry.Ir.b_term }
+      in
+      ignore rng;
+      let copy_instrs =
+        List.concat
+          (List.init words (fun k ->
+               let src = Ir.fresh_temp f in
+               [ Ir.Load (src, Ir.G tmpl_name, 8 * k);
+                 Ir.Store (Ir.I (Int64.add dest (Int64.of_int (8 * k))), 0, Ir.T src) ]))
+      in
+      let r = Ir.fresh_temp f in
+      old_entry.Ir.b_instrs <-
+        copy_instrs @ [ Ir.CallPtr (Some r, Ir.I dest, []) ];
+      old_entry.Ir.b_term <- Ir.Jmp l_moved;
+      f.Ir.f_blocks <- f.Ir.f_blocks @ [ moved ]
+    end
+
+let run ?(prob = 1.0) rng (prog : Ir.program) =
+  List.iter
+    (fun f -> if Gp_util.Rng.flip rng prob then instrument_func rng prog f)
+    prog.Ir.p_funcs;
+  prog

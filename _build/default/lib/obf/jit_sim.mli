@@ -1,0 +1,12 @@
+(** JIT dynamic, SIMULATED (paper §II-A(4); DESIGN.md §2).
+
+    The statically-visible footprint of Tigress's JitDynamic: a template
+    of machine-code bytes in the data section, a copy loop moving them
+    into writable memory, and an indirect call into the fresh code.  All
+    three are emitted and genuinely execute in the emulator; only the
+    work done by the jitted stub is a placeholder. *)
+
+val jit_area_base : int64
+(** Where jitted stubs are copied (inside the emulator scratch region). *)
+
+val run : ?prob:float -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program

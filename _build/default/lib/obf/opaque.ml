@@ -1,0 +1,69 @@
+(* Opaque predicates: conditions that always evaluate true but whose truth
+   is not syntactically obvious (paper §II-A(2)).  Each reads "entropy"
+   from a dedicated global so that a constant folder cannot collapse the
+   branch.  All identities hold mod 2^64:
+
+   - x*(x+1) is always even, so (x*(x+1)) & 1 == 0;
+   - (x&1) * ((x+1)&1) == 0 for the same parity reason;
+   - 7y^2 - 1 is never a square mod 8 (7y^2-1 mod 8 is in {3,6,7} while
+     squares are in {0,1,4}), hence never equal to x^2 mod 2^64. *)
+
+open Gp_ir
+
+let counter = ref 0
+
+(* One global "entropy" cell per predicate instance. *)
+let fresh_opaque_global rng (prog : Ir.program) =
+  let n = !counter in
+  incr counter;
+  let name = Printf.sprintf "opq$%d" n in
+  Ir.add_data prog name (Gp_util.Hex.int64_le (Gp_util.Rng.next_int64 rng));
+  name
+
+(* Returns instructions computing an always-TRUE (nonzero) value into the
+   returned temp. *)
+let always_true rng prog (f : Ir.func) : Ir.instr list * Ir.temp =
+  let g = fresh_opaque_global rng prog in
+  let x = Ir.fresh_temp f in
+  let result = Ir.fresh_temp f in
+  match Gp_util.Rng.int rng 3 with
+  | 0 ->
+    (* ((x * (x+1)) & 1) == 0 *)
+    let x1 = Ir.fresh_temp f in
+    let prod = Ir.fresh_temp f in
+    let bit = Ir.fresh_temp f in
+    ( [ Ir.Load (x, Ir.G g, 0);
+        Ir.Bin (Ir.Add, x1, Ir.T x, Ir.I 1L);
+        Ir.Bin (Ir.Mul, prod, Ir.T x, Ir.T x1);
+        Ir.Bin (Ir.And, bit, Ir.T prod, Ir.I 1L);
+        Ir.Cmp (Ir.Eq, result, Ir.T bit, Ir.I 0L) ],
+      result )
+  | 1 ->
+    (* ((x&1) * ((x+1)&1)) == 0 *)
+    let x1 = Ir.fresh_temp f in
+    let p1 = Ir.fresh_temp f in
+    let p2 = Ir.fresh_temp f in
+    let prod = Ir.fresh_temp f in
+    ( [ Ir.Load (x, Ir.G g, 0);
+        Ir.Bin (Ir.And, p1, Ir.T x, Ir.I 1L);
+        Ir.Bin (Ir.Add, x1, Ir.T x, Ir.I 1L);
+        Ir.Bin (Ir.And, p2, Ir.T x1, Ir.I 1L);
+        Ir.Bin (Ir.Mul, prod, Ir.T p1, Ir.T p2);
+        Ir.Cmp (Ir.Eq, result, Ir.T prod, Ir.I 0L) ],
+      result )
+  | _ ->
+    (* 7*y*y - 1 != x*x *)
+    let g2 = fresh_opaque_global rng prog in
+    let y = Ir.fresh_temp f in
+    let yy = Ir.fresh_temp f in
+    let t7 = Ir.fresh_temp f in
+    let lhs = Ir.fresh_temp f in
+    let xx = Ir.fresh_temp f in
+    ( [ Ir.Load (x, Ir.G g, 0);
+        Ir.Load (y, Ir.G g2, 0);
+        Ir.Bin (Ir.Mul, yy, Ir.T y, Ir.T y);
+        Ir.Bin (Ir.Mul, t7, Ir.T yy, Ir.I 7L);
+        Ir.Bin (Ir.Sub, lhs, Ir.T t7, Ir.I 1L);
+        Ir.Bin (Ir.Mul, xx, Ir.T x, Ir.T x);
+        Ir.Cmp (Ir.Ne, result, Ir.T lhs, Ir.T xx) ],
+      result )

@@ -1,0 +1,14 @@
+(** Opaque predicates: conditions that always evaluate true but whose
+    truth is not syntactically obvious (paper §II-A(2)).  Each reads
+    "entropy" from a dedicated global so constant folding cannot collapse
+    the branch.  Identities hold mod 2{^64}: x(x+1) is even;
+    (x&1)((x+1)&1) = 0; 7y²-1 is never a square mod 8. *)
+
+val fresh_opaque_global : Gp_util.Rng.t -> Gp_ir.Ir.program -> string
+(** Add one random 8-byte "entropy" global; returns its name. *)
+
+val always_true :
+  Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.func ->
+  Gp_ir.Ir.instr list * Gp_ir.Ir.temp
+(** Instructions computing an always-nonzero value into the returned
+    temp, choosing among the predicate shapes at random. *)

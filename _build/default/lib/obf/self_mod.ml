@@ -1,0 +1,80 @@
+(* Self-modification, SIMULATED (paper §II-A(5); see DESIGN.md §2).
+
+   Tigress's self-modification decrypts/patches code at run time.  What
+   every static gadget tool sees — and what this study measures — is the
+   injected *decoder scaffolding*: a loop that transforms a memory region
+   with a key, followed by an indirect transfer into the "revealed" code.
+   We emit exactly that scaffolding (the XOR loop really runs over a data
+   region, and the transfer really is an indirect jump through a jump
+   table), without flipping actual instruction bytes, so the result stays
+   semantics-preserving by construction. *)
+
+open Gp_ir
+
+let counter = ref 0
+
+let instrument_func rng (prog : Ir.program) (f : Ir.func) =
+  match f.Ir.f_blocks with
+  | [] -> ()
+  | old_entry :: _ ->
+    let n = !counter in
+    incr counter;
+    (* the "encrypted region": 32 random words of data *)
+    let region = Printf.sprintf "sm$%d" n in
+    let words = 32 in
+    let bytes = Bytes.create (8 * words) in
+    for i = 0 to words - 1 do
+      Bytes.set_int64_le bytes (8 * i) (Gp_util.Rng.next_int64 rng)
+    done;
+    Ir.add_data prog region bytes;
+    let key = Gp_util.Rng.next_int64 rng in
+    (* move the original entry body aside, keeping its label for callers *)
+    let l_moved = Ir.fresh_label f "sm_orig" in
+    let moved =
+      { Ir.b_label = l_moved;
+        b_instrs = old_entry.Ir.b_instrs;
+        b_term = old_entry.Ir.b_term }
+    in
+    let l_loop = Ir.fresh_label f "sm_loop" in
+    let l_body = Ir.fresh_label f "sm_body" in
+    let l_done = Ir.fresh_label f "sm_done" in
+    let i = Ir.fresh_temp f in
+    let cond = Ir.fresh_temp f in
+    let base = Ir.fresh_temp f in
+    let off = Ir.fresh_temp f in
+    let addr = Ir.fresh_temp f in
+    let v = Ir.fresh_temp f in
+    let v' = Ir.fresh_temp f in
+    old_entry.Ir.b_instrs <- [ Ir.Mov (i, Ir.I 0L) ];
+    old_entry.Ir.b_term <- Ir.Jmp l_loop;
+    let loop_blk =
+      { Ir.b_label = l_loop;
+        b_instrs = [ Ir.Cmp (Ir.Lt, cond, Ir.T i, Ir.I (Int64.of_int words)) ];
+        b_term = Ir.Br (Ir.T cond, l_body, l_done) }
+    in
+    let body_blk =
+      { Ir.b_label = l_body;
+        b_instrs =
+          [ Ir.Mov (base, Ir.G region);
+            Ir.Bin (Ir.Mul, off, Ir.T i, Ir.I 8L);
+            Ir.Bin (Ir.Add, addr, Ir.T base, Ir.T off);
+            Ir.Load (v, Ir.T addr, 0);
+            Ir.Bin (Ir.Xor, v', Ir.T v, Ir.I key);
+            Ir.Store (Ir.T addr, 0, Ir.T v');
+            Ir.Bin (Ir.Add, i, Ir.T i, Ir.I 1L) ];
+        b_term = Ir.Jmp l_loop }
+    in
+    (* "reveal" transfer: an indirect jump through a one-entry jump table *)
+    let zero = Ir.fresh_temp f in
+    let done_blk =
+      { Ir.b_label = l_done;
+        b_instrs = [ Ir.Mov (zero, Ir.I 0L) ];
+        b_term = Ir.Switch (Ir.T zero, [| l_moved |]) }
+    in
+    f.Ir.f_blocks <- f.Ir.f_blocks @ [ loop_blk; body_blk; done_blk; moved ]
+
+let run ?(prob = 1.0) rng (prog : Ir.program) =
+  List.iter
+    (fun f -> if Gp_util.Rng.flip rng prob then instrument_func rng prog f)
+    prog.Ir.p_funcs;
+  prog

@@ -1,0 +1,11 @@
+(** Self-modification, SIMULATED (paper §II-A(5); DESIGN.md §2).
+
+    What every static gadget tool sees — and what this study measures —
+    is the injected decoder scaffolding: a key-driven transformation loop
+    over a memory region, followed by an indirect transfer into the
+    "revealed" code.  We emit exactly that scaffolding (the XOR loop
+    really runs; the transfer really is a one-entry jump table) without
+    flipping actual instruction bytes, keeping the pass
+    semantics-preserving by construction. *)
+
+val run : ?prob:float -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program

@@ -1,0 +1,82 @@
+(* Instruction substitution (paper §II-A(1)): replace arithmetic/bitwise
+   operations with longer, equivalent sequences, as Obfuscator-LLVM's
+   -mllvm -sub does.  All identities are exact on 64-bit two's-complement:
+
+     a + b = a - (0 - b)
+     a + b = (a ^ b) + 2*(a & b)
+     a - b = a + (0 - b)
+     a - b = (a ^ ~b) + 2*(a | ~b) + 2   -- not used; keep the cheap ones
+     a ^ b = (~a & b) | (a & ~b)
+     a & b = (a | b) - (a ^ b)
+     a | b = (a & b) + (a ^ b)
+*)
+
+open Gp_ir
+
+let bitnot _f v out = Ir.Bin (Ir.Xor, out, v, Ir.I (-1L))
+
+(* Rewrite one Bin into an equivalent sequence (choosing randomly among
+   applicable identities), or return it unchanged. *)
+let substitute rng (f : Ir.func) (op : Ir.binop) d a b : Ir.instr list =
+  let t () = Ir.fresh_temp f in
+  match op with
+  | Ir.Add ->
+    if Gp_util.Rng.bool rng then begin
+      (* a - (0 - b) *)
+      let nb = t () in
+      [ Ir.Bin (Ir.Sub, nb, Ir.I 0L, b); Ir.Bin (Ir.Sub, d, a, Ir.T nb) ]
+    end
+    else begin
+      (* (a ^ b) + 2*(a & b) *)
+      let x = t () and n = t () and n2 = t () in
+      [ Ir.Bin (Ir.Xor, x, a, b);
+        Ir.Bin (Ir.And, n, a, b);
+        Ir.Bin (Ir.Shl, n2, Ir.T n, Ir.I 1L);
+        Ir.Bin (Ir.Add, d, Ir.T x, Ir.T n2) ]
+    end
+  | Ir.Sub ->
+    (* a + (0 - b) *)
+    let nb = t () in
+    [ Ir.Bin (Ir.Sub, nb, Ir.I 0L, b); Ir.Bin (Ir.Add, d, a, Ir.T nb) ]
+  | Ir.Xor ->
+    (* (~a & b) | (a & ~b) *)
+    let na = t () and nb = t () and l = t () and r = t () in
+    [ bitnot f a na;
+      Ir.Bin (Ir.And, l, Ir.T na, b);
+      bitnot f b nb;
+      Ir.Bin (Ir.And, r, a, Ir.T nb);
+      Ir.Bin (Ir.Or, d, Ir.T l, Ir.T r) ]
+  | Ir.And ->
+    (* (a | b) - (a ^ b) *)
+    let o = t () and x = t () in
+    [ Ir.Bin (Ir.Or, o, a, b);
+      Ir.Bin (Ir.Xor, x, a, b);
+      Ir.Bin (Ir.Sub, d, Ir.T o, Ir.T x) ]
+  | Ir.Or ->
+    (* (a & b) + (a ^ b) *)
+    let n = t () and x = t () in
+    [ Ir.Bin (Ir.And, n, a, b);
+      Ir.Bin (Ir.Xor, x, a, b);
+      Ir.Bin (Ir.Add, d, Ir.T n, Ir.T x) ]
+  | Ir.Mul | Ir.Shl | Ir.Shr | Ir.Sar -> [ Ir.Bin (op, d, a, b) ]
+
+let run ?(prob = 0.6) ?(rounds = 1) rng (prog : Ir.program) =
+  let round () =
+    List.iter
+      (fun (f : Ir.func) ->
+        List.iter
+          (fun (blk : Ir.block) ->
+            blk.Ir.b_instrs <-
+              List.concat_map
+                (fun i ->
+                  match i with
+                  | Ir.Bin ((Ir.Add | Ir.Sub | Ir.Xor | Ir.And | Ir.Or) as op, d, a, b)
+                    when Gp_util.Rng.flip rng prob ->
+                    substitute rng f op d a b
+                  | _ -> [ i ])
+                blk.Ir.b_instrs)
+          f.Ir.f_blocks)
+      prog.Ir.p_funcs
+  in
+  for _ = 1 to rounds do round () done;
+  prog

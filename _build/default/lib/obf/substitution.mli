@@ -1,0 +1,9 @@
+(** Instruction substitution (paper §II-A(1), Obfuscator-LLVM -sub):
+    replace arithmetic/bitwise operations with longer equivalent
+    sequences.  All identities are exact on 64-bit two's-complement. *)
+
+val run :
+  ?prob:float -> ?rounds:int -> Gp_util.Rng.t -> Gp_ir.Ir.program ->
+  Gp_ir.Ir.program
+(** Rewrite each eligible [Bin] with probability [prob] (default 0.6),
+    [rounds] times.  Mutates and returns the program. *)

@@ -1,0 +1,385 @@
+(* Virtualization (paper §II-A(7), Tigress Virtualize): translate each
+   function's body into a custom bytecode stored in the data section, and
+   replace the body with an interpreter.  The interpreter's dispatch is a
+   jump table over handler blocks — the structure the paper identifies as
+   the reason virtualization injects so many (indirect-jump) gadgets.
+
+   VM model:
+   - one 4-word bytecode cell per IR instruction: [opcode; a; b; c];
+   - virtual registers ("vregs") live in a frame-slot array: one cell per
+     original temp, plus 3 scratch cells (immediate materialization) and
+     6 argument-staging cells;
+   - the original alloca slots are preserved at their original indices so
+     address-of-local semantics (and stack-smash behaviour!) survive;
+   - calls/syscalls/globals get specialized opcodes (the real call or
+     movabs lives in the handler), as Tigress does for "unvirtualizable"
+     leaf operations. *)
+
+open Gp_ir
+
+type handler =
+  | Hbin of Ir.binop                (* vr[a] = vr[b] op vr[c] *)
+  | Hshift of Ir.binop * int        (* vr[a] = vr[b] shifted by constant *)
+  | Hcmp of Ir.relop                (* vr[a] = vr[b] rel vr[c] *)
+  | Hmovi                           (* vr[a] = b *)
+  | Hmovr                           (* vr[a] = vr[b] *)
+  | Hload                           (* vr[a] = mem[vr[b] + c] *)
+  | Hstore                          (* mem[vr[a] + c] = vr[b] *)
+  | Haddrl                          (* vr[a] = &frame_slot[b] *)
+  | Hglob of string                 (* vr[a] = &global *)
+  | Hcall of string * int           (* vr[a] = f(varg[0..n-1]) *)
+  | Hsyscall of int                 (* vr[a] = syscall(varg[0..n-1]) *)
+  | Hjmp                            (* vpc = b *)
+  | Hbr                             (* vpc = vr[a] ? b : c *)
+  | Hret                            (* return vr[a] *)
+  | Hretv                           (* return *)
+
+(* A bytecode word is either a literal or a forward block reference. *)
+type word = W of int64 | L of string
+
+type vinsn = { op : handler; wa : word; wb : word; wc : word }
+
+let wi n = W (Int64.of_int n)
+
+(* Functions containing Switch or CallPtr are left unvirtualized (these
+   only appear post-obfuscation anyway; virtualize runs first). *)
+let virtualizable (f : Ir.func) =
+  List.for_all
+    (fun b ->
+      (match b.Ir.b_term with Ir.Switch _ -> false | _ -> true)
+      && List.for_all
+           (fun i -> match i with Ir.CallPtr _ -> false | _ -> true)
+           b.Ir.b_instrs)
+    f.Ir.f_blocks
+
+type trans = {
+  mutable code : vinsn list;        (* reversed *)
+  mutable count : int;              (* emitted instruction count *)
+  mutable block_pc : (string * int) list;
+  old_next_temp : int;
+}
+
+(* vreg layout *)
+let scratch0 t = t.old_next_temp
+let scratch1 t = t.old_next_temp + 1
+let scratch2 t = t.old_next_temp + 2
+let varg t k = t.old_next_temp + 3 + k
+let vreg_count t = t.old_next_temp + 3 + 6
+
+let emit t op wa wb wc =
+  t.code <- { op; wa; wb; wc } :: t.code;
+  t.count <- t.count + 1
+
+(* Materialize an operand into a vreg index (possibly a scratch). *)
+let operand_vreg t scratch (op : Ir.operand) =
+  match op with
+  | Ir.T tmp -> tmp
+  | Ir.I n ->
+    emit t Hmovi (wi scratch) (W n) (wi 0);
+    scratch
+  | Ir.G g ->
+    emit t (Hglob g) (wi scratch) (wi 0) (wi 0);
+    scratch
+
+let trans_instr t (i : Ir.instr) =
+  match i with
+  | Ir.Bin ((Ir.Shl | Ir.Shr | Ir.Sar) as op, d, a, b) -> (
+    match b with
+    | Ir.I k ->
+      let ra = operand_vreg t (scratch0 t) a in
+      emit t (Hshift (op, Int64.to_int k)) (wi d) (wi ra) (wi 0)
+    | _ -> invalid_arg "virtualize: variable shift amount")
+  | Ir.Bin (op, d, a, b) ->
+    let ra = operand_vreg t (scratch0 t) a in
+    let rb = operand_vreg t (scratch1 t) b in
+    emit t (Hbin op) (wi d) (wi ra) (wi rb)
+  | Ir.Cmp (rel, d, a, b) ->
+    let ra = operand_vreg t (scratch0 t) a in
+    let rb = operand_vreg t (scratch1 t) b in
+    emit t (Hcmp rel) (wi d) (wi ra) (wi rb)
+  | Ir.Mov (d, s) -> (
+    match s with
+    | Ir.T tmp -> emit t Hmovr (wi d) (wi tmp) (wi 0)
+    | Ir.I n -> emit t Hmovi (wi d) (W n) (wi 0)
+    | Ir.G g -> emit t (Hglob g) (wi d) (wi 0) (wi 0))
+  | Ir.Load (d, addr, off) ->
+    let ra = operand_vreg t (scratch0 t) addr in
+    emit t Hload (wi d) (wi ra) (wi off)
+  | Ir.Store (addr, off, src) ->
+    let ra = operand_vreg t (scratch0 t) addr in
+    let rs = operand_vreg t (scratch1 t) src in
+    emit t Hstore (wi ra) (wi rs) (wi off)
+  | Ir.AddrLocal (d, slot) -> emit t Haddrl (wi d) (wi slot) (wi 0)
+  | Ir.CallI (d, f, args) ->
+    List.iteri
+      (fun k arg ->
+        let ra = operand_vreg t (scratch0 t) arg in
+        emit t Hmovr (wi (varg t k)) (wi ra) (wi 0))
+      args;
+    let dst = match d with Some tmp -> tmp | None -> scratch2 t in
+    emit t (Hcall (f, List.length args)) (wi dst) (wi 0) (wi 0)
+  | Ir.SyscallI (d, args) ->
+    List.iteri
+      (fun k arg ->
+        let ra = operand_vreg t (scratch0 t) arg in
+        emit t Hmovr (wi (varg t k)) (wi ra) (wi 0))
+      args;
+    let dst = match d with Some tmp -> tmp | None -> scratch2 t in
+    emit t (Hsyscall (List.length args)) (wi dst) (wi 0) (wi 0)
+  | Ir.CallPtr _ -> invalid_arg "virtualize: CallPtr"
+
+let trans_term t (term : Ir.terminator) =
+  match term with
+  | Ir.Jmp l -> emit t Hjmp (wi 0) (L l) (wi 0)
+  | Ir.Br (c, l1, l2) ->
+    let rc = operand_vreg t (scratch0 t) c in
+    emit t Hbr (wi rc) (L l1) (L l2)
+  | Ir.Ret (Some op) ->
+    let r = operand_vreg t (scratch0 t) op in
+    emit t Hret (wi r) (wi 0) (wi 0)
+  | Ir.Ret None -> emit t Hretv (wi 0) (wi 0) (wi 0)
+  | Ir.Switch _ -> invalid_arg "virtualize: Switch"
+
+(* ----- interpreter construction ----- *)
+
+(* Build the new function body.  [handlers] is the dense opcode table. *)
+let build_interpreter (old : Ir.func) (bc_name : string) t handlers =
+  let old_slots = old.Ir.f_frame_slots in
+  let nf =
+    { Ir.f_name = old.Ir.f_name;
+      f_params = [];
+      f_blocks = [];
+      f_next_temp = 0;
+      f_frame_slots = old_slots + vreg_count t;
+      f_next_label = old.Ir.f_next_label }
+  in
+  let fresh () = Ir.fresh_temp nf in
+  (* static vreg cell address: vreg i <-> frame slot (old_slots + i) *)
+  let vreg_slot i = old_slots + i in
+  (* dedicated temps live across blocks (all temps are frame-resident) *)
+  let vpc = fresh () in
+  let wa = fresh () and wb = fresh () and wc = fresh () in
+  let l_dispatch = nf.Ir.f_name ^ ".vm_dispatch" in
+  (* dynamic vreg read: out = vr[idx_temp] *)
+  let vreg_read idx_op out =
+    let base = fresh () in
+    let off = fresh () in
+    let addr = fresh () in
+    [ Ir.AddrLocal (base, vreg_slot 0);
+      Ir.Bin (Ir.Mul, off, idx_op, Ir.I 8L);
+      Ir.Bin (Ir.Sub, addr, Ir.T base, Ir.T off);
+      Ir.Load (out, Ir.T addr, 0) ]
+  in
+  let vreg_write idx_op value =
+    let base = fresh () in
+    let off = fresh () in
+    let addr = fresh () in
+    [ Ir.AddrLocal (base, vreg_slot 0);
+      Ir.Bin (Ir.Mul, off, idx_op, Ir.I 8L);
+      Ir.Bin (Ir.Sub, addr, Ir.T base, Ir.T off);
+      Ir.Store (Ir.T addr, 0, value) ]
+  in
+  (* entry block: spill params into their vreg cells, vpc = 0 *)
+  let params = List.map (fun _ -> fresh ()) old.Ir.f_params in
+  nf.Ir.f_params <- params;
+  let entry_instrs =
+    List.concat
+      (List.map2
+         (fun old_t new_t ->
+           let a = fresh () in
+           [ Ir.AddrLocal (a, vreg_slot old_t); Ir.Store (Ir.T a, 0, Ir.T new_t) ])
+         old.Ir.f_params params)
+    @ [ Ir.Mov (vpc, Ir.I 0L) ]
+  in
+  let entry =
+    { Ir.b_label = nf.Ir.f_name ^ ".vm_entry";
+      b_instrs = entry_instrs;
+      b_term = Ir.Jmp l_dispatch }
+  in
+  (* dispatch: load the 4 words, advance vpc, switch on opcode *)
+  let handler_label k = Printf.sprintf "%s.vm_h%d" nf.Ir.f_name k in
+  let dispatch_instrs =
+    let tb = fresh () in
+    let toff = fresh () in
+    let taddr = fresh () in
+    let top = fresh () in
+    [ Ir.Mov (tb, Ir.G bc_name);
+      Ir.Bin (Ir.Mul, toff, Ir.T vpc, Ir.I 8L);
+      Ir.Bin (Ir.Add, taddr, Ir.T tb, Ir.T toff);
+      Ir.Load (top, Ir.T taddr, 0);
+      Ir.Load (wa, Ir.T taddr, 8);
+      Ir.Load (wb, Ir.T taddr, 16);
+      Ir.Load (wc, Ir.T taddr, 24);
+      Ir.Bin (Ir.Add, vpc, Ir.T vpc, Ir.I 4L);
+      Ir.Mov (fresh (), Ir.T top) ]
+    (* the extra Mov keeps [top] the last-defined temp for clarity *)
+  in
+  let top_temp =
+    (* recover the temp holding the opcode: 4th instruction's destination *)
+    match List.nth dispatch_instrs 3 with
+    | Ir.Load (t, _, _) -> t
+    | _ -> assert false
+  in
+  let dispatch =
+    { Ir.b_label = l_dispatch;
+      b_instrs = dispatch_instrs;
+      b_term =
+        Ir.Switch
+          (Ir.T top_temp, Array.init (List.length handlers) handler_label) }
+  in
+  (* handler bodies *)
+  let handler_block k h =
+    let body, term =
+      match h with
+      | Hbin op ->
+        let i1 = fresh () and i2 = fresh () and r = fresh () in
+        ( vreg_read (Ir.T wb) i1 @ vreg_read (Ir.T wc) i2
+          @ [ Ir.Bin (op, r, Ir.T i1, Ir.T i2) ]
+          @ vreg_write (Ir.T wa) (Ir.T r),
+          Ir.Jmp l_dispatch )
+      | Hshift (op, k) ->
+        let i1 = fresh () and r = fresh () in
+        ( vreg_read (Ir.T wb) i1
+          @ [ Ir.Bin (op, r, Ir.T i1, Ir.I (Int64.of_int k)) ]
+          @ vreg_write (Ir.T wa) (Ir.T r),
+          Ir.Jmp l_dispatch )
+      | Hcmp rel ->
+        let i1 = fresh () and i2 = fresh () and r = fresh () in
+        ( vreg_read (Ir.T wb) i1 @ vreg_read (Ir.T wc) i2
+          @ [ Ir.Cmp (rel, r, Ir.T i1, Ir.T i2) ]
+          @ vreg_write (Ir.T wa) (Ir.T r),
+          Ir.Jmp l_dispatch )
+      | Hmovi -> (vreg_write (Ir.T wa) (Ir.T wb), Ir.Jmp l_dispatch)
+      | Hmovr ->
+        let v = fresh () in
+        (vreg_read (Ir.T wb) v @ vreg_write (Ir.T wa) (Ir.T v), Ir.Jmp l_dispatch)
+      | Hload ->
+        let base = fresh () and addr = fresh () and v = fresh () in
+        ( vreg_read (Ir.T wb) base
+          @ [ Ir.Bin (Ir.Add, addr, Ir.T base, Ir.T wc); Ir.Load (v, Ir.T addr, 0) ]
+          @ vreg_write (Ir.T wa) (Ir.T v),
+          Ir.Jmp l_dispatch )
+      | Hstore ->
+        let base = fresh () and addr = fresh () and v = fresh () in
+        ( vreg_read (Ir.T wa) base
+          @ vreg_read (Ir.T wb) v
+          @ [ Ir.Bin (Ir.Add, addr, Ir.T base, Ir.T wc);
+              Ir.Store (Ir.T addr, 0, Ir.T v) ],
+          Ir.Jmp l_dispatch )
+      | Haddrl ->
+        (* &slot[b] = &slot[0] - 8*b *)
+        let base0 = fresh () and off = fresh () and addr = fresh () in
+        ( [ Ir.AddrLocal (base0, 0);
+            Ir.Bin (Ir.Mul, off, Ir.T wb, Ir.I 8L);
+            Ir.Bin (Ir.Sub, addr, Ir.T base0, Ir.T off) ]
+          @ vreg_write (Ir.T wa) (Ir.T addr),
+          Ir.Jmp l_dispatch )
+      | Hglob g ->
+        let v = fresh () in
+        ([ Ir.Mov (v, Ir.G g) ] @ vreg_write (Ir.T wa) (Ir.T v), Ir.Jmp l_dispatch)
+      | Hcall (fname, n) ->
+        let args = List.init n (fun _ -> fresh ()) in
+        let load_args =
+          List.concat
+            (List.mapi
+               (fun k tmp ->
+                 let a = fresh () in
+                 [ Ir.AddrLocal (a, vreg_slot (varg t k));
+                   Ir.Load (tmp, Ir.T a, 0) ])
+               args)
+        in
+        let r = fresh () in
+        ( load_args
+          @ [ Ir.CallI (Some r, fname, List.map (fun a -> Ir.T a) args) ]
+          @ vreg_write (Ir.T wa) (Ir.T r),
+          Ir.Jmp l_dispatch )
+      | Hsyscall n ->
+        let args = List.init n (fun _ -> fresh ()) in
+        let load_args =
+          List.concat
+            (List.mapi
+               (fun k tmp ->
+                 let a = fresh () in
+                 [ Ir.AddrLocal (a, vreg_slot (varg t k));
+                   Ir.Load (tmp, Ir.T a, 0) ])
+               args)
+        in
+        let r = fresh () in
+        ( load_args
+          @ [ Ir.SyscallI (Some r, List.map (fun a -> Ir.T a) args) ]
+          @ vreg_write (Ir.T wa) (Ir.T r),
+          Ir.Jmp l_dispatch )
+      | Hjmp -> ([ Ir.Mov (vpc, Ir.T wb) ], Ir.Jmp l_dispatch)
+      | Hbr ->
+        (* vpc = (vr[a] != 0) * b + (vr[a] == 0) * c *)
+        let v = fresh () and norm = fresh () and inv = fresh () in
+        let l = fresh () and r = fresh () in
+        ( vreg_read (Ir.T wa) v
+          @ [ Ir.Cmp (Ir.Ne, norm, Ir.T v, Ir.I 0L);
+              Ir.Bin (Ir.Mul, l, Ir.T norm, Ir.T wb);
+              Ir.Bin (Ir.Sub, inv, Ir.I 1L, Ir.T norm);
+              Ir.Bin (Ir.Mul, r, Ir.T inv, Ir.T wc);
+              Ir.Bin (Ir.Add, vpc, Ir.T l, Ir.T r) ],
+          Ir.Jmp l_dispatch )
+      | Hret ->
+        let v = fresh () in
+        (vreg_read (Ir.T wa) v, Ir.Ret (Some (Ir.T v)))
+      | Hretv -> ([], Ir.Ret None)
+    in
+    { Ir.b_label = handler_label k; b_instrs = body; b_term = term }
+  in
+  nf.Ir.f_blocks <- entry :: dispatch :: List.mapi handler_block handlers;
+  nf
+
+(* ----- whole-pass driver ----- *)
+
+let virtualize_func (prog : Ir.program) (f : Ir.func) : Ir.func =
+  let t =
+    { code = []; count = 0; block_pc = []; old_next_temp = f.Ir.f_next_temp }
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      t.block_pc <- (b.Ir.b_label, t.count * 4) :: t.block_pc;
+      List.iter (trans_instr t) b.Ir.b_instrs;
+      trans_term t b.Ir.b_term)
+    f.Ir.f_blocks;
+  let code = List.rev t.code in
+  (* dense opcode numbering over the handlers actually used *)
+  let handlers = ref [] in
+  let opcode h =
+    match List.assoc_opt h !handlers with
+    | Some k -> k
+    | None ->
+      let k = List.length !handlers in
+      handlers := !handlers @ [ (h, k) ];
+      k
+  in
+  let resolve = function
+    | W n -> n
+    | L l -> (
+      match List.assoc_opt l t.block_pc with
+      | Some pc -> Int64.of_int pc
+      | None -> invalid_arg ("virtualize: unresolved label " ^ l))
+  in
+  let words =
+    List.concat_map
+      (fun v ->
+        [ Int64.of_int (opcode v.op); resolve v.wa; resolve v.wb; resolve v.wc ])
+      code
+  in
+  let bc_name = Printf.sprintf "vm$%s" f.Ir.f_name in
+  let bytes = Bytes.create (8 * List.length words) in
+  List.iteri (fun i w -> Bytes.set_int64_le bytes (8 * i) w) words;
+  Ir.add_data prog bc_name bytes;
+  build_interpreter f bc_name t (List.map fst !handlers)
+
+let run ?(only : string list option) _rng (prog : Ir.program) =
+  let selected (f : Ir.func) =
+    match only with None -> true | Some names -> List.mem f.Ir.f_name names
+  in
+  prog.Ir.p_funcs <-
+    List.map
+      (fun f ->
+        if selected f && virtualizable f then virtualize_func prog f else f)
+      prog.Ir.p_funcs;
+  prog

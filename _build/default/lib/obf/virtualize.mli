@@ -1,0 +1,19 @@
+(** Virtualization (paper §II-A(7), Tigress Virtualize): translate each
+    function's body into a custom bytecode stored in the data section and
+    replace the body with an interpreter whose dispatch is a jump table
+    over handler blocks — the structure the paper identifies as the
+    reason virtualization injects so many indirect-jump gadgets.
+
+    VM model: one 4-word cell per IR instruction; virtual registers in a
+    frame-slot array (original alloca slots preserved at their indices so
+    address-of-local — and stack-smash — behaviour survives);
+    calls/syscalls/globals get specialized opcodes. *)
+
+val virtualizable : Gp_ir.Ir.func -> bool
+(** Functions containing [Switch] or [CallPtr] are left alone (these only
+    appear post-obfuscation; virtualize runs first). *)
+
+val run :
+  ?only:string list -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program
+(** Virtualize every virtualizable function (or just those named in
+    [only]). *)

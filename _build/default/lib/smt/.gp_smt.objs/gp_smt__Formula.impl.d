@@ -1,0 +1,1 @@
+lib/smt/formula.ml: Int64 Printf Term

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Formula Gp_util Int64 List Map Option String Term

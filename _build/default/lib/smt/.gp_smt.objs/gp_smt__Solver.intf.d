@@ -1,0 +1,1 @@
+lib/smt/solver.mli: Formula Gp_util Map Term

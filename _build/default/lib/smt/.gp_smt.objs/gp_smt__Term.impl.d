@@ -1,0 +1,1 @@
+lib/smt/term.ml: Int64 List Option Printf Set String

@@ -1,0 +1,94 @@
+(* Atomic constraints over bit-vector terms.
+
+   [Readable]/[Writable] implement the paper's POINTER constraint type
+   (§IV-B): a term must evaluate to an address in a readable/writable
+   region.  The solver discharges them by binding free variables to
+   addresses from a caller-supplied pool of controlled memory. *)
+
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t
+  | Ne of Term.t * Term.t
+  | Slt of Term.t * Term.t   (* signed < *)
+  | Sle of Term.t * Term.t
+  | Ult of Term.t * Term.t   (* unsigned < *)
+  | Ule of Term.t * Term.t
+  | Readable of Term.t
+  | Writable of Term.t
+
+let to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Eq (a, b) -> Printf.sprintf "%s == %s" (Term.to_string a) (Term.to_string b)
+  | Ne (a, b) -> Printf.sprintf "%s != %s" (Term.to_string a) (Term.to_string b)
+  | Slt (a, b) -> Printf.sprintf "%s <s %s" (Term.to_string a) (Term.to_string b)
+  | Sle (a, b) -> Printf.sprintf "%s <=s %s" (Term.to_string a) (Term.to_string b)
+  | Ult (a, b) -> Printf.sprintf "%s <u %s" (Term.to_string a) (Term.to_string b)
+  | Ule (a, b) -> Printf.sprintf "%s <=u %s" (Term.to_string a) (Term.to_string b)
+  | Readable t -> Printf.sprintf "readable(%s)" (Term.to_string t)
+  | Writable t -> Printf.sprintf "writable(%s)" (Term.to_string t)
+
+let negate = function
+  | True -> False
+  | False -> True
+  | Eq (a, b) -> Ne (a, b)
+  | Ne (a, b) -> Eq (a, b)
+  | Slt (a, b) -> Sle (b, a)
+  | Sle (a, b) -> Slt (b, a)
+  | Ult (a, b) -> Ule (b, a)
+  | Ule (a, b) -> Ult (b, a)
+  | (Readable _ | Writable _) as f ->
+    (* pointer atoms have no useful negation in our fragment *)
+    f
+
+let map_terms f = function
+  | (True | False) as x -> x
+  | Eq (a, b) -> Eq (f a, f b)
+  | Ne (a, b) -> Ne (f a, f b)
+  | Slt (a, b) -> Slt (f a, f b)
+  | Sle (a, b) -> Sle (f a, f b)
+  | Ult (a, b) -> Ult (f a, f b)
+  | Ule (a, b) -> Ule (f a, f b)
+  | Readable t -> Readable (f t)
+  | Writable t -> Writable (f t)
+
+let vars = function
+  | True | False -> Term.Vset.empty
+  | Eq (a, b) | Ne (a, b) | Slt (a, b) | Sle (a, b) | Ult (a, b) | Ule (a, b) ->
+    Term.Vset.union (Term.vars a) (Term.vars b)
+  | Readable t | Writable t -> Term.vars t
+
+let ult a b =
+  (* unsigned compare via flipping the sign bit *)
+  Int64.compare (Int64.add a Int64.min_int) (Int64.add b Int64.min_int) < 0
+
+(* Evaluate under a concrete valuation.  [readable]/[writable] decide
+   pointer atoms; default to "anything goes" for pure-arithmetic use. *)
+let eval ?(readable = fun _ -> true) ?(writable = fun _ -> true) model f =
+  let v t = Term.eval model t in
+  match f with
+  | True -> true
+  | False -> false
+  | Eq (a, b) -> v a = v b
+  | Ne (a, b) -> v a <> v b
+  | Slt (a, b) -> Int64.compare (v a) (v b) < 0
+  | Sle (a, b) -> Int64.compare (v a) (v b) <= 0
+  | Ult (a, b) -> ult (v a) (v b)
+  | Ule (a, b) -> not (ult (v b) (v a))
+  | Readable t -> readable (v t)
+  | Writable t -> writable (v t)
+
+(* Constant-fold and canonicalize an atom. *)
+let simplify f =
+  let f = map_terms Term.simplify f in
+  match f with
+  | Eq (a, b) when a = b -> True
+  | Eq (Term.Const x, Term.Const y) -> if x = y then True else False
+  | Ne (a, b) when a = b -> False
+  | Ne (Term.Const x, Term.Const y) -> if x <> y then True else False
+  | Slt (Term.Const x, Term.Const y) -> if Int64.compare x y < 0 then True else False
+  | Sle (Term.Const x, Term.Const y) -> if Int64.compare x y <= 0 then True else False
+  | Ult (Term.Const x, Term.Const y) -> if ult x y then True else False
+  | Ule (Term.Const x, Term.Const y) -> if not (ult y x) then True else False
+  | _ -> f

@@ -1,0 +1,335 @@
+(* Constraint solver for gadget chaining.
+
+   Replaces Z3 for the fragment that actually arises (DESIGN.md §2):
+
+   - conjunctions of EQUALITIES over 64-bit linear terms — decided exactly
+     by Gaussian elimination over Z/2^64 (odd coefficients are invertible;
+     gadget semantics produce coefficients that are almost always ±1);
+   - POINTER atoms — discharged by binding a free variable to an address
+     from the caller's pool of controlled memory;
+   - everything else (disequalities, orderings, non-linear residue) — by
+     randomized + special-value model search, which is complete "with high
+     probability" for the sparse constraints gadgets generate.
+
+   [Unsat] is only reported when the linear core is provably inconsistent,
+   so Unsat is sound.  [Sat] always carries a model that has been
+   re-checked against every atom, so Sat is sound too.  The incomplete
+   answer is [Unknown]. *)
+
+module Smap = Map.Make (String)
+
+type model = int64 Smap.t
+
+let model_fn m v = match Smap.find_opt v m with Some x -> x | None -> 0L
+
+type result = Sat of model | Unsat | Unknown
+
+(* Pointer constraints are discharged against a pool: [pins] are concrete
+   candidate addresses a free pointer variable may be bound to;
+   [readable]/[writable] are the (wider) predicates a concrete address
+   must satisfy. *)
+type pointer_pool = {
+  pins : int64 list;
+  readable : int64 -> bool;
+  writable : int64 -> bool;
+}
+
+let default_pool =
+  (* matches the emulator's scratch region *)
+  let in_scratch a = a >= 0x700000L && a < 0x710000L in
+  { pins = [ 0x700000L; 0x700100L; 0x700200L ];
+    readable = in_scratch;
+    writable = in_scratch }
+
+(* ----- linear algebra over Z/2^64 ----- *)
+
+(* Inverse of an odd number mod 2^64 by Newton iteration. *)
+let inv64 a =
+  if Int64.logand a 1L = 0L then invalid_arg "inv64: even";
+  let rec go x n =
+    if n = 0 then x
+    else go (Int64.mul x (Int64.sub 2L (Int64.mul a x))) (n - 1)
+  in
+  go a 6
+
+open Term
+
+(* Substitution: var -> linear form over still-free vars. *)
+type subst = linear Smap.t
+
+let subst_linear (sigma : subst) (l : linear) : linear =
+  List.fold_left
+    (fun acc (v, c) ->
+      match Smap.find_opt v sigma with
+      | Some lv -> lin_add acc (lin_scale c lv)
+      | None -> lin_add acc { lin_const = 0L; lin_terms = [ (v, c) ] })
+    (lin_const l.lin_const) l.lin_terms
+
+(* Add [v := rhs] and re-reduce existing entries so sigma stays fully
+   substituted (triangular-free). *)
+let extend_subst (sigma : subst) v rhs =
+  let sigma =
+    Smap.map
+      (fun l ->
+        let coeff = try List.assoc v l.lin_terms with Not_found -> 0L in
+        if coeff = 0L then l
+        else
+          lin_add
+            { l with lin_terms = List.remove_assoc v l.lin_terms }
+            (lin_scale coeff rhs))
+      sigma
+  in
+  Smap.add v rhs sigma
+
+(* Solve one equation l = 0 under sigma.  Returns [Ok sigma'] (possibly
+   extended), [Error `Inconsistent], or [Error `Hard] when no odd-coefficient
+   pivot exists. *)
+let solve_eq sigma l =
+  let l = subst_linear sigma l in
+  match l.lin_terms with
+  | [] -> if l.lin_const = 0L then Ok sigma else Error `Inconsistent
+  | terms -> (
+    (* prefer |coeff| = 1 pivots to keep numbers small *)
+    let unit_pivot = List.find_opt (fun (_, c) -> c = 1L || c = -1L) terms in
+    let odd_pivot = List.find_opt (fun (_, c) -> Int64.logand c 1L = 1L) terms in
+    match (match unit_pivot with Some p -> Some p | None -> odd_pivot) with
+    | None -> Error `Hard
+    | Some (v, c) ->
+      let rest = { l with lin_terms = List.remove_assoc v l.lin_terms } in
+      (* c*v + rest = 0  =>  v = rest * (-(c^-1)) *)
+      let rhs = lin_scale (Int64.neg (inv64 c)) rest in
+      Ok (extend_subst sigma v rhs))
+
+(* Pointer-pinning variant of [solve_eq] that also handles a single
+   even-coefficient pivot 2^s * m (m odd) when the constant side is
+   divisible by 2^s — the jump-table pattern `table + 8*index`, where the
+   attacker can point the table read anywhere 8-aligned. *)
+let solve_pin sigma l =
+  match solve_eq sigma l with
+  | (Ok _ | Error `Inconsistent) as r -> r
+  | Error `Hard -> (
+    let l' = subst_linear sigma l in
+    match l'.lin_terms with
+    | [ (v, c) ] when c <> 0L ->
+      let s = ref 0 in
+      let m = ref c in
+      while Int64.logand !m 1L = 0L && !s < 63 do
+        m := Int64.shift_right_logical !m 1;
+        incr s
+      done;
+      let mask = Int64.sub (Int64.shift_left 1L !s) 1L in
+      if Int64.logand l'.lin_const mask <> 0L then Error `Hard
+      else begin
+        (* c*v + k = 0 with c = 2^s*m: v = -(k/2^s) * m^-1 *)
+        let k = Int64.shift_right l'.lin_const !s in
+        let rhs = lin_const (Int64.mul (Int64.neg k) (inv64 !m)) in
+        Ok (extend_subst sigma v rhs)
+      end
+    | _ -> Error `Hard)
+
+(* ----- main entry ----- *)
+
+let special_values =
+  [ 0L; 1L; 2L; -1L; 8L; 0x100L; 0x1000L; 0x400000L; 0x601000L; Int64.min_int ]
+
+let check ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
+    ?(max_trials = 200) (formulas : Formula.t list) : result =
+  let formulas = List.map Formula.simplify formulas in
+  if List.mem Formula.False formulas then Unsat
+  else begin
+    let formulas = List.filter (fun f -> f <> Formula.True) formulas in
+    (* Partition into linear equalities / pointer atoms / the rest. *)
+    let eqs, pointers, rest =
+      List.fold_left
+        (fun (eqs, ptrs, rest) f ->
+          match f with
+          | Formula.Eq (a, b) -> (
+            match Term.linearize (Term.Sub (a, b)) with
+            | Some l -> (l :: eqs, ptrs, rest)
+            | None -> (eqs, ptrs, f :: rest))
+          | Formula.Readable _ | Formula.Writable _ -> (eqs, f :: ptrs, rest)
+          | _ -> (eqs, ptrs, f :: rest))
+        ([], [], []) formulas
+    in
+    let eqs = List.rev eqs and pointers = List.rev pointers and rest = List.rev rest in
+    (* Gaussian elimination on the equalities. *)
+    let step acc l =
+      match acc with
+      | None -> None
+      | Some (sigma, hard) -> (
+        match solve_eq sigma l with
+        | Ok sigma' -> Some (sigma', hard)
+        | Error `Inconsistent -> None
+        | Error `Hard -> Some (sigma, l :: hard))
+    in
+    match List.fold_left step (Some (Smap.empty, [])) eqs with
+    | None -> Unsat
+    | Some (sigma, hard_eqs) ->
+      (* Bind pointer atoms: each free-variable pointer term gets pinned to
+         a distinct pool address via an extra linear equation. *)
+      let pin (sigma, unpinned, idx) f =
+        let term =
+          match f with
+          | Formula.Writable t | Formula.Readable t -> t
+          | _ -> assert false
+        in
+        match Term.linearize term with
+        | None -> (sigma, f :: unpinned, idx)
+        | Some l -> (
+          let l = subst_linear sigma l in
+          match l.lin_terms with
+          | [] ->
+            (* already concrete; verified at the end against the pool *)
+            (sigma, f :: unpinned, idx)
+          | _ -> (
+            if pool.pins = [] then (sigma, f :: unpinned, idx)
+            else
+              let addr = List.nth pool.pins (idx mod List.length pool.pins) in
+              match solve_pin sigma (lin_add l (lin_const (Int64.neg addr))) with
+              | Ok sigma' -> (sigma', unpinned, idx + 1)
+              | Error _ -> (sigma, f :: unpinned, idx)))
+      in
+      let sigma, unpinned_ptrs, npinned =
+        List.fold_left pin (sigma, [], 0) pointers
+      in
+      (* Residual atoms to satisfy by search. *)
+      let apply_sigma f =
+        Formula.map_terms
+          (fun t ->
+            Term.simplify
+              (Term.subst
+                 (fun v ->
+                   Option.map (fun l -> Term.of_linear l) (Smap.find_opt v sigma))
+                 t))
+          f
+      in
+      let residual =
+        List.map apply_sigma
+          (rest
+          @ List.map (fun l -> Formula.Eq (Term.of_linear l, Term.Const 0L))
+              hard_eqs
+          @ unpinned_ptrs)
+        |> List.map Formula.simplify
+      in
+      if List.mem Formula.False residual then
+        (* A contradiction.  If pin CHOICES were involved we did not
+           explore alternatives, so only Unknown is sound; a contradiction
+           from pure equality reasoning is a real Unsat. *)
+        (if npinned = 0 then Unsat else Unknown)
+      else begin
+        let residual = List.filter (fun f -> f <> Formula.True) residual in
+        (* Free variables = everything mentioned anywhere minus sigma's keys. *)
+        let all_vars =
+          List.fold_left
+            (fun s f -> Term.Vset.union s (Formula.vars f))
+            Term.Vset.empty formulas
+        in
+        let sigma_vars =
+          Smap.fold
+            (fun v l s ->
+              List.fold_left
+                (fun s (v', _) -> Term.Vset.add v' s)
+                (Term.Vset.add v s) l.lin_terms)
+            sigma Term.Vset.empty
+        in
+        let free =
+          Term.Vset.elements
+            (Term.Vset.diff
+               (Term.Vset.union all_vars sigma_vars)
+               (Smap.fold (fun v _ s -> Term.Vset.add v s) sigma Term.Vset.empty))
+        in
+        let readable = pool.readable in
+        let writable = pool.writable in
+        let build_model assignment =
+          let free_model = assignment in
+          let m =
+            Smap.fold
+              (fun v l acc ->
+                let value =
+                  List.fold_left
+                    (fun s (v', c) -> Int64.add s (Int64.mul c (model_fn free_model v')))
+                    l.lin_const l.lin_terms
+                in
+                Smap.add v value acc)
+              sigma free_model
+          in
+          m
+        in
+        let try_assignment assignment =
+          let m = build_model assignment in
+          if
+            List.for_all (Formula.eval ~readable ~writable (model_fn m)) residual
+            (* double-check the original system — guards against any bug in
+               the elimination *)
+            && List.for_all (Formula.eval ~readable ~writable (model_fn m)) formulas
+          then Some m
+          else None
+        in
+        let zero_assignment =
+          List.fold_left (fun m v -> Smap.add v 0L m) Smap.empty free
+        in
+        match try_assignment zero_assignment with
+        | Some m -> Sat m
+        | None ->
+          let rec search k =
+            if k >= max_trials then Unknown
+            else begin
+              let assignment =
+                List.fold_left
+                  (fun m v ->
+                    let value =
+                      if Gp_util.Rng.int rng 4 = 0 then
+                        List.nth special_values
+                          (Gp_util.Rng.int rng (List.length special_values))
+                      else Gp_util.Rng.next_int64 rng
+                    in
+                    Smap.add v value m)
+                  Smap.empty free
+              in
+              match try_assignment assignment with
+              | Some m -> Sat m
+              | None -> search (k + 1)
+            end
+          in
+          search 0
+      end
+  end
+
+(* Entailment: hyps |= concl.  True only when hyps ∧ ¬concl is provably
+   unsat; Unknown is treated as "not entailed" (conservative for
+   subsumption: we keep more gadgets than strictly necessary). *)
+let entails ?rng ?pool hyps concl =
+  match check ?rng ?pool (Formula.negate concl :: hyps) with
+  | Unsat -> true
+  | Sat _ | Unknown -> false
+
+(* Probabilistic semantic equality of two terms: canonical forms equal, or
+   no counterexample found in [trials] random evaluations.  Used by
+   subsumption testing; unsoundness here only costs pool diversity and is
+   caught downstream by emulator validation of payloads. *)
+let prove_equal ?(rng = Gp_util.Rng.create 0x7e57) ?(trials = 32) a b =
+  let a = Term.simplify a and b = Term.simplify b in
+  if a = b then true
+  else begin
+    let vs =
+      Term.Vset.elements (Term.Vset.union (Term.vars a) (Term.vars b))
+    in
+    let refuted = ref false in
+    let k = ref 0 in
+    while (not !refuted) && !k < trials do
+      let m =
+        List.fold_left
+          (fun m v ->
+            let value =
+              if !k = 0 then 0L
+              else if !k = 1 then 1L
+              else Gp_util.Rng.next_int64 rng
+            in
+            Smap.add v value m)
+          Smap.empty vs
+      in
+      if Term.eval (model_fn m) a <> Term.eval (model_fn m) b then refuted := true;
+      incr k
+    done;
+    not !refuted
+  end

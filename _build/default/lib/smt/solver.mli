@@ -1,0 +1,59 @@
+(** Constraint solver for gadget chaining.
+
+    Replaces Z3 for the fragment that actually arises (DESIGN.md §2):
+    conjunctions of equalities over 64-bit linear terms (decided exactly
+    by Gaussian elimination over Z/2{^64}), POINTER atoms (discharged by
+    pinning free pointer variables into controlled memory — including
+    through power-of-two coefficients, the [table + 8*index] jump-table
+    pattern), and a randomized/special-value model search for the rest.
+
+    Soundness contract: [Unsat] is only reported when the linear core is
+    provably inconsistent with no pinning choices involved; [Sat] always
+    carries a model re-checked against every atom.  The incomplete answer
+    is [Unknown]. *)
+
+module Smap : Map.S with type key = string
+
+type model = int64 Smap.t
+
+val model_fn : model -> string -> int64
+(** Valuation function of a model; unmapped variables read as 0. *)
+
+type result = Sat of model | Unsat | Unknown
+
+(** Pointer-atom discharge pool: [pins] are candidate addresses a free
+    pointer variable may be bound to; [readable]/[writable] are the
+    (wider) predicates any concrete address must satisfy. *)
+type pointer_pool = {
+  pins : int64 list;
+  readable : int64 -> bool;
+  writable : int64 -> bool;
+}
+
+val default_pool : pointer_pool
+(** Points into the emulator's scratch region. *)
+
+val inv64 : int64 -> int64
+(** Inverse of an odd number mod 2{^64} (Newton iteration); raises
+    [Invalid_argument] on even input. *)
+
+val check :
+  ?rng:Gp_util.Rng.t ->
+  ?pool:pointer_pool ->
+  ?max_trials:int ->
+  Formula.t list ->
+  result
+(** Satisfiability of the conjunction.  The model prefers zeros for
+    otherwise-unconstrained variables (keeping payloads and register
+    demands simple). *)
+
+val entails : ?rng:Gp_util.Rng.t -> ?pool:pointer_pool -> Formula.t list -> Formula.t -> bool
+(** [entails hyps concl]: true only when [hyps ∧ ¬concl] is provably
+    unsat.  [Unknown] counts as "not entailed" — conservative for
+    subsumption, which then merely keeps more gadgets. *)
+
+val prove_equal : ?rng:Gp_util.Rng.t -> ?trials:int -> Term.t -> Term.t -> bool
+(** Probabilistic semantic equality: canonical forms equal, or no
+    counterexample in [trials] random evaluations.  Unsoundness here only
+    costs pool diversity and is caught downstream by emulator validation
+    of payloads. *)

@@ -1,0 +1,94 @@
+(** 64-bit bit-vector terms.
+
+    Stands in for Z3's bit-vector theory (DESIGN.md §2).  Variables are
+    identified by NAME: the symbolic executor uses a deterministic naming
+    scheme (["rax_0"] for the initial value of rax, ["stk_16"] for the
+    stack slot at rsp0+16), so post-conditions of two different gadgets
+    with the same behaviour are structurally identical terms — the basis
+    of cheap subsumption testing.
+
+    {!simplify} canonicalizes the LINEAR fragment (sums of variables with
+    constant coefficients, mod 2{^64}) exactly; gadget semantics are
+    overwhelmingly linear, so semantic equality is decidable by
+    structural comparison there. *)
+
+type t =
+  | Var of string
+  | Const of int64
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Neg of t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Shl of t * t
+  | Shr of t * t      (** logical right shift *)
+  | Sar of t * t      (** arithmetic right shift *)
+
+val to_string : t -> string
+
+module Vset : Set.S with type elt = string
+
+val vars : t -> Vset.t
+(** The variables occurring in the term. *)
+
+val vars_fold : ('a -> string -> 'a) -> 'a -> t -> 'a
+
+val size : t -> int
+(** Node count. *)
+
+(** {1 Linear normal form} *)
+
+type linear = { lin_const : int64; lin_terms : (string * int64) list }
+(** [lin_const + Σ coeff·var], terms sorted by variable name, no zero
+    coefficients; arithmetic is mod 2{^64}. *)
+
+val lin_const : int64 -> linear
+val lin_add : linear -> linear -> linear
+val lin_scale : int64 -> linear -> linear
+val lin_neg : linear -> linear
+
+val linearize : t -> linear option
+(** View the term as a linear combination, when it is one.  [Not x] is
+    linear ([-x - 1]); [Shl x (Const k)] is [2^k · x]. *)
+
+val of_linear : linear -> t
+(** Canonical term for a linear form. *)
+
+(** {1 Construction and simplification} *)
+
+val simplify : t -> t
+(** Bottom-up canonicalization: exact on the linear fragment, local
+    identities elsewhere ([x^x = 0], [x&x = x], constant folding...).
+    Sound: the result evaluates identically under every model. *)
+
+val var : string -> t
+val const : int64 -> t
+
+(** Smart constructors (simplify on the way in): *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val shl : t -> t -> t
+val shr : t -> t -> t
+val sar : t -> t -> t
+
+val equal : t -> t -> bool
+(** Structural equality after canonicalization (complete on the linear
+    fragment; sound but incomplete elsewhere — see
+    {!Solver.prove_equal}). *)
+
+val subst : (string -> t option) -> t -> t
+(** Replace variables via the function; unmapped variables stay. *)
+
+val eval : (string -> int64) -> t -> int64
+(** Concrete evaluation under a valuation.  Shift counts are taken
+    mod 64, as on hardware. *)

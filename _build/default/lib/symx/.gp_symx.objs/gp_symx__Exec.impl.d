@@ -1,0 +1,1 @@
+lib/symx/exec.ml: Decode Formula Gp_smt Gp_util Gp_x86 Insn Int64 List Option Printf Reg State Term

@@ -1,0 +1,1 @@
+lib/symx/exec.mli: Formula Gp_smt Gp_util Gp_x86 State Term

@@ -1,0 +1,1 @@
+lib/symx/state.ml: Array Formula Gp_smt Gp_x86 Insn Int Int64 List Map Option Printf Reg String Term

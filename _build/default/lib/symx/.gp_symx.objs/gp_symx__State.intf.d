@@ -1,0 +1,1 @@
+lib/symx/state.mli: Formula Gp_smt Gp_x86 Map Term

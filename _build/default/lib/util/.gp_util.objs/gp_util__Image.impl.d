@@ -1,0 +1,1 @@
+lib/util/image.ml: Buffer Bytes Char Int64 List Printf

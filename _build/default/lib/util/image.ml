@@ -1,0 +1,69 @@
+(* Flat binary image: the loadable artifact every analysis consumes.
+
+   Stands in for an ELF executable (see DESIGN.md): all the tools in the
+   paper scan the executable byte range of the binary, so the container
+   format is incidental.  We keep code and data as two contiguous regions
+   plus a symbol table for diagnostics. *)
+
+type symbol = { sym_name : string; sym_addr : int64; sym_size : int }
+
+type t = {
+  code_base : int64;
+  code : Bytes.t;
+  data_base : int64;
+  data : Bytes.t;
+  entry : int64;
+  symbols : symbol list;
+}
+
+let default_code_base = 0x400000L
+let default_data_base = 0x600000L
+
+let create ?(code_base = default_code_base) ?(data_base = default_data_base)
+    ?(symbols = []) ~entry ~code ~data () =
+  { code_base; code; data_base; data; entry; symbols }
+
+let code_size t = Bytes.length t.code
+let data_size t = Bytes.length t.data
+
+let code_end t = Int64.add t.code_base (Int64.of_int (code_size t))
+let data_end t = Int64.add t.data_base (Int64.of_int (data_size t))
+
+let in_code t addr = addr >= t.code_base && addr < code_end t
+let in_data t addr = addr >= t.data_base && addr < data_end t
+
+(* Byte at an absolute address, raising if outside both regions. *)
+let byte t addr =
+  if in_code t addr then
+    Bytes.get_uint8 t.code (Int64.to_int (Int64.sub addr t.code_base))
+  else if in_data t addr then
+    Bytes.get_uint8 t.data (Int64.to_int (Int64.sub addr t.data_base))
+  else invalid_arg (Printf.sprintf "Image.byte: address 0x%Lx unmapped" addr)
+
+let find_symbol t name =
+  List.find_opt (fun s -> s.sym_name = name) t.symbols
+
+let symbol_addr t name =
+  match find_symbol t name with
+  | Some s -> s.sym_addr
+  | None -> invalid_arg (Printf.sprintf "Image.symbol_addr: no symbol %s" name)
+
+let symbol_at t addr =
+  List.find_opt
+    (fun s ->
+      addr >= s.sym_addr
+      && Int64.to_int (Int64.sub addr s.sym_addr) < max 1 s.sym_size)
+    t.symbols
+
+(* Read a NUL-terminated string out of the data region (for execve paths). *)
+let read_cstring t addr =
+  let buf = Buffer.create 16 in
+  let rec loop a =
+    let b = byte t a in
+    if b = 0 then Buffer.contents buf
+    else begin
+      Buffer.add_char buf (Char.chr b);
+      loop (Int64.add a 1L)
+    end
+  in
+  loop addr

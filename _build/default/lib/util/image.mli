@@ -1,0 +1,58 @@
+(** Flat binary image: the loadable artifact every analysis consumes.
+
+    Stands in for an ELF executable (DESIGN.md §2): all the tools in the
+    paper scan the executable byte range, so the container format is
+    incidental.  Code and data are two contiguous regions plus a symbol
+    table for diagnostics. *)
+
+type symbol = { sym_name : string; sym_addr : int64; sym_size : int }
+
+type t = {
+  code_base : int64;
+  code : Bytes.t;
+  data_base : int64;
+  data : Bytes.t;
+  entry : int64;          (** address execution starts at *)
+  symbols : symbol list;
+}
+
+val default_code_base : int64
+val default_data_base : int64
+
+val create :
+  ?code_base:int64 ->
+  ?data_base:int64 ->
+  ?symbols:symbol list ->
+  entry:int64 ->
+  code:Bytes.t ->
+  data:Bytes.t ->
+  unit ->
+  t
+
+val code_size : t -> int
+val data_size : t -> int
+
+val code_end : t -> int64
+(** One past the last code byte. *)
+
+val data_end : t -> int64
+
+val in_code : t -> int64 -> bool
+(** Does the absolute address fall inside the code region? *)
+
+val in_data : t -> int64 -> bool
+
+val byte : t -> int64 -> int
+(** Byte at an absolute address; raises [Invalid_argument] when the
+    address is in neither region. *)
+
+val find_symbol : t -> string -> symbol option
+
+val symbol_addr : t -> string -> int64
+(** Address of a named symbol; raises [Invalid_argument] if absent. *)
+
+val symbol_at : t -> int64 -> symbol option
+(** The symbol whose range covers the address, if any. *)
+
+val read_cstring : t -> int64 -> string
+(** NUL-terminated string starting at the address (e.g. execve paths). *)

@@ -1,0 +1,1 @@
+lib/x86/decode.ml: Bytes Insn Int64 List Reg

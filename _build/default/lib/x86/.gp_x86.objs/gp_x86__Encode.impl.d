@@ -1,0 +1,1 @@
+lib/x86/encode.ml: Buffer Bytes Char Insn Int32 Int64 List Reg

@@ -1,0 +1,22 @@
+(** x86-64 decoder for the encoder's subset.
+
+    May be pointed at ANY byte offset — including the middle of an
+    encoded instruction — and either produces an instruction or rejects
+    the bytes.  This makes unaligned gadget harvesting possible: bytes of
+    immediates and displacements re-decode as different instructions,
+    exactly as on real hardware.  Unknown opcodes yield [None] rather
+    than an exception so callers can slide a window over raw code. *)
+
+val decode : ?limit:int -> Bytes.t -> int -> (Insn.t * int) option
+(** [decode bytes pos] decodes one instruction starting at byte [pos],
+    returning it with its encoded length, or [None] when the bytes are
+    not in the subset.  [limit] caps readable bytes (default: the whole
+    buffer); running past it rejects. *)
+
+val decode_run :
+  ?max_insns:int -> ?limit:int -> Bytes.t -> int -> (Insn.t * int * int) list option
+(** Decode consecutive instructions up to and including the first
+    terminator (see {!Insn.is_terminator}).  Returns
+    [(insn, offset_from_start, length)] triples, or [None] if any byte
+    fails to decode or no terminator appears within [max_insns]
+    (default 64). *)

@@ -1,0 +1,194 @@
+(* x86-64 machine-code encoder.
+
+   Emits genuine REX/ModRM/SIB encodings for the subset in [Insn].  Real
+   encodings matter here: gadget harvesting decodes the byte stream at
+   arbitrary offsets, so instruction lengths and immediate placement have
+   to look like the real ISA for the paper's phenomena (e.g. a 0xC3 inside
+   an immediate becoming a ret gadget) to arise. *)
+
+exception Unencodable of string
+
+let fits_imm32 (i : int64) = Int64.of_int32 (Int64.to_int32 i) = i
+let fits_imm32_int (i : int) = i >= Int32.to_int Int32.min_int && i <= Int32.to_int Int32.max_int
+
+type rm = RmReg of Reg.t | RmMem of Insn.mem
+
+let buf_i32 buf (v : int) =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v asr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v asr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v asr 24) land 0xff))
+
+let buf_i64 buf (v : int64) =
+  for k = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xffL)))
+  done
+
+(* ModRM (+ optional SIB + displacement).  Returns the REX.R / REX.B bits
+   the caller must fold into the prefix, and a closure that emits the
+   ModRM tail once the opcode is out. *)
+let modrm ~reg_num rm =
+  let rex_r = if reg_num >= 8 then 1 else 0 in
+  let reg3 = reg_num land 7 in
+  match rm with
+  | RmReg r ->
+    let n = Reg.number r in
+    let rex_b = if n >= 8 then 1 else 0 in
+    let emit buf = Buffer.add_char buf (Char.chr (0xC0 lor (reg3 lsl 3) lor (n land 7))) in
+    (rex_r, rex_b, emit)
+  | RmMem { base; disp } ->
+    if not (fits_imm32_int disp) then raise (Unencodable "mem displacement too large");
+    let n = Reg.number base in
+    let rex_b = if n >= 8 then 1 else 0 in
+    let b3 = n land 7 in
+    let need_sib = b3 = 4 in
+    (* mod=00 with base rbp/r13 means RIP-relative, so force disp8 there *)
+    let md =
+      if disp = 0 && b3 <> 5 then 0
+      else if disp >= -128 && disp <= 127 then 1
+      else 2
+    in
+    let emit buf =
+      let rm_field = if need_sib then 4 else b3 in
+      Buffer.add_char buf (Char.chr ((md lsl 6) lor (reg3 lsl 3) lor rm_field));
+      if need_sib then
+        (* scale=1, no index (100), base in low bits *)
+        Buffer.add_char buf (Char.chr (0x20 lor b3));
+      (match md with
+       | 0 -> ()
+       | 1 -> Buffer.add_char buf (Char.chr (disp land 0xff))
+       | _ -> buf_i32 buf disp)
+    in
+    (rex_r, rex_b, emit)
+
+let rex ~w ~r ~x ~b = 0x40 lor (w lsl 3) lor (r lsl 2) lor (x lsl 1) lor b
+
+(* Emit one full [REX] opcode ModRM... instruction with 64-bit operand size. *)
+let emit_w buf ?(opc2 = -1) ~opc ~reg_num rm =
+  let rex_r, rex_b, tail = modrm ~reg_num rm in
+  Buffer.add_char buf (Char.chr (rex ~w:1 ~r:rex_r ~x:0 ~b:rex_b));
+  if opc2 >= 0 then Buffer.add_char buf (Char.chr opc2);
+  Buffer.add_char buf (Char.chr opc);
+  tail buf
+
+(* Same but without REX.W (and prefix omitted entirely when possible). *)
+let emit_nw buf ~opc ~reg_num rm =
+  let rex_r, rex_b, tail = modrm ~reg_num rm in
+  if rex_r lor rex_b <> 0 then
+    Buffer.add_char buf (Char.chr (rex ~w:0 ~r:rex_r ~x:0 ~b:rex_b));
+  Buffer.add_char buf (Char.chr opc);
+  tail buf
+
+(* ALU family: opc_mr = "r/m, r" form, opc_rm = "r, r/m" form, ext =
+   /digit for the 0x81 immediate form. *)
+let alu buf ~opc_mr ~opc_rm ~ext dst src =
+  let open Insn in
+  match dst, src with
+  | Reg d, Reg s -> emit_w buf ~opc:opc_mr ~reg_num:(Reg.number s) (RmReg d)
+  | Mem m, Reg s -> emit_w buf ~opc:opc_mr ~reg_num:(Reg.number s) (RmMem m)
+  | Reg d, Mem m -> emit_w buf ~opc:opc_rm ~reg_num:(Reg.number d) (RmMem m)
+  | Reg d, Imm i ->
+    if not (fits_imm32 i) then raise (Unencodable "alu imm does not fit in 32 bits");
+    emit_w buf ~opc:0x81 ~reg_num:ext (RmReg d);
+    buf_i32 buf (Int64.to_int (Int64.logand i 0xFFFFFFFFL))
+  | Mem m, Imm i ->
+    if not (fits_imm32 i) then raise (Unencodable "alu imm does not fit in 32 bits");
+    emit_w buf ~opc:0x81 ~reg_num:ext (RmMem m);
+    buf_i32 buf (Int64.to_int (Int64.logand i 0xFFFFFFFFL))
+  | Imm _, _ -> raise (Unencodable "alu: immediate destination")
+  | Mem _, Mem _ -> raise (Unencodable "alu: mem, mem")
+
+let to_buffer buf insn =
+  let open Insn in
+  match insn with
+  | Mov (Reg d, Reg s) -> emit_w buf ~opc:0x89 ~reg_num:(Reg.number s) (RmReg d)
+  | Mov (Mem m, Reg s) -> emit_w buf ~opc:0x89 ~reg_num:(Reg.number s) (RmMem m)
+  | Mov (Reg d, Mem m) -> emit_w buf ~opc:0x8B ~reg_num:(Reg.number d) (RmMem m)
+  | Mov (Reg d, Imm i) ->
+    if not (fits_imm32 i) then raise (Unencodable "mov imm needs movabs");
+    emit_w buf ~opc:0xC7 ~reg_num:0 (RmReg d);
+    buf_i32 buf (Int64.to_int (Int64.logand i 0xFFFFFFFFL))
+  | Mov (Mem m, Imm i) ->
+    if not (fits_imm32 i) then raise (Unencodable "mov mem imm needs imm32");
+    emit_w buf ~opc:0xC7 ~reg_num:0 (RmMem m);
+    buf_i32 buf (Int64.to_int (Int64.logand i 0xFFFFFFFFL))
+  | Mov (Imm _, _) | Mov (Mem _, Mem _) -> raise (Unencodable "mov operands")
+  | Movabs (r, i) ->
+    let n = Reg.number r in
+    Buffer.add_char buf (Char.chr (rex ~w:1 ~r:0 ~x:0 ~b:(if n >= 8 then 1 else 0)));
+    Buffer.add_char buf (Char.chr (0xB8 lor (n land 7)));
+    buf_i64 buf i
+  | Lea (r, m) -> emit_w buf ~opc:0x8D ~reg_num:(Reg.number r) (RmMem m)
+  | Push r ->
+    let n = Reg.number r in
+    if n >= 8 then Buffer.add_char buf (Char.chr (rex ~w:0 ~r:0 ~x:0 ~b:1));
+    Buffer.add_char buf (Char.chr (0x50 lor (n land 7)))
+  | PushImm i ->
+    if not (fits_imm32_int i) then raise (Unencodable "push imm32");
+    Buffer.add_char buf '\x68';
+    buf_i32 buf i
+  | Pop r ->
+    let n = Reg.number r in
+    if n >= 8 then Buffer.add_char buf (Char.chr (rex ~w:0 ~r:0 ~x:0 ~b:1));
+    Buffer.add_char buf (Char.chr (0x58 lor (n land 7)))
+  | Add (d, s) -> alu buf ~opc_mr:0x01 ~opc_rm:0x03 ~ext:0 d s
+  | Or_ (d, s) -> alu buf ~opc_mr:0x09 ~opc_rm:0x0B ~ext:1 d s
+  | And_ (d, s) -> alu buf ~opc_mr:0x21 ~opc_rm:0x23 ~ext:4 d s
+  | Sub (d, s) -> alu buf ~opc_mr:0x29 ~opc_rm:0x2B ~ext:5 d s
+  | Xor (d, s) -> alu buf ~opc_mr:0x31 ~opc_rm:0x33 ~ext:6 d s
+  | Cmp (d, s) -> alu buf ~opc_mr:0x39 ~opc_rm:0x3B ~ext:7 d s
+  | Test (a, b) -> emit_w buf ~opc:0x85 ~reg_num:(Reg.number b) (RmReg a)
+  | Imul (d, s) -> emit_w buf ~opc2:0x0F ~opc:0xAF ~reg_num:(Reg.number d) (RmReg s)
+  | Shl (r, n) ->
+    emit_w buf ~opc:0xC1 ~reg_num:4 (RmReg r);
+    Buffer.add_char buf (Char.chr (n land 0x3f))
+  | Shr (r, n) ->
+    emit_w buf ~opc:0xC1 ~reg_num:5 (RmReg r);
+    Buffer.add_char buf (Char.chr (n land 0x3f))
+  | Sar (r, n) ->
+    emit_w buf ~opc:0xC1 ~reg_num:7 (RmReg r);
+    Buffer.add_char buf (Char.chr (n land 0x3f))
+  | Inc r -> emit_w buf ~opc:0xFF ~reg_num:0 (RmReg r)
+  | Dec r -> emit_w buf ~opc:0xFF ~reg_num:1 (RmReg r)
+  | Neg r -> emit_w buf ~opc:0xF7 ~reg_num:3 (RmReg r)
+  | Not_ r -> emit_w buf ~opc:0xF7 ~reg_num:2 (RmReg r)
+  | Xchg (a, b) -> emit_w buf ~opc:0x87 ~reg_num:(Reg.number b) (RmReg a)
+  | Jmp rel ->
+    Buffer.add_char buf '\xE9';
+    buf_i32 buf rel
+  | JmpReg r -> emit_nw buf ~opc:0xFF ~reg_num:4 (RmReg r)
+  | JmpMem m -> emit_nw buf ~opc:0xFF ~reg_num:4 (RmMem m)
+  | Jcc (c, rel) ->
+    Buffer.add_char buf '\x0F';
+    Buffer.add_char buf (Char.chr (0x80 lor Insn.cond_number c));
+    buf_i32 buf rel
+  | Call rel ->
+    Buffer.add_char buf '\xE8';
+    buf_i32 buf rel
+  | CallReg r -> emit_nw buf ~opc:0xFF ~reg_num:2 (RmReg r)
+  | CallMem m -> emit_nw buf ~opc:0xFF ~reg_num:2 (RmMem m)
+  | Ret -> Buffer.add_char buf '\xC3'
+  | RetImm n ->
+    Buffer.add_char buf '\xC2';
+    Buffer.add_char buf (Char.chr (n land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff))
+  | Leave -> Buffer.add_char buf '\xC9'
+  | Syscall ->
+    Buffer.add_char buf '\x0F';
+    Buffer.add_char buf '\x05'
+  | Nop -> Buffer.add_char buf '\x90'
+  | Int3 -> Buffer.add_char buf '\xCC'
+  | Hlt -> Buffer.add_char buf '\xF4'
+
+let insn i =
+  let buf = Buffer.create 16 in
+  to_buffer buf i;
+  Buffer.to_bytes buf
+
+let length i = Bytes.length (insn i)
+
+let insns is =
+  let buf = Buffer.create 256 in
+  List.iter (to_buffer buf) is;
+  Buffer.to_bytes buf

@@ -1,0 +1,28 @@
+(** x86-64 machine-code encoder.
+
+    Emits genuine REX/ModRM/SIB encodings for the subset in {!Insn}.
+    Real encodings matter: gadget harvesting decodes the byte stream at
+    arbitrary offsets, so instruction lengths and immediate placement
+    must look like the real ISA for the paper's phenomena (e.g. a 0xC3
+    inside an immediate becoming a ret gadget) to arise. *)
+
+exception Unencodable of string
+(** Raised for operand shapes outside the subset (mem-to-mem moves,
+    immediates beyond 32 bits where the form doesn't allow them, ...). *)
+
+val fits_imm32 : int64 -> bool
+(** Does the value survive a sign-extended 32-bit immediate? *)
+
+val fits_imm32_int : int -> bool
+
+val to_buffer : Buffer.t -> Insn.t -> unit
+(** Append one instruction's bytes. *)
+
+val insn : Insn.t -> Bytes.t
+(** Encode one instruction. *)
+
+val length : Insn.t -> int
+(** Encoded length in bytes. *)
+
+val insns : Insn.t list -> Bytes.t
+(** Concatenated encoding of an instruction sequence. *)

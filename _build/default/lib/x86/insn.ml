@@ -1,0 +1,134 @@
+(* Instruction AST for the x86-64 subset.
+
+   The subset is chosen so that (a) the code generator can compile the
+   mini-C corpus, (b) obfuscation output (dispatch loops, opaque
+   predicates, jump tables) is expressible, and (c) every gadget shape the
+   paper discusses exists: ret-ended, unconditional/conditional
+   direct/indirect jumps, call-reg, syscall. *)
+
+type cond =
+  | O | NO | B | AE | E | NE | BE | A | S | NS | P | NP | L | GE | LE | G
+
+(* Hardware condition-code number (used as 0x70+cc / 0x0F 0x80+cc). *)
+let cond_number = function
+  | O -> 0 | NO -> 1 | B -> 2 | AE -> 3 | E -> 4 | NE -> 5 | BE -> 6 | A -> 7
+  | S -> 8 | NS -> 9 | P -> 10 | NP -> 11 | L -> 12 | GE -> 13 | LE -> 14 | G -> 15
+
+let cond_of_number = function
+  | 0 -> O | 1 -> NO | 2 -> B | 3 -> AE | 4 -> E | 5 -> NE | 6 -> BE | 7 -> A
+  | 8 -> S | 9 -> NS | 10 -> P | 11 -> NP | 12 -> L | 13 -> GE | 14 -> LE | 15 -> G
+  | n -> invalid_arg (Printf.sprintf "cond_of_number: %d" n)
+
+let cond_name = function
+  | O -> "o" | NO -> "no" | B -> "b" | AE -> "ae" | E -> "e" | NE -> "ne"
+  | BE -> "be" | A -> "a" | S -> "s" | NS -> "ns" | P -> "p" | NP -> "np"
+  | L -> "l" | GE -> "ge" | LE -> "le" | G -> "g"
+
+let cond_negate = function
+  | O -> NO | NO -> O | B -> AE | AE -> B | E -> NE | NE -> E | BE -> A
+  | A -> BE | S -> NS | NS -> S | P -> NP | NP -> P | L -> GE | GE -> L
+  | LE -> G | G -> LE
+
+(* [base + disp]; no index/scale — the code generator synthesizes scaled
+   accesses with shl/add, which keeps both encoder and decoder small. *)
+type mem = { base : Reg.t; disp : int }
+
+type operand = Reg of Reg.t | Imm of int64 | Mem of mem
+
+type t =
+  | Mov of operand * operand       (* dst, src *)
+  | Movabs of Reg.t * int64        (* 64-bit immediate load *)
+  | Lea of Reg.t * mem
+  | Push of Reg.t
+  | PushImm of int                 (* sign-extended imm32 *)
+  | Pop of Reg.t
+  | Add of operand * operand
+  | Sub of operand * operand
+  | And_ of operand * operand
+  | Or_ of operand * operand
+  | Xor of operand * operand
+  | Cmp of operand * operand
+  | Test of Reg.t * Reg.t
+  | Imul of Reg.t * Reg.t
+  | Shl of Reg.t * int
+  | Shr of Reg.t * int
+  | Sar of Reg.t * int
+  | Inc of Reg.t
+  | Dec of Reg.t
+  | Neg of Reg.t
+  | Not_ of Reg.t
+  | Xchg of Reg.t * Reg.t
+  | Jmp of int                     (* rel32, relative to next instruction *)
+  | JmpReg of Reg.t
+  | JmpMem of mem
+  | Jcc of cond * int
+  | Call of int
+  | CallReg of Reg.t
+  | CallMem of mem
+  | Ret
+  | RetImm of int
+  | Leave
+  | Syscall
+  | Nop
+  | Int3
+  | Hlt
+
+let mem ?(disp = 0) base = { base; disp }
+
+let string_of_mem m =
+  if m.disp = 0 then Printf.sprintf "[%s]" (Reg.name m.base)
+  else if m.disp > 0 then Printf.sprintf "[%s+0x%x]" (Reg.name m.base) m.disp
+  else Printf.sprintf "[%s-0x%x]" (Reg.name m.base) (-m.disp)
+
+let string_of_operand = function
+  | Reg r -> Reg.name r
+  | Imm i -> Printf.sprintf "0x%Lx" i
+  | Mem m -> string_of_mem m
+
+let to_string insn =
+  let op2 name a b =
+    Printf.sprintf "%s %s, %s" name (string_of_operand a) (string_of_operand b)
+  in
+  match insn with
+  | Mov (d, s) -> op2 "mov" d s
+  | Movabs (r, i) -> Printf.sprintf "movabs %s, 0x%Lx" (Reg.name r) i
+  | Lea (r, m) -> Printf.sprintf "lea %s, %s" (Reg.name r) (string_of_mem m)
+  | Push r -> "push " ^ Reg.name r
+  | PushImm i -> Printf.sprintf "push 0x%x" i
+  | Pop r -> "pop " ^ Reg.name r
+  | Add (d, s) -> op2 "add" d s
+  | Sub (d, s) -> op2 "sub" d s
+  | And_ (d, s) -> op2 "and" d s
+  | Or_ (d, s) -> op2 "or" d s
+  | Xor (d, s) -> op2 "xor" d s
+  | Cmp (d, s) -> op2 "cmp" d s
+  | Test (a, b) -> Printf.sprintf "test %s, %s" (Reg.name a) (Reg.name b)
+  | Imul (a, b) -> Printf.sprintf "imul %s, %s" (Reg.name a) (Reg.name b)
+  | Shl (r, n) -> Printf.sprintf "shl %s, %d" (Reg.name r) n
+  | Shr (r, n) -> Printf.sprintf "shr %s, %d" (Reg.name r) n
+  | Sar (r, n) -> Printf.sprintf "sar %s, %d" (Reg.name r) n
+  | Inc r -> "inc " ^ Reg.name r
+  | Dec r -> "dec " ^ Reg.name r
+  | Neg r -> "neg " ^ Reg.name r
+  | Not_ r -> "not " ^ Reg.name r
+  | Xchg (a, b) -> Printf.sprintf "xchg %s, %s" (Reg.name a) (Reg.name b)
+  | Jmp rel -> Printf.sprintf "jmp %+d" rel
+  | JmpReg r -> "jmp " ^ Reg.name r
+  | JmpMem m -> "jmp " ^ string_of_mem m
+  | Jcc (c, rel) -> Printf.sprintf "j%s %+d" (cond_name c) rel
+  | Call rel -> Printf.sprintf "call %+d" rel
+  | CallReg r -> "call " ^ Reg.name r
+  | CallMem m -> "call " ^ string_of_mem m
+  | Ret -> "ret"
+  | RetImm n -> Printf.sprintf "ret 0x%x" n
+  | Leave -> "leave"
+  | Syscall -> "syscall"
+  | Nop -> "nop"
+  | Int3 -> "int3"
+  | Hlt -> "hlt"
+
+(* Does this instruction end a straight-line run (i.e. transfer control)? *)
+let is_terminator = function
+  | Jmp _ | JmpReg _ | JmpMem _ | Jcc _ | Call _ | CallReg _ | CallMem _
+  | Ret | RetImm _ | Syscall | Hlt | Int3 -> true
+  | _ -> false

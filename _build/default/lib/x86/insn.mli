@@ -1,0 +1,77 @@
+(** Instruction AST for the x86-64 subset.
+
+    The subset is chosen so that (a) the code generator can compile the
+    mini-C corpus, (b) obfuscation output (dispatch loops, opaque
+    predicates, jump tables) is expressible, and (c) every gadget shape
+    the paper discusses exists: ret-ended, unconditional/conditional
+    direct/indirect jumps, call-reg, syscall. *)
+
+(** Condition codes, in hardware-number order. *)
+type cond =
+  | O | NO | B | AE | E | NE | BE | A | S | NS | P | NP | L | GE | LE | G
+
+val cond_number : cond -> int
+(** Hardware condition-code number (used as [0x70+cc] / [0x0F 0x80+cc]). *)
+
+val cond_of_number : int -> cond
+val cond_name : cond -> string
+
+val cond_negate : cond -> cond
+(** The complementary condition ([E] <-> [NE], [L] <-> [GE], ...). *)
+
+type mem = { base : Reg.t; disp : int }
+(** A [base + displacement] memory operand.  No index/scale — the code
+    generator synthesizes scaled accesses with shl/add, which keeps both
+    encoder and decoder small. *)
+
+type operand = Reg of Reg.t | Imm of int64 | Mem of mem
+
+type t =
+  | Mov of operand * operand       (** destination, source *)
+  | Movabs of Reg.t * int64        (** 64-bit immediate load *)
+  | Lea of Reg.t * mem
+  | Push of Reg.t
+  | PushImm of int                 (** sign-extended imm32 *)
+  | Pop of Reg.t
+  | Add of operand * operand
+  | Sub of operand * operand
+  | And_ of operand * operand
+  | Or_ of operand * operand
+  | Xor of operand * operand
+  | Cmp of operand * operand
+  | Test of Reg.t * Reg.t
+  | Imul of Reg.t * Reg.t
+  | Shl of Reg.t * int
+  | Shr of Reg.t * int
+  | Sar of Reg.t * int
+  | Inc of Reg.t
+  | Dec of Reg.t
+  | Neg of Reg.t
+  | Not_ of Reg.t
+  | Xchg of Reg.t * Reg.t
+  | Jmp of int                     (** rel32, relative to next instruction *)
+  | JmpReg of Reg.t
+  | JmpMem of mem
+  | Jcc of cond * int
+  | Call of int
+  | CallReg of Reg.t
+  | CallMem of mem
+  | Ret
+  | RetImm of int
+  | Leave
+  | Syscall
+  | Nop
+  | Int3
+  | Hlt
+
+val mem : ?disp:int -> Reg.t -> mem
+(** [mem ~disp base] builds a memory operand; [disp] defaults to 0. *)
+
+val string_of_mem : mem -> string
+val string_of_operand : operand -> string
+
+val to_string : t -> string
+(** Intel-flavoured rendering, e.g. ["mov rax, [rbp-0x18]"]. *)
+
+val is_terminator : t -> bool
+(** Does this instruction end a straight-line run (transfer control)? *)

@@ -1,0 +1,28 @@
+(** The 16 x86-64 general-purpose registers. *)
+
+type t =
+  | RAX | RCX | RDX | RBX | RSP | RBP | RSI | RDI
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+val all : t list
+(** All sixteen, in hardware-number order. *)
+
+val number : t -> int
+(** Hardware encoding number: low 3 bits go in ModRM/opcode, bit 3 in the
+    REX prefix. *)
+
+val of_number : int -> t
+(** Inverse of {!number}; raises [Invalid_argument] outside [0,15]. *)
+
+val name : t -> string
+(** Lower-case assembly name, e.g. ["rdi"]. *)
+
+val of_name : string -> t
+(** Inverse of {!name} (case-insensitive); raises [Invalid_argument]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val args : t list
+(** System V AMD64 argument registers, in order:
+    rdi, rsi, rdx, rcx, r8, r9. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Gp_smt Gp_x86 Insn Int32 Int64 Printf QCheck2 QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Gp_baselines Gp_codegen Gp_core Gp_emu List

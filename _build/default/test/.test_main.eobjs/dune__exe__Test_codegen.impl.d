@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Bytes Gp_codegen Gp_core Gp_emu Gp_obf Gp_util Gp_x86 List Printf String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Gp_codegen Gp_corpus Gp_emu Gp_obf Int64 List String

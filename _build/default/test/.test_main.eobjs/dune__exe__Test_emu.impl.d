@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Bytes Encode Gen Gp_emu Gp_util Gp_x86 Insn Int64 List QCheck2 Reg

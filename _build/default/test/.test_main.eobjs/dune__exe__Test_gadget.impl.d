@@ -1,0 +1,1 @@
+test/test_gadget.ml: Alcotest Array Bytes Encode Gen Gp_codegen Gp_core Gp_smt Gp_symx Gp_util Gp_x86 Insn List QCheck2 Reg

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Gp_codegen Gp_core Gp_corpus Gp_emu Gp_harness Hashtbl List String

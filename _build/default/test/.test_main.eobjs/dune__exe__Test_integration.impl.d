@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Gp_baselines Gp_codegen Gp_core Gp_corpus Gp_emu Gp_harness Gp_obf Int64 List

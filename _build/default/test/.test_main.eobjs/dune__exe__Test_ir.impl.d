@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Bytes Gp_ir Gp_minic Ir List String

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Check Gp_minic Lexer List Parser String

@@ -1,0 +1,1 @@
+test/test_obf.ml: Alcotest Gen Gp_codegen Gp_emu Gp_ir Gp_obf Gp_util Hashtbl Int64 List QCheck2 String

@@ -1,0 +1,1 @@
+test/test_payload.ml: Alcotest Array Bytes Encode Gp_core Gp_symx Gp_util Gp_x86 Insn List Option Reg String

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Bytes Encode Gp_core Gp_emu Gp_symx Gp_util Gp_x86 Hashtbl Insn Int64 List Option Reg

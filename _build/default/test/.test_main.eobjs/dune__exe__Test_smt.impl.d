@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Formula Gen Gp_smt Gp_util Int64 List Printf QCheck2 Solver Term

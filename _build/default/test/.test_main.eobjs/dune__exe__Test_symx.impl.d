@@ -1,0 +1,1 @@
+test/test_symx.ml: Alcotest Bytes Encode Formula Gen Gp_emu Gp_smt Gp_symx Gp_util Gp_x86 Insn Int64 List QCheck2 Reg Solver String Term

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Bytes Char Decode Encode Fun Gen Gp_util Gp_x86 Insn List QCheck2 Reg String

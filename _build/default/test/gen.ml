@@ -1,0 +1,124 @@
+(* QCheck generators shared across suites. *)
+
+open Gp_x86
+
+let reg : Reg.t QCheck2.Gen.t =
+  QCheck2.Gen.map Reg.of_number (QCheck2.Gen.int_range 0 15)
+
+let cond : Insn.cond QCheck2.Gen.t =
+  QCheck2.Gen.map Insn.cond_of_number (QCheck2.Gen.int_range 0 15)
+
+let imm32 : int64 QCheck2.Gen.t =
+  QCheck2.Gen.map Int64.of_int
+    (QCheck2.Gen.int_range (Int32.to_int Int32.min_int) (Int32.to_int Int32.max_int))
+
+let imm64 : int64 QCheck2.Gen.t =
+  QCheck2.Gen.map
+    (fun (a, b) -> Int64.logor (Int64.shift_left (Int64.of_int a) 32) (Int64.of_int b))
+    QCheck2.Gen.(pair (int_range 0 0xffffffff) (int_range 0 0xffffffff))
+
+let disp : int QCheck2.Gen.t =
+  QCheck2.Gen.oneof
+    [ QCheck2.Gen.int_range (-128) 127;
+      QCheck2.Gen.int_range (-100000) 100000 ]
+
+let mem : Insn.mem QCheck2.Gen.t =
+  QCheck2.Gen.map2 (fun base disp -> { Insn.base; disp }) reg disp
+
+let operand : Insn.operand QCheck2.Gen.t =
+  QCheck2.Gen.oneof
+    [ QCheck2.Gen.map (fun r -> Insn.Reg r) reg;
+      QCheck2.Gen.map (fun i -> Insn.Imm i) imm32;
+      QCheck2.Gen.map (fun m -> Insn.Mem m) mem ]
+
+(* ALU-style operand pairs that the encoder accepts. *)
+let alu_operands : (Insn.operand * Insn.operand) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [ map2 (fun a b -> (Insn.Reg a, Insn.Reg b)) reg reg;
+      map2 (fun a b -> (Insn.Reg a, Insn.Mem b)) reg mem;
+      map2 (fun a b -> (Insn.Mem a, Insn.Reg b)) mem reg;
+      map2 (fun a b -> (Insn.Reg a, Insn.Imm b)) reg imm32;
+      map2 (fun a b -> (Insn.Mem a, Insn.Imm b)) mem imm32 ]
+
+(* Any encodable instruction. *)
+let insn : Insn.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [ map (fun (d, s) -> Insn.Mov (d, s)) alu_operands;
+      map2 (fun r i -> Insn.Movabs (r, i)) reg imm64;
+      map2 (fun r m -> Insn.Lea (r, m)) reg mem;
+      map (fun r -> Insn.Push r) reg;
+      map (fun r -> Insn.Pop r) reg;
+      map (fun i -> Insn.PushImm (Int64.to_int i)) imm32;
+      map (fun (d, s) -> Insn.Add (d, s)) alu_operands;
+      map (fun (d, s) -> Insn.Sub (d, s)) alu_operands;
+      map (fun (d, s) -> Insn.And_ (d, s)) alu_operands;
+      map (fun (d, s) -> Insn.Or_ (d, s)) alu_operands;
+      map (fun (d, s) -> Insn.Xor (d, s)) alu_operands;
+      map (fun (d, s) -> Insn.Cmp (d, s)) alu_operands;
+      map2 (fun a b -> Insn.Test (a, b)) reg reg;
+      map2 (fun a b -> Insn.Imul (a, b)) reg reg;
+      map2 (fun r n -> Insn.Shl (r, n)) reg (int_range 0 63);
+      map2 (fun r n -> Insn.Shr (r, n)) reg (int_range 0 63);
+      map2 (fun r n -> Insn.Sar (r, n)) reg (int_range 0 63);
+      map (fun r -> Insn.Inc r) reg;
+      map (fun r -> Insn.Dec r) reg;
+      map (fun r -> Insn.Neg r) reg;
+      map (fun r -> Insn.Not_ r) reg;
+      map2 (fun a b -> Insn.Xchg (a, b)) reg reg;
+      map (fun i -> Insn.Jmp (Int64.to_int i)) imm32;
+      map (fun r -> Insn.JmpReg r) reg;
+      map (fun m -> Insn.JmpMem m) mem;
+      map2 (fun c i -> Insn.Jcc (c, Int64.to_int i)) cond imm32;
+      map (fun i -> Insn.Call (Int64.to_int i)) imm32;
+      map (fun r -> Insn.CallReg r) reg;
+      map (fun m -> Insn.CallMem m) mem;
+      return Insn.Ret;
+      map (fun n -> Insn.RetImm (n land 0xffff)) (int_range 0 0xffff);
+      return Insn.Leave;
+      return Insn.Syscall;
+      return Insn.Nop;
+      return Insn.Int3;
+      return Insn.Hlt ]
+
+(* Bit-vector terms over a small variable alphabet. *)
+let term : Gp_smt.Term.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let var = map (fun i -> Gp_smt.Term.Var (Printf.sprintf "v%d" i)) (int_range 0 3) in
+  let const = map (fun i -> Gp_smt.Term.Const i) imm64 in
+  fix
+    (fun self depth ->
+      if depth = 0 then oneof [ var; const ]
+      else
+        let sub = self (depth - 1) in
+        oneof
+          [ var; const;
+            map2 (fun a b -> Gp_smt.Term.Add (a, b)) sub sub;
+            map2 (fun a b -> Gp_smt.Term.Sub (a, b)) sub sub;
+            map2 (fun a b -> Gp_smt.Term.Mul (a, b)) sub sub;
+            map (fun a -> Gp_smt.Term.Neg a) sub;
+            map (fun a -> Gp_smt.Term.Not a) sub;
+            map2 (fun a b -> Gp_smt.Term.And (a, b)) sub sub;
+            map2 (fun a b -> Gp_smt.Term.Or (a, b)) sub sub;
+            map2 (fun a b -> Gp_smt.Term.Xor (a, b)) sub sub;
+            map2 (fun a k -> Gp_smt.Term.Shl (a, Gp_smt.Term.Const (Int64.of_int k)))
+              sub (int_range 0 63);
+            map2 (fun a k -> Gp_smt.Term.Shr (a, Gp_smt.Term.Const (Int64.of_int k)))
+              sub (int_range 0 63) ])
+    3
+
+let model : (string -> int64) QCheck2.Gen.t =
+  QCheck2.Gen.map
+    (fun (a, b, c, d) v ->
+      match v with
+      | "v0" -> a
+      | "v1" -> b
+      | "v2" -> c
+      | _ -> d)
+    QCheck2.Gen.(quad imm64 imm64 imm64 imm64)
+
+(* Wrap a QCheck2 test into an alcotest case. *)
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)

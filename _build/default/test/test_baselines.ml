@@ -1,0 +1,119 @@
+(* Tests for the three baseline tools: each finds what its strategy class
+   can see and no more. *)
+
+let small_src =
+  {|
+int f(int a) { return a * 3 + 1; }
+int main() { int s = 0; int i; for (i = 0; i < 6; i = i + 1) { s = s + f(i); } return s; }
+|}
+
+let image = Gp_codegen.Pipeline.compile small_src
+
+let pool = Gp_core.Extract.harvest image
+
+let test_ropgadget_execve_only () =
+  let execve = Gp_baselines.Ropgadget.run image (Gp_core.Goal.Execve "/bin/sh") in
+  let mprotect =
+    Gp_baselines.Ropgadget.run image
+      (Gp_core.Goal.Mprotect (Gp_emu.Machine.stack_base, 0x1000L, 7L))
+  in
+  (* the template only knows execve *)
+  Alcotest.(check int) "no mprotect chain" 0
+    (Gp_baselines.Report.chain_count mprotect);
+  (* and our runtime provides every template slot, so execve succeeds *)
+  Alcotest.(check int) "one execve chain" 1 (Gp_baselines.Report.chain_count execve)
+
+let test_ropgadget_pool_is_ret_only () =
+  let r = Gp_baselines.Ropgadget.run image (Gp_core.Goal.Execve "/bin/sh") in
+  Alcotest.(check bool) "found some gadgets" true (r.Gp_baselines.Report.pool_total > 0)
+
+let test_angrop_sets_all_goals () =
+  List.iter
+    (fun goal ->
+      let r = Gp_baselines.Angrop.run ~pool image goal in
+      Alcotest.(check bool)
+        (Gp_core.Goal.name goal ^ " <= 1 chain")
+        true
+        (Gp_baselines.Report.chain_count r <= 1))
+    Gp_core.Goal.default_goals
+
+let test_angrop_chains_validate () =
+  let r = Gp_baselines.Angrop.run ~pool image (Gp_core.Goal.Execve "/bin/sh") in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "validated" true (Gp_core.Payload.validate image c))
+    r.Gp_baselines.Report.chains
+
+let test_angrop_simple_filter () =
+  (* angrop only keeps clean ret gadgets: no conditionals, no memory *)
+  let simple = List.filter Gp_baselines.Angrop.simple pool in
+  List.iter
+    (fun (g : Gp_core.Gadget.t) ->
+      Alcotest.(check bool) "ret kind" true (g.Gp_core.Gadget.kind = Gp_core.Gadget.Return);
+      Alcotest.(check bool) "no pre" true (g.Gp_core.Gadget.pre = []);
+      Alcotest.(check bool) "no mem" true
+        (g.Gp_core.Gadget.mem_reads = [] && g.Gp_core.Gadget.ptr_writes = []))
+    simple;
+  Alcotest.(check bool) "some survive" true (simple <> [])
+
+let test_sgc_restriction () =
+  (* SGC's pool never contains conditional or merged gadgets *)
+  let restricted = Gp_baselines.Sgc.select (List.filter Gp_baselines.Sgc.eligible pool) in
+  List.iter
+    (fun (g : Gp_core.Gadget.t) ->
+      Alcotest.(check bool) "no cond" false g.Gp_core.Gadget.has_cond;
+      Alcotest.(check bool) "no merge" false g.Gp_core.Gadget.has_merge)
+    restricted;
+  Alcotest.(check bool) "selection shrinks pool" true
+    (List.length restricted <= List.length pool)
+
+let test_sgc_finds_some_but_capped () =
+  let r = Gp_baselines.Sgc.run ~pool image (Gp_core.Goal.Execve "/bin/sh") in
+  Alcotest.(check bool) "bounded" true (Gp_baselines.Report.chain_count r <= 6);
+  List.iter
+    (fun c -> Alcotest.(check bool) "validated" true (Gp_core.Payload.validate image c))
+    r.Gp_baselines.Report.chains
+
+let test_gp_dominates_baselines () =
+  let goal = Gp_core.Goal.Execve "/bin/sh" in
+  let a = Gp_core.Api.analyze image in
+  let gp =
+    Gp_core.Api.run_with_analysis
+      ~planner_config:
+        { Gp_core.Planner.max_plans = 50; node_budget = 1500; time_budget = 20.;
+          branch_cap = 10; goal_cap = 6; max_steps = 14 }
+      a goal
+  in
+  let rg = Gp_baselines.Ropgadget.run image goal in
+  let ag = Gp_baselines.Angrop.run ~pool image goal in
+  let sg = Gp_baselines.Sgc.run ~pool image goal in
+  let gp_n = List.length gp.Gp_core.Api.chains in
+  Alcotest.(check bool) "gp > ropgadget" true
+    (gp_n > Gp_baselines.Report.chain_count rg);
+  Alcotest.(check bool) "gp > angrop" true
+    (gp_n > Gp_baselines.Report.chain_count ag);
+  Alcotest.(check bool) "gp > sgc" true
+    (gp_n > Gp_baselines.Report.chain_count sg)
+
+let test_report_stats () =
+  let r = Gp_baselines.Angrop.run ~pool image (Gp_core.Goal.Execve "/bin/sh") in
+  if r.Gp_baselines.Report.chains <> [] then begin
+    Alcotest.(check bool) "gadget len positive" true
+      (Gp_baselines.Report.avg_gadget_len r > 0.);
+    Alcotest.(check bool) "chain len >= gadget len" true
+      (Gp_baselines.Report.avg_chain_len r >= Gp_baselines.Report.avg_gadget_len r);
+    let ret, ij, dj, cj = Gp_baselines.Report.kind_percentages r in
+    Alcotest.(check bool) "percentages sane" true
+      (ret >= 0. && ret <= 100. && ij = 0. && dj = 0. && cj = 0.)
+  end
+
+let suite =
+  [ Alcotest.test_case "ropgadget execve only" `Quick test_ropgadget_execve_only;
+    Alcotest.test_case "ropgadget pool" `Quick test_ropgadget_pool_is_ret_only;
+    Alcotest.test_case "angrop at most one chain" `Quick test_angrop_sets_all_goals;
+    Alcotest.test_case "angrop chains validate" `Quick test_angrop_chains_validate;
+    Alcotest.test_case "angrop simple filter" `Quick test_angrop_simple_filter;
+    Alcotest.test_case "sgc restriction" `Quick test_sgc_restriction;
+    Alcotest.test_case "sgc capped" `Quick test_sgc_finds_some_but_capped;
+    Alcotest.test_case "gp dominates baselines" `Slow test_gp_dominates_baselines;
+    Alcotest.test_case "report stats" `Quick test_report_stats ]

@@ -1,0 +1,166 @@
+(* Tests for the code generator: compile-and-run semantics over language
+   features, plus structural checks on the emitted image (runtime
+   routines, symbols, jump tables). *)
+
+let run_src ?(fuel = 10_000_000) src =
+  let image = Gp_codegen.Pipeline.compile src in
+  Gp_emu.Machine.run_image ~fuel image
+
+let check_exit name src expect =
+  match run_src src with
+  | Gp_emu.Machine.Exited v, _ -> Alcotest.(check int64) name expect v
+  | Gp_emu.Machine.Fault m, _ -> Alcotest.failf "%s: fault %s" name m
+  | Gp_emu.Machine.Timeout, _ -> Alcotest.failf "%s: timeout" name
+  | Gp_emu.Machine.Attacked _, _ -> Alcotest.failf "%s: attacked" name
+
+let test_arith () =
+  check_exit "add" "int main() { return 2 + 3; }" 5L;
+  check_exit "mul" "int main() { return 6 * 7; }" 42L;
+  check_exit "mixed" "int main() { return (10 - 3) * 2 + (1 << 4); }" 30L;
+  check_exit "bitops" "int main() { return (0xff & 0x0f) | 0x30 ^ 0x01; }" 63L;
+  check_exit "neg" "int main() { return 0 - (0 - 7); }" 7L;
+  check_exit "not" "int main() { return ~0 + 8; }" 7L;
+  check_exit "sar" "int main() { return (0 - 16) >> 2; }" (-4L)
+
+let test_comparisons () =
+  check_exit "lt" "int main() { return 1 < 2; }" 1L;
+  check_exit "ge" "int main() { return 1 >= 2; }" 0L;
+  check_exit "eq" "int main() { return 5 == 5; }" 1L;
+  check_exit "ne" "int main() { return 5 != 5; }" 0L;
+  check_exit "signed" "int main() { return (0 - 1) < 1; }" 1L
+
+let test_control_flow () =
+  check_exit "if" "int main() { if (3 > 2) { return 1; } return 0; }" 1L;
+  check_exit "else" "int main() { if (2 > 3) { return 1; } else { return 9; } }" 9L;
+  check_exit "while" "int main() { int i = 0; while (i < 10) { i = i + 2; } return i; }" 10L;
+  check_exit "for+break"
+    "int main() { int i; for (i = 0; i < 100; i = i + 1) { if (i == 7) { break; } } return i; }"
+    7L;
+  check_exit "continue"
+    "int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) { if (i & 1) { continue; } s = s + i; } return s; }"
+    20L;
+  check_exit "shortcircuit"
+    "int main() { int a = 1; int b = 0; if (a || b && 0) { return 3; } return 4; }" 3L
+
+let test_functions () =
+  check_exit "call" "int f(int a, int b) { return a * 10 + b; } int main() { return f(3, 4); }" 34L;
+  check_exit "six args"
+    "int f(int a, int b, int c, int d, int e, int g) { return a+b+c+d+e+g; } int main() { return f(1,2,3,4,5,6); }"
+    21L;
+  check_exit "recursion"
+    "int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); } int main() { return fact(5); }"
+    120L
+
+let test_memory () =
+  check_exit "array" "int main() { int a[4]; a[2] = 9; return a[2]; }" 9L;
+  check_exit "array expr index"
+    "int main() { int a[8]; int i; for (i = 0; i < 8; i = i + 1) { a[i] = i * i; } return a[5]; }" 25L;
+  check_exit "pointer" "int main() { int x = 3; int *p = &x; *p = *p + 4; return x; }" 7L;
+  check_exit "global" "int g = 40; int main() { g = g + 2; return g; }" 42L;
+  check_exit "global array" "int t[3] = {7, 8, 9}; int main() { return t[1]; }" 8L;
+  check_exit "addr of array elem"
+    "int main() { int a[4]; int *p = &a[2]; *p = 5; return a[2]; }" 5L
+
+let test_print_output () =
+  let outcome, m = run_src "int main() { print(0x1122334455667788); return 0; }" in
+  (match outcome with Gp_emu.Machine.Exited 0L -> () | _ -> Alcotest.fail "exit 0");
+  let out = Gp_emu.Machine.output m in
+  Alcotest.(check int) "8 bytes" 8 (String.length out);
+  Alcotest.(check int64) "value" 0x1122334455667788L
+    (Bytes.get_int64_le (Bytes.of_string out) 0)
+
+let test_exit_builtin () =
+  check_exit "exit" "int main() { exit(33); return 1; }" 33L
+
+let test_runtime_symbols () =
+  let image = Gp_codegen.Pipeline.compile "int main() { return 0; }" in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (Gp_util.Image.find_symbol image name <> None))
+    [ "_start"; "__rt_syscall3"; "__rt_restore"; "main"; "__rt_shell" ]
+
+let test_runtime_shell_string () =
+  let image = Gp_codegen.Pipeline.compile "int main() { return 0; }" in
+  Alcotest.(check bool) "/bin/sh present" true
+    (Gp_core.Goal.find_string image "/bin/sh" <> None)
+
+let test_runtime_restore_unaligned_pops () =
+  (* the register-restore routine must yield the classic unaligned pop
+     gadgets (pop rdi; ret / pop rsi; ...) *)
+  let image = Gp_codegen.Pipeline.compile "int main() { return 0; }" in
+  let raws = Gp_core.Extract.raw_scan image in
+  let has prefix =
+    List.exists
+      (fun (r : Gp_core.Extract.raw) ->
+        match r.Gp_core.Extract.raw_insns with
+        | first :: _ -> Gp_x86.Insn.to_string first = prefix
+        | [] -> false)
+      raws
+  in
+  List.iter
+    (fun p -> Alcotest.(check bool) p true (has p))
+    [ "pop rdi"; "pop rsi"; "pop rdx"; "pop rax"; "pop rcx"; "pop rbp" ]
+
+let test_callee_saved_epilogues () =
+  (* functions named to hash into callee-saved scratch registers must
+     push/pop them; semantics stay correct either way *)
+  check_exit "many functions"
+    {|int f0(int x) { return x + 1; }
+      int f1(int x) { return x * 2; }
+      int f2(int x) { return x ^ 3; }
+      int f3(int x) { return x - 4; }
+      int main() { return f0(f1(f2(f3(10)))); }|}
+    11L
+
+let test_switch_jump_table () =
+  (* flattening uses Ir.Switch; check jump tables link and run *)
+  let ir = Gp_codegen.Pipeline.to_ir "int main() { int i = 0; int s = 0; while (i < 6) { s = s + i; i = i + 1; } return s; }" in
+  let image =
+    Gp_codegen.Pipeline.compile_ir
+      ~transform:(Gp_obf.Obf.transform (Gp_obf.Obf.single Gp_obf.Obf.Flatten))
+      ir
+  in
+  match Gp_emu.Machine.run_image image with
+  | Gp_emu.Machine.Exited 15L, _ -> ()
+  | o, _ ->
+    Alcotest.failf "flattened switch run: %s"
+      (match o with
+       | Gp_emu.Machine.Exited v -> Printf.sprintf "exit %Ld" v
+       | Gp_emu.Machine.Fault m -> "fault " ^ m
+       | _ -> "other")
+
+let test_emit_duplicate_label_rejected () =
+  Alcotest.(check bool) "duplicate label" true
+    (try
+       ignore
+         (Gp_codegen.Emit.assemble
+            ~items:[ Gp_codegen.Emit.Label "a"; Gp_codegen.Emit.Label "a" ]
+            ~data:[] ~jump_tables:[] ~func_names:[] ~entry_label:"a" ());
+       false
+     with Gp_codegen.Emit.Link_error _ -> true)
+
+let test_emit_undefined_label_rejected () =
+  Alcotest.(check bool) "undefined label" true
+    (try
+       ignore
+         (Gp_codegen.Emit.assemble
+            ~items:[ Gp_codegen.Emit.Label "a"; Gp_codegen.Emit.JmpL "nope" ]
+            ~data:[] ~jump_tables:[] ~func_names:[] ~entry_label:"a" ());
+       false
+     with Gp_codegen.Emit.Link_error _ -> true)
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "memory" `Quick test_memory;
+    Alcotest.test_case "print output" `Quick test_print_output;
+    Alcotest.test_case "exit builtin" `Quick test_exit_builtin;
+    Alcotest.test_case "runtime symbols" `Quick test_runtime_symbols;
+    Alcotest.test_case "runtime shell string" `Quick test_runtime_shell_string;
+    Alcotest.test_case "runtime unaligned pops" `Quick test_runtime_restore_unaligned_pops;
+    Alcotest.test_case "callee-saved epilogues" `Quick test_callee_saved_epilogues;
+    Alcotest.test_case "switch jump table" `Quick test_switch_jump_table;
+    Alcotest.test_case "duplicate label rejected" `Quick test_emit_duplicate_label_rejected;
+    Alcotest.test_case "undefined label rejected" `Quick test_emit_undefined_label_rejected ]

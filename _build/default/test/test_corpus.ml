@@ -1,0 +1,93 @@
+(* Tests for the benchmark corpus: every program compiles, runs
+   deterministically, and survives obfuscation (spot-checked here; the
+   full differential matrix runs in the integration suite). *)
+
+let run_entry ?(cfg = Gp_obf.Obf.none) (e : Gp_corpus.Programs.entry) =
+  let image =
+    Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform cfg)
+      e.Gp_corpus.Programs.source
+  in
+  let m = Gp_emu.Machine.create image in
+  (* the netperf program reads its option block from the input area *)
+  Gp_emu.Memory.write64 m.Gp_emu.Machine.mem Gp_corpus.Netperf.input_area 2L;
+  Gp_emu.Memory.write64 m.Gp_emu.Machine.mem
+    (Int64.add Gp_corpus.Netperf.input_area 8L) 0L;
+  Gp_emu.Memory.write64 m.Gp_emu.Machine.mem
+    (Int64.add Gp_corpus.Netperf.input_area 16L) 0L;
+  let outcome = Gp_emu.Machine.run ~fuel:40_000_000 m in
+  (outcome, Gp_emu.Machine.output m)
+
+let all_entries =
+  Gp_corpus.Programs.all @ Gp_corpus.Spec.all @ [ Gp_corpus.Netperf.entry ]
+
+let test_corpus_size () =
+  Alcotest.(check int) "16 benchmark programs" 16 (List.length Gp_corpus.Programs.all);
+  Alcotest.(check int) "4 spec programs" 4 (List.length Gp_corpus.Spec.all)
+
+let test_all_compile_and_exit () =
+  List.iter
+    (fun (e : Gp_corpus.Programs.entry) ->
+      match run_entry e with
+      | Gp_emu.Machine.Exited _, out ->
+        Alcotest.(check bool)
+          (e.Gp_corpus.Programs.name ^ " prints") true (String.length out >= 8)
+      | o, _ ->
+        Alcotest.failf "%s: %s" e.Gp_corpus.Programs.name
+          (match o with
+           | Gp_emu.Machine.Fault m -> "fault " ^ m
+           | Gp_emu.Machine.Timeout -> "timeout"
+           | Gp_emu.Machine.Attacked _ -> "attacked"
+           | Gp_emu.Machine.Exited _ -> assert false))
+    all_entries
+
+let test_deterministic () =
+  List.iter
+    (fun (e : Gp_corpus.Programs.entry) ->
+      Alcotest.(check bool) (e.Gp_corpus.Programs.name ^ " deterministic") true
+        (run_entry e = run_entry e))
+    [ Gp_corpus.Programs.find "bubble_sort"; Gp_corpus.Programs.find "rc4_stream" ]
+
+let test_find () =
+  Alcotest.(check string) "find" "quicksort"
+    (Gp_corpus.Programs.find "quicksort").Gp_corpus.Programs.name;
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Corpus.Programs.find: unknown program nope") (fun () ->
+      ignore (Gp_corpus.Programs.find "nope"))
+
+(* spot-check obfuscation preservation on two programs per preset (the
+   full matrix lives in the integration suite / bench) *)
+let test_obfuscation_spot_check () =
+  List.iter
+    (fun prog ->
+      let e = Gp_corpus.Programs.find prog in
+      let reference = run_entry e in
+      List.iter
+        (fun (name, cfg) ->
+          if run_entry ~cfg e <> reference then
+            Alcotest.failf "%s under %s changed behaviour" prog name)
+        [ ("ollvm", Gp_obf.Obf.ollvm); ("tigress", Gp_obf.Obf.tigress) ])
+    [ "gcd_lcm"; "string_reverse" ]
+
+let test_netperf_overflow_reachable () =
+  (* a long option block must crash the unprotected program *)
+  let image =
+    Gp_codegen.Pipeline.compile Gp_corpus.Netperf.entry.Gp_corpus.Programs.source
+  in
+  let m = Gp_emu.Machine.create image in
+  Gp_emu.Memory.write64 m.Gp_emu.Machine.mem Gp_corpus.Netperf.input_area 64L;
+  for i = 1 to 64 do
+    Gp_emu.Memory.write64 m.Gp_emu.Machine.mem
+      (Int64.add Gp_corpus.Netperf.input_area (Int64.of_int (8 * i)))
+      0x4242424242424242L
+  done;
+  match Gp_emu.Machine.run ~fuel:20_000_000 m with
+  | Gp_emu.Machine.Fault _ -> ()   (* smashed return address *)
+  | _ -> Alcotest.fail "expected a crash from the overflow"
+
+let suite =
+  [ Alcotest.test_case "corpus size" `Quick test_corpus_size;
+    Alcotest.test_case "all compile and exit" `Slow test_all_compile_and_exit;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "obfuscation spot check" `Slow test_obfuscation_spot_check;
+    Alcotest.test_case "netperf overflow" `Quick test_netperf_overflow_reachable ]

@@ -1,0 +1,233 @@
+(* Tests for the concrete emulator: instruction semantics, flags vs
+   conditions (differential property against int64 predicates), memory,
+   the syscall model. *)
+
+open Gp_x86
+
+(* Run a raw instruction sequence with given initial registers. *)
+let exec_insns ?(regs = []) insns =
+  let code = Encode.insns (insns @ [ Insn.Hlt ]) in
+  let image = Gp_util.Image.create ~entry:0x400000L ~code ~data:(Bytes.create 16) () in
+  let m = Gp_emu.Machine.create image in
+  List.iter (fun (r, v) -> Gp_emu.Machine.set_reg m r v) regs;
+  let rec step () =
+    match Gp_emu.Machine.step m with
+    | () -> if m.Gp_emu.Machine.steps < 1000 then step ()
+    | exception Gp_emu.Machine.Halt _ -> ()
+    | exception Gp_emu.Memory.Fault _ -> ()
+  in
+  step ();
+  m
+
+let reg = Gp_emu.Machine.reg
+
+let test_mov_and_arith () =
+  let m =
+    exec_insns
+      [ Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 10L);
+        Insn.Mov (Insn.Reg Reg.RBX, Insn.Imm 32L);
+        Insn.Add (Insn.Reg Reg.RAX, Insn.Reg Reg.RBX);
+        Insn.Movabs (Reg.RCX, 0x100000000L);
+        Insn.Sub (Insn.Reg Reg.RCX, Insn.Imm 1L) ]
+  in
+  Alcotest.(check int64) "add" 42L (reg m Reg.RAX);
+  Alcotest.(check int64) "movabs+sub" 0xffffffffL (reg m Reg.RCX)
+
+let test_push_pop_stack () =
+  let m =
+    exec_insns
+      [ Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 7L);
+        Insn.Push Reg.RAX;
+        Insn.Pop Reg.RBX ]
+  in
+  Alcotest.(check int64) "pop" 7L (reg m Reg.RBX)
+
+let test_xchg_lea () =
+  let m =
+    exec_insns
+      [ Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 1L);
+        Insn.Mov (Insn.Reg Reg.RBX, Insn.Imm 2L);
+        Insn.Xchg (Reg.RAX, Reg.RBX);
+        Insn.Lea (Reg.RCX, Insn.mem ~disp:100 Reg.RAX) ]
+  in
+  Alcotest.(check int64) "xchg" 2L (reg m Reg.RAX);
+  Alcotest.(check int64) "lea" 102L (reg m Reg.RCX)
+
+let test_memory_rw () =
+  let mem = Gp_emu.Memory.create () in
+  Gp_emu.Memory.map mem "r" 0x1000L 64;
+  Gp_emu.Memory.write64 mem 0x1008L 0x0123456789abcdefL;
+  Alcotest.(check int64) "rw" 0x0123456789abcdefL (Gp_emu.Memory.read64 mem 0x1008L);
+  Alcotest.(check int) "byte" 0xef (Gp_emu.Memory.read8 mem 0x1008L);
+  Alcotest.(check bool) "fault" true
+    (try ignore (Gp_emu.Memory.read8 mem 0x2000L); false
+     with Gp_emu.Memory.Fault _ -> true)
+
+let test_cstring () =
+  let mem = Gp_emu.Memory.create () in
+  Gp_emu.Memory.map mem "r" 0x1000L 64;
+  Gp_emu.Memory.write_bytes mem 0x1000L (Bytes.of_string "/bin/sh\x00junk");
+  Alcotest.(check string) "cstring" "/bin/sh" (Gp_emu.Memory.read_cstring mem 0x1000L)
+
+(* differential: each condition code after cmp a, b matches its predicate *)
+let cond_predicate (c : Insn.cond) a b =
+  let ult x y = Int64.unsigned_compare x y < 0 in
+  match c with
+  | Insn.E -> a = b
+  | Insn.NE -> a <> b
+  | Insn.L -> Int64.compare a b < 0
+  | Insn.LE -> Int64.compare a b <= 0
+  | Insn.G -> Int64.compare a b > 0
+  | Insn.GE -> Int64.compare a b >= 0
+  | Insn.B -> ult a b
+  | Insn.BE -> not (ult b a)
+  | Insn.A -> ult b a
+  | Insn.AE -> not (ult a b)
+  | Insn.S -> Int64.compare (Int64.sub a b) 0L < 0
+  | Insn.NS -> Int64.compare (Int64.sub a b) 0L >= 0
+  | Insn.O | Insn.NO | Insn.P | Insn.NP -> true   (* not checked here *)
+
+(* Exact differential: drive the condition via a jcc skipping a mov. *)
+let jcc_taken c a b =
+  (* layout: cmp; jcc +7; mov rcx,1 (7 bytes); hlt.  rcx=1 iff NOT taken *)
+  let insns =
+    [ Insn.Cmp (Insn.Reg Reg.RAX, Insn.Reg Reg.RBX);
+      Insn.Jcc (c, 7);
+      Insn.Mov (Insn.Reg Reg.RCX, Insn.Imm 1L) ]
+  in
+  let m = exec_insns ~regs:[ (Reg.RAX, a); (Reg.RBX, b) ] insns in
+  reg m Reg.RCX = 0L
+
+let prop_jcc_matches_predicate (a, b, ci) =
+  let c = Insn.cond_of_number ci in
+  match c with
+  | Insn.O | Insn.NO | Insn.P | Insn.NP -> true
+  | _ -> jcc_taken c a b = cond_predicate c a b
+
+let test_call_ret () =
+  (* call +1 (skip nothing, lands on next); then inc rax; ret to pushed addr *)
+  let m =
+    exec_insns
+      [ Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 5L);
+        Insn.Call 0;    (* pushes next address and falls through *)
+        Insn.Pop Reg.RBX (* the pushed return address *) ]
+  in
+  Alcotest.(check int64) "return addr points after call"
+    (Int64.add 0x400000L 12L) (reg m Reg.RBX)
+
+let test_syscall_exit () =
+  let code =
+    Encode.insns
+      [ Insn.Mov (Insn.Reg Reg.RDI, Insn.Imm 42L);
+        Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 60L);
+        Insn.Syscall ]
+  in
+  let image = Gp_util.Image.create ~entry:0x400000L ~code ~data:(Bytes.create 8) () in
+  match Gp_emu.Machine.run_image image with
+  | Gp_emu.Machine.Exited 42L, _ -> ()
+  | _ -> Alcotest.fail "expected exit 42"
+
+let test_syscall_execve_attack () =
+  (* stage "/x" in data, call execve *)
+  let code =
+    Encode.insns
+      [ Insn.Movabs (Reg.RDI, 0x600000L);
+        Insn.Mov (Insn.Reg Reg.RSI, Insn.Imm 0L);
+        Insn.Mov (Insn.Reg Reg.RDX, Insn.Imm 0L);
+        Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 59L);
+        Insn.Syscall ]
+  in
+  let image =
+    Gp_util.Image.create ~entry:0x400000L ~code ~data:(Bytes.of_string "/x\x00") ()
+  in
+  match Gp_emu.Machine.run_image image with
+  | Gp_emu.Machine.Attacked (Gp_emu.Machine.Execve { path; _ }), _ ->
+    Alcotest.(check string) "path" "/x" path
+  | _ -> Alcotest.fail "expected execve attack"
+
+let test_syscall_execve_bad_path_continues () =
+  (* execve of a non-absolute path fails with ENOENT and execution continues *)
+  let code =
+    Encode.insns
+      [ Insn.Movabs (Reg.RDI, 0x600000L);
+        Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 59L);
+        Insn.Syscall;
+        Insn.Mov (Insn.Reg Reg.RDI, Insn.Imm 9L);
+        Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 60L);
+        Insn.Syscall ]
+  in
+  let image =
+    Gp_util.Image.create ~entry:0x400000L ~code ~data:(Bytes.of_string "nope\x00") ()
+  in
+  match Gp_emu.Machine.run_image image with
+  | Gp_emu.Machine.Exited 9L, _ -> ()
+  | _ -> Alcotest.fail "expected continuation to exit 9"
+
+let test_syscall_mprotect_requires_alignment () =
+  let run addr =
+    let code =
+      Encode.insns
+        [ Insn.Movabs (Reg.RDI, addr);
+          Insn.Mov (Insn.Reg Reg.RSI, Insn.Imm 0x1000L);
+          Insn.Mov (Insn.Reg Reg.RDX, Insn.Imm 7L);
+          Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 10L);
+          Insn.Syscall;
+          Insn.Mov (Insn.Reg Reg.RDI, Insn.Imm 1L);
+          Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 60L);
+          Insn.Syscall ]
+    in
+    let image = Gp_util.Image.create ~entry:0x400000L ~code ~data:(Bytes.create 8) () in
+    fst (Gp_emu.Machine.run_image image)
+  in
+  (match run Gp_emu.Machine.stack_base with
+   | Gp_emu.Machine.Attacked (Gp_emu.Machine.Mprotect _) -> ()
+   | _ -> Alcotest.fail "aligned mapped mprotect should attack");
+  match run (Int64.add Gp_emu.Machine.stack_base 3L) with
+  | Gp_emu.Machine.Exited 1L -> ()
+  | _ -> Alcotest.fail "misaligned mprotect should fail and continue"
+
+let test_self_modifying_fetch () =
+  (* code overwrites its own upcoming instruction (an HLT becomes a NOP):
+     the fetch path must observe the write *)
+  let target = 0x400000L in
+  let prefix patch_addr =
+    [ Insn.Movabs (Reg.RBX, patch_addr);
+      (* the write replaces 8 HLT bytes with 8 NOPs *)
+      Insn.Movabs (Reg.RCX, 0x9090909090909090L);
+      Insn.Mov (Insn.Mem (Insn.mem Reg.RBX), Insn.Reg Reg.RCX) ]
+  in
+  let prefix_len = Bytes.length (Encode.insns (prefix 0L)) in
+  let patch_addr = Int64.add target (Int64.of_int prefix_len) in
+  let code = Encode.insns (prefix patch_addr) in
+  (* append: 8 hlt bytes (patched into nops), then exit(3) *)
+  let tail =
+    Encode.insns
+      (List.init 8 (fun _ -> Insn.Hlt)
+      @ [ Insn.Mov (Insn.Reg Reg.RDI, Insn.Imm 3L);
+          Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 60L);
+          Insn.Syscall ])
+  in
+  let full = Bytes.cat code tail in
+  let image = Gp_util.Image.create ~entry:target ~code:full ~data:(Bytes.create 8) () in
+  match Gp_emu.Machine.run_image image with
+  | Gp_emu.Machine.Exited 3L, _ -> ()
+  | Gp_emu.Machine.Fault m, _ -> Alcotest.failf "fault: %s" m
+  | _ -> Alcotest.fail "expected exit 3 after self-patch"
+
+let suite =
+  [ Alcotest.test_case "mov and arith" `Quick test_mov_and_arith;
+    Alcotest.test_case "push/pop" `Quick test_push_pop_stack;
+    Alcotest.test_case "xchg/lea" `Quick test_xchg_lea;
+    Alcotest.test_case "memory rw" `Quick test_memory_rw;
+    Alcotest.test_case "cstring" `Quick test_cstring;
+    Alcotest.test_case "call pushes return" `Quick test_call_ret;
+    Alcotest.test_case "syscall exit" `Quick test_syscall_exit;
+    Alcotest.test_case "execve attack" `Quick test_syscall_execve_attack;
+    Alcotest.test_case "execve bad path continues" `Quick
+      test_syscall_execve_bad_path_continues;
+    Alcotest.test_case "mprotect alignment" `Quick
+      test_syscall_mprotect_requires_alignment;
+    Alcotest.test_case "self-modifying fetch" `Quick test_self_modifying_fetch;
+    Gen.qtest "jcc matches predicate" ~count:800
+      QCheck2.Gen.(triple Gen.imm64 Gen.imm64 (int_range 0 15))
+      prop_jcc_matches_predicate ]

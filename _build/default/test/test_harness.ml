@@ -1,0 +1,102 @@
+(* Tests for the experiment harness plumbing: table rendering, workspace
+   helpers, the CFI study, and the netperf probe. *)
+
+module Table = Gp_harness.Table
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "title" true (String.length s > 0 && s.[0] = '=');
+  (* all rows present *)
+  List.iter
+    (fun frag ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) frag true (contains s frag))
+    [ "T"; "a"; "bb"; "333" ]
+
+let test_workspace_build () =
+  let b = Gp_harness.Workspace.build (Gp_corpus.Programs.find "fibonacci") in
+  Alcotest.(check string) "config" "original" b.Gp_harness.Workspace.config_name;
+  Alcotest.(check bool) "pool nonempty" true
+    (Gp_core.Pool.size b.Gp_harness.Workspace.analysis.Gp_core.Api.pool > 0)
+
+let test_gadget_text_stable () =
+  let b = Gp_harness.Workspace.build (Gp_corpus.Programs.find "fibonacci") in
+  match b.Gp_harness.Workspace.analysis.Gp_core.Api.gadgets with
+  | g :: _ ->
+    Alcotest.(check string) "idempotent"
+      (Gp_harness.Workspace.gadget_text g)
+      (Gp_harness.Workspace.gadget_text g)
+  | [] -> Alcotest.fail "empty pool"
+
+let test_chain_is_new_logic () =
+  let texts : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let b = Gp_harness.Workspace.build (Gp_corpus.Programs.find "fibonacci") in
+  let o =
+    Gp_harness.Workspace.run_gp
+      ~planner_config:
+        { Gp_core.Planner.max_plans = 2; node_budget = 500; time_budget = 10.;
+          branch_cap = 8; goal_cap = 4; max_steps = 12 }
+      b (Gp_core.Goal.Execve "/bin/sh")
+  in
+  match o.Gp_core.Api.chains with
+  | c :: _ ->
+    (* empty baseline: everything is new *)
+    Alcotest.(check bool) "new vs empty" true
+      (Gp_harness.Workspace.chain_is_new texts c);
+    (* baseline containing all its gadgets: nothing is new *)
+    List.iter
+      (fun (s : Gp_core.Plan.step) ->
+        Hashtbl.replace texts
+          (Gp_harness.Workspace.gadget_text s.Gp_core.Plan.gadget) ())
+      c.Gp_core.Payload.c_steps;
+    Alcotest.(check bool) "old vs full" false
+      (Gp_harness.Workspace.chain_is_new texts c)
+  | [] -> Alcotest.fail "no chain"
+
+let test_cfi_original_clean () =
+  let rows =
+    snd
+      (Gp_harness.Cfi_study.study
+         ~entries:[ Gp_corpus.Programs.find "fibonacci" ] ())
+  in
+  List.iter
+    (fun (r : Gp_harness.Cfi_study.row) ->
+      if r.Gp_harness.Cfi_study.cfi_config = "original" then begin
+        Alcotest.(check int) "original has no indirect transfers" 0
+          r.Gp_harness.Cfi_study.cfi_transfers
+      end
+      else
+        Alcotest.(check bool)
+          (r.Gp_harness.Cfi_study.cfi_config ^ " violates")
+          true
+          (r.Gp_harness.Cfi_study.cfi_violations > 0))
+    rows
+
+let test_netperf_probe () =
+  let image =
+    Gp_codegen.Pipeline.compile Gp_corpus.Netperf.entry.Gp_corpus.Programs.source
+  in
+  match Gp_harness.Netperf_attack.probe image with
+  | Some p ->
+    Alcotest.(check bool) "filler sane" true
+      (p.Gp_harness.Netperf_attack.filler_words > 0
+      && p.Gp_harness.Netperf_attack.filler_words < 32);
+    Alcotest.(check bool) "ret cell in stack" true
+      (p.Gp_harness.Netperf_attack.ret_cell > Gp_emu.Machine.stack_base
+      && p.Gp_harness.Netperf_attack.ret_cell < Gp_emu.Machine.stack_top)
+  | None -> Alcotest.fail "probe failed"
+
+let suite =
+  [ Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "workspace build" `Quick test_workspace_build;
+    Alcotest.test_case "gadget text stable" `Quick test_gadget_text_stable;
+    Alcotest.test_case "chain_is_new" `Slow test_chain_is_new_logic;
+    Alcotest.test_case "cfi study shapes" `Slow test_cfi_original_clean;
+    Alcotest.test_case "netperf probe" `Quick test_netperf_probe ]

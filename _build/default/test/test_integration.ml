@@ -1,0 +1,182 @@
+(* End-to-end integration tests: the full Gadget-Planner pipeline on
+   compiled (and obfuscated) corpus programs, the netperf case study
+   through the real vulnerability, and tool-comparison invariants. *)
+
+let planner_config =
+  { Gp_core.Planner.max_plans = 20; node_budget = 1500; time_budget = 20.;
+    branch_cap = 10; goal_cap = 6; max_steps = 14 }
+
+let build ?(cfg = Gp_obf.Obf.none) name =
+  Gp_harness.Workspace.build ~config_name:"t" ~cfg (Gp_corpus.Programs.find name)
+
+let test_chains_on_original () =
+  let b = build "fibonacci" in
+  List.iter
+    (fun goal ->
+      let o = Gp_core.Api.run_with_analysis ~planner_config b.Gp_harness.Workspace.analysis goal in
+      Alcotest.(check bool)
+        (Gp_core.Goal.name goal ^ " has chains") true
+        (o.Gp_core.Api.chains <> []))
+    Gp_core.Goal.default_goals
+
+let test_chains_on_obfuscated () =
+  List.iter
+    (fun (name, cfg) ->
+      let b = build ~cfg "fibonacci" in
+      let o =
+        Gp_core.Api.run_with_analysis ~planner_config b.Gp_harness.Workspace.analysis
+          (Gp_core.Goal.Execve "/bin/sh")
+      in
+      Alcotest.(check bool) (name ^ " has chains") true (o.Gp_core.Api.chains <> []))
+    [ ("ollvm", Gp_obf.Obf.ollvm); ("tigress", Gp_obf.Obf.tigress) ]
+
+let test_every_emitted_chain_is_validated () =
+  (* Api.run only returns emulator-confirmed chains; re-validate to be sure *)
+  let b = build ~cfg:Gp_obf.Obf.ollvm "crc_check" in
+  let o =
+    Gp_core.Api.run_with_analysis ~planner_config b.Gp_harness.Workspace.analysis
+      (Gp_core.Goal.Execve "/bin/sh")
+  in
+  Alcotest.(check bool) "found some" true (o.Gp_core.Api.chains <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "revalidates" true
+        (Gp_core.Payload.validate b.Gp_harness.Workspace.image c))
+    o.Gp_core.Api.chains
+
+let test_chain_goal_args_exact () =
+  (* validation checks exact goal arguments, not just "some execve" *)
+  let b = build "bubble_sort" in
+  let o =
+    Gp_core.Api.run_with_analysis ~planner_config b.Gp_harness.Workspace.analysis
+      (Gp_core.Goal.Execve "/bin/sh")
+  in
+  match o.Gp_core.Api.chains with
+  | c :: _ -> (
+    let m = Gp_emu.Machine.create b.Gp_harness.Workspace.image in
+    let pbase = Gp_core.Layout.payload_base () in
+    Array.iteri
+      (fun k w ->
+        Gp_emu.Memory.write64 m.Gp_emu.Machine.mem
+          (Int64.add pbase (Int64.of_int (8 * k))) w)
+      c.Gp_core.Payload.c_payload;
+    m.Gp_emu.Machine.rip <- c.Gp_core.Payload.c_payload.(0);
+    Gp_emu.Machine.set_rsp m (Int64.add pbase 8L);
+    match Gp_emu.Machine.run ~fuel:1_000_000 m with
+    | Gp_emu.Machine.Attacked (Gp_emu.Machine.Execve { path; argv; envp }) ->
+      Alcotest.(check string) "path" "/bin/sh" path;
+      Alcotest.(check int64) "argv" 0L argv;
+      Alcotest.(check int64) "envp" 0L envp
+    | _ -> Alcotest.fail "expected execve")
+  | [] -> Alcotest.fail "no chain"
+
+let test_netperf_end_to_end () =
+  let b =
+    Gp_harness.Workspace.build ~config_name:"llvm-obf" ~cfg:Gp_obf.Obf.ollvm
+      Gp_corpus.Netperf.entry
+  in
+  match Gp_harness.Netperf_attack.run ~planner_config b with
+  | Some r ->
+    Alcotest.(check bool) "filler probed" true
+      (r.Gp_harness.Netperf_attack.probe.Gp_harness.Netperf_attack.filler_words > 0);
+    Alcotest.(check bool) "confirmed chains" true
+      (r.Gp_harness.Netperf_attack.chains <> [])
+  | None -> Alcotest.fail "probe failed"
+
+let test_layout_reset_after_netperf () =
+  (* the netperf scenario must restore the default layout *)
+  Alcotest.(check int64) "layout restored" Gp_core.Layout.default_base
+    (Gp_core.Layout.payload_base ())
+
+let test_gp_beats_baselines_on_obfuscated () =
+  let b = build ~cfg:Gp_obf.Obf.ollvm "stack_machine" in
+  let goal = Gp_core.Goal.Execve "/bin/sh" in
+  let gp =
+    Gp_core.Api.run_with_analysis ~planner_config b.Gp_harness.Workspace.analysis goal
+  in
+  let pool_list = b.Gp_harness.Workspace.analysis.Gp_core.Api.gadgets in
+  let rg = Gp_baselines.Ropgadget.run b.Gp_harness.Workspace.image goal in
+  let ag = Gp_baselines.Angrop.run ~pool:pool_list b.Gp_harness.Workspace.image goal in
+  let n = List.length gp.Gp_core.Api.chains in
+  Alcotest.(check bool) "gp > rg" true (n > Gp_baselines.Report.chain_count rg);
+  Alcotest.(check bool) "gp > angrop" true (n > Gp_baselines.Report.chain_count ag)
+
+let test_obfuscation_introduces_new_chains () =
+  (* chains on the obfuscated binary that use gadgets absent from the
+     original pool — the paper's parenthesized Table IV numbers *)
+  let entry = Gp_corpus.Programs.find "fibonacci" in
+  let orig = Gp_harness.Workspace.build entry in
+  let obf =
+    Gp_harness.Workspace.build ~config_name:"tigress" ~cfg:Gp_obf.Obf.tigress entry
+  in
+  let texts = Gp_harness.Workspace.pool_texts orig.Gp_harness.Workspace.analysis in
+  let o =
+    Gp_core.Api.run_with_analysis ~planner_config obf.Gp_harness.Workspace.analysis
+      (Gp_core.Goal.Execve "/bin/sh")
+  in
+  let nnew =
+    List.length
+      (List.filter (Gp_harness.Workspace.chain_is_new texts) o.Gp_core.Api.chains)
+  in
+  Alcotest.(check bool) "new chains exist" true (nnew > 0)
+
+let test_gadget_counts_increase_with_obfuscation () =
+  List.iter
+    (fun name ->
+      let e = Gp_corpus.Programs.find name in
+      let count cfg =
+        let image =
+          Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform cfg)
+            e.Gp_corpus.Programs.source
+        in
+        List.length (Gp_core.Extract.raw_scan image)
+      in
+      let orig = count Gp_obf.Obf.none in
+      Alcotest.(check bool) (name ^ " ollvm increases") true
+        (count Gp_obf.Obf.ollvm > orig);
+      Alcotest.(check bool) (name ^ " tigress increases") true
+        (count Gp_obf.Obf.tigress > orig))
+    [ "bubble_sort"; "binary_search" ]
+
+let suite =
+  [ Alcotest.test_case "chains on original" `Slow test_chains_on_original;
+    Alcotest.test_case "chains on obfuscated" `Slow test_chains_on_obfuscated;
+    Alcotest.test_case "emitted chains validated" `Slow
+      test_every_emitted_chain_is_validated;
+    Alcotest.test_case "goal args exact" `Slow test_chain_goal_args_exact;
+    Alcotest.test_case "netperf end to end" `Slow test_netperf_end_to_end;
+    Alcotest.test_case "layout reset" `Quick test_layout_reset_after_netperf;
+    Alcotest.test_case "gp beats baselines" `Slow test_gp_beats_baselines_on_obfuscated;
+    Alcotest.test_case "obfuscation new chains" `Slow
+      test_obfuscation_introduces_new_chains;
+    Alcotest.test_case "gadget counts increase" `Slow
+      test_gadget_counts_increase_with_obfuscation ]
+
+let test_execve_arbitrary_path () =
+  (* when the string is NOT in the binary, it is staged inside the
+     payload itself; the emulator must still see the exact path *)
+  let b = build "crc_check" in
+  let goal = Gp_core.Goal.Execve "/usr/bin/id" in
+  let o =
+    Gp_core.Api.run_with_analysis ~planner_config b.Gp_harness.Workspace.analysis goal
+  in
+  Alcotest.(check bool) "chains found" true (o.Gp_core.Api.chains <> []);
+  match o.Gp_core.Api.chains with
+  | c :: _ -> (
+    let m = Gp_emu.Machine.create b.Gp_harness.Workspace.image in
+    let pbase = Gp_core.Layout.payload_base () in
+    Array.iteri
+      (fun k w ->
+        Gp_emu.Memory.write64 m.Gp_emu.Machine.mem
+          (Int64.add pbase (Int64.of_int (8 * k))) w)
+      c.Gp_core.Payload.c_payload;
+    m.Gp_emu.Machine.rip <- c.Gp_core.Payload.c_payload.(0);
+    Gp_emu.Machine.set_rsp m (Int64.add pbase 8L);
+    match Gp_emu.Machine.run ~fuel:1_000_000 m with
+    | Gp_emu.Machine.Attacked (Gp_emu.Machine.Execve { path; _ }) ->
+      Alcotest.(check string) "staged path" "/usr/bin/id" path
+    | _ -> Alcotest.fail "expected execve")
+  | [] -> ()
+
+let suite = suite @
+  [ Alcotest.test_case "execve arbitrary path" `Slow test_execve_arbitrary_path ]

@@ -1,0 +1,117 @@
+(* Tests for the IR: lowering output shape, CFG helpers, cloning. *)
+
+open Gp_ir
+
+let lower src = Gp_ir.Lower.lower_program (Gp_minic.Check.parse_and_check src)
+
+let test_lower_simple () =
+  let p = lower "int main() { return 1 + 2; }" in
+  Alcotest.(check int) "one function" 1 (List.length p.Ir.p_funcs);
+  let f = List.hd p.Ir.p_funcs in
+  Alcotest.(check string) "name" "main" f.Ir.f_name;
+  Alcotest.(check bool) "has blocks" true (List.length f.Ir.f_blocks >= 1)
+
+let test_lower_branch_blocks () =
+  let p = lower "int main() { int x = 1; if (x) { x = 2; } else { x = 3; } return x; }" in
+  let f = List.hd p.Ir.p_funcs in
+  (* entry + then + else + endif at least *)
+  Alcotest.(check bool) "several blocks" true (List.length f.Ir.f_blocks >= 4);
+  (* every referenced label exists *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun l -> ignore (Ir.find_block f l))
+        (Ir.successors b.Ir.b_term))
+    f.Ir.f_blocks
+
+let test_lower_loop_has_backedge () =
+  let p = lower "int main() { int i = 0; while (i < 5) { i = i + 1; } return i; }" in
+  let f = List.hd p.Ir.p_funcs in
+  (* some block must jump to an earlier block (a back edge) *)
+  let labels = List.mapi (fun i b -> (b.Ir.b_label, i)) f.Ir.f_blocks in
+  let idx l = List.assoc l labels in
+  let has_backedge =
+    List.exists
+      (fun b ->
+        List.exists
+          (fun succ -> idx succ <= idx b.Ir.b_label)
+          (Ir.successors b.Ir.b_term))
+      f.Ir.f_blocks
+  in
+  Alcotest.(check bool) "backedge" true has_backedge
+
+let test_lower_array_slots () =
+  let p = lower "int main() { int a[10]; a[0] = 1; return a[0]; }" in
+  let f = List.hd p.Ir.p_funcs in
+  Alcotest.(check bool) "10+ slots" true (f.Ir.f_frame_slots >= 10)
+
+let test_lower_string_data () =
+  let p = lower {|int main() { int s = "hi"; return s; }|} in
+  Alcotest.(check bool) "string blob present" true
+    (List.exists
+       (fun d -> Bytes.to_string d.Ir.d_bytes = "hi\000")
+       p.Ir.p_data)
+
+let test_lower_globals () =
+  let p = lower "int g = 7; int arr[2] = {1, 2}; int main() { return g; }" in
+  let g = List.find (fun d -> d.Ir.d_name = "g") p.Ir.p_data in
+  Alcotest.(check int64) "g init" 7L (Bytes.get_int64_le g.Ir.d_bytes 0);
+  let arr = List.find (fun d -> d.Ir.d_name = "arr") p.Ir.p_data in
+  Alcotest.(check int) "arr size" 16 (Bytes.length arr.Ir.d_bytes);
+  Alcotest.(check int64) "arr[1]" 2L (Bytes.get_int64_le arr.Ir.d_bytes 8)
+
+let test_addr_taken_forces_slot () =
+  let p = lower "int main() { int x = 1; int *p = &x; *p = 2; return x; }" in
+  let f = List.hd p.Ir.p_funcs in
+  Alcotest.(check bool) "x got a slot" true (f.Ir.f_frame_slots >= 1)
+
+let test_clone_is_deep () =
+  let p = lower "int main() { int x = 1; if (x) { x = 2; } return x; }" in
+  let q = Ir.clone_program p in
+  let f = List.hd q.Ir.p_funcs in
+  let b = List.hd f.Ir.f_blocks in
+  b.Ir.b_instrs <- [];
+  let orig = List.hd (List.hd p.Ir.p_funcs).Ir.f_blocks in
+  Alcotest.(check bool) "original untouched" true (orig.Ir.b_instrs <> [])
+
+let test_fresh_temp_monotonic () =
+  let p = lower "int main() { return 0; }" in
+  let f = List.hd p.Ir.p_funcs in
+  let a = Ir.fresh_temp f in
+  let b = Ir.fresh_temp f in
+  Alcotest.(check bool) "distinct" true (a <> b && b = a + 1)
+
+let test_printing_total () =
+  (* the printer must handle every construct without raising *)
+  let p =
+    lower
+      {|int g = 1;
+        int f(int a, int b) { return a * b; }
+        int main() {
+          int arr[3];
+          int i;
+          for (i = 0; i < 3; i = i + 1) { arr[i] = f(i, g); }
+          print(arr[2]);
+          return arr[2];
+        }|}
+  in
+  Alcotest.(check bool) "nonempty" true (String.length (Ir.string_of_program p) > 100)
+
+let test_program_size () =
+  let small = lower "int main() { return 0; }" in
+  let large = lower "int main() { int a = 1; int b = 2; int c = a + b; print(c); return c; }" in
+  Alcotest.(check bool) "size grows" true
+    (Ir.program_size large > Ir.program_size small)
+
+let suite =
+  [ Alcotest.test_case "lower simple" `Quick test_lower_simple;
+    Alcotest.test_case "lower branch blocks" `Quick test_lower_branch_blocks;
+    Alcotest.test_case "lower loop backedge" `Quick test_lower_loop_has_backedge;
+    Alcotest.test_case "lower array slots" `Quick test_lower_array_slots;
+    Alcotest.test_case "lower string data" `Quick test_lower_string_data;
+    Alcotest.test_case "lower globals" `Quick test_lower_globals;
+    Alcotest.test_case "addr taken forces slot" `Quick test_addr_taken_forces_slot;
+    Alcotest.test_case "clone is deep" `Quick test_clone_is_deep;
+    Alcotest.test_case "fresh temp monotonic" `Quick test_fresh_temp_monotonic;
+    Alcotest.test_case "printing total" `Quick test_printing_total;
+    Alcotest.test_case "program size" `Quick test_program_size ]

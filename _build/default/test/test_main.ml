@@ -1,0 +1,20 @@
+(* Test entry point: one alcotest suite per library. *)
+
+let () =
+  Alcotest.run "gadget_planner"
+    [ ("util", Test_util.suite);
+      ("x86", Test_x86.suite);
+      ("smt", Test_smt.suite);
+      ("minic", Test_minic.suite);
+      ("ir", Test_ir.suite);
+      ("codegen", Test_codegen.suite);
+      ("emu", Test_emu.suite);
+      ("obf", Test_obf.suite);
+      ("symx", Test_symx.suite);
+      ("gadget", Test_gadget.suite);
+      ("planner", Test_planner.suite);
+      ("payload", Test_payload.suite);
+      ("baselines", Test_baselines.suite);
+      ("corpus", Test_corpus.suite);
+      ("harness", Test_harness.suite);
+      ("integration", Test_integration.suite) ]

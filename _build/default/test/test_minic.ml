@@ -1,0 +1,153 @@
+(* Tests for the mini-C front end: lexer tokens, parser shapes, checker
+   diagnostics. *)
+
+open Gp_minic
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_lexer_basic () =
+  Alcotest.(check bool) "tokens" true
+    (toks "int x = 42;"
+    = [ Lexer.KW "int"; Lexer.IDENT "x"; Lexer.PUNCT "="; Lexer.INT 42L;
+        Lexer.PUNCT ";"; Lexer.EOF ])
+
+let test_lexer_hex_and_ops () =
+  Alcotest.(check bool) "hex" true (List.mem (Lexer.INT 0xffL) (toks "0xff"));
+  Alcotest.(check bool) "shift" true (List.mem (Lexer.PUNCT "<<") (toks "a << 2"));
+  Alcotest.(check bool) "le" true (List.mem (Lexer.PUNCT "<=") (toks "a <= 2"));
+  Alcotest.(check bool) "land" true (List.mem (Lexer.PUNCT "&&") (toks "a && b"))
+
+let test_lexer_comments () =
+  Alcotest.(check bool) "line comment" true
+    (toks "int x; // comment here\nint y;"
+    = toks "int x; int y;");
+  Alcotest.(check bool) "block comment" true
+    (toks "int /* zap */ x;" = toks "int x;")
+
+let test_lexer_string_escapes () =
+  match toks {|"a\n\0b"|} with
+  | [ Lexer.STRING s; Lexer.EOF ] ->
+    Alcotest.(check string) "escapes" "a\n\000b" s
+  | _ -> Alcotest.fail "expected one string"
+
+let test_lexer_error () =
+  Alcotest.(check bool) "bad char raises" true
+    (try ignore (Lexer.tokenize "int $;"); false with Lexer.Lex_error _ -> true)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  let p = Parser.parse "int main() { return 1 + 2 * 3; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ Ast.Return (Some (Ast.Binary (Ast.Add, Ast.Int 1L, Ast.Binary (Ast.Mul, _, _)))) ] -> ()
+  | _ -> Alcotest.fail "precedence shape"
+
+let test_parser_shift_precedence () =
+  (* a >> 1 & 3 parses as (a >> 1) & 3 — & is looser than >> *)
+  let p = Parser.parse "int main() { int a = 4; return a >> 1 & 3; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ _; Ast.Return (Some (Ast.Binary (Ast.BitAnd, Ast.Binary (Ast.Shr, _, _), Ast.Int 3L))) ] -> ()
+  | _ -> Alcotest.fail "shift/and shape"
+
+let test_parser_statements () =
+  let p =
+    Parser.parse
+      {|int f(int a) { return a; }
+        int main() {
+          int x = 0;
+          int arr[4];
+          for (x = 0; x < 4; x = x + 1) { arr[x] = f(x); }
+          while (x > 0) { x = x - 1; if (x == 2) { break; } else { continue; } }
+          return *(&x);
+        }|}
+  in
+  Alcotest.(check int) "two functions" 2 (List.length p.Ast.funcs);
+  Alcotest.(check bool) "main found" true (Ast.find_func p "main" <> None)
+
+let test_parser_globals () =
+  let p =
+    Parser.parse
+      {|int g = 5;
+        int arr[3] = {1, 2, 3};
+        int s = "hello";
+        int main() { return g; }|}
+  in
+  Alcotest.(check int) "three globals" 3 (List.length p.Ast.globals);
+  match List.map (fun g -> g.Ast.ginit) p.Ast.globals with
+  | [ Ast.Gint 5L; Ast.Garray (3, [ 1L; 2L; 3L ]); Ast.Gstring "hello" ] -> ()
+  | _ -> Alcotest.fail "global shapes"
+
+let test_parser_division_rejected () =
+  Alcotest.(check bool) "div fails" true
+    (try ignore (Parser.parse "int main() { return 4 / 2; }"); false
+     with Failure _ -> true)
+
+let test_parser_lvalue_check () =
+  Alcotest.(check bool) "bad lvalue" true
+    (try ignore (Parser.parse "int main() { 1 + 2 = 3; return 0; }"); false
+     with Failure _ -> true)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_error src fragment =
+  try
+    ignore (Check.parse_and_check src);
+    Alcotest.failf "expected check error containing %s" fragment
+  with Check.Check_error m ->
+    if not (contains m fragment) then
+      Alcotest.failf "error %S does not mention %S" m fragment
+
+let test_check_undeclared () =
+  check_error "int main() { return y; }" "undeclared variable y"
+
+let test_check_duplicate () =
+  check_error "int main() { int x; int x; return 0; }" "duplicate declaration"
+
+let test_check_arity () =
+  check_error "int f(int a) { return a; } int main() { return f(1, 2); }"
+    "expects 1 argument"
+
+let test_check_unknown_function () =
+  check_error "int main() { return g(1); }" "undefined function g"
+
+let test_check_break_outside_loop () =
+  check_error "int main() { break; return 0; }" "outside of a loop"
+
+let test_check_no_main () =
+  check_error "int f() { return 0; }" "no main"
+
+let test_check_variable_shift () =
+  check_error "int main() { int a = 1; int b = 2; return a << b; }"
+    "shift amount"
+
+let test_check_scoping () =
+  (* block-scoped declarations don't leak *)
+  check_error "int main() { if (1) { int i = 5; } return i; }"
+    "undeclared variable i"
+
+let test_check_builtin_ok () =
+  ignore (Check.parse_and_check "int main() { print(1); exit(0); return 0; }")
+
+let suite =
+  [ Alcotest.test_case "lexer basic" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer hex/ops" `Quick test_lexer_hex_and_ops;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer string escapes" `Quick test_lexer_string_escapes;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser shift precedence" `Quick test_parser_shift_precedence;
+    Alcotest.test_case "parser statements" `Quick test_parser_statements;
+    Alcotest.test_case "parser globals" `Quick test_parser_globals;
+    Alcotest.test_case "division rejected" `Quick test_parser_division_rejected;
+    Alcotest.test_case "lvalue check" `Quick test_parser_lvalue_check;
+    Alcotest.test_case "check undeclared" `Quick test_check_undeclared;
+    Alcotest.test_case "check duplicate" `Quick test_check_duplicate;
+    Alcotest.test_case "check arity" `Quick test_check_arity;
+    Alcotest.test_case "check unknown function" `Quick test_check_unknown_function;
+    Alcotest.test_case "check break outside loop" `Quick test_check_break_outside_loop;
+    Alcotest.test_case "check no main" `Quick test_check_no_main;
+    Alcotest.test_case "check variable shift" `Quick test_check_variable_shift;
+    Alcotest.test_case "check block scoping" `Quick test_check_scoping;
+    Alcotest.test_case "check builtins" `Quick test_check_builtin_ok ]

@@ -1,0 +1,187 @@
+(* Tests for the obfuscation passes: semantic preservation (differential
+   against the unobfuscated run), structural effects (code growth, the
+   artifacts each pass is supposed to inject), and the opaque-predicate
+   property. *)
+
+let compile_run ?(fuel = 30_000_000) ?(cfg = Gp_obf.Obf.none) src =
+  let image =
+    Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform cfg) src
+  in
+  let outcome, m = Gp_emu.Machine.run_image ~fuel image in
+  (outcome, Gp_emu.Machine.output m, image)
+
+let fingerprint src cfg =
+  match compile_run ~cfg src with
+  | Gp_emu.Machine.Exited v, out, _ -> (v, out)
+  | Gp_emu.Machine.Fault m, _, _ -> Alcotest.failf "fault: %s" m
+  | Gp_emu.Machine.Timeout, _, _ -> Alcotest.fail "timeout"
+  | Gp_emu.Machine.Attacked _, _, _ -> Alcotest.fail "attacked"
+
+let reference_src =
+  {|
+int helper(int a, int b) {
+  if (a > b) { return a - b; }
+  return b - a;
+}
+int main() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 12; i = i + 1) {
+    acc = acc * 3 + helper(i, (i * 7) & 15);
+    if (acc & 1) { acc = acc ^ 0x55; }
+  }
+  print(acc);
+  return acc & 127;
+}
+|}
+
+let check_preserves name cfg =
+  let expected = fingerprint reference_src Gp_obf.Obf.none in
+  let got = fingerprint reference_src cfg in
+  Alcotest.(check bool) (name ^ " preserves semantics") true (expected = got)
+
+let test_each_pass_preserves () =
+  List.iter
+    (fun pass -> check_preserves (Gp_obf.Obf.pass_name pass) (Gp_obf.Obf.single pass))
+    Gp_obf.Obf.all_passes
+
+let test_presets_preserve () =
+  check_preserves "ollvm" Gp_obf.Obf.ollvm;
+  check_preserves "tigress" Gp_obf.Obf.tigress
+
+let test_seed_changes_output_not_semantics () =
+  let cfg1 = Gp_obf.Obf.config ~seed:1 Gp_obf.Obf.ollvm.Gp_obf.Obf.passes in
+  let cfg2 = Gp_obf.Obf.config ~seed:2 Gp_obf.Obf.ollvm.Gp_obf.Obf.passes in
+  let _, _, img1 = compile_run ~cfg:cfg1 reference_src in
+  let _, _, img2 = compile_run ~cfg:cfg2 reference_src in
+  Alcotest.(check bool) "different binaries" true
+    (img1.Gp_util.Image.code <> img2.Gp_util.Image.code);
+  Alcotest.(check bool) "same behaviour" true
+    (fingerprint reference_src cfg1 = fingerprint reference_src cfg2)
+
+let test_code_growth () =
+  let _, _, base = compile_run reference_src in
+  List.iter
+    (fun (name, cfg, factor) ->
+      let _, _, obf = compile_run ~cfg reference_src in
+      let b = Gp_util.Image.code_size base in
+      let o = Gp_util.Image.code_size obf in
+      if o < int_of_float (float_of_int b *. factor) then
+        Alcotest.failf "%s grew only %d -> %d" name b o)
+    [ ("ollvm", Gp_obf.Obf.ollvm, 2.0); ("tigress", Gp_obf.Obf.tigress, 3.0) ]
+
+let test_virtualize_injects_bytecode_and_dispatch () =
+  let ir = Gp_codegen.Pipeline.to_ir reference_src in
+  let obf = Gp_obf.Obf.apply (Gp_obf.Obf.single Gp_obf.Obf.Virtualize) ir in
+  Alcotest.(check bool) "bytecode blob" true
+    (List.exists
+       (fun (d : Gp_ir.Ir.data) ->
+         String.length d.Gp_ir.Ir.d_name >= 3 && String.sub d.Gp_ir.Ir.d_name 0 3 = "vm$")
+       obf.Gp_ir.Ir.p_data);
+  let f = List.find (fun f -> f.Gp_ir.Ir.f_name = "main") obf.Gp_ir.Ir.p_funcs in
+  Alcotest.(check bool) "switch dispatch" true
+    (List.exists
+       (fun (b : Gp_ir.Ir.block) ->
+         match b.Gp_ir.Ir.b_term with Gp_ir.Ir.Switch _ -> true | _ -> false)
+       f.Gp_ir.Ir.f_blocks)
+
+let test_flatten_adds_dispatcher () =
+  let ir = Gp_codegen.Pipeline.to_ir reference_src in
+  let before =
+    List.length
+      (List.find (fun f -> f.Gp_ir.Ir.f_name = "main") ir.Gp_ir.Ir.p_funcs).Gp_ir.Ir.f_blocks
+  in
+  let obf = Gp_obf.Obf.apply (Gp_obf.Obf.single Gp_obf.Obf.Flatten) ir in
+  let f = List.find (fun f -> f.Gp_ir.Ir.f_name = "main") obf.Gp_ir.Ir.p_funcs in
+  Alcotest.(check bool) "more blocks" true (List.length f.Gp_ir.Ir.f_blocks > before);
+  Alcotest.(check bool) "switch dispatcher" true
+    (List.exists
+       (fun (b : Gp_ir.Ir.block) ->
+         match b.Gp_ir.Ir.b_term with Gp_ir.Ir.Switch _ -> true | _ -> false)
+       f.Gp_ir.Ir.f_blocks)
+
+let test_bogus_cf_adds_blocks () =
+  let ir = Gp_codegen.Pipeline.to_ir reference_src in
+  let count p =
+    List.fold_left (fun acc f -> acc + List.length f.Gp_ir.Ir.f_blocks) 0 p.Gp_ir.Ir.p_funcs
+  in
+  let before = count ir in
+  let obf = Gp_obf.Obf.apply (Gp_obf.Obf.single Gp_obf.Obf.Bogus_cf) ir in
+  Alcotest.(check bool) "junk blocks added" true (count obf > before)
+
+let test_substitution_grows_instrs () =
+  let ir = Gp_codegen.Pipeline.to_ir reference_src in
+  let before = Gp_ir.Ir.program_size ir in
+  let obf = Gp_obf.Obf.apply (Gp_obf.Obf.single Gp_obf.Obf.Substitution) ir in
+  Alcotest.(check bool) "more instructions" true (Gp_ir.Ir.program_size obf > before)
+
+let test_original_ir_untouched () =
+  let ir = Gp_codegen.Pipeline.to_ir reference_src in
+  let size = Gp_ir.Ir.program_size ir in
+  let _ = Gp_obf.Obf.apply Gp_obf.Obf.tigress ir in
+  Alcotest.(check int) "input IR unchanged" size (Gp_ir.Ir.program_size ir)
+
+(* The opaque predicates must be TRUE under every assignment of their
+   "entropy" loads. *)
+let prop_opaque_always_true seed =
+  let rng = Gp_util.Rng.create seed in
+  let prog = { Gp_ir.Ir.p_funcs = []; p_data = [] } in
+  let f =
+    { Gp_ir.Ir.f_name = "t"; f_params = []; f_blocks = []; f_next_temp = 0;
+      f_frame_slots = 0; f_next_label = 0 }
+  in
+  let instrs, result = Gp_obf.Opaque.always_true rng prog f in
+  let vrng = Gp_util.Rng.create ((seed * 7) + 1) in
+  let env = Hashtbl.create 8 in
+  let value = function
+    | Gp_ir.Ir.T t -> (try Hashtbl.find env t with Not_found -> 0L)
+    | Gp_ir.Ir.I i -> i
+    | Gp_ir.Ir.G _ -> 0L
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Gp_ir.Ir.Load (d, _, _) -> Hashtbl.replace env d (Gp_util.Rng.next_int64 vrng)
+      | Gp_ir.Ir.Bin (op, d, a, b) ->
+        let a = value a and b = value b in
+        Hashtbl.replace env d
+          (match op with
+           | Gp_ir.Ir.Add -> Int64.add a b
+           | Gp_ir.Ir.Sub -> Int64.sub a b
+           | Gp_ir.Ir.Mul -> Int64.mul a b
+           | Gp_ir.Ir.And -> Int64.logand a b
+           | Gp_ir.Ir.Or -> Int64.logor a b
+           | Gp_ir.Ir.Xor -> Int64.logxor a b
+           | Gp_ir.Ir.Shl -> Int64.shift_left a (Int64.to_int b land 63)
+           | Gp_ir.Ir.Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+           | Gp_ir.Ir.Sar -> Int64.shift_right a (Int64.to_int b land 63))
+      | Gp_ir.Ir.Cmp (rel, d, a, b) ->
+        let a = value a and b = value b in
+        let r =
+          match rel with
+          | Gp_ir.Ir.Eq -> a = b
+          | Gp_ir.Ir.Ne -> a <> b
+          | Gp_ir.Ir.Lt -> Int64.compare a b < 0
+          | Gp_ir.Ir.Le -> Int64.compare a b <= 0
+          | Gp_ir.Ir.Gt -> Int64.compare a b > 0
+          | Gp_ir.Ir.Ge -> Int64.compare a b >= 0
+        in
+        Hashtbl.replace env d (if r then 1L else 0L)
+      | Gp_ir.Ir.Mov (d, s) -> Hashtbl.replace env d (value s)
+      | _ -> ())
+    instrs;
+  Hashtbl.find env result <> 0L
+
+let suite =
+  [ Alcotest.test_case "each pass preserves semantics" `Slow test_each_pass_preserves;
+    Alcotest.test_case "presets preserve semantics" `Slow test_presets_preserve;
+    Alcotest.test_case "seed variation" `Quick test_seed_changes_output_not_semantics;
+    Alcotest.test_case "code growth" `Quick test_code_growth;
+    Alcotest.test_case "virtualize structure" `Quick
+      test_virtualize_injects_bytecode_and_dispatch;
+    Alcotest.test_case "flatten dispatcher" `Quick test_flatten_adds_dispatcher;
+    Alcotest.test_case "bogus cf blocks" `Quick test_bogus_cf_adds_blocks;
+    Alcotest.test_case "substitution grows" `Quick test_substitution_grows_instrs;
+    Alcotest.test_case "input IR untouched" `Quick test_original_ir_untouched;
+    Gen.qtest "opaque predicates always true" ~count:300
+      QCheck2.Gen.(int_range 0 1000000) prop_opaque_always_true ]

@@ -1,0 +1,119 @@
+(* Tests for payload assembly: linearization, target solving, cell
+   conflict detection, and end-to-end validation of a hand-built chain. *)
+
+open Gp_x86
+
+let image_of insns =
+  Gp_util.Image.create ~entry:0x400000L ~code:(Encode.insns insns)
+    ~data:(Bytes.create 16) ()
+
+let gadget_at image addr =
+  Gp_core.Gadget.of_summary (List.hd (Gp_symx.Exec.summarize image addr))
+
+(* pop rax; ret | pop rdi; ret | pop rsi; ret | pop rdx; ret | syscall *)
+let image = image_of
+    [ Insn.Pop Reg.RAX; Insn.Ret; Insn.Pop Reg.RDI; Insn.Ret;
+      Insn.Pop Reg.RSI; Insn.Ret; Insn.Pop Reg.RDX; Insn.Ret;
+      Insn.Syscall; Insn.Hlt ]
+
+let goal =
+  { Gp_core.Goal.goal = Gp_core.Goal.Mmap (0L, 0x1000L, 7L);
+    regs = [ (Reg.RAX, 9L); (Reg.RDI, 0L); (Reg.RSI, 0x1000L); (Reg.RDX, 7L) ];
+    mem = [] }
+
+let mk_plan () =
+  let g_rax = gadget_at image 0x400000L in
+  let g_rdi = gadget_at image 0x400002L in
+  let g_rsi = gadget_at image 0x400004L in
+  let g_rdx = gadget_at image 0x400006L in
+  let g_sys = gadget_at image 0x400008L in
+  let s0 = Option.get (Gp_core.Plan.instantiate_goal g_sys goal ~sid:0) in
+  let s1 = Option.get (Gp_core.Plan.instantiate_for g_rax (Gp_core.Plan.Creg (Reg.RAX, 9L)) ~sid:1) in
+  let s2 = Option.get (Gp_core.Plan.instantiate_for g_rdi (Gp_core.Plan.Creg (Reg.RDI, 0L)) ~sid:2) in
+  let s3 = Option.get (Gp_core.Plan.instantiate_for g_rsi (Gp_core.Plan.Creg (Reg.RSI, 0x1000L)) ~sid:3) in
+  let s4 = Option.get (Gp_core.Plan.instantiate_for g_rdx (Gp_core.Plan.Creg (Reg.RDX, 7L)) ~sid:4) in
+  { Gp_core.Plan.steps = [ s0; s1; s2; s3; s4 ];
+    orderings = [ (1, 2); (2, 3); (3, 4); (4, 0) ];
+    links = [];
+    open_conds = [];
+    next_sid = 5 }
+
+let test_linearize_respects_order () =
+  let p = mk_plan () in
+  let steps = Gp_core.Payload.linearize p in
+  let sids = List.map (fun (s : Gp_core.Plan.step) -> s.Gp_core.Plan.sid) steps in
+  Alcotest.(check (list int)) "execution order" [ 1; 2; 3; 4; 0 ] sids
+
+let test_linearize_goal_last_without_orderings () =
+  let p = { (mk_plan ()) with Gp_core.Plan.orderings = [] } in
+  let steps = Gp_core.Payload.linearize p in
+  match List.rev steps with
+  | last :: _ -> Alcotest.(check bool) "goal last" true last.Gp_core.Plan.is_goal
+  | [] -> Alcotest.fail "empty"
+
+let test_build_layout () =
+  let p = mk_plan () in
+  let c = Gp_core.Payload.build p goal in
+  let payload = c.Gp_core.Payload.c_payload in
+  (* word 0 = first gadget (pop rax at 0x400000); word 1 = 9 (rax value);
+     word 2 = second gadget (pop rdi)... *)
+  Alcotest.(check int64) "entry" 0x400000L payload.(0);
+  Alcotest.(check int64) "rax value" 9L payload.(1);
+  Alcotest.(check int64) "pop rdi addr" 0x400002L payload.(2);
+  Alcotest.(check int64) "rdi value" 0L payload.(3);
+  Alcotest.(check int64) "syscall last" 0x400008L payload.(8)
+
+let test_build_validates () =
+  let p = mk_plan () in
+  let c = Gp_core.Payload.build p goal in
+  Alcotest.(check bool) "validated" true (Gp_core.Payload.validate image c)
+
+let test_wrong_value_fails_validation () =
+  let p = mk_plan () in
+  let c = Gp_core.Payload.build p goal in
+  (* corrupt the rax value: the syscall number changes, goal unmet *)
+  c.Gp_core.Payload.c_payload.(1) <- 60L;
+  Alcotest.(check bool) "corrupted payload rejected" false
+    (Gp_core.Payload.validate image c)
+
+let test_chain_keys () =
+  let p = mk_plan () in
+  let c = Gp_core.Payload.build p goal in
+  Alcotest.(check bool) "ordered key mentions all" true
+    (String.length (Gp_core.Payload.chain_key c) > 20);
+  (* set key is order-insensitive *)
+  let p2 = { p with Gp_core.Plan.orderings = [ (2, 1); (1, 3); (3, 4); (4, 0) ] } in
+  let c2 = Gp_core.Payload.build p2 goal in
+  Alcotest.(check string) "set key equal"
+    (Gp_core.Payload.chain_set_key c)
+    (Gp_core.Payload.chain_set_key c2)
+
+let test_solve_target_slot () =
+  let g = gadget_at image 0x400000L in
+  let s = Option.get (Gp_core.Plan.instantiate_for g (Gp_core.Plan.Creg (Reg.RAX, 1L)) ~sid:0) in
+  (match s.Gp_core.Plan.gadget.Gp_core.Gadget.jmp with
+   | Gp_symx.Exec.Jret t -> (
+     match Gp_core.Payload.solve_target s t 0xdeadL with
+     | `Slot (8, 0xdeadL) -> ()
+     | _ -> Alcotest.fail "expected slot 8 binding")
+   | _ -> Alcotest.fail "ret gadget expected")
+
+let test_describe_renders () =
+  let p = mk_plan () in
+  let c = Gp_core.Payload.build p goal in
+  let text = Gp_core.Payload.describe c in
+  Alcotest.(check bool) "mentions mmap" true
+    (let rec contains i =
+       i + 4 <= String.length text && (String.sub text i 4 = "mmap" || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [ Alcotest.test_case "linearize order" `Quick test_linearize_respects_order;
+    Alcotest.test_case "goal forced last" `Quick test_linearize_goal_last_without_orderings;
+    Alcotest.test_case "payload layout" `Quick test_build_layout;
+    Alcotest.test_case "payload validates" `Quick test_build_validates;
+    Alcotest.test_case "corrupted payload fails" `Quick test_wrong_value_fails_validation;
+    Alcotest.test_case "chain keys" `Quick test_chain_keys;
+    Alcotest.test_case "solve target slot" `Quick test_solve_target_slot;
+    Alcotest.test_case "describe renders" `Quick test_describe_renders ]

@@ -1,0 +1,103 @@
+(* Tests for Gp_util: RNG determinism, hex helpers, image container. *)
+
+let test_rng_deterministic () =
+  let a = Gp_util.Rng.create 42 in
+  let b = Gp_util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Gp_util.Rng.next_int64 a)
+      (Gp_util.Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Gp_util.Rng.create 1 in
+  let b = Gp_util.Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Gp_util.Rng.next_int64 a <> Gp_util.Rng.next_int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Gp_util.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Gp_util.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_choose () =
+  let rng = Gp_util.Rng.create 7 in
+  let l = [ 1; 2; 3 ] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (List.mem (Gp_util.Rng.choose rng l) l)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Gp_util.Rng.create 3 in
+  let l = List.init 20 Fun.id in
+  let s = Gp_util.Rng.shuffle rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare s)
+
+let test_rng_split_independent () =
+  let a = Gp_util.Rng.create 9 in
+  let sub = Gp_util.Rng.split a in
+  let v1 = Gp_util.Rng.next_int64 sub in
+  (* same construction gives the same sub-stream *)
+  let b = Gp_util.Rng.create 9 in
+  let sub' = Gp_util.Rng.split b in
+  Alcotest.(check int64) "split deterministic" v1 (Gp_util.Rng.next_int64 sub')
+
+let test_hex_of_bytes () =
+  Alcotest.(check string) "hex" "deadbeef"
+    (Gp_util.Hex.of_bytes (Bytes.of_string "\xde\xad\xbe\xef"))
+
+let test_hex_int64_le () =
+  let b = Gp_util.Hex.int64_le 0x0102030405060708L in
+  Alcotest.(check string) "little endian" "0807060504030201"
+    (Gp_util.Hex.of_bytes b)
+
+let mk_image () =
+  Gp_util.Image.create ~entry:0x400000L
+    ~code:(Bytes.of_string "\x90\xc3")
+    ~data:(Bytes.of_string "hi\x00there\x00")
+    ~symbols:
+      [ { Gp_util.Image.sym_name = "f"; sym_addr = 0x400000L; sym_size = 2 } ]
+    ()
+
+let test_image_bounds () =
+  let img = mk_image () in
+  Alcotest.(check bool) "in code" true (Gp_util.Image.in_code img 0x400001L);
+  Alcotest.(check bool) "not in code" false (Gp_util.Image.in_code img 0x400002L);
+  Alcotest.(check bool) "in data" true (Gp_util.Image.in_data img 0x600000L);
+  Alcotest.(check int) "code byte" 0x90 (Gp_util.Image.byte img 0x400000L);
+  Alcotest.(check int) "data byte" (Char.code 'h') (Gp_util.Image.byte img 0x600000L)
+
+let test_image_unmapped_raises () =
+  let img = mk_image () in
+  Alcotest.check_raises "unmapped"
+    (Invalid_argument "Image.byte: address 0x500000 unmapped") (fun () ->
+      ignore (Gp_util.Image.byte img 0x500000L))
+
+let test_image_symbols () =
+  let img = mk_image () in
+  Alcotest.(check int64) "symbol addr" 0x400000L (Gp_util.Image.symbol_addr img "f");
+  Alcotest.(check bool) "symbol_at" true
+    (match Gp_util.Image.symbol_at img 0x400001L with
+     | Some s -> s.Gp_util.Image.sym_name = "f"
+     | None -> false)
+
+let test_image_cstring () =
+  let img = mk_image () in
+  Alcotest.(check string) "first" "hi" (Gp_util.Image.read_cstring img 0x600000L);
+  Alcotest.(check string) "second" "there"
+    (Gp_util.Image.read_cstring img 0x600003L)
+
+let suite =
+  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng choose member" `Quick test_rng_choose;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng split deterministic" `Quick test_rng_split_independent;
+    Alcotest.test_case "hex of bytes" `Quick test_hex_of_bytes;
+    Alcotest.test_case "hex int64 le" `Quick test_hex_int64_le;
+    Alcotest.test_case "image bounds" `Quick test_image_bounds;
+    Alcotest.test_case "image unmapped raises" `Quick test_image_unmapped_raises;
+    Alcotest.test_case "image symbols" `Quick test_image_symbols;
+    Alcotest.test_case "image cstring" `Quick test_image_cstring ]

@@ -1,0 +1,133 @@
+(* Tests for the x86-64 encoder/decoder: exact encodings, the round-trip
+   property over the whole instruction space, and the unaligned-decode
+   behaviour gadget harvesting relies on. *)
+
+open Gp_x86
+
+let check_bytes name insn expect =
+  Alcotest.(check string) name expect (Gp_util.Hex.of_bytes (Encode.insn insn))
+
+(* encodings cross-checked against an external assembler *)
+let test_known_encodings () =
+  check_bytes "ret" Insn.Ret "c3";
+  check_bytes "push rax" (Insn.Push Reg.RAX) "50";
+  check_bytes "push r15" (Insn.Push Reg.R15) "4157";
+  check_bytes "pop rdi" (Insn.Pop Reg.RDI) "5f";
+  check_bytes "pop r12" (Insn.Pop Reg.R12) "415c";
+  check_bytes "mov rax, rbx" (Insn.Mov (Insn.Reg Reg.RAX, Insn.Reg Reg.RBX)) "4889d8";
+  check_bytes "mov rax, [rbp-8]"
+    (Insn.Mov (Insn.Reg Reg.RAX, Insn.Mem (Insn.mem ~disp:(-8) Reg.RBP)))
+    "488b45f8";
+  check_bytes "mov [rsp+8], rcx"
+    (Insn.Mov (Insn.Mem (Insn.mem ~disp:8 Reg.RSP), Insn.Reg Reg.RCX))
+    "48894c2408";
+  check_bytes "add rax, 1" (Insn.Add (Insn.Reg Reg.RAX, Insn.Imm 1L)) "4881c001000000";
+  check_bytes "xor rdx, rdx" (Insn.Xor (Insn.Reg Reg.RDX, Insn.Reg Reg.RDX)) "4831d2";
+  check_bytes "syscall" Insn.Syscall "0f05";
+  check_bytes "leave" Insn.Leave "c9";
+  check_bytes "jmp rax" (Insn.JmpReg Reg.RAX) "ffe0";
+  check_bytes "call rbx" (Insn.CallReg Reg.RBX) "ffd3";
+  check_bytes "movabs r9"
+    (Insn.Movabs (Reg.R9, 0x1122334455667788L))
+    "49b98877665544332211";
+  check_bytes "lea rsp, [rbp-8]" (Insn.Lea (Reg.RSP, Insn.mem ~disp:(-8) Reg.RBP))
+    "488d65f8"
+
+let test_rex_b_pop_trick () =
+  (* the classic unaligned gadget: 41 5f = pop r15; skipping the REX byte
+     yields 5f = pop rdi *)
+  let bytes = Encode.insns [ Insn.Pop Reg.R15; Insn.Ret ] in
+  (match Decode.decode bytes 1 with
+   | Some (Insn.Pop Reg.RDI, 1) -> ()
+   | _ -> Alcotest.fail "expected pop rdi at offset 1");
+  match Decode.decode_run bytes 1 with
+  | Some [ (Insn.Pop Reg.RDI, 0, 1); (Insn.Ret, 1, 1) ] -> ()
+  | _ -> Alcotest.fail "expected pop rdi; ret run"
+
+let test_decode_junk_is_none () =
+  (* opcodes we never emit must be rejected, not crash *)
+  List.iter
+    (fun b ->
+      match Decode.decode (Bytes.make 4 (Char.chr b)) 0 with
+      | None -> ()
+      | Some _ -> Alcotest.failf "byte %02x should not decode" b)
+    [ 0x06; 0x0e; 0x16; 0x1e; 0x27; 0x2f; 0x37; 0x3f; 0x60; 0x62 ]
+
+let test_decode_rel8_jumps () =
+  (* eb 05 = jmp +5; 74 fb = je -5: short forms we decode but never emit *)
+  (match Decode.decode (Bytes.of_string "\xeb\x05") 0 with
+   | Some (Insn.Jmp 5, 2) -> ()
+   | _ -> Alcotest.fail "jmp rel8");
+  match Decode.decode (Bytes.of_string "\x74\xfb") 0 with
+  | Some (Insn.Jcc (Insn.E, -5), 2) -> ()
+  | _ -> Alcotest.fail "je rel8"
+
+let test_decode_run_stops_at_terminator () =
+  let bytes =
+    Encode.insns [ Insn.Nop; Insn.Pop Reg.RAX; Insn.Ret; Insn.Nop ]
+  in
+  match Decode.decode_run bytes 0 with
+  | Some insns ->
+    Alcotest.(check int) "3 instructions" 3 (List.length insns);
+    (match List.rev insns with
+     | (Insn.Ret, _, _) :: _ -> ()
+     | _ -> Alcotest.fail "must end at ret")
+  | None -> Alcotest.fail "run should decode"
+
+let test_cond_negate_involution () =
+  List.iter
+    (fun i ->
+      let c = Insn.cond_of_number i in
+      Alcotest.(check bool) "negate twice" true
+        (Insn.cond_negate (Insn.cond_negate c) = c))
+    (List.init 16 Fun.id)
+
+let test_reg_numbering () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "roundtrip" true (Reg.of_number (Reg.number r) = r);
+      Alcotest.(check bool) "name roundtrip" true (Reg.of_name (Reg.name r) = r))
+    Reg.all
+
+let test_terminators () =
+  Alcotest.(check bool) "ret" true (Insn.is_terminator Insn.Ret);
+  Alcotest.(check bool) "jcc" true (Insn.is_terminator (Insn.Jcc (Insn.E, 0)));
+  Alcotest.(check bool) "syscall" true (Insn.is_terminator Insn.Syscall);
+  Alcotest.(check bool) "mov" false
+    (Insn.is_terminator (Insn.Mov (Insn.Reg Reg.RAX, Insn.Imm 0L)))
+
+(* THE property: every encodable instruction decodes back to itself with
+   the same length. *)
+let prop_roundtrip insn =
+  match Encode.insn insn with
+  | bytes -> (
+    match Decode.decode bytes 0 with
+    | Some (insn', len) -> insn' = insn && len = Bytes.length bytes
+    | None -> false)
+  | exception Encode.Unencodable _ -> true  (* generator may exceed imm32 *)
+
+(* decoding any byte soup never raises and never over-reads *)
+let prop_decode_total bytes_list =
+  let bytes = Bytes.of_string (String.concat "" bytes_list) in
+  let n = Bytes.length bytes in
+  let ok = ref true in
+  for pos = 0 to n - 1 do
+    match Decode.decode bytes pos with
+    | Some (_, len) -> if len <= 0 || pos + len > n then ok := false
+    | None -> ()
+  done;
+  !ok
+
+let suite =
+  [ Alcotest.test_case "known encodings" `Quick test_known_encodings;
+    Alcotest.test_case "rex.b pop trick" `Quick test_rex_b_pop_trick;
+    Alcotest.test_case "junk rejected" `Quick test_decode_junk_is_none;
+    Alcotest.test_case "rel8 decode" `Quick test_decode_rel8_jumps;
+    Alcotest.test_case "decode_run terminator" `Quick test_decode_run_stops_at_terminator;
+    Alcotest.test_case "cond negate involution" `Quick test_cond_negate_involution;
+    Alcotest.test_case "reg numbering" `Quick test_reg_numbering;
+    Alcotest.test_case "terminators" `Quick test_terminators;
+    Gen.qtest "encode/decode roundtrip" ~count:2000 Gen.insn prop_roundtrip;
+    Gen.qtest "decode is total" ~count:200
+      QCheck2.Gen.(list_size (int_range 1 40) (map (String.make 1) char))
+      prop_decode_total ]
