@@ -1,0 +1,23 @@
+# Convenience targets around dune.  `make check` is the CI entry point:
+# a full build (the dev profile promotes the standard warning set to
+# errors) plus the test suite under a wall-clock cap, so a hung planner
+# test fails fast instead of wedging CI.
+
+CHECK_TIMEOUT ?= 600
+
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check:
+	dune build @all
+	timeout $(CHECK_TIMEOUT) dune runtest --force
+
+clean:
+	dune clean

@@ -45,6 +45,13 @@ let obf_arg =
        & info [ "obf" ] ~docv:"PRESET"
            ~doc:"Obfuscation: none, ollvm, tigress, or a single pass name.")
 
+let budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget for the whole pipeline run.")
+
+let budget_of = Option.map (fun s -> Gp_core.Budget.create ~label:"cli" ~seconds:s ())
+
 let compile_image prog obf =
   Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform (obf_of_name obf))
     (load_source prog)
@@ -96,19 +103,31 @@ let plan_cmd =
   let max_arg =
     Arg.(value & opt int 8 & info [ "max" ] ~docv:"N" ~doc:"Payloads to emit.")
   in
-  let run prog obf goal maxn =
+  let run prog obf goal maxn budget =
     let image = compile_image prog obf in
-    let a = Gp_core.Api.analyze image in
     let o =
-      Gp_core.Api.run_with_analysis
+      Gp_core.Api.run ?budget:(budget_of budget)
         ~planner_config:
           { Gp_core.Planner.max_plans = maxn; node_budget = 4000;
             time_budget = 30.; branch_cap = 10; goal_cap = 6; max_steps = 14 }
-        a (goal_of_name goal)
+        image (goal_of_name goal)
     in
-    Printf.printf "pool %d gadgets; %d validated payload(s)\n\n"
-      (Gp_core.Pool.size a.Gp_core.Api.pool)
-      (List.length o.Gp_core.Api.chains);
+    Printf.printf "pool %d gadgets; %d validated payload(s); rungs: %s\n"
+      o.Gp_core.Api.stats.Gp_core.Api.pool_size
+      (List.length o.Gp_core.Api.chains)
+      (String.concat ","
+         (List.map Gp_core.Api.rung_name o.Gp_core.Api.rungs));
+    let st = o.Gp_core.Api.stats in
+    if st.Gp_core.Api.budget_hits <> [] then
+      Printf.printf "budget exhausted in: %s\n"
+        (String.concat ", " st.Gp_core.Api.budget_hits);
+    if st.Gp_core.Api.quarantined <> [] then
+      Printf.printf "quarantined: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+              st.Gp_core.Api.quarantined));
+    print_newline ();
     List.iteri
       (fun i c ->
         Printf.printf "--- payload %d ---\n%s\n" (i + 1)
@@ -116,17 +135,18 @@ let plan_cmd =
       o.Gp_core.Api.chains
   in
   Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
-    Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg)
+    Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg)
 
 (* ----- netperf ----- *)
 
 let netperf_cmd =
-  let run obf =
+  let run obf budget =
+    let budget = budget_of budget in
     let b =
       Gp_harness.Workspace.build ~config_name:obf ~cfg:(obf_of_name obf)
-        Gp_corpus.Netperf.entry
+        ?budget Gp_corpus.Netperf.entry
     in
-    match Gp_harness.Netperf_attack.run b with
+    match Gp_harness.Netperf_attack.run ?budget b with
     | None -> print_endline "probe failed"
     | Some r ->
       Printf.printf "return-address cell at 0x%Lx (%d filler words)\n"
@@ -139,7 +159,7 @@ let netperf_cmd =
       | [] -> ()
   in
   Cmd.v (Cmd.info "netperf" ~doc:"Run the netperf end-to-end case study.")
-    Term.(const run $ obf_arg)
+    Term.(const run $ obf_arg $ budget_arg)
 
 (* ----- disasm ----- *)
 

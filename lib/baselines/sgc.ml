@@ -58,11 +58,13 @@ let planner_config =
     goal_cap = 3;
     max_steps = 10 }
 
-let run ?(pool : Gp_core.Gadget.t list option) (image : Gp_util.Image.t)
-    (goal : Gp_core.Goal.t) : Report.t =
+let run ?(pool : Gp_core.Gadget.t list option) ?budget
+    (image : Gp_util.Image.t) (goal : Gp_core.Goal.t) : Report.t =
   let t0 = Unix.gettimeofday () in
   let gadgets =
-    match pool with Some g -> g | None -> Gp_core.Extract.harvest image
+    match pool with
+    | Some g -> g
+    | None -> fst (Gp_core.Extract.harvest_r ?budget image)
   in
   let restricted = select (List.filter eligible gadgets) in
   let t1 = Unix.gettimeofday () in
@@ -85,7 +87,7 @@ let run ?(pool : Gp_core.Gadget.t list option) (image : Gp_util.Image.t)
       end
   in
   let _ =
-    Gp_core.Planner.search ~config:planner_config ~accept
+    Gp_core.Planner.search ~config:planner_config ~accept ?budget
       (Gp_core.Pool.build restricted) concrete
   in
   { Report.tool = name;

@@ -16,4 +16,6 @@ val planner_config : Gp_core.Planner.config
 (** Tight caps modelling SGC's one-solution-per-query enumeration. *)
 
 val run :
-  ?pool:Gp_core.Gadget.t list -> Gp_util.Image.t -> Gp_core.Goal.t -> Report.t
+  ?pool:Gp_core.Gadget.t list -> ?budget:Gp_core.Budget.t ->
+  Gp_util.Image.t -> Gp_core.Goal.t -> Report.t
+(** [budget] bounds both the fallback harvest and the search. *)

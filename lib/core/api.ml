@@ -6,7 +6,14 @@
            --(4) post-processing + validation--> payloads
 
    [run] executes all four stages and returns only chains whose payloads
-   drive the emulator to the goal syscall (validation-first; DESIGN.md). *)
+   drive the emulator to the goal syscall (validation-first; DESIGN.md).
+
+   Resilience (DESIGN.md "Failure model & budgets"): every stage
+   boundary is Result-typed over the [Fail] taxonomy, faults inside a
+   stage are quarantined per gadget and tallied into [stage_stats], a
+   [Budget.t] bounds the whole run, and on a zero-chain result [run]
+   retries down a degradation ladder with progressively looser
+   configurations, recording each rung in the outcome. *)
 
 type stage_stats = {
   extracted : int;
@@ -15,6 +22,16 @@ type stage_stats = {
   plans_found : int;
   chains_built : int;
   chains_validated : int;
+  quarantined : (string * int) list;
+      (* Fail.label -> count of items quarantined in stages 1-2 *)
+  solver_unknowns : int;
+      (* solver Unknown verdicts attributable to this run *)
+  validate_faults : int;
+      (* candidate chains whose payload crashed the machine *)
+  validate_timeouts : int;
+      (* candidate chains that ran out of emulator fuel — NOT crashes *)
+  budget_hits : string list;
+      (* stages whose budget ran dry ("extract", "subsume", "plan") *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
@@ -27,6 +44,9 @@ type analysis = {
   raw_extracted : int;
   extract_time : float;
   subsume_time : float;
+  quarantined : (string * int) list;
+  analysis_budget_hits : string list;
+  analysis_unknowns : int;
 }
 
 let timed f =
@@ -34,38 +54,100 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Result-typed stage boundary: refuse to even start [f] when [budget]
+   is already dry, converting exhaustion into the taxonomy.  Stages
+   degrade internally past this point (harvest_r / minimize absorb
+   their own sub-budget), so an [Error] here means the PIPELINE budget
+   died between stages. *)
+let stage (label : string) (budget : Budget.t) (f : unit -> 'a) :
+    ('a, Fail.t) result =
+  match Budget.guard budget f with
+  | Ok v -> Ok v
+  | Error Budget.Deadline -> Error (Fail.Budget_exhausted (label, `Time))
+  | Error Budget.Fuel -> Error (Fail.Budget_exhausted (label, `Fuel))
+
+let passthrough_stats gadgets =
+  let n = List.length gadgets in
+  { Subsume.input = n; after_dedup = n; after_subsume = n; timed_out = false }
 
 let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
-    (image : Gp_util.Image.t) : analysis =
-  let harvested, extract_time = timed (fun () -> Extract.harvest ~config:extract_config image) in
-  let (minimal, _stats), subsume_time =
-    timed (fun () ->
-        if subsume then Subsume.minimize harvested
-        else (harvested, { Subsume.input = List.length harvested;
-                           after_dedup = List.length harvested;
-                           after_subsume = List.length harvested }))
+    ?budget (image : Gp_util.Image.t) : analysis =
+  let root = match budget with Some b -> b | None -> Budget.unlimited () in
+  (* stage 1: harvest (quarantines poisoned starts internally) *)
+  let (harvested, hstats), extract_time =
+    match
+      stage "extract" root (fun () ->
+          timed (fun () ->
+              Extract.harvest_r ~config:extract_config
+                ~budget:(Budget.sub root ~label:"extract" ~fraction:0.6 ())
+                image))
+    with
+    | Ok v -> v
+    | Error f ->
+      ( ( [],
+          { Extract.h_starts = 0;
+            h_quarantined = [ (Fail.label f, 1) ];
+            h_budget_hit = true } ),
+        0. )
+  in
+  let u0 = !Gp_smt.Solver.unknowns in
+  (* stage 2: subsumption (only ever shrinks the pool, so budget death
+     or an error degrades to passing the harvest through untouched) *)
+  let (minimal, sstats), subsume_time =
+    match
+      stage "subsume" root (fun () ->
+          timed (fun () ->
+              if subsume then
+                Subsume.minimize
+                  ~budget:(Budget.sub root ~label:"subsume" ())
+                  harvested
+              else (harvested, passthrough_stats harvested)))
+    with
+    | Ok v -> v
+    | Error _ ->
+      ((harvested, { (passthrough_stats harvested) with timed_out = true }), 0.)
   in
   { image;
     gadgets = minimal;
     pool = Pool.build minimal;
     raw_extracted = List.length harvested;
     extract_time;
-    subsume_time }
+    subsume_time;
+    quarantined = hstats.Extract.h_quarantined;
+    analysis_budget_hits =
+      (if hstats.Extract.h_budget_hit then [ "extract" ] else [])
+      @ (if sstats.Subsume.timed_out then [ "subsume" ] else []);
+    analysis_unknowns = !Gp_smt.Solver.unknowns - u0 }
+
+(* ----- degradation ladder ----- *)
+
+type rung = Full | Dedup_only | Wider_branch | Relaxed_steps
+
+let rung_name = function
+  | Full -> "full"
+  | Dedup_only -> "dedup-only"
+  | Wider_branch -> "wider-branch"
+  | Relaxed_steps -> "relaxed-steps"
 
 type outcome = {
   goal : Goal.concrete;
   chains : Payload.chain list;   (* validated only *)
   stats : stage_stats;
+  rungs : rung list;             (* ladder rungs attempted, in order *)
 }
 
 let run_with_analysis ?(planner_config = Planner.default_config)
-    ?(validate = true) (a : analysis) (goal : Goal.t) : outcome =
+    ?(validate = true) ?budget (a : analysis) (goal : Goal.t) : outcome =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let concrete = Goal.concretize a.image goal in
+  let u0 = !Gp_smt.Solver.unknowns in
   (* a completed plan only counts if its payload assembles, is a chain we
      have not already emitted, and (when requested) survives end-to-end
      execution in the emulator *)
   let seen = Hashtbl.create 16 in
   let chains = ref [] in
+  let vfaults = ref 0 in
+  let vtimeouts = ref 0 in
   let accept p =
     match Payload.build_opt p concrete with
     | None -> false
@@ -74,20 +156,46 @@ let run_with_analysis ?(planner_config = Planner.default_config)
       if Hashtbl.mem seen k then false
       else begin
         Hashtbl.add seen k ();
-        if (not validate) || Payload.validate a.image c then begin
+        if not validate then begin
           chains := c :: !chains;
           true
         end
-        else false
+        else begin
+          let fuel = Budget.emu_fuel ~cap:1_000_000 budget in
+          match Payload.validate_run ~fuel a.image c with
+          | o when Goal.satisfied concrete o ->
+            chains := c :: !chains;
+            true
+          | Gp_emu.Machine.Fault _ ->
+            incr vfaults;
+            false
+          | Gp_emu.Machine.Timeout ->
+            (* budget starvation, not a broken chain; count it apart *)
+            incr vtimeouts;
+            false
+          | _ -> false
+        end
       end
   in
+  (* stage 3+4: search with validation inside [accept] *)
   let result, plan_time =
-    timed (fun () -> Planner.search ~config:planner_config ~accept a.pool concrete)
+    match
+      stage "plan" budget (fun () ->
+          timed (fun () ->
+              Planner.search ~config:planner_config ~accept ~budget a.pool
+                concrete))
+    with
+    | Ok v -> v
+    | Error _ ->
+      ( { Planner.plans = []; expanded = 0; exhausted = false;
+          budget_hit = true },
+        0. )
   in
   let built = List.rev !chains in
   let validated = built in
   { goal = concrete;
     chains = validated;
+    rungs = [ Full ];
     stats =
       { extracted = a.raw_extracted;
         deduped = List.length a.gadgets;
@@ -95,11 +203,122 @@ let run_with_analysis ?(planner_config = Planner.default_config)
         plans_found = List.length result.Planner.plans;
         chains_built = List.length built;
         chains_validated = List.length validated;
+        quarantined = a.quarantined;
+        solver_unknowns = a.analysis_unknowns + (!Gp_smt.Solver.unknowns - u0);
+        validate_faults = !vfaults;
+        validate_timeouts = !vtimeouts;
+        budget_hits =
+          a.analysis_budget_hits
+          @ (if result.Planner.budget_hit then [ "plan" ] else []);
         extract_time = a.extract_time;
         subsume_time = a.subsume_time;
         plan_time } }
 
-let run ?extract_config ?(planner_config = Planner.default_config)
-    ?(validate = true) (image : Gp_util.Image.t) (goal : Goal.t) : outcome =
-  let a = analyze ?extract_config image in
-  run_with_analysis ~planner_config ~validate a goal
+(* Loosen the planner config one rung at a time.  Degradation is
+   cumulative: the last rung is also the widest. *)
+let rung_planner_config (c : Planner.config) = function
+  | Full | Dedup_only -> c
+  | Wider_branch -> { c with Planner.branch_cap = c.Planner.branch_cap * 2 }
+  | Relaxed_steps ->
+    { c with
+      Planner.branch_cap = c.Planner.branch_cap * 2;
+      max_steps = c.Planner.max_steps + (c.Planner.max_steps / 2) }
+
+(* Dedup without subsumption: the degraded stage-2.  Subsumption can
+   (conservatively but legitimately) drop providers the planner turns
+   out to need; the dedup-only pool restores them at the price of a
+   bigger search space. *)
+let dedup_only (gadgets : Gadget.t list) : Gadget.t list =
+  let seen = Hashtbl.create 1024 in
+  List.filter
+    (fun g ->
+      let k = Subsume.semantic_key g in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    gadgets
+
+let run ?(extract_config = Extract.default_config)
+    ?(planner_config = Planner.default_config) ?(validate = true) ?budget
+    (image : Gp_util.Image.t) (goal : Goal.t) : outcome =
+  let root = match budget with Some b -> b | None -> Budget.unlimited () in
+  (* Stage 1 runs ONCE: the harvest is the expensive part and every rung
+     shares it (the degraded rungs re-pool from the same gadget records,
+     so gadget ids stay stable too). *)
+  let (harvested, hstats), extract_time =
+    match
+      stage "extract" root (fun () ->
+          timed (fun () ->
+              Extract.harvest_r ~config:extract_config
+                ~budget:(Budget.sub root ~label:"extract" ~fraction:0.6 ())
+                image))
+    with
+    | Ok v -> v
+    | Error f ->
+      ( ( [],
+          { Extract.h_starts = 0;
+            h_quarantined = [ (Fail.label f, 1) ];
+            h_budget_hit = true } ),
+        0. )
+  in
+  let u0 = !Gp_smt.Solver.unknowns in
+  let (minimal, sstats), subsume_time =
+    match
+      stage "subsume" root (fun () ->
+          timed (fun () ->
+              Subsume.minimize
+                ~budget:(Budget.sub root ~label:"subsume" ())
+                harvested))
+    with
+    | Ok v -> v
+    | Error _ ->
+      ((harvested, { (passthrough_stats harvested) with timed_out = true }), 0.)
+  in
+  let a_full =
+    { image;
+      gadgets = minimal;
+      pool = Pool.build minimal;
+      raw_extracted = List.length harvested;
+      extract_time;
+      subsume_time;
+      quarantined = hstats.Extract.h_quarantined;
+      analysis_budget_hits =
+        (if hstats.Extract.h_budget_hit then [ "extract" ] else [])
+        @ (if sstats.Subsume.timed_out then [ "subsume" ] else []);
+      analysis_unknowns = !Gp_smt.Solver.unknowns - u0 }
+  in
+  (* Degraded stage 2: dedup the RAW harvest without subsumption — the
+     Dedup_only rung's pool is a superset of the subsumed one. *)
+  let a_degraded =
+    lazy
+      (let m = dedup_only harvested in
+       { a_full with gadgets = m; pool = Pool.build m })
+  in
+  let tried = ref [] in
+  let result : outcome option ref = ref None in
+  List.iter
+    (fun rung ->
+      let proceed =
+        match !result with
+        | None -> true
+        | Some o -> o.chains = [] && not (Budget.exhausted root)
+      in
+      if proceed then begin
+        tried := rung :: !tried;
+        let a = if rung = Full then a_full else Lazy.force a_degraded in
+        (* each rung gets a slice of whatever time remains, so early
+           rungs cannot starve later ones outright *)
+        let rb = Budget.sub root ~label:(rung_name rung) ~fraction:0.6 () in
+        let o =
+          run_with_analysis
+            ~planner_config:(rung_planner_config planner_config rung)
+            ~validate ~budget:rb a goal
+        in
+        result := Some o
+      end)
+    [ Full; Dedup_only; Wider_branch; Relaxed_steps ];
+  match !result with
+  | Some o -> { o with rungs = List.rev !tried }
+  | None -> assert false

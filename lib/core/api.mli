@@ -8,7 +8,15 @@
     v}
 
     {!run} executes all four stages and returns only chains whose
-    payloads drive the emulator to the goal syscall. *)
+    payloads drive the emulator to the goal syscall.
+
+    Resilience (DESIGN.md "Failure model & budgets"): stage boundaries
+    are Result-typed over {!Fail}, per-gadget faults are quarantined and
+    tallied into {!stage_stats}, an optional {!Budget.t} bounds the
+    whole run, and on a zero-chain result {!run} retries down a
+    degradation ladder, recording each {!rung} in the outcome.  With no
+    budget and no fault injection, behavior is identical to the
+    pre-resilience pipeline. *)
 
 type stage_stats = {
   extracted : int;          (** summaries before minimization *)
@@ -17,6 +25,17 @@ type stage_stats = {
   plans_found : int;        (** accepted complete plans *)
   chains_built : int;
   chains_validated : int;
+  quarantined : (string * int) list;
+      (** {!Fail.label} -> count of items quarantined in stages 1-2 *)
+  solver_unknowns : int;
+      (** solver [Unknown] verdicts attributable to this run *)
+  validate_faults : int;
+      (** candidate chains whose payload crashed the machine *)
+  validate_timeouts : int;
+      (** candidate chains that ran out of emulator fuel — budget
+          starvation, deliberately counted apart from faults *)
+  budget_hits : string list;
+      (** stages whose budget ran dry ("extract", "subsume", "plan") *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
@@ -30,34 +49,64 @@ type analysis = {
   raw_extracted : int;
   extract_time : float;
   subsume_time : float;
+  quarantined : (string * int) list;   (** harvest quarantine ledger *)
+  analysis_budget_hits : string list;  (** of stages 1-2 *)
+  analysis_unknowns : int;             (** solver Unknowns in stages 1-2 *)
 }
 
 val timed : (unit -> 'a) -> 'a * float
 
 val analyze :
-  ?extract_config:Extract.config -> ?subsume:bool -> Gp_util.Image.t -> analysis
+  ?extract_config:Extract.config -> ?subsume:bool -> ?budget:Budget.t ->
+  Gp_util.Image.t -> analysis
+(** Stages 1–2.  [budget] bounds both stages (extract gets the larger
+    slice); exhaustion degrades — a partial harvest, or a pool passed
+    through un-subsumed — and is recorded, never raised. *)
+
+(** {1 Degradation ladder}
+
+    When a run yields zero validated chains, {!run} retries with
+    progressively looser configurations.  Each rung is recorded so
+    experiments can report {e how} a result was obtained. *)
+
+type rung =
+  | Full           (** the normal pipeline *)
+  | Dedup_only     (** stage 2 degraded to exact-duplicate removal *)
+  | Wider_branch   (** dedup-only pool + doubled planner [branch_cap] *)
+  | Relaxed_steps  (** previous + relaxed plan-size cap *)
+
+val rung_name : rung -> string
 
 type outcome = {
   goal : Goal.concrete;
   chains : Payload.chain list;   (** validated only *)
-  stats : stage_stats;
+  stats : stage_stats;           (** of the final rung attempted *)
+  rungs : rung list;             (** ladder rungs attempted, in order *)
 }
 
 val run_with_analysis :
   ?planner_config:Planner.config ->
   ?validate:bool ->
+  ?budget:Budget.t ->
   analysis ->
   Goal.t ->
   outcome
-(** Stages 3–4 over a prepared analysis.  Chains are deduplicated by
-    gadget set and (unless [validate:false]) each one is confirmed by
-    concrete execution before being counted. *)
+(** Stages 3–4 over a prepared analysis (a single ladder rung; [rungs]
+    is always [[Full]] here).  Chains are deduplicated by gadget set and
+    (unless [validate:false]) each one is confirmed by concrete
+    execution before being counted; validation fuel is derived from the
+    remaining budget.  No exception escapes: budget death yields an
+    outcome with the hit recorded. *)
 
 val run :
   ?extract_config:Extract.config ->
   ?planner_config:Planner.config ->
   ?validate:bool ->
+  ?budget:Budget.t ->
   Gp_util.Image.t ->
   Goal.t ->
   outcome
-(** The whole pipeline in one call. *)
+(** The whole pipeline in one call, with the degradation ladder: the
+    harvest runs once, then Full → Dedup_only → Wider_branch →
+    Relaxed_steps until a chain is found, the root budget dies, or the
+    ladder ends. *)

@@ -130,21 +130,76 @@ let usable (g : Gadget.t) =
     | Gp_symx.Exec.Jind _ -> d >= -16 && d <= 512
     | Gp_symx.Exec.Jfall _ -> true)
 
-let harvest ?(config = default_config) (image : Gp_util.Image.t) : Gadget.t list =
+(* Fault-injection hook: starts for which the predicate answers true are
+   treated as undecodable windows and quarantined (see
+   Gp_harness.Faultsim).  Defaults to never firing. *)
+let chaos_decode : (int64 -> bool) ref = ref (fun _ -> false)
+
+type harvest_stats = {
+  h_starts : int;                       (* start offsets examined *)
+  h_quarantined : (string * int) list;  (* Fail.label -> count *)
+  h_budget_hit : bool;                  (* harvest stopped early *)
+}
+
+(* Budgeted, fault-isolating harvest.  One poisoned start — injected
+   decode fault, symbolic-executor refusal, or an exception out of
+   summary conversion — quarantines THAT start and is tallied; the rest
+   of the harvest proceeds.  Gadget order (and hence the global gadget
+   id sequence) is identical to the unbudgeted [harvest] when nothing
+   fires. *)
+let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
+    (image : Gp_util.Image.t) : Gadget.t list * harvest_stats =
   let base = image.Gp_util.Image.code_base in
   let sym_config =
     { Gp_symx.Exec.max_insns = config.max_insns;
       max_forks = config.max_forks;
       max_merges = config.max_merges }
   in
-  List.concat_map
-    (fun pos ->
-      (* cheap prefilter: must syntactically reach a terminator *)
-      match scan_run ~config image pos with
-      | None -> []
-      | Some _ ->
-        let addr = Int64.add base (Int64.of_int pos) in
-        Gp_symx.Exec.summarize ~config:sym_config image addr
-        |> List.map Gadget.of_summary
-        |> List.filter usable)
-    (start_positions ~config image)
+  let tally = Fail.tally_create () in
+  let acc = ref [] in
+  let examined = ref 0 in
+  let budget_hit =
+    try
+      List.iter
+        (fun pos ->
+          Budget.check budget;
+          Budget.spend budget;
+          incr examined;
+          (* cheap prefilter: must syntactically reach a terminator *)
+          match scan_run ~config image pos with
+          | None -> ()
+          | Some _ ->
+            let addr = Int64.add base (Int64.of_int pos) in
+            if !chaos_decode addr then
+              Fail.tally_add tally (Fail.Decode_fault (addr, "injected"))
+            else begin
+              let summaries, refused =
+                Gp_symx.Exec.summarize_r ~config:sym_config image addr
+              in
+              (match refused with
+               | Some why ->
+                 Fail.tally_add tally (Fail.Symx_unsupported (addr, why))
+               | None -> ());
+              let gs =
+                List.filter_map
+                  (fun s ->
+                    match Gadget.of_summary s with
+                    | g -> if usable g then Some g else None
+                    | exception e ->
+                      Fail.tally_add tally
+                        (Fail.Decode_fault (addr, Printexc.to_string e));
+                      None)
+                  summaries
+              in
+              acc := gs :: !acc
+            end)
+        (start_positions ~config image);
+      false
+    with Budget.Exhausted _ -> true
+  in
+  ( List.concat (List.rev !acc),
+    { h_starts = !examined;
+      h_quarantined = Fail.tally_list tally;
+      h_budget_hit = budget_hit } )
+
+let harvest ?config image = fst (harvest_r ?config image)

@@ -51,3 +51,23 @@ val usable : Gadget.t -> bool
 val harvest : ?config:config -> Gp_util.Image.t -> Gadget.t list
 (** Full extraction: every byte offset, symbolically summarized, filtered
     to usable records.  Feed the result to {!Subsume.minimize}. *)
+
+val chaos_decode : (int64 -> bool) ref
+(** Fault-injection hook: starts for which the predicate answers true
+    are treated as undecodable windows and quarantined.  Defaults to
+    never firing; installed/removed by [Gp_harness.Faultsim]. *)
+
+type harvest_stats = {
+  h_starts : int;                       (** start offsets examined *)
+  h_quarantined : (string * int) list;  (** {!Fail.label} -> count *)
+  h_budget_hit : bool;                  (** harvest stopped early *)
+}
+
+val harvest_r :
+  ?config:config -> ?budget:Budget.t -> Gp_util.Image.t ->
+  Gadget.t list * harvest_stats
+(** Budgeted, fault-isolating {!harvest}: a poisoned start (injected
+    decode fault, [Symx] refusal, exception out of summary conversion)
+    quarantines that start and is tallied, never aborting the harvest.
+    With an unlimited budget and no injection the gadget list — and the
+    global gadget-id sequence — is identical to {!harvest}'s. *)

@@ -1,0 +1,72 @@
+(* Structured failure taxonomy for the pipeline (DESIGN.md "Failure
+   model & budgets").
+
+   Obfuscated binaries are exactly where analysis tooling hits
+   pathological cases: undecodable byte windows, symbolic executor
+   refusals, divergent solver queries, emulator faults.  A survey over
+   hundreds of (program x obfuscation x goal) runs must treat these as
+   DATA — quarantined and counted — never as process-killing exceptions.
+   Every stage boundary in [Api] is typed over this module, and the
+   per-stage fault ledgers end up in [Api.stage_stats]. *)
+
+type t =
+  | Decode_fault of int64 * string
+      (* undecodable byte window at this address *)
+  | Symx_unsupported of int64 * string
+      (* the symbolic executor refused a run starting here *)
+  | Solver_unknown of string
+      (* an SMT query came back Unknown where a verdict was needed *)
+  | Solver_timeout of string
+      (* an SMT query exceeded its trial budget *)
+  | Emu_fault of string
+      (* concrete execution crashed (unmapped access, bad fetch, ...) *)
+  | Budget_exhausted of string * [ `Time | `Fuel ]
+      (* the named budget ran dry *)
+
+(* Short bucket name, used as the tally key so stats stay readable. *)
+let label = function
+  | Decode_fault _ -> "decode"
+  | Symx_unsupported _ -> "symx"
+  | Solver_unknown _ -> "solver-unknown"
+  | Solver_timeout _ -> "solver-timeout"
+  | Emu_fault _ -> "emu"
+  | Budget_exhausted _ -> "budget"
+
+let to_string = function
+  | Decode_fault (addr, d) -> Printf.sprintf "decode fault at 0x%Lx: %s" addr d
+  | Symx_unsupported (addr, d) ->
+    Printf.sprintf "symbolic execution unsupported at 0x%Lx: %s" addr d
+  | Solver_unknown d -> "solver unknown: " ^ d
+  | Solver_timeout d -> "solver timeout: " ^ d
+  | Emu_fault d -> "emulator fault: " ^ d
+  | Budget_exhausted (l, `Time) -> Printf.sprintf "budget %s: deadline exhausted" l
+  | Budget_exhausted (l, `Fuel) -> Printf.sprintf "budget %s: fuel exhausted" l
+
+(* ----- tallies ----- *)
+
+(* A fault ledger: label -> count.  Stages carry one and quarantined
+   items bump it; the pipeline merges ledgers into stage stats. *)
+type tally = (string, int) Hashtbl.t
+
+let tally_create () : tally = Hashtbl.create 8
+
+let tally_add (t : tally) (f : t) =
+  let k = label f in
+  Hashtbl.replace t k (1 + (match Hashtbl.find_opt t k with Some n -> n | None -> 0))
+
+let tally_count (t : tally) key =
+  match Hashtbl.find_opt t key with Some n -> n | None -> 0
+
+let tally_total (t : tally) = Hashtbl.fold (fun _ n acc -> acc + n) t 0
+
+let tally_list (t : tally) =
+  List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) t [])
+
+(* Merge association-list ledgers (as stored in stats records). *)
+let merge_counts (a : (string * int) list) (b : (string * int) list) =
+  let t : tally = Hashtbl.create 8 in
+  List.iter
+    (fun (k, n) ->
+      Hashtbl.replace t k (n + (match Hashtbl.find_opt t k with Some m -> m | None -> 0)))
+    (a @ b);
+  tally_list t

@@ -166,20 +166,32 @@ let build_opt p goal = try Some (build p goal) with Infeasible _ -> None
 
 (* Execute the payload exactly as a stack smash would: the payload's word
    0 sits where a saved return address was, and control arrives via that
-   return.  Registers start zeroed (the attacker does not control them). *)
-let validate ?(fuel = 1_000_000) (image : Gp_util.Image.t) (c : chain) : bool =
-  let m = Gp_emu.Machine.create image in
-  let pbase = Layout.payload_base () in
-  Array.iteri
-    (fun k w ->
-      Gp_emu.Memory.write64 m.Gp_emu.Machine.mem
-        (Int64.add pbase (Int64.of_int (8 * k)))
-        w)
-    c.c_payload;
-  m.Gp_emu.Machine.rip <- c.c_payload.(0);
-  Gp_emu.Machine.set_rsp m (Int64.add pbase 8L);
-  let outcome = Gp_emu.Machine.run ~fuel m in
-  Goal.satisfied c.c_goal outcome
+   return.  Registers start zeroed (the attacker does not control them).
+
+   Returns the raw machine outcome so callers can tell a chain that
+   CRASHED ([Fault]) from one that merely ran out of fuel ([Timeout]) —
+   conflating them would misreport budget exhaustion as broken chains.
+   Writing the payload can itself fault (a payload long enough to run
+   past the mapped stack region); that is the chain's failure, not the
+   pipeline's, so it is folded into [Fault] here. *)
+let validate_run ?(fuel = 1_000_000) (image : Gp_util.Image.t) (c : chain) :
+    Gp_emu.Machine.outcome =
+  try
+    let m = Gp_emu.Machine.create image in
+    let pbase = Layout.payload_base () in
+    Array.iteri
+      (fun k w ->
+        Gp_emu.Memory.write64 m.Gp_emu.Machine.mem
+          (Int64.add pbase (Int64.of_int (8 * k)))
+          w)
+      c.c_payload;
+    m.Gp_emu.Machine.rip <- c.c_payload.(0);
+    Gp_emu.Machine.set_rsp m (Int64.add pbase 8L);
+    Gp_emu.Machine.run ~fuel m
+  with Gp_emu.Memory.Fault m -> Gp_emu.Machine.Fault ("payload write: " ^ m)
+
+let validate ?fuel (image : Gp_util.Image.t) (c : chain) : bool =
+  Goal.satisfied c.c_goal (validate_run ?fuel image c)
 
 (* Chains are "the same" when they use the same gadget addresses in the
    same order. *)

@@ -41,10 +41,16 @@ val build : Plan.t -> Goal.concrete -> chain
 
 val build_opt : Plan.t -> Goal.concrete -> chain option
 
-val validate : ?fuel:int -> Gp_util.Image.t -> chain -> bool
+val validate_run : ?fuel:int -> Gp_util.Image.t -> chain -> Gp_emu.Machine.outcome
 (** Execute the payload exactly as a stack smash would (registers zeroed,
-    rsp at payload word 1, rip at the first gadget) and check the run
-    ends in the EXACT goal attack. *)
+    rsp at payload word 1, rip at the first gadget) and return the raw
+    outcome — so callers can distinguish a chain that crashed ([Fault])
+    from one that ran out of fuel ([Timeout]).  A fault while writing
+    the payload itself is folded into [Fault]; no exception escapes. *)
+
+val validate : ?fuel:int -> Gp_util.Image.t -> chain -> bool
+(** [Goal.satisfied] of {!validate_run}: the run ends in the EXACT goal
+    attack. *)
 
 val chain_key : chain -> string
 (** Identity by gadget-address sequence. *)

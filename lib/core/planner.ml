@@ -66,12 +66,14 @@ module Pq = struct
     q.m <- M.add c (p :: cur) q.m;
     q.size <- q.size + 1
 
-  let pop q =
+  let rec pop q =
     match M.min_binding_opt q.m with
     | None -> None
     | Some (c, []) ->
+      (* an empty bucket must not end the search while other cost
+         buckets may remain — drop it and keep looking *)
       q.m <- M.remove c q.m;
-      None   (* unreachable by construction, but stay total *)
+      pop q
     | Some (c, [ p ]) ->
       q.m <- M.remove c q.m;
       q.size <- q.size - 1;
@@ -208,6 +210,7 @@ type result = {
   plans : Plan.t list;
   expanded : int;
   exhausted : bool;   (* true if the whole space was searched *)
+  budget_hit : bool;  (* search stopped on deadline or fuel, not space *)
 }
 
 (* [accept] gates completed plans: a complete plan that fails it (e.g.
@@ -215,11 +218,21 @@ type result = {
    emitted) is discarded WITHOUT consuming the plan quota, and the search
    keeps going. *)
 let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
-    (pool : Pool.t) (goal : Goal.concrete) : result =
+    ?budget (pool : Pool.t) (goal : Goal.concrete) : result =
   let q = Pq.create () in
   let memo : memo = Hashtbl.create 1024 in
   let usage : (int64, int) Hashtbl.t = Hashtbl.create 64 in
-  let deadline = Unix.gettimeofday () +. config.time_budget in
+  (* The config's own limits become a budget; an inherited budget can
+     only tighten the deadline further (fuel = expansions here). *)
+  let budget =
+    match budget with
+    | Some parent ->
+      Budget.sub parent ~label:"plan" ~seconds:config.time_budget
+        ~fuel:config.node_budget ()
+    | None ->
+      Budget.create ~label:"plan" ~seconds:config.time_budget
+        ~fuel:config.node_budget ()
+  in
   (* root plans: one per candidate syscall gadget *)
   let roots =
     List.filteri (fun i _ -> i < config.goal_cap) pool.Pool.syscall_gadgets
@@ -248,12 +261,10 @@ let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
   let complete = ref [] in
   let expanded = ref 0 in
   let exhausted = ref true in
+  let budget_hit = ref false in
   (try
-     while !expanded < config.node_budget do
-       if !expanded land 63 = 0 && Unix.gettimeofday () > deadline then begin
-         exhausted := false;
-         raise Exit
-       end;
+     while true do
+       Budget.check budget;
        match Pq.pop q with
        | None -> raise Exit
        | Some (key, p) when cost ~usage p > key ->
@@ -265,6 +276,7 @@ let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
          if not (Hashtbl.mem visited sig_) then begin
            Hashtbl.add visited sig_ ();
            incr expanded;
+           Budget.spend budget;
            match p.Plan.open_conds with
            | [] ->
              if accept p then begin
@@ -287,7 +299,11 @@ let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
              in
              List.iter (Pq.push ~usage q) succs
          end
-     done;
-     exhausted := false
-   with Exit -> ());
-  { plans = List.rev !complete; expanded = !expanded; exhausted = !exhausted }
+     done
+   with
+   | Exit -> ()
+   | Budget.Exhausted _ ->
+     exhausted := false;
+     budget_hit := true);
+  { plans = List.rev !complete; expanded = !expanded; exhausted = !exhausted;
+    budget_hit = !budget_hit }

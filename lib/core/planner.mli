@@ -42,15 +42,22 @@ type result = {
   plans : Plan.t list;     (** accepted complete plans *)
   expanded : int;
   exhausted : bool;        (** the whole space was searched *)
+  budget_hit : bool;       (** stopped on deadline/fuel, not space *)
 }
 
 val search :
   ?config:config ->
   ?accept:(Plan.t -> bool) ->
+  ?budget:Budget.t ->
   Pool.t ->
   Goal.concrete ->
   result
 (** Run the search.  [accept] gates completed plans: a complete plan that
     fails it (payload unbuildable, duplicate chain, failed validation) is
     discarded WITHOUT consuming the plan quota and the search continues —
-    the paper's "does not stop when finding one gadget chain". *)
+    the paper's "does not stop when finding one gadget chain".
+
+    The config's [time_budget]/[node_budget] become an internal
+    {!Budget.t}; passing [budget] additionally clamps the deadline to the
+    parent's, so a pipeline-level budget bounds the search no matter what
+    the config says. *)

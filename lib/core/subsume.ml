@@ -89,9 +89,11 @@ type stats = {
   input : int;
   after_dedup : int;
   after_subsume : int;
+  timed_out : bool;   (* budget ran dry; remaining gadgets passed through *)
 }
 
-let minimize ?(max_bucket = 64) (gadgets : Gadget.t list) : Gadget.t list * stats =
+let minimize ?(max_bucket = 64) ?(budget = Budget.unlimited ())
+    (gadgets : Gadget.t list) : Gadget.t list * stats =
   let input = List.length gadgets in
   (* pass 1: exact semantic duplicates *)
   let seen = Hashtbl.create 1024 in
@@ -116,6 +118,7 @@ let minimize ?(max_bucket = 64) (gadgets : Gadget.t list) : Gadget.t list * stat
       Hashtbl.replace buckets s (g :: cur))
     dedup;
   let kept = ref [] in
+  let timed_out = ref false in
   Hashtbl.iter
     (fun _ bucket ->
       (* prefer shorter gadgets as survivors *)
@@ -129,9 +132,26 @@ let minimize ?(max_bucket = 64) (gadgets : Gadget.t list) : Gadget.t list * stat
       let survivors = ref [] in
       List.iter
         (fun g ->
-          if not (List.exists (fun s -> subsumes s g) !survivors) then
-            survivors := !survivors @ [ g ])
+          (* Subsumption only ever SHRINKS the pool, so running out of
+             budget — or a solver blow-up on one pair — is never fatal:
+             the gadget is kept (conservative) and, once the budget has
+             hit, the rest of the pool passes through unexamined. *)
+          if !timed_out then survivors := !survivors @ [ g ]
+          else
+            match
+              Budget.guard budget (fun () ->
+                  try not (List.exists (fun s -> subsumes s g) !survivors)
+                  with
+                  | Budget.Exhausted _ as e -> raise e
+                  | _ -> true)
+            with
+            | Ok keep -> if keep then survivors := !survivors @ [ g ]
+            | Error _ ->
+              timed_out := true;
+              survivors := !survivors @ [ g ])
         bucket;
       kept := !survivors @ !kept)
     buckets;
-  (!kept, { input; after_dedup; after_subsume = List.length !kept })
+  ( !kept,
+    { input; after_dedup; after_subsume = List.length !kept;
+      timed_out = !timed_out } )

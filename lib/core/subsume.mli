@@ -20,10 +20,18 @@ type stats = {
   input : int;
   after_dedup : int;      (** after exact-duplicate removal *)
   after_subsume : int;    (** final pool size *)
+  timed_out : bool;       (** budget ran dry mid-pass *)
 }
 
-val minimize : ?max_bucket:int -> Gadget.t list -> Gadget.t list * stats
+val minimize :
+  ?max_bucket:int -> ?budget:Budget.t -> Gadget.t list ->
+  Gadget.t list * stats
 (** Pool minimization: an exact-duplicate pass (unaligned sliding
     produces thousands of byte-identical summaries), then pairwise
     subsumption inside cheap signature buckets.  Shorter gadgets are
-    preferred as survivors. *)
+    preferred as survivors.
+
+    Subsumption only shrinks the pool, so failure is never fatal: a
+    solver blow-up on one pair keeps the gadget, and when [budget] runs
+    dry the remaining gadgets pass through unexamined ([timed_out] set).
+    The default unlimited budget reproduces seed behavior exactly. *)

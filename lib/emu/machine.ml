@@ -345,10 +345,21 @@ let step t =
   exec t insn len;
   t.steps <- t.steps + 1
 
+(* Fault-injection hook: when armed, [run] trips a synthetic memory
+   fault after the returned number of steps, simulating a latent
+   corruption mid-execution.  The emulator sits below Gp_core, so the
+   harness installs the fuse here directly (see Gp_harness.Faultsim).
+   Consulted once per [run]; [None] (the default) never fires. *)
+let chaos_fuse : (unit -> int option) ref = ref (fun () -> None)
+
 let run ?(fuel = 5_000_000) t =
+  let fuse = !chaos_fuse () in
   try
     let k = ref 0 in
     while !k < fuel do
+      (match fuse with
+       | Some n when !k = n -> raise (Memory.Fault "injected fault")
+       | _ -> ());
       step t;
       incr k
     done;

@@ -75,8 +75,17 @@ val step : t -> unit
 (** Fetch-decode-execute one instruction.  Raises {!Halt} at a run-ending
     event and [Memory.Fault] on a bad access. *)
 
+val chaos_fuse : (unit -> int option) ref
+(** Fault-injection hook, consulted once per {!run}: [Some n] arms a
+    synthetic memory fault after [n] steps, simulating latent corruption
+    mid-execution.  Defaults to never firing; installed/removed by the
+    harness ([Gp_harness.Faultsim]). *)
+
 val run : ?fuel:int -> t -> outcome
-(** Step until halt, fault, or [fuel] instructions (default 5M). *)
+(** Step until halt, fault, or [fuel] instructions (default 5M).  Fuel
+    exhaustion is reported as the distinct {!Timeout} outcome — callers
+    must not conflate it with {!Fault}, which means the chain actually
+    crashed. *)
 
 val run_image : ?fuel:int -> ?tracing:bool -> Gp_util.Image.t -> outcome * t
 (** Convenience: load and run to completion. *)

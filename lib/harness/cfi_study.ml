@@ -23,9 +23,11 @@ type row = {
   cfi_config : string;
   cfi_transfers : int;      (* indirect transfers executed *)
   cfi_violations : int;     (* flagged by the entry-only policy *)
+  cfi_completed : bool;     (* benign run finished within fuel *)
 }
 
-let run_one (entry : Gp_corpus.Programs.entry) (cname, cfg) : row =
+let run_one ?(budget = Gp_core.Budget.unlimited ())
+    (entry : Gp_corpus.Programs.entry) (cname, cfg) : row =
   let image =
     Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform cfg)
       entry.Gp_corpus.Programs.source
@@ -40,7 +42,10 @@ let run_one (entry : Gp_corpus.Programs.entry) (cname, cfg) : row =
   in
   let m = Gp_emu.Machine.create image in
   Gp_emu.Memory.write64 m.Gp_emu.Machine.mem Gp_corpus.Netperf.input_area 2L;
-  let _ = Gp_emu.Machine.run ~fuel:40_000_000 m in
+  let fuel = Gp_core.Budget.emu_fuel ~cap:40_000_000 budget in
+  (* a Timeout row (cfi_completed = false) still counts the transfers
+     executed so far, but must not masquerade as a finished benign run *)
+  let outcome = Gp_emu.Machine.run ~fuel m in
   let transfers = List.length m.Gp_emu.Machine.indirects in
   let violations =
     List.length
@@ -51,26 +56,30 @@ let run_one (entry : Gp_corpus.Programs.entry) (cname, cfg) : row =
   { cfi_program = entry.Gp_corpus.Programs.name;
     cfi_config = cname;
     cfi_transfers = transfers;
-    cfi_violations = violations }
+    cfi_violations = violations;
+    cfi_completed = (match outcome with
+                     | Gp_emu.Machine.Timeout -> false
+                     | _ -> true) }
 
 let study ?(entries = List.map Gp_corpus.Programs.find
                         [ "bubble_sort"; "crc_check"; "fibonacci"; "stack_machine" ])
-    () =
+    ?budget () =
   let rows =
     List.concat_map
-      (fun entry -> List.map (run_one entry) Workspace.obf_configs)
+      (fun entry -> List.map (run_one ?budget entry) Workspace.obf_configs)
       entries
   in
   let t =
     Table.create
       ~title:
         "CFI study: benign-run indirect transfers flagged by entry-only CFI"
-      ~header:[ "program"; "config"; "indirect transfers"; "violations" ]
+      ~header:[ "program"; "config"; "indirect transfers"; "violations"; "run" ]
   in
   List.iter
     (fun r ->
       Table.add_row t
         [ r.cfi_program; r.cfi_config; string_of_int r.cfi_transfers;
-          string_of_int r.cfi_violations ])
+          string_of_int r.cfi_violations;
+          (if r.cfi_completed then "done" else "timeout") ])
     rows;
   (Table.render t, rows)

@@ -10,11 +10,19 @@ type row = {
   cfi_config : string;
   cfi_transfers : int;      (** indirect transfers executed *)
   cfi_violations : int;     (** flagged by the entry-only policy *)
+  cfi_completed : bool;     (** benign run finished within fuel — a
+                                timed-out run is reported as such, not
+                                as a clean measurement *)
 }
 
-val run_one : Gp_corpus.Programs.entry -> string * Gp_obf.Obf.config -> row
+val run_one :
+  ?budget:Gp_core.Budget.t ->
+  Gp_corpus.Programs.entry -> string * Gp_obf.Obf.config -> row
+(** [budget] converts remaining wall clock into emulator fuel (capped at
+    the historical 40M steps). *)
 
 val study :
-  ?entries:Gp_corpus.Programs.entry list -> unit -> string * row list
+  ?entries:Gp_corpus.Programs.entry list -> ?budget:Gp_core.Budget.t ->
+  unit -> string * row list
 (** Rendered table + rows for the default program subset under the three
     standard configurations. *)

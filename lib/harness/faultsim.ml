@@ -1,0 +1,77 @@
+(* Deterministic fault injection (DESIGN.md "Failure model & budgets").
+
+   The resilience claims — one poisoned gadget never kills a harvest, a
+   divergent solver only degrades the pool, a sweep always terminates
+   inside its budget — are only testable if faults can be produced on
+   demand.  This module drives the chaos hooks the low-level stages
+   expose ([Extract.chaos_decode], [Solver.chaos_unknown],
+   [Machine.chaos_fuse]) plus the pluggable [Budget] clock, all from
+   seeded splitmix64 streams, so a fault schedule is reproducible from
+   one integer.
+
+   Rate semantics (chosen to match each hook's natural granularity):
+   - [decode_rate]   per harvest START OFFSET: that window is treated as
+     undecodable and quarantined;
+   - [solver_rate]   per solver QUERY: answered Unknown unexamined;
+   - [mem_rate]      per emulator RUN: a fuse is armed that trips a
+     memory fault partway through the execution;
+   - [clock_skip_rate] per CLOCK READ: time jumps forward by
+     [clock_skip_s] seconds (NTP-step / scheduler-stall simulation —
+     exercises deadline handling without sleeping). *)
+
+type config = {
+  seed : int;
+  decode_rate : float;
+  solver_rate : float;
+  mem_rate : float;
+  clock_skip_rate : float;
+  clock_skip_s : float;
+}
+
+let disabled =
+  { seed = 0; decode_rate = 0.; solver_rate = 0.; mem_rate = 0.;
+    clock_skip_rate = 0.; clock_skip_s = 0. }
+
+let uniform ?(seed = 0xfa17) rate =
+  { disabled with seed; decode_rate = rate; solver_rate = rate;
+    mem_rate = rate }
+
+(* Run [f] with the fault schedule installed, restoring every hook on
+   the way out (exception or not) — injection must never leak into the
+   next experiment. *)
+let with_faults (cfg : config) (f : unit -> 'a) : 'a =
+  (* one independent stream per fault class, so e.g. raising the decode
+     rate does not shift which solver queries fail *)
+  let r_decode = Gp_util.Rng.create (cfg.seed lxor 0x11) in
+  let r_solver = Gp_util.Rng.create (cfg.seed lxor 0x22) in
+  let r_mem = Gp_util.Rng.create (cfg.seed lxor 0x33) in
+  let r_clock = Gp_util.Rng.create (cfg.seed lxor 0x44) in
+  let saved_decode = !Gp_core.Extract.chaos_decode in
+  let saved_solver = !Gp_smt.Solver.chaos_unknown in
+  let saved_fuse = !Gp_emu.Machine.chaos_fuse in
+  if cfg.decode_rate > 0. then
+    Gp_core.Extract.chaos_decode :=
+      (fun _addr -> Gp_util.Rng.flip r_decode cfg.decode_rate);
+  if cfg.solver_rate > 0. then
+    Gp_smt.Solver.chaos_unknown :=
+      (fun () -> Gp_util.Rng.flip r_solver cfg.solver_rate);
+  if cfg.mem_rate > 0. then
+    Gp_emu.Machine.chaos_fuse :=
+      (fun () ->
+        if Gp_util.Rng.flip r_mem cfg.mem_rate then
+          Some (Gp_util.Rng.int r_mem 100_000)
+        else None);
+  if cfg.clock_skip_rate > 0. then begin
+    let skew = ref 0. in
+    Gp_core.Budget.set_clock (fun () ->
+        if Gp_util.Rng.flip r_clock cfg.clock_skip_rate then
+          skew := !skew +. cfg.clock_skip_s;
+        Unix.gettimeofday () +. !skew)
+  end;
+  let finally () =
+    Gp_core.Extract.chaos_decode := saved_decode;
+    Gp_smt.Solver.chaos_unknown := saved_solver;
+    Gp_emu.Machine.chaos_fuse := saved_fuse;
+    if cfg.clock_skip_rate > 0. then Gp_core.Budget.reset_clock ()
+  in
+  Fun.protect ~finally f

@@ -1,0 +1,33 @@
+(** Deterministic fault injection (DESIGN.md "Failure model & budgets").
+
+    Drives the chaos hooks the low-level stages expose
+    ([Extract.chaos_decode], [Solver.chaos_unknown],
+    [Machine.chaos_fuse]) plus the pluggable {!Gp_core.Budget} clock,
+    all from seeded splitmix64 streams — a whole fault schedule is
+    reproducible from one integer.  Used by [test_resilience] to prove
+    every degradation path terminates with a well-formed outcome. *)
+
+type config = {
+  seed : int;
+  decode_rate : float;
+      (** per harvest start offset: treated as undecodable *)
+  solver_rate : float;
+      (** per solver query: answered [Unknown] unexamined *)
+  mem_rate : float;
+      (** per emulator run: arms a mid-execution memory fault *)
+  clock_skip_rate : float;
+      (** per clock read: time jumps forward [clock_skip_s] seconds *)
+  clock_skip_s : float;
+}
+
+val disabled : config
+(** All rates zero — installing it is a no-op. *)
+
+val uniform : ?seed:int -> float -> config
+(** Same rate across decode/solver/memory; no clock skips. *)
+
+val with_faults : config -> (unit -> 'a) -> 'a
+(** Run the thunk with the fault schedule installed; every hook (and the
+    clock) is restored on the way out, exception or not.  Each fault
+    class draws from its own stream, so raising one rate does not shift
+    another class's schedule. *)

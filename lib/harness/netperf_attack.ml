@@ -26,13 +26,13 @@ let write_input m (words : int64 list) =
         w)
     words
 
-let probe (image : Gp_util.Image.t) : probe option =
+let probe ?(fuel = 10_000_000) (image : Gp_util.Image.t) : probe option =
   let m = Gp_emu.Machine.create image in
   let n = 64 in
   write_input m
     (Int64.of_int n
     :: List.init n (fun i -> Int64.logor marker_tag (Int64.of_int i)));
-  match Gp_emu.Machine.run ~fuel:10_000_000 m with
+  match Gp_emu.Machine.run ~fuel m with
   | Gp_emu.Machine.Fault _ ->
     let rip = m.Gp_emu.Machine.rip in
     if Int64.logand rip 0xffffffff00000000L = marker_tag then
@@ -47,10 +47,15 @@ type result = {
   probe : probe;
   chains : Gp_core.Payload.chain list;   (* end-to-end confirmed *)
   attempted : int;
+  fire_timeouts : int;    (* deliveries that ran out of fuel — budget
+                             starvation, not refuted chains *)
 }
 
-(* Deliver one chain through the vulnerability; true when the goal fires. *)
-let fire (image : Gp_util.Image.t) (pr : probe) (c : Gp_core.Payload.chain) : bool =
+(* Deliver one chain through the vulnerability, returning the raw
+   outcome so callers can tell refuted chains (Fault/Exited) from fuel
+   starvation (Timeout). *)
+let fire_run ?(fuel = 20_000_000) (image : Gp_util.Image.t) (pr : probe)
+    (c : Gp_core.Payload.chain) : Gp_emu.Machine.outcome =
   let m = Gp_emu.Machine.create image in
   let payload = Array.to_list c.Gp_core.Payload.c_payload in
   let words =
@@ -59,23 +64,43 @@ let fire (image : Gp_util.Image.t) (pr : probe) (c : Gp_core.Payload.chain) : bo
     @ payload
   in
   write_input m words;
-  let outcome = Gp_emu.Machine.run ~fuel:20_000_000 m in
-  Gp_core.Goal.satisfied c.Gp_core.Payload.c_goal outcome
+  Gp_emu.Machine.run ~fuel m
+
+let fire ?fuel image pr (c : Gp_core.Payload.chain) : bool =
+  Gp_core.Goal.satisfied c.Gp_core.Payload.c_goal (fire_run ?fuel image pr c)
 
 let run ?(planner_config = Workspace.gp_planner_config)
-    ?(goal = Gp_core.Goal.Execve "/bin/sh") (b : Workspace.built) :
+    ?(goal = Gp_core.Goal.Execve "/bin/sh") ?budget (b : Workspace.built) :
     result option =
-  match probe b.Workspace.image with
+  let budget = match budget with Some b -> b | None -> Gp_core.Budget.unlimited () in
+  match
+    probe ~fuel:(Gp_core.Budget.emu_fuel ~cap:10_000_000 budget)
+      b.Workspace.image
+  with
   | None -> None
   | Some pr ->
     let finally () = Gp_core.Layout.reset () in
     Fun.protect ~finally (fun () ->
         Gp_core.Layout.set_payload_base pr.ret_cell;
-        let o = Gp_core.Api.run_with_analysis ~planner_config b.Workspace.analysis goal in
+        let o =
+          Gp_core.Api.run_with_analysis ~planner_config ~budget
+            b.Workspace.analysis goal
+        in
+        let timeouts = ref 0 in
         let confirmed =
-          List.filter (fire b.Workspace.image pr) o.Gp_core.Api.chains
+          List.filter
+            (fun c ->
+              let fuel = Gp_core.Budget.emu_fuel ~cap:20_000_000 budget in
+              match fire_run ~fuel b.Workspace.image pr c with
+              | o when Gp_core.Goal.satisfied c.Gp_core.Payload.c_goal o -> true
+              | Gp_emu.Machine.Timeout ->
+                incr timeouts;
+                false
+              | _ -> false)
+            o.Gp_core.Api.chains
         in
         Some
           { probe = pr;
             chains = confirmed;
-            attempted = List.length o.Gp_core.Api.chains })
+            attempted = List.length o.Gp_core.Api.chains;
+            fire_timeouts = !timeouts })

@@ -9,21 +9,31 @@ type probe = {
   ret_cell : int64;       (** absolute address of the smashed cell *)
 }
 
-val probe : Gp_util.Image.t -> probe option
+val probe : ?fuel:int -> Gp_util.Image.t -> probe option
 (** Cyclic-pattern probe; [None] when the overflow is unreachable. *)
 
 type result = {
   probe : probe;
   chains : Gp_core.Payload.chain list;   (** end-to-end confirmed *)
   attempted : int;                       (** chains the planner offered *)
+  fire_timeouts : int;                   (** deliveries that ran out of
+                                             fuel — budget starvation,
+                                             not refuted chains *)
 }
 
-val fire : Gp_util.Image.t -> probe -> Gp_core.Payload.chain -> bool
-(** Deliver one chain through the vulnerability. *)
+val fire_run :
+  ?fuel:int -> Gp_util.Image.t -> probe -> Gp_core.Payload.chain ->
+  Gp_emu.Machine.outcome
+(** Deliver one chain through the vulnerability; the raw outcome keeps
+    [Timeout] distinguishable from a refuting [Fault]/[Exited]. *)
+
+val fire : ?fuel:int -> Gp_util.Image.t -> probe -> Gp_core.Payload.chain -> bool
 
 val run :
   ?planner_config:Gp_core.Planner.config ->
   ?goal:Gp_core.Goal.t ->
+  ?budget:Gp_core.Budget.t ->
   Workspace.built ->
   result option
-(** The full scenario (restores the default payload layout afterwards). *)
+(** The full scenario (restores the default payload layout afterwards).
+    [budget] clamps the planning stage and scales delivery fuel. *)

@@ -16,13 +16,13 @@ let obf_configs =
     ("llvm-obf", Gp_obf.Obf.ollvm);
     ("tigress", Gp_obf.Obf.tigress) ]
 
-let build ?(config_name = "original") ?(cfg = Gp_obf.Obf.none)
+let build ?(config_name = "original") ?(cfg = Gp_obf.Obf.none) ?budget
     (entry : Gp_corpus.Programs.entry) : built =
   let image =
     Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform cfg)
       entry.Gp_corpus.Programs.source
   in
-  let analysis = Gp_core.Api.analyze image in
+  let analysis = Gp_core.Api.analyze ?budget image in
   { entry; config_name; image; analysis }
 
 (* The per-goal planner settings used across the comparison experiments:
@@ -38,9 +38,11 @@ let gp_planner_config =
 
 let goals = Gp_core.Goal.default_goals
 
-(* Run Gadget-Planner over one built image for one goal. *)
-let run_gp ?(planner_config = gp_planner_config) (b : built) goal =
-  Gp_core.Api.run_with_analysis ~planner_config b.analysis goal
+(* Run Gadget-Planner over one built image for one goal.  [budget]
+   clamps the planner/validation deadline below the config's own
+   time_budget — the survey-wide wall-clock bound. *)
+let run_gp ?(planner_config = gp_planner_config) ?budget (b : built) goal =
+  Gp_core.Api.run_with_analysis ~planner_config ?budget b.analysis goal
 
 (* Canonical text of a gadget, used to decide whether a chain uses any
    gadget that did not exist before obfuscation ("new" chains). *)

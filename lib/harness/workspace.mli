@@ -14,8 +14,9 @@ val obf_configs : (string * Gp_obf.Obf.config) list
 (** original / llvm-obf / tigress. *)
 
 val build :
-  ?config_name:string -> ?cfg:Gp_obf.Obf.config -> Gp_corpus.Programs.entry ->
-  built
+  ?config_name:string -> ?cfg:Gp_obf.Obf.config -> ?budget:Gp_core.Budget.t ->
+  Gp_corpus.Programs.entry -> built
+(** [budget] bounds the analyze stages (extract/subsume). *)
 
 val gp_planner_config : Gp_core.Planner.config
 (** The per-goal budget used across the comparison experiments. *)
@@ -23,8 +24,9 @@ val gp_planner_config : Gp_core.Planner.config
 val goals : Gp_core.Goal.t list
 
 val run_gp :
-  ?planner_config:Gp_core.Planner.config -> built -> Gp_core.Goal.t ->
-  Gp_core.Api.outcome
+  ?planner_config:Gp_core.Planner.config -> ?budget:Gp_core.Budget.t ->
+  built -> Gp_core.Goal.t -> Gp_core.Api.outcome
+(** [budget] clamps the search below the config's own time budget. *)
 
 val gadget_text : Gp_core.Gadget.t -> string
 (** Canonical instruction text, for original-vs-obfuscated comparison. *)

@@ -132,7 +132,18 @@ let solve_pin sigma l =
 let special_values =
   [ 0L; 1L; 2L; -1L; 8L; 0x100L; 0x1000L; 0x400000L; 0x601000L; Int64.min_int ]
 
-let check ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
+(* Fault-injection hook: when it returns true the query is abandoned as
+   Unknown before any reasoning, simulating a divergent backend.  The
+   solver sits below Gp_core, so the harness installs the predicate here
+   directly (see Gp_harness.Faultsim).  Unknown is always a sound
+   answer, so injection cannot corrupt results — only degrade them. *)
+let chaos_unknown : (unit -> bool) ref = ref (fun () -> false)
+
+(* Running count of Unknown verdicts (injected or genuine); Api
+   snapshots it around each stage to attribute solver indecision. *)
+let unknowns = ref 0
+
+let check_real ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
     ?(max_trials = 200) (formulas : Formula.t list) : result =
   let formulas = List.map Formula.simplify formulas in
   if List.mem Formula.False formulas then Unsat
@@ -294,6 +305,18 @@ let check ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
           search 0
       end
   end
+
+let check ?rng ?pool ?max_trials formulas =
+  if !chaos_unknown () then begin
+    incr unknowns;
+    Unknown
+  end
+  else
+    match check_real ?rng ?pool ?max_trials formulas with
+    | Unknown ->
+      incr unknowns;
+      Unknown
+    | r -> r
 
 (* Entailment: hyps |= concl.  True only when hyps ∧ ¬concl is provably
    unsat; Unknown is treated as "not entailed" (conservative for

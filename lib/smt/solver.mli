@@ -37,6 +37,18 @@ val inv64 : int64 -> int64
 (** Inverse of an odd number mod 2{^64} (Newton iteration); raises
     [Invalid_argument] on even input. *)
 
+val chaos_unknown : (unit -> bool) ref
+(** Fault-injection hook: when the predicate returns true, {!check}
+    abandons the query as [Unknown] before any reasoning (a simulated
+    divergent backend).  [Unknown] is always sound, so injection can
+    only degrade results, never corrupt them.  Installed/removed by the
+    harness ([Gp_harness.Faultsim]); defaults to never firing. *)
+
+val unknowns : int ref
+(** Running count of [Unknown] verdicts, injected or genuine.  The
+    pipeline snapshots it around each stage to attribute solver
+    indecision in its stats. *)
+
 val check :
   ?rng:Gp_util.Rng.t ->
   ?pool:pointer_pool ->

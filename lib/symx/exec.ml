@@ -244,10 +244,12 @@ type config = {
 
 let default_config = { max_insns = 16; max_forks = 2; max_merges = 2 }
 
-(* Summarize all paths from [addr].  Returns [] when nothing decodes into
-   a usable gadget. *)
-let summarize ?(config = default_config) (image : Gp_util.Image.t) (addr : int64) :
-    summary list =
+(* Summarize all paths from [addr], also reporting whether the executor
+   refused a path ([State.Unsupported]).  Partial results gathered before
+   the refusal are kept — the refusal is a per-start quarantine signal,
+   not a loss of the whole harvest. *)
+let summarize_r ?(config = default_config) (image : Gp_util.Image.t)
+    (addr : int64) : summary list * string option =
   let results = ref [] in
   let base = image.Gp_util.Image.code_base in
   let rec go st cur ninsns nforks nmerges has_cond has_merge =
@@ -325,6 +327,12 @@ let summarize ?(config = default_config) (image : Gp_util.Image.t) (addr : int64
           end)
     end
   in
-  (try go (State.initial ()) addr 0 0 0 false false
-   with State.Unsupported _ -> ());
-  !results
+  let refused =
+    try
+      go (State.initial ()) addr 0 0 0 false false;
+      None
+    with State.Unsupported why -> Some why
+  in
+  (!results, refused)
+
+let summarize ?config image addr = fst (summarize_r ?config image addr)

@@ -42,3 +42,10 @@ val default_config : config
 val summarize : ?config:config -> Gp_util.Image.t -> int64 -> summary list
 (** All path summaries from the address; [[]] when nothing decodes into a
     usable gadget. *)
+
+val summarize_r :
+  ?config:config -> Gp_util.Image.t -> int64 -> summary list * string option
+(** Like {!summarize}, but also reports whether the executor refused a
+    path ([State.Unsupported] detail).  Partial summaries gathered before
+    the refusal are kept; the refusal lets callers quarantine and count
+    the start offset instead of silently dropping it. *)

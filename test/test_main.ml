@@ -17,4 +17,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("corpus", Test_corpus.suite);
       ("harness", Test_harness.suite);
+      ("resilience", Test_resilience.suite);
       ("integration", Test_integration.suite) ]
