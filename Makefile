@@ -2,10 +2,15 @@
 # a full build (the dev profile promotes the standard warning set to
 # errors) plus the test suite under a wall-clock cap, so a hung planner
 # test fails fast instead of wedging CI.
+#
+# `make check-par` re-runs the suite at JOBS=1 and JOBS=4: the
+# differential tests in test_par compare each job count against the
+# sequential pipeline, so the two sweeps together pin down the
+# determinism contract (DESIGN.md "Parallel execution & determinism").
 
 CHECK_TIMEOUT ?= 600
 
-.PHONY: all build test check clean
+.PHONY: all build test check check-par clean
 
 all: build
 
@@ -15,9 +20,11 @@ build:
 test:
 	dune runtest
 
-check:
-	dune build @all
-	timeout $(CHECK_TIMEOUT) dune runtest --force
+check: build check-par
+
+check-par:
+	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
+	JOBS=4 timeout $(CHECK_TIMEOUT) dune runtest --force
 
 clean:
 	dune clean

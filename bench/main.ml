@@ -7,6 +7,9 @@
      dune exec bench/main.exe -- --only fig1  # a single experiment
      dune exec bench/main.exe -- --bechamel   # Bechamel micro-benchmarks of
                                               # the stages behind each table
+     dune exec bench/main.exe -- --only par --jobs 4
+                                              # sequential-vs-parallel speedup
+                                              # (writes BENCH_par.json)
 
    Absolute numbers differ from the paper (their substrate was a real
    x86-64 testbed, ours is the simulator stack described in DESIGN.md);
@@ -15,8 +18,11 @@
 let header title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
 
-let run_experiment ~quick id =
+let run_experiment ~quick ~jobs id =
   match id with
+  | "par" ->
+    let txt, _ = Gp_harness.Experiments.par ~quick ~jobs () in
+    print_string txt
   | "fig1" ->
     let txt, _ = Gp_harness.Experiments.fig1 ~quick () in
     print_string txt
@@ -61,7 +67,7 @@ let run_experiment ~quick id =
 
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
-    "tab7"; "cfi_study"; "ablation_unaligned"; "ablation_subsumption";
+    "tab7"; "par"; "cfi_study"; "ablation_unaligned"; "ablation_subsumption";
     "ablation_condjump"; "ablation_seeds" ]
 
 (* ----- Bechamel micro-benchmarks: the stage behind each table ----- *)
@@ -148,6 +154,14 @@ let () =
     in
     find argv
   in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> int_of_string n
+      | _ :: rest -> find rest
+      | [] -> 4
+    in
+    find argv
+  in
   if bechamel then begin
     header "Bechamel micro-benchmarks (pipeline stages behind the tables)";
     run_bechamel ()
@@ -156,7 +170,7 @@ let () =
     match only with
     | Some id ->
       header (Printf.sprintf "Experiment %s (%s mode)" id (if quick then "quick" else "full"));
-      run_experiment ~quick id
+      run_experiment ~quick ~jobs id
     | None ->
       header
         (Printf.sprintf "Gadget-Planner evaluation — all experiments (%s mode)"
@@ -164,6 +178,6 @@ let () =
       List.iter
         (fun id ->
           Printf.printf "\n[%s]\n%!" id;
-          run_experiment ~quick id)
+          run_experiment ~quick ~jobs id)
         all_ids
   end

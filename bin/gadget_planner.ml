@@ -52,6 +52,12 @@ let budget_arg =
 
 let budget_of = Option.map (fun s -> Gp_core.Budget.create ~label:"cli" ~seconds:s ())
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domains for extraction/subsumption (results are \
+                 deterministic and identical to -j 1).")
+
 let compile_image prog obf =
   Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform (obf_of_name obf))
     (load_source prog)
@@ -78,7 +84,7 @@ let compile_cmd =
 (* ----- scan ----- *)
 
 let scan_cmd =
-  let run prog obf =
+  let run prog obf jobs =
     let image = compile_image prog obf in
     let counts = Gp_core.Extract.raw_counts image in
     let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
@@ -86,12 +92,12 @@ let scan_cmd =
     List.iter
       (fun (k, c) -> Printf.printf "  %-6s %6d\n" (Gp_core.Gadget.kind_name k) c)
       counts;
-    let a = Gp_core.Api.analyze image in
+    let a = Gp_core.Api.analyze ~jobs image in
     Printf.printf "planner pool after subsumption: %d (from %d summaries)\n"
       (Gp_core.Pool.size a.Gp_core.Api.pool) a.Gp_core.Api.raw_extracted
   in
   Cmd.v (Cmd.info "scan" ~doc:"Count gadgets (the Fig. 1 / Table I census).")
-    Term.(const run $ prog_arg $ obf_arg)
+    Term.(const run $ prog_arg $ obf_arg $ jobs_arg)
 
 (* ----- plan ----- *)
 
@@ -103,10 +109,10 @@ let plan_cmd =
   let max_arg =
     Arg.(value & opt int 8 & info [ "max" ] ~docv:"N" ~doc:"Payloads to emit.")
   in
-  let run prog obf goal maxn budget =
+  let run prog obf goal maxn budget jobs =
     let image = compile_image prog obf in
     let o =
-      Gp_core.Api.run ?budget:(budget_of budget)
+      Gp_core.Api.run ?budget:(budget_of budget) ~jobs
         ~planner_config:
           { Gp_core.Planner.max_plans = maxn; node_budget = 4000;
             time_budget = 30.; branch_cap = 10; goal_cap = 6; max_steps = 14 }
@@ -135,16 +141,17 @@ let plan_cmd =
       o.Gp_core.Api.chains
   in
   Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
-    Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg)
+    Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg
+          $ jobs_arg)
 
 (* ----- netperf ----- *)
 
 let netperf_cmd =
-  let run obf budget =
+  let run obf budget jobs =
     let budget = budget_of budget in
     let b =
       Gp_harness.Workspace.build ~config_name:obf ~cfg:(obf_of_name obf)
-        ?budget Gp_corpus.Netperf.entry
+        ?budget ~jobs Gp_corpus.Netperf.entry
     in
     match Gp_harness.Netperf_attack.run ?budget b with
     | None -> print_endline "probe failed"
@@ -159,7 +166,7 @@ let netperf_cmd =
       | [] -> ()
   in
   Cmd.v (Cmd.info "netperf" ~doc:"Run the netperf end-to-end case study.")
-    Term.(const run $ obf_arg $ budget_arg)
+    Term.(const run $ obf_arg $ budget_arg $ jobs_arg)
 
 (* ----- disasm ----- *)
 

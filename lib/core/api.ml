@@ -32,10 +32,23 @@ type stage_stats = {
       (* candidate chains that ran out of emulator fuel — NOT crashes *)
   budget_hits : string list;
       (* stages whose budget ran dry ("extract", "subsume", "plan") *)
+  cache_hits : int;
+  cache_misses : int;
+      (* solver memo traffic (check + prove_equal stores) during this
+         run — hit rate is a property of cache temperature, never of
+         verdicts, so it is reported but excluded from differential
+         comparisons *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
 }
+
+(* Combined solver-memo counters, snapshotted around stages. *)
+let cache_counters () =
+  ( Gp_smt.Cache.hits Gp_smt.Solver.memo
+    + Gp_smt.Cache.hits Gp_smt.Solver.equal_memo,
+    Gp_smt.Cache.misses Gp_smt.Solver.memo
+    + Gp_smt.Cache.misses Gp_smt.Solver.equal_memo )
 
 type analysis = {
   image : Gp_util.Image.t;
@@ -47,6 +60,8 @@ type analysis = {
   quarantined : (string * int) list;
   analysis_budget_hits : string list;
   analysis_unknowns : int;
+  analysis_cache_hits : int;
+  analysis_cache_misses : int;
 }
 
 let timed f =
@@ -71,8 +86,9 @@ let passthrough_stats gadgets =
   { Subsume.input = n; after_dedup = n; after_subsume = n; timed_out = false }
 
 let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
-    ?budget (image : Gp_util.Image.t) : analysis =
+    ?budget ?(jobs = 1) (image : Gp_util.Image.t) : analysis =
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
+  let ch0, cm0 = cache_counters () in
   (* stage 1: harvest (quarantines poisoned starts internally) *)
   let (harvested, hstats), extract_time =
     match
@@ -80,7 +96,7 @@ let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
           timed (fun () ->
               Extract.harvest_r ~config:extract_config
                 ~budget:(Budget.sub root ~label:"extract" ~fraction:0.6 ())
-                image))
+                ~jobs image))
     with
     | Ok v -> v
     | Error f ->
@@ -90,7 +106,7 @@ let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
             h_budget_hit = true } ),
         0. )
   in
-  let u0 = !Gp_smt.Solver.unknowns in
+  let u0 = Atomic.get Gp_smt.Solver.unknowns in
   (* stage 2: subsumption (only ever shrinks the pool, so budget death
      or an error degrades to passing the harvest through untouched) *)
   let (minimal, sstats), subsume_time =
@@ -100,7 +116,7 @@ let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
               if subsume then
                 Subsume.minimize
                   ~budget:(Budget.sub root ~label:"subsume" ())
-                  harvested
+                  ~jobs harvested
               else (harvested, passthrough_stats harvested)))
     with
     | Ok v -> v
@@ -117,7 +133,9 @@ let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
     analysis_budget_hits =
       (if hstats.Extract.h_budget_hit then [ "extract" ] else [])
       @ (if sstats.Subsume.timed_out then [ "subsume" ] else []);
-    analysis_unknowns = !Gp_smt.Solver.unknowns - u0 }
+    analysis_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
+    analysis_cache_hits = fst (cache_counters ()) - ch0;
+    analysis_cache_misses = snd (cache_counters ()) - cm0 }
 
 (* ----- degradation ladder ----- *)
 
@@ -140,7 +158,8 @@ let run_with_analysis ?(planner_config = Planner.default_config)
     ?(validate = true) ?budget (a : analysis) (goal : Goal.t) : outcome =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let concrete = Goal.concretize a.image goal in
-  let u0 = !Gp_smt.Solver.unknowns in
+  let u0 = Atomic.get Gp_smt.Solver.unknowns in
+  let ch0, cm0 = cache_counters () in
   (* a completed plan only counts if its payload assembles, is a chain we
      have not already emitted, and (when requested) survives end-to-end
      execution in the emulator *)
@@ -204,12 +223,15 @@ let run_with_analysis ?(planner_config = Planner.default_config)
         chains_built = List.length built;
         chains_validated = List.length validated;
         quarantined = a.quarantined;
-        solver_unknowns = a.analysis_unknowns + (!Gp_smt.Solver.unknowns - u0);
+        solver_unknowns = a.analysis_unknowns + (Atomic.get Gp_smt.Solver.unknowns - u0);
         validate_faults = !vfaults;
         validate_timeouts = !vtimeouts;
         budget_hits =
           a.analysis_budget_hits
           @ (if result.Planner.budget_hit then [ "plan" ] else []);
+        cache_hits = a.analysis_cache_hits + (fst (cache_counters ()) - ch0);
+        cache_misses =
+          a.analysis_cache_misses + (snd (cache_counters ()) - cm0);
         extract_time = a.extract_time;
         subsume_time = a.subsume_time;
         plan_time } }
@@ -242,8 +264,9 @@ let dedup_only (gadgets : Gadget.t list) : Gadget.t list =
 
 let run ?(extract_config = Extract.default_config)
     ?(planner_config = Planner.default_config) ?(validate = true) ?budget
-    (image : Gp_util.Image.t) (goal : Goal.t) : outcome =
+    ?(jobs = 1) (image : Gp_util.Image.t) (goal : Goal.t) : outcome =
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
+  let ch0, cm0 = cache_counters () in
   (* Stage 1 runs ONCE: the harvest is the expensive part and every rung
      shares it (the degraded rungs re-pool from the same gadget records,
      so gadget ids stay stable too). *)
@@ -253,7 +276,7 @@ let run ?(extract_config = Extract.default_config)
           timed (fun () ->
               Extract.harvest_r ~config:extract_config
                 ~budget:(Budget.sub root ~label:"extract" ~fraction:0.6 ())
-                image))
+                ~jobs image))
     with
     | Ok v -> v
     | Error f ->
@@ -263,14 +286,14 @@ let run ?(extract_config = Extract.default_config)
             h_budget_hit = true } ),
         0. )
   in
-  let u0 = !Gp_smt.Solver.unknowns in
+  let u0 = Atomic.get Gp_smt.Solver.unknowns in
   let (minimal, sstats), subsume_time =
     match
       stage "subsume" root (fun () ->
           timed (fun () ->
               Subsume.minimize
                 ~budget:(Budget.sub root ~label:"subsume" ())
-                harvested))
+                ~jobs harvested))
     with
     | Ok v -> v
     | Error _ ->
@@ -287,7 +310,9 @@ let run ?(extract_config = Extract.default_config)
       analysis_budget_hits =
         (if hstats.Extract.h_budget_hit then [ "extract" ] else [])
         @ (if sstats.Subsume.timed_out then [ "subsume" ] else []);
-      analysis_unknowns = !Gp_smt.Solver.unknowns - u0 }
+      analysis_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
+      analysis_cache_hits = fst (cache_counters ()) - ch0;
+      analysis_cache_misses = snd (cache_counters ()) - cm0 }
   in
   (* Degraded stage 2: dedup the RAW harvest without subsumption — the
      Dedup_only rung's pool is a superset of the subsumed one. *)

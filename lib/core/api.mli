@@ -36,6 +36,12 @@ type stage_stats = {
           starvation, deliberately counted apart from faults *)
   budget_hits : string list;
       (** stages whose budget ran dry ("extract", "subsume", "plan") *)
+  cache_hits : int;
+  cache_misses : int;
+      (** solver memo traffic (check + prove_equal stores) during this
+          run.  Hit rate is a property of cache temperature, never of
+          verdicts — reported, but excluded from differential
+          jobs-equivalence comparisons. *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
@@ -52,16 +58,21 @@ type analysis = {
   quarantined : (string * int) list;   (** harvest quarantine ledger *)
   analysis_budget_hits : string list;  (** of stages 1-2 *)
   analysis_unknowns : int;             (** solver Unknowns in stages 1-2 *)
+  analysis_cache_hits : int;           (** solver memo hits in stages 1-2 *)
+  analysis_cache_misses : int;
 }
 
 val timed : (unit -> 'a) -> 'a * float
 
 val analyze :
   ?extract_config:Extract.config -> ?subsume:bool -> ?budget:Budget.t ->
-  Gp_util.Image.t -> analysis
+  ?jobs:int -> Gp_util.Image.t -> analysis
 (** Stages 1–2.  [budget] bounds both stages (extract gets the larger
     slice); exhaustion degrades — a partial harvest, or a pool passed
-    through un-subsumed — and is recorded, never raised. *)
+    through un-subsumed — and is recorded, never raised.  [jobs] > 1
+    runs both stages on that many domains; results are deterministic
+    and identical to [jobs = 1] (DESIGN.md "Parallel execution &
+    determinism"). *)
 
 (** {1 Degradation ladder}
 
@@ -103,10 +114,13 @@ val run :
   ?planner_config:Planner.config ->
   ?validate:bool ->
   ?budget:Budget.t ->
+  ?jobs:int ->
   Gp_util.Image.t ->
   Goal.t ->
   outcome
 (** The whole pipeline in one call, with the degradation ladder: the
     harvest runs once, then Full → Dedup_only → Wider_branch →
     Relaxed_steps until a chain is found, the root budget dies, or the
-    ladder ends. *)
+    ladder ends.  [jobs] > 1 parallelizes stages 1–2 over that many
+    domains; the outcome (pool, plans, chains, tallies) is identical to
+    the default [jobs = 1]. *)

@@ -94,6 +94,19 @@ let sub (parent : t) ?label ?fraction ?seconds ?fuel () =
     fuel = (match fuel with Some f -> f | None -> max_int);
     polls = 0; hit = None }
 
+(* A per-worker slice for parallel chunks (DESIGN.md "Parallel
+   execution & determinism"): shares [parent]'s deadline but owns its
+   fuel meter and poll state, so domains never mutate a shared budget.
+   The caller allots each chunk its fuel share up front and merges
+   consumption back into the parent with [spend] after the join —
+   budgets are checkpointed per chunk rather than polled globally. *)
+let slice (parent : t) ?label ?fuel () =
+  { label = (match label with Some l -> l | None -> parent.label);
+    deadline = parent.deadline;
+    fuel = (match fuel with Some f -> f | None -> max_int);
+    polls = 0;
+    hit = None }
+
 let remaining_seconds t =
   if t.deadline = infinity then infinity else t.deadline -. now ()
 

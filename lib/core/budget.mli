@@ -34,6 +34,13 @@ val sub :
     of the parent's remaining time; either way the child's deadline is
     clamped to the parent's.  Fuel is fresh per child, not inherited. *)
 
+val slice : t -> ?label:string -> ?fuel:int -> unit -> t
+(** Per-worker slice for parallel chunks: shares the parent's deadline
+    but owns a private fuel meter and poll state, so domains never
+    mutate shared budget state.  The caller allots each chunk its fuel
+    share up front and merges consumption back into the parent with
+    {!spend} after the join. *)
+
 val check : t -> unit
 (** Raise {!Exhausted} if fuel has run out or the deadline has passed.
     Call at loop tops; the clock is only read every 32nd call. *)

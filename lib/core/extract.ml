@@ -141,65 +141,151 @@ type harvest_stats = {
   h_budget_hit : bool;                  (* harvest stopped early *)
 }
 
+let sym_config_of config =
+  { Gp_symx.Exec.max_insns = config.max_insns;
+    max_forks = config.max_forks;
+    max_merges = config.max_merges }
+
+(* Examine one start offset: syntactic prefilter, chaos check, symbolic
+   summarization, conversion.  [mk] builds each gadget record — the
+   sequential path draws fresh global ids in place; parallel workers
+   pass a placeholder id and the merge renumbers.  Returns one entry
+   per CONVERTED summary: [Some g] when usable, [None] when converted
+   but unusable.  The distinction matters because every conversion
+   consumes a gadget id, so renumbering must see both. *)
+let examine_start ~config ~sym_config ~mk ~tally (image : Gp_util.Image.t)
+    pos : Gadget.t option list =
+  (* cheap prefilter: must syntactically reach a terminator *)
+  match scan_run ~config image pos with
+  | None -> []
+  | Some _ ->
+    let addr =
+      Int64.add image.Gp_util.Image.code_base (Int64.of_int pos)
+    in
+    if !chaos_decode addr then begin
+      Fail.tally_add tally (Fail.Decode_fault (addr, "injected"));
+      []
+    end
+    else begin
+      let summaries, refused =
+        Gp_symx.Exec.summarize_r ~config:sym_config image addr
+      in
+      (match refused with
+       | Some why -> Fail.tally_add tally (Fail.Symx_unsupported (addr, why))
+       | None -> ());
+      List.filter_map
+        (fun s ->
+          match mk s with
+          | g -> Some (if usable g then Some g else None)
+          | exception e ->
+            Fail.tally_add tally
+              (Fail.Decode_fault (addr, Printexc.to_string e));
+            None)
+        summaries
+    end
+
+(* Parallel harvest: chunk the start offsets over [jobs] domains.  Each
+   chunk owns a budget slice and a fault tally; the merge walks chunks
+   in index order, so gadget order — and, after renumbering, the gadget
+   id sequence — is identical to the sequential path.  Fuel is
+   checkpointed per chunk: a global allowance of F start offsets covers
+   positions [0, F) exactly as the sequential meter would, so each
+   chunk's share is its overlap with that prefix. *)
+let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
+    Gadget.t list * harvest_stats =
+  let sym_config = sym_config_of config in
+  let positions = Array.of_list (start_positions ~config image) in
+  let n = Array.length positions in
+  let fuel0 = Budget.remaining_fuel budget in
+  let chunk = Gp_util.Par.chunk_size ~min_chunk:64 ~jobs n in
+  let tasks =
+    Array.map
+      (fun (lo, hi) ->
+        fun () ->
+          let tally = Fail.tally_create () in
+          let allot =
+            if fuel0 = max_int then hi - lo else max 0 (min hi fuel0 - lo)
+          in
+          let b = Budget.slice budget ~fuel:allot () in
+          let out = ref [] in
+          let examined = ref 0 in
+          let hit =
+            try
+              for k = lo to hi - 1 do
+                Budget.check b;
+                Budget.spend b;
+                incr examined;
+                out :=
+                  examine_start ~config ~sym_config
+                    ~mk:(Gadget.of_summary ~id:(-1)) ~tally image
+                    positions.(k)
+                  :: !out
+              done;
+              allot < hi - lo
+            with Budget.Exhausted _ -> true
+          in
+          (List.concat (List.rev !out), tally, !examined, hit))
+      (Gp_util.Par.ranges ~chunk n)
+  in
+  let results = Array.to_list (Gp_util.Par.run ~jobs tasks) in
+  (* associative merges, in chunk order *)
+  let quarantined =
+    List.fold_left
+      (fun acc (_, t, _, _) -> Fail.merge_counts acc (Fail.tally_list t))
+      [] results
+  in
+  let examined =
+    List.fold_left (fun acc (_, _, e, _) -> acc + e) 0 results
+  in
+  let hit = List.exists (fun (_, _, _, h) -> h) results in
+  Budget.spend budget ~amount:examined;
+  let gadgets =
+    List.concat_map (fun (entries, _, _, _) -> entries) results
+    |> List.filter_map (fun entry ->
+           let id = Gadget.fresh_id () in
+           match entry with
+           | Some g -> Some { g with Gadget.id }
+           | None -> None)
+  in
+  ( gadgets,
+    { h_starts = examined; h_quarantined = quarantined; h_budget_hit = hit } )
+
 (* Budgeted, fault-isolating harvest.  One poisoned start — injected
    decode fault, symbolic-executor refusal, or an exception out of
    summary conversion — quarantines THAT start and is tallied; the rest
    of the harvest proceeds.  Gadget order (and hence the global gadget
    id sequence) is identical to the unbudgeted [harvest] when nothing
-   fires. *)
+   fires.  [jobs] > 1 fans the scan out over that many domains with
+   results merged back in deterministic order (identical pool, ids,
+   and tallies; see DESIGN.md "Parallel execution & determinism"). *)
 let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
-    (image : Gp_util.Image.t) : Gadget.t list * harvest_stats =
-  let base = image.Gp_util.Image.code_base in
-  let sym_config =
-    { Gp_symx.Exec.max_insns = config.max_insns;
-      max_forks = config.max_forks;
-      max_merges = config.max_merges }
-  in
-  let tally = Fail.tally_create () in
-  let acc = ref [] in
-  let examined = ref 0 in
-  let budget_hit =
-    try
-      List.iter
-        (fun pos ->
-          Budget.check budget;
-          Budget.spend budget;
-          incr examined;
-          (* cheap prefilter: must syntactically reach a terminator *)
-          match scan_run ~config image pos with
-          | None -> ()
-          | Some _ ->
-            let addr = Int64.add base (Int64.of_int pos) in
-            if !chaos_decode addr then
-              Fail.tally_add tally (Fail.Decode_fault (addr, "injected"))
-            else begin
-              let summaries, refused =
-                Gp_symx.Exec.summarize_r ~config:sym_config image addr
-              in
-              (match refused with
-               | Some why ->
-                 Fail.tally_add tally (Fail.Symx_unsupported (addr, why))
-               | None -> ());
-              let gs =
-                List.filter_map
-                  (fun s ->
-                    match Gadget.of_summary s with
-                    | g -> if usable g then Some g else None
-                    | exception e ->
-                      Fail.tally_add tally
-                        (Fail.Decode_fault (addr, Printexc.to_string e));
-                      None)
-                  summaries
-              in
-              acc := gs :: !acc
-            end)
-        (start_positions ~config image);
-      false
-    with Budget.Exhausted _ -> true
-  in
-  ( List.concat (List.rev !acc),
-    { h_starts = !examined;
-      h_quarantined = Fail.tally_list tally;
-      h_budget_hit = budget_hit } )
+    ?(jobs = 1) (image : Gp_util.Image.t) : Gadget.t list * harvest_stats =
+  if jobs > 1 then harvest_par ~jobs ~config ~budget image
+  else begin
+    let sym_config = sym_config_of config in
+    let tally = Fail.tally_create () in
+    let acc = ref [] in
+    let examined = ref 0 in
+    let budget_hit =
+      try
+        List.iter
+          (fun pos ->
+            Budget.check budget;
+            Budget.spend budget;
+            incr examined;
+            let entries =
+              examine_start ~config ~sym_config ~mk:Gadget.of_summary ~tally
+                image pos
+            in
+            acc := List.filter_map Fun.id entries :: !acc)
+          (start_positions ~config image);
+        false
+      with Budget.Exhausted _ -> true
+    in
+    ( List.concat (List.rev !acc),
+      { h_starts = !examined;
+        h_quarantined = Fail.tally_list tally;
+        h_budget_hit = budget_hit } )
+  end
 
-let harvest ?config image = fst (harvest_r ?config image)
+let harvest ?config ?jobs image = fst (harvest_r ?config ?jobs image)

@@ -48,7 +48,7 @@ val usable : Gadget.t -> bool
     stack effect (bounded positive delta for ret gadgets, bounded pivots,
     anything for terminal syscall gadgets). *)
 
-val harvest : ?config:config -> Gp_util.Image.t -> Gadget.t list
+val harvest : ?config:config -> ?jobs:int -> Gp_util.Image.t -> Gadget.t list
 (** Full extraction: every byte offset, symbolically summarized, filtered
     to usable records.  Feed the result to {!Subsume.minimize}. *)
 
@@ -64,10 +64,16 @@ type harvest_stats = {
 }
 
 val harvest_r :
-  ?config:config -> ?budget:Budget.t -> Gp_util.Image.t ->
+  ?config:config -> ?budget:Budget.t -> ?jobs:int -> Gp_util.Image.t ->
   Gadget.t list * harvest_stats
 (** Budgeted, fault-isolating {!harvest}: a poisoned start (injected
     decode fault, [Symx] refusal, exception out of summary conversion)
     quarantines that start and is tallied, never aborting the harvest.
     With an unlimited budget and no injection the gadget list — and the
-    global gadget-id sequence — is identical to {!harvest}'s. *)
+    global gadget-id sequence — is identical to {!harvest}'s.
+
+    [jobs] > 1 fans the scan out over that many domains, chunking the
+    start offsets; results merge back in chunk order and gadget ids are
+    renumbered on the main domain, so the pool, id sequence, quarantine
+    tallies, and budget accounting are identical to the sequential run
+    (DESIGN.md "Parallel execution & determinism"). *)

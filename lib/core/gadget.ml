@@ -51,6 +51,21 @@ type t = {
 
 let next_id = ref 0
 
+(* Forget the id sequence.  Differential tests reset before comparing
+   pipelines so both runs draw the same ids (ids seed the layout pool's
+   address salt, see Plan). *)
+let reset_ids () = next_id := 0
+
+(* Draw the next id from the global sequence.  Worker domains build
+   gadgets with [of_summary ~id:(-1)] (never touching the shared
+   counter); the main domain then renumbers the merged, deterministic
+   ally ordered list with [fresh_id], reproducing exactly the sequence
+   a sequential harvest would have assigned. *)
+let fresh_id () =
+  let id = !next_id in
+  incr next_id;
+  id
+
 let classify (s : Gp_symx.Exec.summary) =
   if s.Gp_symx.Exec.s_syscall then Sys
   else
@@ -62,7 +77,11 @@ let classify (s : Gp_symx.Exec.summary) =
     | Gp_symx.Exec.Jind _, false, false -> UIJ
     | Gp_symx.Exec.Jfall _, false, false -> Sys
 
-let of_summary (s : Gp_symx.Exec.summary) : t =
+(* Build the gadget record for one summary.  Without [id], an id is
+   drawn from the global sequence (the sequential harvest path); with
+   it, the shared counter is left untouched (parallel workers pass a
+   placeholder and the merge renumbers). *)
+let of_summary ?id (s : Gp_symx.Exec.summary) : t =
   let st = s.Gp_symx.Exec.s_state in
   let post =
     List.map (fun r -> (r, Term.simplify (Gp_symx.State.reg st r))) Reg.all
@@ -91,8 +110,7 @@ let of_summary (s : Gp_symx.Exec.summary) : t =
       Spivot (Int64.to_int c)
     | _ -> Sunknown
   in
-  let id = !next_id in
-  incr next_id;
+  let id = match id with Some i -> i | None -> fresh_id () in
   { id;
     addr = s.s_addr;
     len = List.length s.s_insns;

@@ -51,8 +51,21 @@ type t = {
 
 val classify : Gp_symx.Exec.summary -> kind
 
-val of_summary : Gp_symx.Exec.summary -> t
-(** Build the record from a symbolic summary (assigns a fresh id). *)
+val reset_ids : unit -> unit
+(** Forget the global id sequence.  Differential tests reset before
+    comparing pipelines so both runs draw the same ids (ids seed the
+    layout pool's address salt, see [Plan]). *)
+
+val fresh_id : unit -> int
+(** Draw the next id from the global sequence.  The parallel harvest
+    merge uses this to renumber worker-built gadgets on the main domain,
+    reproducing exactly the sequence a sequential harvest assigns. *)
+
+val of_summary : ?id:int -> Gp_symx.Exec.summary -> t
+(** Build the record from a symbolic summary.  Without [id], a fresh id
+    is drawn from the global sequence (the sequential path); with it,
+    the shared counter is left untouched (parallel workers pass a
+    placeholder and the merge renumbers). *)
 
 val post_of : t -> Gp_x86.Reg.t -> Term.t
 (** Final value term of a register. *)

@@ -92,7 +92,33 @@ type stats = {
   timed_out : bool;   (* budget ran dry; remaining gadgets passed through *)
 }
 
-let minimize ?(max_bucket = 64) ?(budget = Budget.unlimited ())
+(* Pairwise subsumption inside one (sorted, truncated) bucket, against
+   the given budget.  Subsumption only ever SHRINKS the pool, so
+   running out of budget — or a solver blow-up on one pair — is never
+   fatal: the gadget is kept (conservative) and, once the budget has
+   hit, the rest of the bucket passes through unexamined. *)
+let probe_bucket ~budget bucket : Gadget.t list * bool =
+  let survivors = ref [] in
+  let timed_out = ref false in
+  List.iter
+    (fun g ->
+      if !timed_out then survivors := !survivors @ [ g ]
+      else
+        match
+          Budget.guard budget (fun () ->
+              try not (List.exists (fun s -> subsumes s g) !survivors)
+              with
+              | Budget.Exhausted _ as e -> raise e
+              | _ -> true)
+        with
+        | Ok keep -> if keep then survivors := !survivors @ [ g ]
+        | Error _ ->
+          timed_out := true;
+          survivors := !survivors @ [ g ])
+    bucket;
+  (!survivors, !timed_out)
+
+let minimize ?(max_bucket = 64) ?(budget = Budget.unlimited ()) ?(jobs = 1)
     (gadgets : Gadget.t list) : Gadget.t list * stats =
   let input = List.length gadgets in
   (* pass 1: exact semantic duplicates *)
@@ -117,41 +143,53 @@ let minimize ?(max_bucket = 64) ?(budget = Budget.unlimited ())
       let cur = try Hashtbl.find buckets s with Not_found -> [] in
       Hashtbl.replace buckets s (g :: cur))
     dedup;
-  let kept = ref [] in
-  let timed_out = ref false in
-  Hashtbl.iter
-    (fun _ bucket ->
-      (* prefer shorter gadgets as survivors *)
-      let bucket =
-        List.sort (fun a b -> compare a.Gadget.len b.Gadget.len) bucket
-      in
-      let bucket =
-        if List.length bucket > max_bucket then List.filteri (fun i _ -> i < max_bucket) bucket
-        else bucket
-      in
-      let survivors = ref [] in
-      List.iter
-        (fun g ->
-          (* Subsumption only ever SHRINKS the pool, so running out of
-             budget — or a solver blow-up on one pair — is never fatal:
-             the gadget is kept (conservative) and, once the budget has
-             hit, the rest of the pool passes through unexamined. *)
-          if !timed_out then survivors := !survivors @ [ g ]
-          else
-            match
-              Budget.guard budget (fun () ->
-                  try not (List.exists (fun s -> subsumes s g) !survivors)
-                  with
-                  | Budget.Exhausted _ as e -> raise e
-                  | _ -> true)
-            with
-            | Ok keep -> if keep then survivors := !survivors @ [ g ]
-            | Error _ ->
-              timed_out := true;
-              survivors := !survivors @ [ g ])
-        bucket;
-      kept := !survivors @ !kept)
-    buckets;
-  ( !kept,
-    { input; after_dedup; after_subsume = List.length !kept;
-      timed_out = !timed_out } )
+  (* Materialize buckets in table-traversal order ([Hashtbl.fold] and
+     [Hashtbl.iter] walk the same way), sorted and truncated up front —
+     preferring shorter gadgets as survivors — so the sequential and
+     parallel paths see byte-identical work lists. *)
+  let bucket_list =
+    List.rev
+      (Hashtbl.fold
+         (fun _ bucket acc ->
+           let bucket =
+             List.sort (fun a b -> compare a.Gadget.len b.Gadget.len) bucket
+           in
+           let bucket =
+             if List.length bucket > max_bucket then
+               List.filteri (fun i _ -> i < max_bucket) bucket
+             else bucket
+           in
+           bucket :: acc)
+         buckets [])
+  in
+  let probed =
+    if jobs <= 1 then begin
+      (* once the shared budget dies, every later bucket passes through
+         unexamined — the sticky flag mirrors the seed behavior *)
+      let timed_out = ref false in
+      List.map
+        (fun bucket ->
+          if !timed_out then (bucket, true)
+          else begin
+            let surv, t = probe_bucket ~budget bucket in
+            if t then timed_out := true;
+            (surv, t)
+          end)
+        bucket_list
+    end
+    else
+      (* bucket-parallel: each probe owns a budget slice (same deadline,
+         private meter), so domains never share mutable budget state.
+         Under an exhausted budget every bucket still passes through —
+         the same conservative outcome as the sequential sticky flag. *)
+      Gp_util.Par.map ~jobs ~chunk:1
+        (fun bucket -> probe_bucket ~budget:(Budget.slice budget ()) bucket)
+        bucket_list
+  in
+  (* merge in bucket order, reproducing the seed's accumulation order *)
+  let kept =
+    List.fold_left (fun acc (surv, _) -> surv @ acc) [] probed
+  in
+  let timed_out = List.exists snd probed in
+  ( kept,
+    { input; after_dedup; after_subsume = List.length kept; timed_out } )

@@ -24,7 +24,7 @@ type stats = {
 }
 
 val minimize :
-  ?max_bucket:int -> ?budget:Budget.t -> Gadget.t list ->
+  ?max_bucket:int -> ?budget:Budget.t -> ?jobs:int -> Gadget.t list ->
   Gadget.t list * stats
 (** Pool minimization: an exact-duplicate pass (unaligned sliding
     produces thousands of byte-identical summaries), then pairwise
@@ -34,4 +34,9 @@ val minimize :
     Subsumption only shrinks the pool, so failure is never fatal: a
     solver blow-up on one pair keeps the gadget, and when [budget] runs
     dry the remaining gadgets pass through unexamined ([timed_out] set).
-    The default unlimited budget reproduces seed behavior exactly. *)
+    The default unlimited budget reproduces seed behavior exactly.
+
+    [jobs] > 1 probes buckets in parallel (each against a budget slice
+    sharing the deadline); the work list and per-bucket survivor order
+    are identical either way, so the minimized pool matches the
+    sequential result element for element. *)

@@ -17,7 +17,16 @@
      memory fault partway through the execution;
    - [clock_skip_rate] per CLOCK READ: time jumps forward by
      [clock_skip_s] seconds (NTP-step / scheduler-stall simulation —
-     exercises deadline handling without sleeping). *)
+     exercises deadline handling without sleeping).
+
+   Parallelism: the decode and solver hooks fire from worker domains,
+   and their call ORDER depends on scheduling.  Their schedules are
+   therefore keyed, not streamed — the decision for a start address or
+   a solver query is a pure function of (seed, key), so the injected
+   fault SET is identical under any job count and any interleaving
+   (test_par asserts nothing is dropped or double-counted at jobs=4).
+   The emulator fuse and the clock only fire from the sequential
+   plan/validate stage and keep their seeded streams. *)
 
 type config = {
   seed : int;
@@ -36,14 +45,18 @@ let uniform ?(seed = 0xfa17) rate =
   { disabled with seed; decode_rate = rate; solver_rate = rate;
     mem_rate = rate }
 
+(* Order-independent Bernoulli: one fresh splitmix64 draw keyed on
+   (seed, key).  [Hashtbl.hash] is deterministic on immutable data, so
+   the decision depends on nothing but the key's structure. *)
+let keyed_flip seed key rate =
+  Gp_util.Rng.flip (Gp_util.Rng.create (seed lxor Hashtbl.hash key)) rate
+
 (* Run [f] with the fault schedule installed, restoring every hook on
    the way out (exception or not) — injection must never leak into the
    next experiment. *)
 let with_faults (cfg : config) (f : unit -> 'a) : 'a =
-  (* one independent stream per fault class, so e.g. raising the decode
-     rate does not shift which solver queries fail *)
-  let r_decode = Gp_util.Rng.create (cfg.seed lxor 0x11) in
-  let r_solver = Gp_util.Rng.create (cfg.seed lxor 0x22) in
+  (* independent seeds/streams per fault class, so e.g. raising the
+     decode rate does not shift which solver queries fail *)
   let r_mem = Gp_util.Rng.create (cfg.seed lxor 0x33) in
   let r_clock = Gp_util.Rng.create (cfg.seed lxor 0x44) in
   let saved_decode = !Gp_core.Extract.chaos_decode in
@@ -51,10 +64,11 @@ let with_faults (cfg : config) (f : unit -> 'a) : 'a =
   let saved_fuse = !Gp_emu.Machine.chaos_fuse in
   if cfg.decode_rate > 0. then
     Gp_core.Extract.chaos_decode :=
-      (fun _addr -> Gp_util.Rng.flip r_decode cfg.decode_rate);
+      (fun addr -> keyed_flip (cfg.seed lxor 0x11) addr cfg.decode_rate);
   if cfg.solver_rate > 0. then
     Gp_smt.Solver.chaos_unknown :=
-      (fun () -> Gp_util.Rng.flip r_solver cfg.solver_rate);
+      (fun formulas ->
+        keyed_flip (cfg.seed lxor 0x22) formulas cfg.solver_rate);
   if cfg.mem_rate > 0. then
     Gp_emu.Machine.chaos_fuse :=
       (fun () ->

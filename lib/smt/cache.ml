@@ -1,0 +1,82 @@
+(* Solver memoization (DESIGN.md "Parallel execution & determinism").
+
+   Subsumption probing re-asks the solver structurally identical
+   questions thousands of times: unaligned sliding windows produce
+   families of gadgets whose pre/post formulas differ only in address,
+   and every pairwise probe inside a bucket repeats the same entailment
+   shapes.  A verdict store keyed on the CANONICALIZED formula list
+   turns that repetition into hits.
+
+   Keys are compared and hashed STRUCTURALLY (polymorphic equality on
+   pure-data keys: formula lists, term pairs).  An earlier string-keyed
+   version spent more time printing keys than the average solve costs —
+   the hit path must stay far cheaper than a solve or the cache cannot
+   pay for itself.
+
+   Correctness contract: the solver answers the canonical form itself
+   (not the caller's ordering), so a stored verdict is a pure function
+   of the key.  Whichever domain computes an entry first, every later
+   lookup — from any domain, under any job count — receives exactly the
+   verdict a fresh solve would have produced.  A cache hit can
+   therefore never change a verdict; the property suite checks this.
+
+   Thread safety: the table is guarded by a mutex; computation runs
+   OUTSIDE the lock so a slow solve never serializes the other domains.
+   Two domains racing on the same fresh key may both compute it — both
+   arrive at the same value, so first-write-wins is harmless.  Hit/miss
+   counters are atomics, surfaced through [Api.stage_stats]. *)
+
+type ('k, 'v) t = {
+  tbl : ('k, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  mutable enabled : bool;
+}
+
+let create ?(size = 4096) () =
+  { tbl = Hashtbl.create size;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    enabled = true }
+
+let enabled c = c.enabled
+let set_enabled c b = c.enabled <- b
+let hits c = Atomic.get c.hits
+let misses c = Atomic.get c.misses
+let length c = Mutex.protect c.lock (fun () -> Hashtbl.length c.tbl)
+
+let clear c = Mutex.protect c.lock (fun () -> Hashtbl.reset c.tbl)
+
+let reset c =
+  clear c;
+  Atomic.set c.hits 0;
+  Atomic.set c.misses 0
+
+(* Look up [key]; on a miss compute [f ()] (outside the lock) and
+   publish it.  Disabled caches degrade to plain computation. *)
+let find_or_add (c : ('k, 'v) t) (key : 'k) (f : unit -> 'v) : 'v =
+  if not c.enabled then f ()
+  else begin
+    match Mutex.protect c.lock (fun () -> Hashtbl.find_opt c.tbl key) with
+    | Some v ->
+      Atomic.incr c.hits;
+      v
+    | None ->
+      Atomic.incr c.misses;
+      let v = f () in
+      Mutex.protect c.lock (fun () ->
+          if not (Hashtbl.mem c.tbl key) then Hashtbl.add c.tbl key v);
+      v
+  end
+
+(* ----- canonical formula keys ----- *)
+
+(* Canonical form of a query: simplify every atom, then sort (and
+   dedup — a conjunction is a set).  Simplification is idempotent and
+   sorting is order-insensitive, so canonicalization is idempotent and
+   permutations of the same query share a key; the property suite
+   checks both. *)
+let canon (fs : Formula.t list) : Formula.t list =
+  List.sort_uniq compare (List.map Formula.simplify fs)

@@ -1,0 +1,47 @@
+(** Solver verdict memoization (DESIGN.md "Parallel execution &
+    determinism").
+
+    Subsumption probing re-asks the solver structurally identical
+    questions thousands of times; a verdict store keyed on the
+    canonicalized formula list turns that repetition into hits.  Keys
+    are compared and hashed structurally, so they must be pure data
+    (formula lists, term pairs — no functions, no cyclic values).
+
+    Correctness contract: the solver answers the canonical form itself,
+    so a stored verdict is a pure function of the key — a cache hit can
+    never change a verdict (the property suite checks this).  Safe to
+    share across domains: the table is mutex-guarded, computation runs
+    outside the lock, and a race on a fresh key at worst computes the
+    same value twice. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+
+val enabled : ('k, 'v) t -> bool
+
+val set_enabled : ('k, 'v) t -> bool -> unit
+(** A disabled cache degrades {!find_or_add} to plain computation
+    (benchmarks use this for cold-cache timings). *)
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries, keeping the hit/miss counters. *)
+
+val reset : ('k, 'v) t -> unit
+(** Drop all entries and zero the counters. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Look up the key; on a miss compute (outside the lock) and publish
+    first-write-wins. *)
+
+val canon : Formula.t list -> Formula.t list
+(** Canonical form of a query: simplify every atom, then sort and dedup
+    (a conjunction is a set).  Idempotent; permutations of the same
+    query share a canonical form.  The canonical list itself is the
+    memo key for {!Solver.check}. *)

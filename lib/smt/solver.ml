@@ -136,12 +136,19 @@ let special_values =
    Unknown before any reasoning, simulating a divergent backend.  The
    solver sits below Gp_core, so the harness installs the predicate here
    directly (see Gp_harness.Faultsim).  Unknown is always a sound
-   answer, so injection cannot corrupt results — only degrade them. *)
-let chaos_unknown : (unit -> bool) ref = ref (fun () -> false)
+   answer, so injection cannot corrupt results — only degrade them.
+   The predicate receives the query so an installed schedule can be a
+   pure function of it — order-independent, hence identical under any
+   domain count (injection is checked BEFORE the memo cache, and an
+   injected Unknown is never cached). *)
+let chaos_unknown : (Formula.t list -> bool) ref = ref (fun _ -> false)
 
-(* Running count of Unknown verdicts (injected or genuine); Api
-   snapshots it around each stage to attribute solver indecision. *)
-let unknowns = ref 0
+(* Running count of Unknown verdicts (injected, genuine, or served from
+   the memo cache — every Unknown ANSWERED counts, so the tally depends
+   only on the query sequence, not on cache temperature); Api snapshots
+   it around each stage to attribute solver indecision.  Atomic: bumped
+   from worker domains during parallel subsumption. *)
+let unknowns = Atomic.make 0
 
 let check_real ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
     ?(max_trials = 200) (formulas : Formula.t list) : result =
@@ -306,17 +313,35 @@ let check_real ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
       end
   end
 
+(* Memo of [check] verdicts for default-configuration queries and of
+   [prove_equal] probes (see Cache).  Both caches answer the canonical
+   form, so a hit is indistinguishable from a fresh solve. *)
+let memo : (Formula.t list, result) Cache.t = Cache.create ()
+let equal_memo : (Term.t * Term.t, bool) Cache.t = Cache.create ()
+
 let check ?rng ?pool ?max_trials formulas =
-  if !chaos_unknown () then begin
-    incr unknowns;
+  if !chaos_unknown formulas then begin
+    Atomic.incr unknowns;
     Unknown
   end
-  else
-    match check_real ?rng ?pool ?max_trials formulas with
-    | Unknown ->
-      incr unknowns;
-      Unknown
-    | r -> r
+  else begin
+    let count r =
+      (match r with Unknown -> Atomic.incr unknowns | Sat _ | Unsat -> ());
+      r
+    in
+    (* Only queries against the solver's defaults are memoizable: a
+       caller-supplied rng, trial budget, or pointer pool changes the
+       verdict function, and pools carry closures we cannot key on. *)
+    let cacheable =
+      Option.is_none rng && Option.is_none max_trials
+      && (match pool with None -> true | Some p -> p == default_pool)
+    in
+    if cacheable then begin
+      let canonical = Cache.canon formulas in
+      count (Cache.find_or_add memo canonical (fun () -> check_real canonical))
+    end
+    else count (check_real ?rng ?pool ?max_trials formulas)
+  end
 
 (* Entailment: hyps |= concl.  True only when hyps ∧ ¬concl is provably
    unsat; Unknown is treated as "not entailed" (conservative for
@@ -330,7 +355,7 @@ let entails ?rng ?pool hyps concl =
    no counterexample found in [trials] random evaluations.  Used by
    subsumption testing; unsoundness here only costs pool diversity and is
    caught downstream by emulator validation of payloads. *)
-let prove_equal ?(rng = Gp_util.Rng.create 0x7e57) ?(trials = 32) a b =
+let prove_equal_real ?(rng = Gp_util.Rng.create 0x7e57) ?(trials = 32) a b =
   let a = Term.simplify a and b = Term.simplify b in
   if a = b then true
   else begin
@@ -356,3 +381,17 @@ let prove_equal ?(rng = Gp_util.Rng.create 0x7e57) ?(trials = 32) a b =
     done;
     not !refuted
   end
+
+(* Default-configuration probes are memoized on the simplified pair;
+   equality is symmetric, so the two sides are ordered (structurally)
+   first.  Probes run with a fresh default rng each time, so the
+   verdict is a pure function of the (simplified) pair. *)
+let prove_equal ?rng ?trials a b =
+  match (rng, trials) with
+  | None, None ->
+    let a = Term.simplify a and b = Term.simplify b in
+    if a = b then true
+    else
+      let key = if compare a b <= 0 then (a, b) else (b, a) in
+      Cache.find_or_add equal_memo key (fun () -> prove_equal_real a b)
+  | _ -> prove_equal_real ?rng ?trials a b

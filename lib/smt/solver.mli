@@ -37,17 +37,32 @@ val inv64 : int64 -> int64
 (** Inverse of an odd number mod 2{^64} (Newton iteration); raises
     [Invalid_argument] on even input. *)
 
-val chaos_unknown : (unit -> bool) ref
-(** Fault-injection hook: when the predicate returns true, {!check}
-    abandons the query as [Unknown] before any reasoning (a simulated
-    divergent backend).  [Unknown] is always sound, so injection can
-    only degrade results, never corrupt them.  Installed/removed by the
+val chaos_unknown : (Formula.t list -> bool) ref
+(** Fault-injection hook: when the predicate answers true for a query,
+    {!check} abandons it as [Unknown] before any reasoning — and before
+    the memo cache, so injected verdicts are never cached.  The
+    predicate receives the raw formula list, letting the harness key
+    the decision on the query itself (order-independent under
+    parallelism).  [Unknown] is always sound, so injection can only
+    degrade results, never corrupt them.  Installed/removed by the
     harness ([Gp_harness.Faultsim]); defaults to never firing. *)
 
-val unknowns : int ref
-(** Running count of [Unknown] verdicts, injected or genuine.  The
-    pipeline snapshots it around each stage to attribute solver
-    indecision in its stats. *)
+val unknowns : int Atomic.t
+(** Running count of [Unknown] verdicts, injected or genuine — counted
+    per query ANSWERED (memo hits included), so the tally depends only
+    on the query sequence, not on cache temperature.  Atomic because
+    worker domains answer queries concurrently.  The pipeline snapshots
+    it around each stage to attribute solver indecision in its stats. *)
+
+val memo : (Formula.t list, result) Cache.t
+(** Memo store for {!check} verdicts on default-environment queries
+    (no caller rng/pool/trial overrides), keyed on the canonicalized
+    conjunction.  Exposed for cache statistics and for benchmarks that
+    need cold-cache timings ({!Cache.reset}/{!Cache.set_enabled}). *)
+
+val equal_memo : (Term.t * Term.t, bool) Cache.t
+(** Memo store for {!prove_equal} on default-environment queries, keyed
+    on the (structurally ordered) simplified term pair. *)
 
 val check :
   ?rng:Gp_util.Rng.t ->

@@ -108,6 +108,26 @@ let term : Gp_smt.Term.t QCheck2.Gen.t =
               sub (int_range 0 63) ])
     3
 
+(* Solver atoms over the same variable alphabet as [term]. *)
+let formula : Gp_smt.Formula.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let open Gp_smt.Formula in
+  oneof
+    [ return True;
+      return False;
+      map2 (fun a b -> Eq (a, b)) term term;
+      map2 (fun a b -> Ne (a, b)) term term;
+      map2 (fun a b -> Slt (a, b)) term term;
+      map2 (fun a b -> Sle (a, b)) term term;
+      map2 (fun a b -> Ult (a, b)) term term;
+      map2 (fun a b -> Ule (a, b)) term term;
+      map (fun a -> Readable a) term;
+      map (fun a -> Writable a) term ]
+
+(* A solver query: a small conjunction of atoms. *)
+let formulas : Gp_smt.Formula.t list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 0 5) formula)
+
 let model : (string -> int64) QCheck2.Gen.t =
   QCheck2.Gen.map
     (fun (a, b, c, d) v ->

@@ -220,12 +220,13 @@ let test_faultsim_solver_unknowns () =
     Gp_smt.Formula.Eq (Gp_smt.Term.Const 1L, Gp_smt.Term.Const 1L)
   in
   let cfg = { Gp_harness.Faultsim.disabled with solver_rate = 1.; seed = 3 } in
-  let u0 = !Gp_smt.Solver.unknowns in
+  let u0 = Atomic.get Gp_smt.Solver.unknowns in
   Gp_harness.Faultsim.with_faults cfg (fun () ->
       match Gp_smt.Solver.check [ sat_formula ] with
       | Gp_smt.Solver.Unknown -> ()
       | _ -> Alcotest.fail "injected query must be Unknown");
-  Alcotest.(check bool) "counter bumped" true (!Gp_smt.Solver.unknowns > u0);
+  Alcotest.(check bool) "counter bumped" true
+    (Atomic.get Gp_smt.Solver.unknowns > u0);
   (* hooks restored: the same query decides again *)
   match Gp_smt.Solver.check [ sat_formula ] with
   | Gp_smt.Solver.Sat _ -> ()
