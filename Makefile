@@ -7,10 +7,15 @@
 # differential tests in test_par compare each job count against the
 # sequential pipeline, so the two sweeps together pin down the
 # determinism contract (DESIGN.md "Parallel execution & determinism").
+#
+# `make check-plan-par` sweeps just the stage 3-4 suite (test_plan_par:
+# portfolio planning, parallel validation, hash-consing) at JOBS=1 and
+# JOBS=4 via the SUITES filter in test_main — the cheap spot-check for
+# planner changes; `make check` runs both sweeps.
 
 CHECK_TIMEOUT ?= 600
 
-.PHONY: all build test check check-par clean
+.PHONY: all build test check check-par check-plan-par clean
 
 all: build
 
@@ -20,11 +25,16 @@ build:
 test:
 	dune runtest
 
-check: build check-par
+check: build check-par check-plan-par
 
 check-par:
 	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
 	JOBS=4 timeout $(CHECK_TIMEOUT) dune runtest --force
+
+check-plan-par:
+	dune build test/test_main.exe
+	SUITES=plan_par JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+	SUITES=plan_par JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 
 clean:
 	dune clean

@@ -8,8 +8,11 @@
      dune exec bench/main.exe -- --bechamel   # Bechamel micro-benchmarks of
                                               # the stages behind each table
      dune exec bench/main.exe -- --only par --jobs 4
-                                              # sequential-vs-parallel speedup
-                                              # (writes BENCH_par.json)
+                                              # sequential-vs-parallel speedup,
+                                              # stages 1-2 (writes BENCH_par.json)
+     dune exec bench/main.exe -- --only plan --jobs 4
+                                              # sequential-vs-parallel speedup,
+                                              # stages 3-4 (writes BENCH_plan.json)
 
    Absolute numbers differ from the paper (their substrate was a real
    x86-64 testbed, ours is the simulator stack described in DESIGN.md);
@@ -22,6 +25,9 @@ let run_experiment ~quick ~jobs id =
   match id with
   | "par" ->
     let txt, _ = Gp_harness.Experiments.par ~quick ~jobs () in
+    print_string txt
+  | "plan" ->
+    let txt, _ = Gp_harness.Experiments.plan ~quick ~jobs () in
     print_string txt
   | "fig1" ->
     let txt, _ = Gp_harness.Experiments.fig1 ~quick () in
@@ -67,8 +73,8 @@ let run_experiment ~quick ~jobs id =
 
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
-    "tab7"; "par"; "cfi_study"; "ablation_unaligned"; "ablation_subsumption";
-    "ablation_condjump"; "ablation_seeds" ]
+    "tab7"; "par"; "plan"; "cfi_study"; "ablation_unaligned";
+    "ablation_subsumption"; "ablation_condjump"; "ablation_seeds" ]
 
 (* ----- Bechamel micro-benchmarks: the stage behind each table ----- *)
 

@@ -55,7 +55,8 @@ let budget_of = Option.map (fun s -> Gp_core.Budget.create ~label:"cli" ~seconds
 let jobs_arg =
   Arg.(value & opt int 1
        & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Domains for extraction/subsumption (results are \
+           ~doc:"Domains for all four pipeline stages — extraction, \
+                 subsumption, planning, validation (results are \
                  deterministic and identical to -j 1).")
 
 let compile_image prog obf =
@@ -109,7 +110,13 @@ let plan_cmd =
   let max_arg =
     Arg.(value & opt int 8 & info [ "max" ] ~docv:"N" ~doc:"Payloads to emit.")
   in
-  let run prog obf goal maxn budget jobs =
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print per-stage statistics (planner counters, memo \
+                   hits, stage seconds).")
+  in
+  let run prog obf goal maxn budget jobs stats =
     let image = compile_image prog obf in
     let o =
       Gp_core.Api.run ?budget:(budget_of budget) ~jobs
@@ -133,6 +140,22 @@ let plan_cmd =
            (List.map
               (fun (k, n) -> Printf.sprintf "%s=%d" k n)
               st.Gp_core.Api.quarantined));
+    if stats then begin
+      Printf.printf
+        "planner: %d nodes expanded, peak queue %d, %d inst-memo hits, \
+         %d cand-memo hits, %d plans discarded\n"
+        st.Gp_core.Api.plan_expanded st.Gp_core.Api.plan_peak_queue
+        st.Gp_core.Api.plan_inst_hits st.Gp_core.Api.plan_cand_hits
+        st.Gp_core.Api.plan_discarded;
+      Printf.printf
+        "solver memo: %d hits / %d misses; %d unknowns\n"
+        st.Gp_core.Api.cache_hits st.Gp_core.Api.cache_misses
+        st.Gp_core.Api.solver_unknowns;
+      Printf.printf
+        "times: extract %.3fs, subsume %.3fs, plan %.3fs (validate %.3fs)\n"
+        st.Gp_core.Api.extract_time st.Gp_core.Api.subsume_time
+        st.Gp_core.Api.plan_time st.Gp_core.Api.validate_time
+    end;
     print_newline ();
     List.iteri
       (fun i c ->
@@ -142,7 +165,7 @@ let plan_cmd =
   in
   Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
     Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg
-          $ jobs_arg)
+          $ jobs_arg $ stats_arg)
 
 (* ----- netperf ----- *)
 

@@ -34,21 +34,38 @@ type stage_stats = {
       (* stages whose budget ran dry ("extract", "subsume", "plan") *)
   cache_hits : int;
   cache_misses : int;
-      (* solver memo traffic (check + prove_equal stores) during this
-         run — hit rate is a property of cache temperature, never of
-         verdicts, so it is reported but excluded from differential
-         comparisons *)
+      (* solver memo traffic (check + prove_equal + pool-keyed stores)
+         during this run — hit rate is a property of cache temperature,
+         never of verdicts, so it is reported but excluded from
+         differential comparisons *)
+  plan_expanded : int;
+      (* planner nodes expanded (summed over portfolio roots) *)
+  plan_peak_queue : int;
+      (* high-water mark of the planner priority queue (max over roots) *)
+  plan_inst_hits : int;
+      (* instantiation-memo hits inside the planner *)
+  plan_cand_hits : int;
+      (* ranked-candidate-memo hits inside the planner *)
+  plan_discarded : int;
+      (* complete plans rejected by the accept gate (duplicate chain,
+         unbuildable payload, failed validation) *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
+  validate_time : float;
+      (* seconds spent inside Payload.validate_run — part of plan_time
+         (validation runs inside the search's accept gate), broken out
+         so stage 4 is observable on its own *)
 }
 
 (* Combined solver-memo counters, snapshotted around stages. *)
 let cache_counters () =
   ( Gp_smt.Cache.hits Gp_smt.Solver.memo
-    + Gp_smt.Cache.hits Gp_smt.Solver.equal_memo,
+    + Gp_smt.Cache.hits Gp_smt.Solver.equal_memo
+    + Gp_smt.Cache.hits Gp_smt.Solver.pool_memo,
     Gp_smt.Cache.misses Gp_smt.Solver.memo
-    + Gp_smt.Cache.misses Gp_smt.Solver.equal_memo )
+    + Gp_smt.Cache.misses Gp_smt.Solver.equal_memo
+    + Gp_smt.Cache.misses Gp_smt.Solver.pool_memo )
 
 type analysis = {
   image : Gp_util.Image.t;
@@ -155,63 +172,99 @@ type outcome = {
 }
 
 let run_with_analysis ?(planner_config = Planner.default_config)
-    ?(validate = true) ?budget (a : analysis) (goal : Goal.t) : outcome =
+    ?(validate = true) ?budget ?(jobs = 1) (a : analysis) (goal : Goal.t) :
+    outcome =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let concrete = Goal.concretize a.image goal in
   let u0 = Atomic.get Gp_smt.Solver.unknowns in
   let ch0, cm0 = cache_counters () in
-  (* a completed plan only counts if its payload assembles, is a chain we
-     have not already emitted, and (when requested) survives end-to-end
-     execution in the emulator *)
-  let seen = Hashtbl.create 16 in
-  let chains = ref [] in
-  let vfaults = ref 0 in
-  let vtimeouts = ref 0 in
-  let accept p =
-    match Payload.build_opt p concrete with
-    | None -> false
-    | Some c ->
-      let k = Payload.chain_set_key c in
-      if Hashtbl.mem seen k then false
-      else begin
-        Hashtbl.add seen k ();
-        if not validate then begin
-          chains := c :: !chains;
-          true
-        end
-        else begin
-          let fuel = Budget.emu_fuel ~cap:1_000_000 budget in
-          match Payload.validate_run ~fuel a.image c with
-          | o when Goal.satisfied concrete o ->
-            chains := c :: !chains;
-            true
-          | Gp_emu.Machine.Fault _ ->
-            incr vfaults;
-            false
-          | Gp_emu.Machine.Timeout ->
-            (* budget starvation, not a broken chain; count it apart *)
-            incr vtimeouts;
-            false
-          | _ -> false
-        end
-      end
+  (* Stages 3+4 run as a goal portfolio (Planner.search_par) at EVERY
+     job count, so the result is job-count-independent by construction.
+     Each portfolio root owns a result slot: accepted chains, fault and
+     timeout tallies, validation seconds.  Workers only ever touch their
+     own index, and the merge below is a pure fold in root order. *)
+  let nroots =
+    max 1
+      (min planner_config.Planner.goal_cap
+         (List.length a.pool.Pool.syscall_gadgets))
   in
-  (* stage 3+4: search with validation inside [accept] *)
+  let chains_by_root = Array.make nroots [] in
+  let vfaults = Array.make nroots 0 in
+  let vtimeouts = Array.make nroots 0 in
+  let vtime = Array.make nroots 0. in
+  (* a completed plan only counts if its payload assembles, is a chain
+     this root has not already emitted, and (when requested) survives
+     end-to-end execution in the emulator.  Validation happens HERE,
+     inside the worker — stage 4 rides the same domains as stage 3. *)
+  let accept_for i =
+    let seen = Hashtbl.create 16 in
+    fun p ->
+      match Payload.build_opt p concrete with
+      | None -> false
+      | Some c ->
+        let k = Payload.chain_set_key c in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          if not validate then begin
+            chains_by_root.(i) <- c :: chains_by_root.(i);
+            true
+          end
+          else begin
+            let fuel = Budget.emu_fuel ~cap:1_000_000 budget in
+            let t0 = Unix.gettimeofday () in
+            let o = Payload.validate_run ~fuel a.image c in
+            vtime.(i) <- vtime.(i) +. (Unix.gettimeofday () -. t0);
+            match o with
+            | o when Goal.satisfied concrete o ->
+              chains_by_root.(i) <- c :: chains_by_root.(i);
+              true
+            | Gp_emu.Machine.Fault _ ->
+              vfaults.(i) <- vfaults.(i) + 1;
+              false
+            | Gp_emu.Machine.Timeout ->
+              (* budget starvation, not a broken chain; count it apart *)
+              vtimeouts.(i) <- vtimeouts.(i) + 1;
+              false
+            | _ -> false
+          end
+        end
+  in
+  (* stage 3+4: portfolio search with validation inside each worker *)
   let result, plan_time =
     match
       stage "plan" budget (fun () ->
           timed (fun () ->
-              Planner.search ~config:planner_config ~accept ~budget a.pool
-                concrete))
+              Planner.search_par ~config:planner_config ~accept_for ~budget
+                ~jobs a.pool concrete))
     with
     | Ok v -> v
     | Error _ ->
-      ( { Planner.plans = []; expanded = 0; exhausted = false;
-          budget_hit = true },
+      ( { Planner.plans = []; expanded = 0; peak_queue = 0;
+          inst_memo_hits = 0; cand_memo_hits = 0; discarded = 0;
+          exhausted = false; budget_hit = true },
         0. )
   in
-  let built = List.rev !chains in
-  let validated = built in
+  (* Deterministic merge: concatenate per-root chains in root order,
+     dedupe across roots by chain_set_key (each root already deduped
+     locally), then re-apply the global plan quota. *)
+  let built =
+    List.concat_map List.rev (Array.to_list chains_by_root)
+  in
+  let validated =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun c ->
+        let k = Payload.chain_set_key c in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      built
+    |> List.filteri (fun i _ -> i < planner_config.Planner.max_plans)
+  in
+  let sum_i arr = Array.fold_left ( + ) 0 arr in
   { goal = concrete;
     chains = validated;
     rungs = [ Full ];
@@ -224,17 +277,23 @@ let run_with_analysis ?(planner_config = Planner.default_config)
         chains_validated = List.length validated;
         quarantined = a.quarantined;
         solver_unknowns = a.analysis_unknowns + (Atomic.get Gp_smt.Solver.unknowns - u0);
-        validate_faults = !vfaults;
-        validate_timeouts = !vtimeouts;
+        validate_faults = sum_i vfaults;
+        validate_timeouts = sum_i vtimeouts;
         budget_hits =
           a.analysis_budget_hits
           @ (if result.Planner.budget_hit then [ "plan" ] else []);
         cache_hits = a.analysis_cache_hits + (fst (cache_counters ()) - ch0);
         cache_misses =
           a.analysis_cache_misses + (snd (cache_counters ()) - cm0);
+        plan_expanded = result.Planner.expanded;
+        plan_peak_queue = result.Planner.peak_queue;
+        plan_inst_hits = result.Planner.inst_memo_hits;
+        plan_cand_hits = result.Planner.cand_memo_hits;
+        plan_discarded = result.Planner.discarded;
         extract_time = a.extract_time;
         subsume_time = a.subsume_time;
-        plan_time } }
+        plan_time;
+        validate_time = Array.fold_left ( +. ) 0. vtime } }
 
 (* Loosen the planner config one rung at a time.  Degradation is
    cumulative: the last rung is also the widest. *)
@@ -339,7 +398,7 @@ let run ?(extract_config = Extract.default_config)
         let o =
           run_with_analysis
             ~planner_config:(rung_planner_config planner_config rung)
-            ~validate ~budget:rb a goal
+            ~validate ~budget:rb ~jobs a goal
         in
         result := Some o
       end)

@@ -38,13 +38,26 @@ type stage_stats = {
       (** stages whose budget ran dry ("extract", "subsume", "plan") *)
   cache_hits : int;
   cache_misses : int;
-      (** solver memo traffic (check + prove_equal stores) during this
-          run.  Hit rate is a property of cache temperature, never of
-          verdicts — reported, but excluded from differential
+      (** solver memo traffic (check + prove_equal + pool-keyed stores)
+          during this run.  Hit rate is a property of cache temperature,
+          never of verdicts — reported, but excluded from differential
           jobs-equivalence comparisons. *)
+  plan_expanded : int;
+      (** planner nodes expanded (summed over portfolio roots) *)
+  plan_peak_queue : int;
+      (** high-water mark of the planner queue (max over roots) *)
+  plan_inst_hits : int;    (** planner instantiation-memo hits *)
+  plan_cand_hits : int;    (** planner ranked-candidate-memo hits *)
+  plan_discarded : int;
+      (** complete plans rejected by the accept gate (duplicate chain,
+          unbuildable payload, failed validation) *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
+  validate_time : float;
+      (** seconds inside [Payload.validate_run] — included in
+          [plan_time] (validation runs inside the search's accept
+          gate), broken out so stage 4 is observable on its own *)
 }
 
 (** Stages 1–2, reusable across goals and planner configurations. *)
@@ -99,15 +112,20 @@ val run_with_analysis :
   ?planner_config:Planner.config ->
   ?validate:bool ->
   ?budget:Budget.t ->
+  ?jobs:int ->
   analysis ->
   Goal.t ->
   outcome
 (** Stages 3–4 over a prepared analysis (a single ladder rung; [rungs]
-    is always [[Full]] here).  Chains are deduplicated by gadget set and
-    (unless [validate:false]) each one is confirmed by concrete
-    execution before being counted; validation fuel is derived from the
-    remaining budget.  No exception escapes: budget death yields an
-    outcome with the hit recorded. *)
+    is always [[Full]] here).  Runs the goal-portfolio search
+    ({!Planner.search_par}) at every job count: one independent search
+    per root syscall gadget, payloads validated inside each worker,
+    per-root chain lists merged in root order, deduplicated by gadget
+    set, and cut to the global plan quota — so the outcome is identical
+    at any [jobs].  Unless [validate:false], every chain is confirmed
+    by concrete execution before being counted; validation fuel is
+    derived from the remaining budget.  No exception escapes: budget
+    death yields an outcome with the hit recorded. *)
 
 val run :
   ?extract_config:Extract.config ->
@@ -121,6 +139,6 @@ val run :
 (** The whole pipeline in one call, with the degradation ladder: the
     harvest runs once, then Full → Dedup_only → Wider_branch →
     Relaxed_steps until a chain is found, the root budget dies, or the
-    ladder ends.  [jobs] > 1 parallelizes stages 1–2 over that many
-    domains; the outcome (pool, plans, chains, tallies) is identical to
-    the default [jobs = 1]. *)
+    ladder ends.  [jobs] > 1 parallelizes all four stages over that
+    many domains; the outcome (pool, plans, chains, tallies) is
+    identical to the default [jobs = 1]. *)

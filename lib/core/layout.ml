@@ -56,3 +56,11 @@ let pool ~salt =
   let rot = ((salt mod n) + n) mod n in
   let pins = List.filteri (fun i _ -> i >= rot) pins @ List.filteri (fun i _ -> i < rot) pins in
   { Gp_smt.Solver.pins; readable; writable }
+
+(* Structural key for the memo in Gp_smt.Solver: [pool ~salt] is a pure
+   function of the payload base (pins, readable, writable all derive from
+   it) and of the pin rotation [salt mod n] — so this pair fully
+   determines the pool's behaviour. *)
+let pool_key ~salt =
+  let n = List.length (pin_candidates ()) in
+  (payload_base (), ((salt mod n) + n) mod n)

@@ -40,3 +40,9 @@ val writable : int64 -> bool
 val pool : salt:int -> Gp_smt.Solver.pointer_pool
 (** Solver pool; [salt] rotates the pin order so independent
     instantiations spread across candidates. *)
+
+val pool_key : salt:int -> int64 * int
+(** Structural memo key fully determining [pool ~salt]:
+    [(payload_base, salt mod pin-count)].  Pass it as
+    [Gp_smt.Solver.check ~pool_key] so instantiation verdicts can be
+    memoized across the planner's repeated queries. *)

@@ -187,7 +187,15 @@ let validate_run ?(fuel = 1_000_000) (image : Gp_util.Image.t) (c : chain) :
       c.c_payload;
     m.Gp_emu.Machine.rip <- c.c_payload.(0);
     Gp_emu.Machine.set_rsp m (Int64.add pbase 8L);
-    Gp_emu.Machine.run ~fuel m
+    (* fault-injection fuse keyed on the chain (its gadget sequence),
+       not on how many validations ran before this one — so an injection
+       schedule hits the same chains whatever order or domain count the
+       portfolio validates them in *)
+    let fuse_key =
+      Hashtbl.hash
+        (List.map (fun s -> s.Plan.gadget.Gadget.addr) c.c_steps)
+    in
+    Gp_emu.Machine.run ~fuel ~fuse_key m
   with Gp_emu.Memory.Fault m -> Gp_emu.Machine.Fault ("payload write: " ^ m)
 
 let validate ?fuel (image : Gp_util.Image.t) (c : chain) : bool =

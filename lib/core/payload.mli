@@ -46,7 +46,10 @@ val validate_run : ?fuel:int -> Gp_util.Image.t -> chain -> Gp_emu.Machine.outco
     rsp at payload word 1, rip at the first gadget) and return the raw
     outcome — so callers can distinguish a chain that crashed ([Fault])
     from one that ran out of fuel ([Timeout]).  A fault while writing
-    the payload itself is folded into [Fault]; no exception escapes. *)
+    the payload itself is folded into [Fault]; no exception escapes.
+    The emulator's injection fuse is keyed on the chain's gadget
+    sequence, so fault schedules are independent of validation order
+    and domain count. *)
 
 val validate : ?fuel:int -> Gp_util.Image.t -> chain -> bool
 (** [Goal.satisfied] of {!validate_run}: the run ends in the EXACT goal

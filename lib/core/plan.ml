@@ -90,7 +90,12 @@ let solve_instantiation ?(salt = 0) (g : Gadget.t) (require : Formula.t list) =
       vars
   then None
   else
-    match Solver.check ~pool:(Layout.pool ~salt:(g.Gadget.id + salt)) formulas with
+    match
+      Solver.check
+        ~pool:(Layout.pool ~salt:(g.Gadget.id + salt))
+        ~pool_key:(Layout.pool_key ~salt:(g.Gadget.id + salt))
+        formulas
+    with
     | Solver.Sat model ->
       let m = Solver.model_fn model in
       (* resolve every RELIABLE memory read whose address is determined *)

@@ -56,12 +56,11 @@ module Pq = struct
     let compare = compare
   end)
 
-  type t = { mutable m : Plan.t list M.t; mutable size : int }
+  type 'a t = { mutable m : 'a list M.t; mutable size : int }
 
   let create () = { m = M.empty; size = 0 }
 
-  let push ~usage q p =
-    let c = cost ~usage p in
+  let push q c p =
     let cur = match M.find_opt c q.m with Some l -> l | None -> [] in
     q.m <- M.add c (p :: cur) q.m;
     q.size <- q.size + 1
@@ -82,13 +81,42 @@ module Pq = struct
       q.m <- M.add c rest q.m;
       q.size <- q.size - 1;
       Some (c, p)
-
-  (* reinsert with an explicit (recomputed) key *)
-  let push_key q c p =
-    let cur = match M.find_opt c q.m with Some l -> l | None -> [] in
-    q.m <- M.add c (p :: cur) q.m;
-    q.size <- q.size + 1
 end
+
+(* Queue entry: a plan plus its lazily computed, cached signature.
+   [Plan.signature] is a Digest-of-Marshal of the whole plan; recomputing
+   it on every pop (the seed behavior) made it one of the hottest spots
+   in the search.  The memo lives HERE, not on [Plan.t]: plans are
+   derived functionally ([{ p with ... }]), so a mutable field on the
+   plan record would alias across derived plans and serve stale
+   signatures. *)
+type entry = { e_plan : Plan.t; mutable e_sig : string option }
+
+let entry_of p = { e_plan = p; e_sig = None }
+
+let entry_sig e =
+  match e.e_sig with
+  | Some s -> s
+  | None ->
+    let s = Plan.signature e.e_plan in
+    e.e_sig <- Some s;
+    s
+
+(* Per-search counters, surfaced through [result] (and from there
+   Api.stage_stats).  Plain mutable fields: each search — portfolio
+   worker or single-queue — owns its own record; merging happens after
+   the domains join. *)
+type stats_acc = {
+  mutable s_expanded : int;
+  mutable s_peak_queue : int;
+  mutable s_inst_hits : int;
+  mutable s_cand_hits : int;
+  mutable s_discarded : int;
+}
+
+let fresh_stats () =
+  { s_expanded = 0; s_peak_queue = 0; s_inst_hits = 0; s_cand_hits = 0;
+    s_discarded = 0 }
 
 (* Add a step's demands as open conditions. *)
 let open_demands (s : Plan.step) =
@@ -121,11 +149,16 @@ let reuse_successors (p : Plan.t) consumer cond : Plan.t list =
    (gadget, condition) pair is solved at most once per search. *)
 type memo = (int * Plan.cond, Plan.step option) Hashtbl.t
 
-let instantiate_memo (memo : memo) (g : Gadget.t) cond ~sid : Plan.step option =
+let instantiate_counted ?stats (memo : memo) (g : Gadget.t) cond ~sid :
+    Plan.step option =
   let key = (g.Gadget.id, cond) in
   let template =
     match Hashtbl.find_opt memo key with
-    | Some t -> t
+    | Some t ->
+      (match stats with
+       | Some st -> st.s_inst_hits <- st.s_inst_hits + 1
+       | None -> ());
+      t
     | None ->
       let t = Plan.instantiate_for g cond ~sid:(-1) in
       Hashtbl.add memo key t;
@@ -133,11 +166,19 @@ let instantiate_memo (memo : memo) (g : Gadget.t) cond ~sid : Plan.step option =
   in
   Option.map (fun (st : Plan.step) -> { st with Plan.sid = sid }) template
 
+let instantiate_memo (memo : memo) (g : Gadget.t) cond ~sid : Plan.step option =
+  instantiate_counted memo g cond ~sid
+
 (* Candidate gadgets for a condition: instantiate first (this is
    Algorithm 1's PickIfSatisfy), then keep the [cap] cheapest successful
    instantiations — fewest new demands, then fewest pre-conditions and
-   shortest gadget.  Dead-end gadgets (ending at a syscall) never apply. *)
-let candidate_steps (memo : memo) (pool : Pool.t) (p : Plan.t) cond ~cap :
+   shortest gadget.  Dead-end gadgets (ending at a syscall) never apply.
+
+   The whole ranked, quota-applied cut is a function of the condition
+   alone (ranking keys and the category quota never look at the plan;
+   the step id is stamped on afterwards), so searches memoize it per
+   [cond] — see [cand_memo] below. *)
+let ranked_candidates ?stats (memo : memo) (pool : Pool.t) cond ~cap :
     Plan.step list =
   let gs =
     match cond with
@@ -146,7 +187,7 @@ let candidate_steps (memo : memo) (pool : Pool.t) (p : Plan.t) cond ~cap :
   in
   let insts =
     List.filter_map
-      (fun g -> instantiate_memo memo g cond ~sid:p.Plan.next_sid)
+      (fun g -> instantiate_counted ?stats memo g cond ~sid:(-1))
       gs
   in
   let ranked =
@@ -185,13 +226,38 @@ let candidate_steps (memo : memo) (pool : Pool.t) (p : Plan.t) cond ~cap :
   in
   if List.length picked < cap then take cap ranked else picked
 
+let candidate_steps (memo : memo) (pool : Pool.t) (p : Plan.t) cond ~cap :
+    Plan.step list =
+  List.map
+    (fun (st : Plan.step) -> { st with Plan.sid = p.Plan.next_sid })
+    (ranked_candidates memo pool cond ~cap)
+
+(* Ranked-candidate memo, per search (the cap is fixed by the config for
+   a search's whole lifetime, so the condition alone is the key). *)
+type cand_memo = (Plan.cond, Plan.step list) Hashtbl.t
+
+let candidates_cached ?stats (memo : memo) (cmemo : cand_memo) (pool : Pool.t)
+    cond ~cap : Plan.step list =
+  match Hashtbl.find_opt cmemo cond with
+  | Some l ->
+    (match stats with
+     | Some st -> st.s_cand_hits <- st.s_cand_hits + 1
+     | None -> ());
+    l
+  | None ->
+    let l = ranked_candidates ?stats memo pool cond ~cap in
+    Hashtbl.add cmemo cond l;
+    l
+
 (* Close (consumer, cond) with a freshly instantiated gadget. *)
-let new_step_successors (cfg : config) (memo : memo) (pool : Pool.t) (p : Plan.t)
-    consumer cond : Plan.t list =
+let new_step_successors (cfg : config) ?stats (memo : memo)
+    (cmemo : cand_memo) (pool : Pool.t) (p : Plan.t) consumer cond :
+    Plan.t list =
   if List.length p.Plan.steps >= cfg.max_steps then []
   else
     List.filter_map
-      (fun step ->
+      (fun (template : Plan.step) ->
+        let step = { template with Plan.sid = p.Plan.next_sid } in
         let p' =
           { Plan.steps = step :: p.Plan.steps;
             orderings = p.Plan.orderings;
@@ -204,78 +270,81 @@ let new_step_successors (cfg : config) (memo : memo) (pool : Pool.t) (p : Plan.t
         Option.bind (Plan.add_ordering p' step.Plan.sid consumer) (fun p' ->
             Option.bind (Plan.protect_link p' step.Plan.sid cond consumer)
               (fun p' -> Plan.protect_from p' step)))
-      (candidate_steps memo pool p cond ~cap:cfg.branch_cap)
+      (candidates_cached ?stats memo cmemo pool cond ~cap:cfg.branch_cap)
 
 type result = {
   plans : Plan.t list;
   expanded : int;
+  peak_queue : int;
+  inst_memo_hits : int;
+  cand_memo_hits : int;
+  discarded : int;
   exhausted : bool;   (* true if the whole space was searched *)
   budget_hit : bool;  (* search stopped on deadline or fuel, not space *)
 }
 
-(* [accept] gates completed plans: a complete plan that fails it (e.g.
-   its payload cannot be assembled, or it duplicates a chain already
-   emitted) is discarded WITHOUT consuming the plan quota, and the search
-   keeps going. *)
-let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
-    ?budget (pool : Pool.t) (goal : Goal.concrete) : result =
+(* The config's own limits become a budget; an inherited budget can only
+   tighten the deadline further (fuel = expansions here). *)
+let search_budget (config : config) = function
+  | Some parent ->
+    Budget.sub parent ~label:"plan" ~seconds:config.time_budget
+      ~fuel:config.node_budget ()
+  | None ->
+    Budget.create ~label:"plan" ~seconds:config.time_budget
+      ~fuel:config.node_budget ()
+
+(* Root plan for one candidate syscall gadget. *)
+let root_plan (goal : Goal.concrete) (g : Gadget.t) : Plan.t option =
+  match Plan.instantiate_goal g goal ~sid:0 with
+  | None -> None
+  | Some step ->
+    (* payload-region cells are delivered with the payload itself;
+       only cells elsewhere need write-what-where steps *)
+    let mem_conds =
+      List.filter_map
+        (fun (a, v) ->
+          if Layout.in_payload a then None else Some (0, Plan.Cmem (a, v)))
+        goal.Goal.mem
+    in
+    Some
+      { Plan.steps = [ step ];
+        orderings = [];
+        links = [];
+        open_conds = open_demands step @ mem_conds;
+        next_sid = 1 }
+
+(* The best-first loop, shared by the single-queue [search] and each
+   portfolio worker of [search_par].  Every piece of mutable state —
+   queue, memos, usage/visited tables, stats — is owned by the caller
+   and never crosses a domain boundary; the pool is immutable. *)
+let run_search (config : config) ~accept ~budget ~(stats : stats_acc)
+    (memo : memo) (cmemo : cand_memo) (pool : Pool.t) (roots : Plan.t list) :
+    Plan.t list * bool * bool =
   let q = Pq.create () in
-  let memo : memo = Hashtbl.create 1024 in
   let usage : (int64, int) Hashtbl.t = Hashtbl.create 64 in
-  (* The config's own limits become a budget; an inherited budget can
-     only tighten the deadline further (fuel = expansions here). *)
-  let budget =
-    match budget with
-    | Some parent ->
-      Budget.sub parent ~label:"plan" ~seconds:config.time_budget
-        ~fuel:config.node_budget ()
-    | None ->
-      Budget.create ~label:"plan" ~seconds:config.time_budget
-        ~fuel:config.node_budget ()
-  in
-  (* root plans: one per candidate syscall gadget *)
-  let roots =
-    List.filteri (fun i _ -> i < config.goal_cap) pool.Pool.syscall_gadgets
-  in
-  List.iter
-    (fun g ->
-      match Plan.instantiate_goal g goal ~sid:0 with
-      | None -> ()
-      | Some step ->
-        (* payload-region cells are delivered with the payload itself;
-           only cells elsewhere need write-what-where steps *)
-        let mem_conds =
-          List.filter_map
-            (fun (a, v) ->
-              if Layout.in_payload a then None else Some (0, Plan.Cmem (a, v)))
-            goal.Goal.mem
-        in
-        Pq.push ~usage q
-          { Plan.steps = [ step ];
-            orderings = [];
-            links = [];
-            open_conds = open_demands step @ mem_conds;
-            next_sid = 1 })
-    roots;
+  let push p = Pq.push q (cost ~usage p) (entry_of p) in
+  let push_entry e = Pq.push q (cost ~usage e.e_plan) e in
+  List.iter push roots;
   let visited = Hashtbl.create 1024 in
   let complete = ref [] in
-  let expanded = ref 0 in
   let exhausted = ref true in
   let budget_hit = ref false in
   (try
      while true do
        Budget.check budget;
+       if q.Pq.size > stats.s_peak_queue then stats.s_peak_queue <- q.Pq.size;
        match Pq.pop q with
        | None -> raise Exit
-       | Some (key, p) when cost ~usage p > key ->
+       | Some (key, e) when cost ~usage e.e_plan > key ->
          (* the diversity penalty grew since this plan was queued: rescore
             lazily instead of expanding a stale-cheap entry *)
-         Pq.push_key q (cost ~usage p) p
-       | Some (_, p) ->
-         let sig_ = Plan.signature p in
+         push_entry e
+       | Some (_, e) ->
+         let p = e.e_plan in
+         let sig_ = entry_sig e in
          if not (Hashtbl.mem visited sig_) then begin
            Hashtbl.add visited sig_ ();
-           incr expanded;
+           stats.s_expanded <- stats.s_expanded + 1;
            Budget.spend budget;
            match p.Plan.open_conds with
            | [] ->
@@ -292,12 +361,14 @@ let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
                  raise Exit
                end
              end
+             else stats.s_discarded <- stats.s_discarded + 1
            | (consumer, cond) :: _ ->
              let succs =
                reuse_successors p consumer cond
-               @ new_step_successors config memo pool p consumer cond
+               @ new_step_successors config ~stats memo cmemo pool p consumer
+                   cond
              in
-             List.iter (Pq.push ~usage q) succs
+             List.iter push succs
          end
      done
    with
@@ -305,5 +376,93 @@ let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
    | Budget.Exhausted _ ->
      exhausted := false;
      budget_hit := true);
-  { plans = List.rev !complete; expanded = !expanded; exhausted = !exhausted;
-    budget_hit = !budget_hit }
+  (List.rev !complete, !exhausted, !budget_hit)
+
+(* [accept] gates completed plans: a complete plan that fails it (e.g.
+   its payload cannot be assembled, or it duplicates a chain already
+   emitted) is discarded WITHOUT consuming the plan quota, and the search
+   keeps going. *)
+let search ?(config = default_config) ?(accept = fun (_ : Plan.t) -> true)
+    ?budget (pool : Pool.t) (goal : Goal.concrete) : result =
+  let budget = search_budget config budget in
+  let roots =
+    List.filteri (fun i _ -> i < config.goal_cap) pool.Pool.syscall_gadgets
+    |> List.filter_map (root_plan goal)
+  in
+  let stats = fresh_stats () in
+  let memo : memo = Hashtbl.create 1024 in
+  let cmemo : cand_memo = Hashtbl.create 64 in
+  let plans, exhausted, budget_hit =
+    run_search config ~accept ~budget ~stats memo cmemo pool roots
+  in
+  { plans; expanded = stats.s_expanded; peak_queue = stats.s_peak_queue;
+    inst_memo_hits = stats.s_inst_hits; cand_memo_hits = stats.s_cand_hits;
+    discarded = stats.s_discarded; exhausted; budget_hit }
+
+(* Goal-portfolio search: one INDEPENDENT best-first search per root
+   syscall gadget, fanned over domains.  Each worker owns its queue,
+   memos, usage and visited tables, and a [Budget.slice] of the parent —
+   a deterministic fuel prefix (node_budget / #roots, remainder to the
+   earliest roots) plus the shared wall-clock deadline.  Results merge
+   in root order, so the outcome is a pure function of the pool, the
+   goal, and the config — never of the job count or the interleaving.
+
+   The portfolio explores a DIFFERENT frontier than the single shared
+   queue (each root is guaranteed its fuel share instead of competing in
+   one cost order), so [search] is kept for callers that want the seed's
+   exact trajectory; the pipeline (Api) always uses the portfolio, at
+   every job count, which is what makes jobs:N ≡ jobs:1 trivial.
+
+   Per-worker usage tables preserve the diversity heuristic where it
+   matters: usage pressure exists to stop chain k+1 from being a
+   permutation of chain k, and chains from the SAME root are exactly the
+   ones built from the same gadget neighbourhood.  Cross-root repetition
+   is handled by the caller's chain_set_key dedup at merge.
+
+   [accept_for i] builds the accept gate for root index [i]; per-root
+   gates let the caller (Api) validate payloads inside each worker —
+   moving emulator validation off the single search thread — while
+   keeping each gate's state domain-private. *)
+let search_par ?(config = default_config)
+    ?(accept_for = fun (_ : int) (_ : Plan.t) -> true) ?budget ?(jobs = 1)
+    (pool : Pool.t) (goal : Goal.concrete) : result =
+  let parent = search_budget config budget in
+  let roots =
+    List.filteri (fun i _ -> i < config.goal_cap) pool.Pool.syscall_gadgets
+    |> List.filter_map (root_plan goal)
+    |> Array.of_list
+  in
+  let n = Array.length roots in
+  if n = 0 then
+    { plans = []; expanded = 0; peak_queue = 0; inst_memo_hits = 0;
+      cand_memo_hits = 0; discarded = 0; exhausted = true; budget_hit = false }
+  else begin
+    let share = config.node_budget / n and rem = config.node_budget mod n in
+    let tasks =
+      Array.init n (fun i () ->
+          let fuel = share + (if i < rem then 1 else 0) in
+          let b = Budget.slice parent ~label:"plan-root" ~fuel () in
+          let stats = fresh_stats () in
+          let memo : memo = Hashtbl.create 1024 in
+          let cmemo : cand_memo = Hashtbl.create 64 in
+          let plans, exhausted, budget_hit =
+            run_search config ~accept:(accept_for i) ~budget:b ~stats memo
+              cmemo pool [ roots.(i) ]
+          in
+          (plans, exhausted, budget_hit, stats))
+    in
+    let results = Gp_util.Par.run ~jobs tasks in
+    let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
+    { plans =
+        List.concat_map (fun (ps, _, _, _) -> ps) (Array.to_list results);
+      expanded = sum (fun (_, _, _, s) -> s.s_expanded);
+      peak_queue =
+        Array.fold_left
+          (fun acc (_, _, _, s) -> max acc s.s_peak_queue)
+          0 results;
+      inst_memo_hits = sum (fun (_, _, _, s) -> s.s_inst_hits);
+      cand_memo_hits = sum (fun (_, _, _, s) -> s.s_cand_hits);
+      discarded = sum (fun (_, _, _, s) -> s.s_discarded);
+      exhausted = Array.for_all (fun (_, e, _, _) -> e) results;
+      budget_hit = Array.exists (fun (_, _, b, _) -> b) results }
+  end

@@ -40,7 +40,11 @@ val candidate_steps :
 
 type result = {
   plans : Plan.t list;     (** accepted complete plans *)
-  expanded : int;
+  expanded : int;          (** nodes expanded (visited-distinct pops) *)
+  peak_queue : int;        (** high-water mark of the priority queue *)
+  inst_memo_hits : int;    (** instantiation-memo hits *)
+  cand_memo_hits : int;    (** ranked-candidate-memo hits *)
+  discarded : int;         (** complete plans rejected by [accept] *)
   exhausted : bool;        (** the whole space was searched *)
   budget_hit : bool;       (** stopped on deadline/fuel, not space *)
 }
@@ -61,3 +65,25 @@ val search :
     {!Budget.t}; passing [budget] additionally clamps the deadline to the
     parent's, so a pipeline-level budget bounds the search no matter what
     the config says. *)
+
+val search_par :
+  ?config:config ->
+  ?accept_for:(int -> Plan.t -> bool) ->
+  ?budget:Budget.t ->
+  ?jobs:int ->
+  Pool.t ->
+  Goal.concrete ->
+  result
+(** Goal-portfolio search: one independent best-first search per root
+    syscall gadget, fanned over [jobs] domains.  Each worker owns its
+    queue, memos, usage and visited tables, and a {!Budget.slice} fuel
+    prefix ([node_budget / #roots], remainder to the earliest roots)
+    sharing the parent deadline; results merge in root order — a pure
+    function of (pool, goal, config), independent of the job count.
+
+    [accept_for i] builds the accept gate for root [i], letting the
+    caller validate payloads inside each worker with domain-private
+    state.  The quota [max_plans] applies PER ROOT here; callers dedupe
+    cross-root chains and re-apply the global quota after the merge
+    (see {!Api}).  Stats merge associatively ([peak_queue] by max, the
+    rest by sum), so they too are job-count-independent. *)

@@ -352,8 +352,19 @@ let step t =
    Consulted once per [run]; [None] (the default) never fires. *)
 let chaos_fuse : (unit -> int option) ref = ref (fun () -> None)
 
-let run ?(fuel = 5_000_000) t =
-  let fuse = !chaos_fuse () in
+(* Keyed variant for callers that can name the run (payload validation
+   keys on the chain): the decision becomes a pure function of the key,
+   so an injection schedule is order-independent — identical under any
+   domain count — where the streamed [chaos_fuse] depends on how many
+   runs happened before this one. *)
+let chaos_fuse_keyed : (int -> int option) ref = ref (fun _ -> None)
+
+let run ?(fuel = 5_000_000) ?fuse_key t =
+  let fuse =
+    match fuse_key with
+    | Some key -> !chaos_fuse_keyed key
+    | None -> !chaos_fuse ()
+  in
   try
     let k = ref 0 in
     while !k < fuel do

@@ -81,11 +81,19 @@ val chaos_fuse : (unit -> int option) ref
     mid-execution.  Defaults to never firing; installed/removed by the
     harness ([Gp_harness.Faultsim]). *)
 
-val run : ?fuel:int -> t -> outcome
+val chaos_fuse_keyed : (int -> int option) ref
+(** Keyed fault-injection hook, consulted instead of {!chaos_fuse} when
+    {!run} is given a [fuse_key]: the decision is a pure function of the
+    key (payload validation keys on the chain), so a schedule fires
+    identically under any domain count or validation order. *)
+
+val run : ?fuel:int -> ?fuse_key:int -> t -> outcome
 (** Step until halt, fault, or [fuel] instructions (default 5M).  Fuel
     exhaustion is reported as the distinct {!Timeout} outcome — callers
     must not conflate it with {!Fault}, which means the chain actually
-    crashed. *)
+    crashed.  [fuse_key] routes fault injection through
+    {!chaos_fuse_keyed} (order-independent) rather than the streamed
+    {!chaos_fuse}. *)
 
 val run_image : ?fuel:int -> ?tracing:bool -> Gp_util.Image.t -> outcome * t
 (** Convenience: load and run to completion. *)

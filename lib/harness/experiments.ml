@@ -701,6 +701,228 @@ let par ?(quick = true) ?(jobs = 4) ?(out = "BENCH_par.json") () =
   in
   (txt, rows)
 
+(* ---------- stages 3-4: planning + validation speedup ---------- *)
+
+(* Sequential-vs-parallel cost of stages 3-4 (plan + validate) over the
+   survey corpus, mirroring [par]'s methodology one level up the
+   pipeline.
+
+   Stages 1-2 run ONCE per cell, outside the timers, and the resulting
+   analysis is shared by both sweeps — so the comparison isolates the
+   planner and validator:
+   - "seq" — jobs=1 with the PR's memo layers disabled (pool-keyed
+     solver memo + hash-consed Term canonicalization): the baseline
+     planner.  The PR 2 caches (check/prove_equal) stay ON in both
+     sweeps; they are part of the baseline.
+   - "par" — [jobs] domains with every memo enabled: the shipped
+     configuration, warmed exactly as a long-running survey process
+     warms it.
+   Each sweep gets one untimed warmup pass + Gc.compact first.  On a
+   single-core host Par clamps the domains and the memo layers are the
+   whole effect; [cores] is in the JSON so readers can tell.  The two
+   sweeps' outcomes are compared chain-for-chain and stat-for-stat
+   (cache counters and wall-clock excluded — verdicts never depend on
+   cache temperature). *)
+
+type plan_row = {
+  q_program : string;
+  q_config : string;
+  q_seq_s : float;      (* jobs=1, new memo layers disabled *)
+  q_par_s : float;      (* jobs=n, memos enabled *)
+  q_chains : int;       (* validated chains, summed over goals *)
+  q_agree : bool;       (* identical chains AND stats, seq vs par *)
+}
+
+let with_plan_memo enabled f =
+  let pm = Gp_smt.Solver.pool_memo in
+  Gp_smt.Cache.reset pm;
+  Gp_smt.Cache.set_enabled pm enabled;
+  Gp_smt.Term.reset_memo ();
+  Gp_smt.Term.set_memo_enabled enabled;
+  Fun.protect
+    ~finally:(fun () ->
+      Gp_smt.Cache.set_enabled pm true;
+      Gp_smt.Term.set_memo_enabled true)
+    f
+
+(* Everything about an outcome that must be invariant across job counts
+   and cache temperature: the chains themselves and the deterministic
+   planner/validator tallies. *)
+let plan_fingerprint (o : Gp_core.Api.outcome) =
+  let st = o.Gp_core.Api.stats in
+  ( List.map Gp_core.Payload.chain_set_key o.Gp_core.Api.chains,
+    ( st.Gp_core.Api.plans_found,
+      st.Gp_core.Api.chains_built,
+      st.Gp_core.Api.chains_validated,
+      st.Gp_core.Api.plan_expanded,
+      st.Gp_core.Api.plan_peak_queue,
+      st.Gp_core.Api.plan_inst_hits,
+      st.Gp_core.Api.plan_cand_hits,
+      st.Gp_core.Api.plan_discarded,
+      st.Gp_core.Api.validate_faults,
+      st.Gp_core.Api.validate_timeouts ),
+    List.map Gp_core.Api.rung_name o.Gp_core.Api.rungs )
+
+let plan_json path ~jobs ~rows ~seq_total ~par_total ~obf_speedup ~hits
+    ~misses ~term_hits ~term_misses =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"plan\",\n";
+  p "  \"generated_unix\": %.0f,\n" (Unix.time ());
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"cores\": %d,\n" (Gp_util.Par.available ());
+  p "  \"note\": \"plan+validate (stages 3-4) over a shared analysis.  \
+     seq = jobs:1 with the pool-keyed solver memo and hash-consed Term \
+     canonicalization disabled (the pre-portfolio planner); par = \
+     jobs:%d with every memo enabled (the shipped configuration).  \
+     Both sweeps timed at steady state after one untimed warmup pass.  \
+     With cores=1 the speedup is the memo layers'; domains beyond the \
+     core count are clamped.\",\n" jobs;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    { \"program\": %S, \"config\": %S, \"seq_s\": %.4f, \
+         \"par_s\": %.4f, \"chains\": %d, \"agree\": %b }%s\n"
+        r.q_program r.q_config r.q_seq_s r.q_par_s r.q_chains r.q_agree
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n";
+  p "  \"seq_total_s\": %.4f,\n" seq_total;
+  p "  \"par_total_s\": %.4f,\n" par_total;
+  p "  \"speedup\": %.2f,\n" (seq_total /. max 1e-9 par_total);
+  p "  \"obf_speedup\": %.2f,\n" obf_speedup;
+  p "  \"cache_hits\": %d,\n" hits;
+  p "  \"cache_misses\": %d,\n" misses;
+  p "  \"cache_hit_rate\": %.3f,\n"
+    (float_of_int hits /. float_of_int (max 1 (hits + misses)));
+  p "  \"term_memo_hits\": %d,\n" term_hits;
+  p "  \"term_memo_misses\": %d\n" term_misses;
+  p "}\n";
+  close_out oc
+
+let plan ?(quick = true) ?(jobs = 4) ?(out = "BENCH_plan.json") () =
+  (* a mid-weight config: enough fuel that the search works for diverse
+     chains (where the instantiation memos earn their keep), small
+     enough that the sweep stays in bench-suite territory *)
+  let planner_config =
+    { Gp_core.Planner.default_config with
+      Gp_core.Planner.node_budget = 1200; max_plans = 6 }
+  in
+  let cells =
+    List.concat_map
+      (fun entry ->
+        List.map
+          (fun (cname, cfg) ->
+            let image =
+              Gp_codegen.Pipeline.compile
+                ~transform:(Gp_obf.Obf.transform cfg)
+                entry.Gp_corpus.Programs.source
+            in
+            (* stages 1-2 once, shared by both sweeps *)
+            Gp_core.Gadget.reset_ids ();
+            ( entry.Gp_corpus.Programs.name,
+              cname,
+              Gp_core.Api.analyze image ))
+          Workspace.obf_configs)
+      (benchmark_entries ~quick)
+  in
+  let run_cell ~jobs a =
+    List.map
+      (fun g -> Gp_core.Api.run_with_analysis ~planner_config ~jobs a g)
+      Workspace.goals
+  in
+  let timed_sweep ~jobs =
+    List.map
+      (fun (_, _, a) -> Gp_core.Api.timed (fun () -> run_cell ~jobs a))
+      cells
+  in
+  let warmup ~jobs =
+    List.iter (fun (_, _, a) -> ignore (run_cell ~jobs a)) cells;
+    Gc.compact ()
+  in
+  (* sweep 1: the pre-portfolio planner (jobs=1, new memo layers off) *)
+  let seq =
+    with_plan_memo false (fun () ->
+        warmup ~jobs:1;
+        timed_sweep ~jobs:1)
+  in
+  (* sweep 2: the shipped configuration (jobs=n, memos warmed) *)
+  let th0, tm0 = Gp_smt.Term.memo_stats () in
+  let par_runs =
+    with_plan_memo true (fun () ->
+        warmup ~jobs;
+        timed_sweep ~jobs)
+  in
+  let th1, tm1 = Gp_smt.Term.memo_stats () in
+  let hits = ref 0 and misses = ref 0 in
+  let rows =
+    List.map2
+      (fun (prog, cname, _) ((os_seq, t_seq), (os_par, t_par)) ->
+        List.iter
+          (fun (o : Gp_core.Api.outcome) ->
+            hits := !hits + o.Gp_core.Api.stats.Gp_core.Api.cache_hits;
+            misses := !misses + o.Gp_core.Api.stats.Gp_core.Api.cache_misses)
+          os_par;
+        { q_program = prog;
+          q_config = cname;
+          q_seq_s = t_seq;
+          q_par_s = t_par;
+          q_chains =
+            List.fold_left
+              (fun acc (o : Gp_core.Api.outcome) ->
+                acc + List.length o.Gp_core.Api.chains)
+              0 os_par;
+          q_agree =
+            List.map plan_fingerprint os_seq
+            = List.map plan_fingerprint os_par })
+      cells
+      (List.combine seq par_runs)
+  in
+  let seq_total = List.fold_left (fun a r -> a +. r.q_seq_s) 0. rows in
+  let par_total = List.fold_left (fun a r -> a +. r.q_par_s) 0. rows in
+  let obf = List.filter (fun r -> r.q_config <> "original") rows in
+  let obf_speedup =
+    List.fold_left (fun a r -> a +. r.q_seq_s) 0. obf
+    /. max 1e-9 (List.fold_left (fun a r -> a +. r.q_par_s) 0. obf)
+  in
+  plan_json out ~jobs ~rows ~seq_total ~par_total ~obf_speedup ~hits:!hits
+    ~misses:!misses ~term_hits:(th1 - th0) ~term_misses:(tm1 - tm0);
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Parallel+memo speedup, plan+validate (jobs=%d, %d core(s))"
+           jobs (Gp_util.Par.available ()))
+      ~header:
+        [ "program"; "config"; "seq (s)"; "par (s)"; "speedup"; "chains";
+          "agree" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ r.q_program; r.q_config;
+          Printf.sprintf "%.3f" r.q_seq_s;
+          Printf.sprintf "%.3f" r.q_par_s;
+          Printf.sprintf "%.2fx" (r.q_seq_s /. max 1e-9 r.q_par_s);
+          string_of_int r.q_chains;
+          (if r.q_agree then "yes" else "NO") ])
+    rows;
+  Table.add_row t
+    [ "TOTAL"; "-";
+      Printf.sprintf "%.3f" seq_total;
+      Printf.sprintf "%.3f" par_total;
+      Printf.sprintf "%.2fx" (seq_total /. max 1e-9 par_total);
+      "-"; "-" ];
+  let txt =
+    Table.render t
+    ^ Printf.sprintf
+        "obfuscated-config speedup: %.2fx; solver memo: %d hits / %d \
+         misses; term memo: %d hits / %d misses; wrote %s\n"
+        obf_speedup !hits !misses (th1 - th0) (tm1 - tm0) out
+  in
+  (txt, rows)
+
 (* ---------- ablations (DESIGN.md §5) ---------- *)
 
 let ablation_unaligned () =

@@ -25,8 +25,13 @@
    a solver query is a pure function of (seed, key), so the injected
    fault SET is identical under any job count and any interleaving
    (test_par asserts nothing is dropped or double-counted at jobs=4).
-   The emulator fuse and the clock only fire from the sequential
-   plan/validate stage and keep their seeded streams. *)
+   Payload validation now also runs on worker domains (the goal
+   portfolio), so the emulator fuse gets a keyed schedule too — keyed
+   on the CHAIN being validated ([Machine.chaos_fuse_keyed], fed by
+   [Payload.validate_run]) — while the streamed [Machine.chaos_fuse]
+   stays installed for the sequential direct-run sites (netperf, CFI,
+   compile checks).  Only the clock remains stream-only; it is read
+   from the orchestrating domain. *)
 
 type config = {
   seed : int;
@@ -62,6 +67,7 @@ let with_faults (cfg : config) (f : unit -> 'a) : 'a =
   let saved_decode = !Gp_core.Extract.chaos_decode in
   let saved_solver = !Gp_smt.Solver.chaos_unknown in
   let saved_fuse = !Gp_emu.Machine.chaos_fuse in
+  let saved_fuse_keyed = !Gp_emu.Machine.chaos_fuse_keyed in
   if cfg.decode_rate > 0. then
     Gp_core.Extract.chaos_decode :=
       (fun addr -> keyed_flip (cfg.seed lxor 0x11) addr cfg.decode_rate);
@@ -69,12 +75,22 @@ let with_faults (cfg : config) (f : unit -> 'a) : 'a =
     Gp_smt.Solver.chaos_unknown :=
       (fun formulas ->
         keyed_flip (cfg.seed lxor 0x22) formulas cfg.solver_rate);
-  if cfg.mem_rate > 0. then
+  if cfg.mem_rate > 0. then begin
     Gp_emu.Machine.chaos_fuse :=
       (fun () ->
         if Gp_util.Rng.flip r_mem cfg.mem_rate then
           Some (Gp_util.Rng.int r_mem 100_000)
         else None);
+    (* keyed twin for validation runs: a fresh stream per key, so both
+       the fire decision and the armed step count are pure functions of
+       (seed, chain) *)
+    Gp_emu.Machine.chaos_fuse_keyed :=
+      (fun key ->
+        let r = Gp_util.Rng.create ((cfg.seed lxor 0x33) lxor key) in
+        if Gp_util.Rng.flip r cfg.mem_rate then
+          Some (Gp_util.Rng.int r 100_000)
+        else None)
+  end;
   if cfg.clock_skip_rate > 0. then begin
     let skew = ref 0. in
     Gp_core.Budget.set_clock (fun () ->
@@ -86,6 +102,7 @@ let with_faults (cfg : config) (f : unit -> 'a) : 'a =
     Gp_core.Extract.chaos_decode := saved_decode;
     Gp_smt.Solver.chaos_unknown := saved_solver;
     Gp_emu.Machine.chaos_fuse := saved_fuse;
+    Gp_emu.Machine.chaos_fuse_keyed := saved_fuse_keyed;
     if cfg.clock_skip_rate > 0. then Gp_core.Budget.reset_clock ()
   in
   Fun.protect ~finally f

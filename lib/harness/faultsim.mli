@@ -30,4 +30,11 @@ val with_faults : config -> (unit -> 'a) -> 'a
 (** Run the thunk with the fault schedule installed; every hook (and the
     clock) is restored on the way out, exception or not.  Each fault
     class draws from its own stream, so raising one rate does not shift
-    another class's schedule. *)
+    another class's schedule.
+
+    Hooks that fire from worker domains (decode, solver, and — since
+    validation joined the goal portfolio — the emulator fuse via
+    [Machine.chaos_fuse_keyed]) use KEYED schedules: the decision is a
+    pure function of (seed, item), so the injected fault set is
+    identical under any job count.  The streamed [Machine.chaos_fuse]
+    stays installed for sequential direct-run sites. *)

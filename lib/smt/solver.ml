@@ -319,7 +319,16 @@ let check_real ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
 let memo : (Formula.t list, result) Cache.t = Cache.create ()
 let equal_memo : (Term.t * Term.t, bool) Cache.t = Cache.create ()
 
-let check ?rng ?pool ?max_trials formulas =
+(* Memo for non-default pools that the CALLER can key structurally:
+   [Layout.pool ~salt] is a pure function of (payload_base, rotation), so
+   the planner passes that pair as [pool_key] and identical instantiation
+   queries — which recur constantly as the same gadget is tried against
+   the same condition along different branches — are answered once.  The
+   key is structured, not hashed, so distinct pools can never collide. *)
+let pool_memo : (((int64 * int) * Formula.t list), result) Cache.t =
+  Cache.create ()
+
+let check ?rng ?pool ?pool_key ?max_trials formulas =
   if !chaos_unknown formulas then begin
     Atomic.incr unknowns;
     Unknown
@@ -340,7 +349,17 @@ let check ?rng ?pool ?max_trials formulas =
       let canonical = Cache.canon formulas in
       count (Cache.find_or_add memo canonical (fun () -> check_real canonical))
     end
-    else count (check_real ?rng ?pool ?max_trials formulas)
+    else
+      match pool_key with
+      | Some pk when Option.is_none rng && Option.is_none max_trials ->
+        (* Caller vouches that [pk] fully determines [pool]; check_real
+           runs with its fixed default rng, so the verdict is a pure
+           function of (pk, canonical conjunction). *)
+        let canonical = Cache.canon formulas in
+        count
+          (Cache.find_or_add pool_memo (pk, canonical) (fun () ->
+               check_real ?pool canonical))
+      | _ -> count (check_real ?rng ?pool ?max_trials formulas)
   end
 
 (* Entailment: hyps |= concl.  True only when hyps ∧ ¬concl is provably

@@ -64,15 +64,28 @@ val equal_memo : (Term.t * Term.t, bool) Cache.t
 (** Memo store for {!prove_equal} on default-environment queries, keyed
     on the (structurally ordered) simplified term pair. *)
 
+val pool_memo : ((int64 * int) * Formula.t list, result) Cache.t
+(** Memo store for {!check} queries against caller-keyed pointer pools
+    (see the [pool_key] argument of {!check}); keyed on
+    [(pool_key, canonicalized conjunction)]. *)
+
 val check :
   ?rng:Gp_util.Rng.t ->
   ?pool:pointer_pool ->
+  ?pool_key:int64 * int ->
   ?max_trials:int ->
   Formula.t list ->
   result
 (** Satisfiability of the conjunction.  The model prefers zeros for
     otherwise-unconstrained variables (keeping payloads and register
-    demands simple). *)
+    demands simple).
+
+    [pool_key] is the caller's promise that the supplied [pool] is a
+    pure function of that key (e.g. {!Gp_core.Layout.pool_key}): when
+    given — and no rng/trial override is in play — the verdict is
+    memoized in {!pool_memo} under [(pool_key, canonical formulas)].
+    Pools carry closures the solver cannot key on itself, which is why
+    the key comes from outside. *)
 
 val entails : ?rng:Gp_util.Rng.t -> ?pool:pointer_pool -> Formula.t list -> Formula.t -> bool
 (** [entails hyps concl]: true only when [hyps ∧ ¬concl] is provably

@@ -242,6 +242,114 @@ let shl a b = mk_shl a b
 let shr a b = mk_shr a b
 let sar a b = mk_sar a b
 
+(* ----- hash-consing & memoized canonicalization ----- *)
+
+(* Interning table: structural term -> its canonical (physically unique)
+   representative.  Children are interned before the parent is looked
+   up, so the table's structural hashing and equality tests touch nodes
+   that are already shared — polymorphic [compare] short-circuits on
+   physical equality, making lookups cheap even for deep terms.  The
+   table only ever grows; identical terms from different domains resolve
+   to the same node, which is what gives [==] its meaning here.
+
+   Thread safety: one mutex guards the whole recursive walk.  No user
+   code runs under the lock (pure table operations only), so holding it
+   across the recursion cannot deadlock and keeps per-node overhead to
+   a single acquisition per [intern] call. *)
+
+let intern_tbl : (t, t) Hashtbl.t = Hashtbl.create 4096
+let intern_lock = Mutex.create ()
+
+let intern (t : t) : t =
+  let rec go t =
+    let node =
+      match t with
+      | Var _ | Const _ -> t
+      | Add (a, b) -> Add (go a, go b)
+      | Sub (a, b) -> Sub (go a, go b)
+      | Mul (a, b) -> Mul (go a, go b)
+      | Neg a -> Neg (go a)
+      | Not a -> Not (go a)
+      | And (a, b) -> And (go a, go b)
+      | Or (a, b) -> Or (go a, go b)
+      | Xor (a, b) -> Xor (go a, go b)
+      | Shl (a, b) -> Shl (go a, go b)
+      | Shr (a, b) -> Shr (go a, go b)
+      | Sar (a, b) -> Sar (go a, go b)
+    in
+    match Hashtbl.find_opt intern_tbl node with
+    | Some c -> c
+    | None ->
+      Hashtbl.add intern_tbl node node;
+      node
+  in
+  Mutex.protect intern_lock (fun () -> go t)
+
+(* Memoized [simplify]/[linearize], keyed on the interned node.  The
+   canonicalizers are pure, so a stored result is a function of the key
+   alone: a memo hit can never change a value, only skip recomputing it
+   (the property suite checks this).  Same discipline as the solver
+   cache — compute OUTSIDE the lock, publish first-write-wins — but
+   hand-rolled because [Cache] lives above [Formula], which depends on
+   this module.
+
+   [set_memo_enabled false] restores the seed's uncached behavior;
+   benchmarks use it for honest cold-path timings. *)
+
+let memo_lock = Mutex.create ()
+let simplify_tbl : (t, t) Hashtbl.t = Hashtbl.create 4096
+let linearize_tbl : (t, linear option) Hashtbl.t = Hashtbl.create 4096
+let memo_on = ref true
+let memo_hits = Atomic.make 0
+let memo_misses = Atomic.make 0
+
+let memo_enabled () = !memo_on
+let set_memo_enabled b = memo_on := b
+let memo_stats () = (Atomic.get memo_hits, Atomic.get memo_misses)
+
+let reset_memo () =
+  Mutex.protect memo_lock (fun () ->
+      Hashtbl.reset simplify_tbl;
+      Hashtbl.reset linearize_tbl);
+  Mutex.protect intern_lock (fun () -> Hashtbl.reset intern_tbl);
+  Atomic.set memo_hits 0;
+  Atomic.set memo_misses 0
+
+let memoized (tbl : (t, 'v) Hashtbl.t) (key : t) (f : t -> 'v) : 'v =
+  match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt tbl key) with
+  | Some v ->
+    Atomic.incr memo_hits;
+    v
+  | None ->
+    Atomic.incr memo_misses;
+    let v = f key in
+    Mutex.protect memo_lock (fun () ->
+        if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v);
+    v
+
+(* The exported canonicalizers: leaves skip the machinery entirely
+   (already canonical / trivially linear); everything else goes through
+   the intern table so structurally equal queries share one memo slot. *)
+
+let simplify t =
+  match t with
+  | Var _ | Const _ -> t
+  | _ ->
+    if not !memo_on then simplify t
+    else
+      let key = intern t in
+      memoized simplify_tbl key (fun k -> intern (simplify k))
+
+let linearize t =
+  match t with
+  | Var v -> Some { lin_const = 0L; lin_terms = [ (v, 1L) ] }
+  | Const c -> Some (lin_const c)
+  | _ ->
+    if not !memo_on then linearize t
+    else
+      let key = intern t in
+      memoized linearize_tbl key (fun k -> linearize k)
+
 (* Structural equality after canonicalization. *)
 let equal a b = simplify a = simplify b
 

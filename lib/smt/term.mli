@@ -52,7 +52,8 @@ val lin_neg : linear -> linear
 
 val linearize : t -> linear option
 (** View the term as a linear combination, when it is one.  [Not x] is
-    linear ([-x - 1]); [Shl x (Const k)] is [2^k · x]. *)
+    linear ([-x - 1]); [Shl x (Const k)] is [2^k · x].  Memoized on the
+    interned node (see {!intern}); disable with {!set_memo_enabled}. *)
 
 val of_linear : linear -> t
 (** Canonical term for a linear form. *)
@@ -62,7 +63,37 @@ val of_linear : linear -> t
 val simplify : t -> t
 (** Bottom-up canonicalization: exact on the linear fragment, local
     identities elsewhere ([x^x = 0], [x&x = x], constant folding...).
-    Sound: the result evaluates identically under every model. *)
+    Sound: the result evaluates identically under every model.
+    Memoized on the interned node (see {!intern}) — identical queries
+    from any domain share one slot, and a memo hit can never change the
+    result (it is a pure function of the key). *)
+
+(** {1 Hash-consing}
+
+    An interning table gives structurally equal terms one physically
+    unique representative, so repeated canonicalization (solver-cache
+    keys, subsumption probes, planner instantiation) degenerates to a
+    table hit and equality checks short-circuit on [==].  Thread-safe;
+    shared across domains. *)
+
+val intern : t -> t
+(** Canonical representative: [intern a == intern b] iff [a = b]
+    (structural equality).  Idempotent; [intern t = t] always holds
+    structurally. *)
+
+val memo_enabled : unit -> bool
+
+val set_memo_enabled : bool -> unit
+(** [false] restores the seed's uncached [simplify]/[linearize]
+    (benchmarks use this for cold-path timings); {!intern} itself stays
+    available either way. *)
+
+val memo_stats : unit -> int * int
+(** (hits, misses) over the simplify/linearize memo since the last
+    {!reset_memo}. *)
+
+val reset_memo : unit -> unit
+(** Drop the intern and memo tables and zero the counters. *)
 
 val var : string -> t
 val const : int64 -> t

@@ -2,7 +2,11 @@
 
    Each suite runs with [~and_exit:false] so a failure in one library
    doesn't hide the others; a per-suite PASS/FAIL summary is printed at
-   the end and the process exits nonzero if any suite failed. *)
+   the end and the process exits nonzero if any suite failed.
+
+   SUITES=name1,name2 restricts the run to the named suites (used by
+   `make check-plan-par` to sweep one suite across job counts without
+   paying for the whole matrix). *)
 
 let suites =
   [ ("util", Test_util.suite);
@@ -22,9 +26,25 @@ let suites =
     ("harness", Test_harness.suite);
     ("resilience", Test_resilience.suite);
     ("par", Test_par.suite);
+    ("plan_par", Test_plan_par.suite);
     ("integration", Test_integration.suite) ]
 
 let () =
+  let suites =
+    match Sys.getenv_opt "SUITES" with
+    | None | Some "" -> suites
+    | Some names ->
+      let wanted = String.split_on_char ',' names in
+      let unknown =
+        List.filter (fun n -> not (List.mem_assoc n suites)) wanted
+      in
+      if unknown <> [] then begin
+        Printf.eprintf "unknown suite(s) in SUITES: %s\n"
+          (String.concat ", " unknown);
+        exit 2
+      end;
+      List.filter (fun (name, _) -> List.mem name wanted) suites
+  in
   let results =
     List.map
       (fun (name, suite) ->
