@@ -12,10 +12,14 @@
 # portfolio planning, parallel validation, hash-consing) at JOBS=1 and
 # JOBS=4 via the SUITES filter in test_main — the cheap spot-check for
 # planner changes; `make check` runs both sweeps.
+#
+# `make check-incr` sweeps the incremental-store suite (test_incr:
+# cache_dir differential, serialization round-trips, corrupt/stale
+# store demotion — DESIGN.md §11) the same way.
 
 CHECK_TIMEOUT ?= 600
 
-.PHONY: all build test check check-par check-plan-par clean
+.PHONY: all build test check check-par check-plan-par check-incr clean
 
 all: build
 
@@ -25,7 +29,7 @@ build:
 test:
 	dune runtest
 
-check: build check-par check-plan-par
+check: build check-par check-plan-par check-incr
 
 check-par:
 	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
@@ -36,5 +40,11 @@ check-plan-par:
 	SUITES=plan_par JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 	SUITES=plan_par JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 
+check-incr:
+	dune build test/test_main.exe
+	SUITES=incr JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+	SUITES=incr JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+
 clean:
 	dune clean
+	rm -rf .gp-cache

@@ -13,6 +13,10 @@
      dune exec bench/main.exe -- --only plan --jobs 4
                                               # sequential-vs-parallel speedup,
                                               # stages 3-4 (writes BENCH_plan.json)
+     dune exec bench/main.exe -- --only incr --jobs 4 [--cache-dir DIR]
+                                              # incremental store: cold vs
+                                              # warm-same vs warm-cross analyze
+                                              # (writes BENCH_incr.json)
 
    Absolute numbers differ from the paper (their substrate was a real
    x86-64 testbed, ours is the simulator stack described in DESIGN.md);
@@ -21,13 +25,19 @@
 let header title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
 
-let run_experiment ~quick ~jobs id =
+let run_experiment ~quick ~jobs ?cache_dir id =
   match id with
   | "par" ->
     let txt, _ = Gp_harness.Experiments.par ~quick ~jobs () in
     print_string txt
   | "plan" ->
     let txt, _ = Gp_harness.Experiments.plan ~quick ~jobs () in
+    print_string txt
+  | "incr" ->
+    let txt, _ =
+      Gp_harness.Experiments.incr ~quick ~jobs
+        ?cache_root:cache_dir ()
+    in
     print_string txt
   | "fig1" ->
     let txt, _ = Gp_harness.Experiments.fig1 ~quick () in
@@ -73,7 +83,7 @@ let run_experiment ~quick ~jobs id =
 
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
-    "tab7"; "par"; "plan"; "cfi_study"; "ablation_unaligned";
+    "tab7"; "par"; "plan"; "incr"; "cfi_study"; "ablation_unaligned";
     "ablation_subsumption"; "ablation_condjump"; "ablation_seeds" ]
 
 (* ----- Bechamel micro-benchmarks: the stage behind each table ----- *)
@@ -168,6 +178,14 @@ let () =
     in
     find argv
   in
+  let cache_dir =
+    let rec find = function
+      | "--cache-dir" :: d :: _ -> Some d
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
   if bechamel then begin
     header "Bechamel micro-benchmarks (pipeline stages behind the tables)";
     run_bechamel ()
@@ -176,7 +194,7 @@ let () =
     match only with
     | Some id ->
       header (Printf.sprintf "Experiment %s (%s mode)" id (if quick then "quick" else "full"));
-      run_experiment ~quick ~jobs id
+      run_experiment ~quick ~jobs ?cache_dir id
     | None ->
       header
         (Printf.sprintf "Gadget-Planner evaluation — all experiments (%s mode)"
@@ -184,6 +202,6 @@ let () =
       List.iter
         (fun id ->
           Printf.printf "\n[%s]\n%!" id;
-          run_experiment ~quick ~jobs id)
+          run_experiment ~quick ~jobs ?cache_dir id)
         all_ids
   end

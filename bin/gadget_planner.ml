@@ -59,6 +59,16 @@ let jobs_arg =
                  subsumption, planning, validation (results are \
                  deterministic and identical to -j 1).")
 
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the content-addressed incremental store: \
+                 summaries and solver verdicts persist across runs, so a \
+                 warm run skips re-executing content it has seen — \
+                 including across obfuscation configs of the same \
+                 program.  Results are bit-identical with or without it; \
+                 a corrupt or stale store falls back to a cold run.")
+
 let compile_image prog obf =
   Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform (obf_of_name obf))
     (load_source prog)
@@ -85,7 +95,7 @@ let compile_cmd =
 (* ----- scan ----- *)
 
 let scan_cmd =
-  let run prog obf jobs =
+  let run prog obf jobs cache_dir =
     let image = compile_image prog obf in
     let counts = Gp_core.Extract.raw_counts image in
     let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
@@ -93,12 +103,17 @@ let scan_cmd =
     List.iter
       (fun (k, c) -> Printf.printf "  %-6s %6d\n" (Gp_core.Gadget.kind_name k) c)
       counts;
-    let a = Gp_core.Api.analyze ~jobs image in
+    let a = Gp_core.Api.analyze ~jobs ?cache_dir image in
     Printf.printf "planner pool after subsumption: %d (from %d summaries)\n"
-      (Gp_core.Pool.size a.Gp_core.Api.pool) a.Gp_core.Api.raw_extracted
+      (Gp_core.Pool.size a.Gp_core.Api.pool) a.Gp_core.Api.raw_extracted;
+    if cache_dir <> None then
+      Printf.printf "store: %d loaded, %d summary hits, %d misses\n"
+        a.Gp_core.Api.analysis_store_loaded
+        a.Gp_core.Api.analysis_summary_hits
+        a.Gp_core.Api.analysis_summary_misses
   in
   Cmd.v (Cmd.info "scan" ~doc:"Count gadgets (the Fig. 1 / Table I census).")
-    Term.(const run $ prog_arg $ obf_arg $ jobs_arg)
+    Term.(const run $ prog_arg $ obf_arg $ jobs_arg $ cache_dir_arg)
 
 (* ----- plan ----- *)
 
@@ -116,10 +131,10 @@ let plan_cmd =
              ~doc:"Print per-stage statistics (planner counters, memo \
                    hits, stage seconds).")
   in
-  let run prog obf goal maxn budget jobs stats =
+  let run prog obf goal maxn budget jobs cache_dir stats =
     let image = compile_image prog obf in
     let o =
-      Gp_core.Api.run ?budget:(budget_of budget) ~jobs
+      Gp_core.Api.run ?budget:(budget_of budget) ~jobs ?cache_dir
         ~planner_config:
           { Gp_core.Planner.max_plans = maxn; node_budget = 4000;
             time_budget = 30.; branch_cap = 10; goal_cap = 6; max_steps = 14 }
@@ -152,6 +167,14 @@ let plan_cmd =
         st.Gp_core.Api.cache_hits st.Gp_core.Api.cache_misses
         st.Gp_core.Api.solver_unknowns;
       Printf.printf
+        "summary store: %d hits / %d misses; %d loaded from disk%s; \
+         %d decodes saved\n"
+        st.Gp_core.Api.summary_hits st.Gp_core.Api.summary_misses
+        st.Gp_core.Api.store_loaded
+        (if st.Gp_core.Api.store_stale > 0 then " (stale store rejected)"
+         else "")
+        st.Gp_core.Api.decode_saved;
+      Printf.printf
         "times: extract %.3fs, subsume %.3fs, plan %.3fs (validate %.3fs)\n"
         st.Gp_core.Api.extract_time st.Gp_core.Api.subsume_time
         st.Gp_core.Api.plan_time st.Gp_core.Api.validate_time
@@ -165,16 +188,16 @@ let plan_cmd =
   in
   Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
     Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg
-          $ jobs_arg $ stats_arg)
+          $ jobs_arg $ cache_dir_arg $ stats_arg)
 
 (* ----- netperf ----- *)
 
 let netperf_cmd =
-  let run obf budget jobs =
+  let run obf budget jobs cache_dir =
     let budget = budget_of budget in
     let b =
       Gp_harness.Workspace.build ~config_name:obf ~cfg:(obf_of_name obf)
-        ?budget ~jobs Gp_corpus.Netperf.entry
+        ?budget ~jobs ?cache_dir Gp_corpus.Netperf.entry
     in
     match Gp_harness.Netperf_attack.run ?budget b with
     | None -> print_endline "probe failed"
@@ -189,7 +212,7 @@ let netperf_cmd =
       | [] -> ()
   in
   Cmd.v (Cmd.info "netperf" ~doc:"Run the netperf end-to-end case study.")
-    Term.(const run $ obf_arg $ budget_arg $ jobs_arg)
+    Term.(const run $ obf_arg $ budget_arg $ jobs_arg $ cache_dir_arg)
 
 (* ----- disasm ----- *)
 

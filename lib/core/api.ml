@@ -49,6 +49,18 @@ type stage_stats = {
   plan_discarded : int;
       (* complete plans rejected by the accept gate (duplicate chain,
          unbuildable payload, failed validation) *)
+  summary_hits : int;
+  summary_misses : int;
+      (* content-addressed summary store traffic during the harvest
+         (DESIGN.md §11).  Like the solver-memo counters, temperature-
+         dependent — excluded from differential comparisons *)
+  decode_saved : int;
+      (* repeat decodes absorbed by the decode-once extraction memo *)
+  store_loaded : int;
+      (* entries imported from the on-disk store (0 when cold) *)
+  store_stale : int;
+      (* 1 when a store file was found but rejected (corrupt/stale) and
+         the run was demoted to cold *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
@@ -79,6 +91,11 @@ type analysis = {
   analysis_unknowns : int;
   analysis_cache_hits : int;
   analysis_cache_misses : int;
+  analysis_summary_hits : int;
+  analysis_summary_misses : int;
+  analysis_decode_saved : int;
+  analysis_store_loaded : int;
+  analysis_store_stale : int;
 }
 
 let timed f =
@@ -102,11 +119,40 @@ let passthrough_stats gadgets =
   let n = List.length gadgets in
   { Subsume.input = n; after_dedup = n; after_subsume = n; timed_out = false }
 
-let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
-    ?budget ?(jobs = 1) (image : Gp_util.Image.t) : analysis =
-  let root = match budget with Some b -> b | None -> Budget.unlimited () in
+(* ----- on-disk incremental store (DESIGN.md §11) ----- *)
+
+(* Open the store before stage 1.  Every failure mode demotes to a cold
+   run: [Rejected] (corrupt bytes, stale versions) is quarantined under
+   the "store" label and counted in [store_stale], never raised. *)
+let store_open = function
+  | None -> (0, 0, [])
+  | Some dir -> (
+    match Incr.load ~dir with
+    | Incr.Loaded n -> (n, 0, [])
+    | Incr.Absent -> (0, 0, [])
+    | Incr.Rejected why ->
+      (0, 1, [ (Fail.label (Fail.Store_rejected why), 1) ]))
+
+(* Persist the store after the run.  A write failure costs only the
+   warm start of the NEXT run, so it too is a quarantine entry. *)
+let store_save quarantined = function
+  | None -> quarantined
+  | Some dir -> (
+    match Incr.save ~dir with
+    | Ok () -> quarantined
+    | Error why ->
+      Fail.merge_counts quarantined
+        [ (Fail.label (Fail.Store_rejected why), 1) ])
+
+(* Stages 1-2, shared by [analyze] and [run]: harvest (quarantining
+   poisoned starts internally), then subsumption (which only ever
+   shrinks the pool, so budget death or an error degrades to passing
+   the harvest through untouched).  Also returns the RAW harvest, which
+   the degradation ladder re-pools without subsumption. *)
+let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
+    (image : Gp_util.Image.t) : analysis * Gadget.t list =
   let ch0, cm0 = cache_counters () in
-  (* stage 1: harvest (quarantines poisoned starts internally) *)
+  let store_loaded, store_stale, store_quar = store_open cache_dir in
   let (harvested, hstats), extract_time =
     match
       stage "extract" root (fun () ->
@@ -120,12 +166,13 @@ let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
       ( ( [],
           { Extract.h_starts = 0;
             h_quarantined = [ (Fail.label f, 1) ];
-            h_budget_hit = true } ),
+            h_budget_hit = true;
+            h_summary_hits = 0;
+            h_summary_misses = 0;
+            h_decode_saved = 0 } ),
         0. )
   in
   let u0 = Atomic.get Gp_smt.Solver.unknowns in
-  (* stage 2: subsumption (only ever shrinks the pool, so budget death
-     or an error degrades to passing the harvest through untouched) *)
   let (minimal, sstats), subsume_time =
     match
       stage "subsume" root (fun () ->
@@ -140,19 +187,34 @@ let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
     | Error _ ->
       ((harvested, { (passthrough_stats harvested) with timed_out = true }), 0.)
   in
-  { image;
-    gadgets = minimal;
-    pool = Pool.build minimal;
-    raw_extracted = List.length harvested;
-    extract_time;
-    subsume_time;
-    quarantined = hstats.Extract.h_quarantined;
-    analysis_budget_hits =
-      (if hstats.Extract.h_budget_hit then [ "extract" ] else [])
-      @ (if sstats.Subsume.timed_out then [ "subsume" ] else []);
-    analysis_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
-    analysis_cache_hits = fst (cache_counters ()) - ch0;
-    analysis_cache_misses = snd (cache_counters ()) - cm0 }
+  ( { image;
+      gadgets = minimal;
+      pool = Pool.build minimal;
+      raw_extracted = List.length harvested;
+      extract_time;
+      subsume_time;
+      quarantined =
+        Fail.merge_counts store_quar hstats.Extract.h_quarantined;
+      analysis_budget_hits =
+        (if hstats.Extract.h_budget_hit then [ "extract" ] else [])
+        @ (if sstats.Subsume.timed_out then [ "subsume" ] else []);
+      analysis_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
+      analysis_cache_hits = fst (cache_counters ()) - ch0;
+      analysis_cache_misses = snd (cache_counters ()) - cm0;
+      analysis_summary_hits = hstats.Extract.h_summary_hits;
+      analysis_summary_misses = hstats.Extract.h_summary_misses;
+      analysis_decode_saved = hstats.Extract.h_decode_saved;
+      analysis_store_loaded = store_loaded;
+      analysis_store_stale = store_stale },
+    harvested )
+
+let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
+    ?budget ?(jobs = 1) ?cache_dir (image : Gp_util.Image.t) : analysis =
+  let root = match budget with Some b -> b | None -> Budget.unlimited () in
+  let a, _ =
+    analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs image
+  in
+  { a with quarantined = store_save a.quarantined cache_dir }
 
 (* ----- degradation ladder ----- *)
 
@@ -290,6 +352,11 @@ let run_with_analysis ?(planner_config = Planner.default_config)
         plan_inst_hits = result.Planner.inst_memo_hits;
         plan_cand_hits = result.Planner.cand_memo_hits;
         plan_discarded = result.Planner.discarded;
+        summary_hits = a.analysis_summary_hits;
+        summary_misses = a.analysis_summary_misses;
+        decode_saved = a.analysis_decode_saved;
+        store_loaded = a.analysis_store_loaded;
+        store_stale = a.analysis_store_stale;
         extract_time = a.extract_time;
         subsume_time = a.subsume_time;
         plan_time;
@@ -323,55 +390,14 @@ let dedup_only (gadgets : Gadget.t list) : Gadget.t list =
 
 let run ?(extract_config = Extract.default_config)
     ?(planner_config = Planner.default_config) ?(validate = true) ?budget
-    ?(jobs = 1) (image : Gp_util.Image.t) (goal : Goal.t) : outcome =
+    ?(jobs = 1) ?cache_dir (image : Gp_util.Image.t) (goal : Goal.t) :
+    outcome =
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
-  let ch0, cm0 = cache_counters () in
-  (* Stage 1 runs ONCE: the harvest is the expensive part and every rung
-     shares it (the degraded rungs re-pool from the same gadget records,
-     so gadget ids stay stable too). *)
-  let (harvested, hstats), extract_time =
-    match
-      stage "extract" root (fun () ->
-          timed (fun () ->
-              Extract.harvest_r ~config:extract_config
-                ~budget:(Budget.sub root ~label:"extract" ~fraction:0.6 ())
-                ~jobs image))
-    with
-    | Ok v -> v
-    | Error f ->
-      ( ( [],
-          { Extract.h_starts = 0;
-            h_quarantined = [ (Fail.label f, 1) ];
-            h_budget_hit = true } ),
-        0. )
-  in
-  let u0 = Atomic.get Gp_smt.Solver.unknowns in
-  let (minimal, sstats), subsume_time =
-    match
-      stage "subsume" root (fun () ->
-          timed (fun () ->
-              Subsume.minimize
-                ~budget:(Budget.sub root ~label:"subsume" ())
-                ~jobs harvested))
-    with
-    | Ok v -> v
-    | Error _ ->
-      ((harvested, { (passthrough_stats harvested) with timed_out = true }), 0.)
-  in
-  let a_full =
-    { image;
-      gadgets = minimal;
-      pool = Pool.build minimal;
-      raw_extracted = List.length harvested;
-      extract_time;
-      subsume_time;
-      quarantined = hstats.Extract.h_quarantined;
-      analysis_budget_hits =
-        (if hstats.Extract.h_budget_hit then [ "extract" ] else [])
-        @ (if sstats.Subsume.timed_out then [ "subsume" ] else []);
-      analysis_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
-      analysis_cache_hits = fst (cache_counters ()) - ch0;
-      analysis_cache_misses = snd (cache_counters ()) - cm0 }
+  (* Stages 1-2 run ONCE: the harvest is the expensive part and every
+     rung shares it (the degraded rungs re-pool from the same gadget
+     records, so gadget ids stay stable too). *)
+  let a_full, harvested =
+    analyze_raw ~extract_config ~subsume:true ?cache_dir ~root ~jobs image
   in
   (* Degraded stage 2: dedup the RAW harvest without subsumption — the
      Dedup_only rung's pool is a superset of the subsumed one. *)
@@ -404,5 +430,12 @@ let run ?(extract_config = Extract.default_config)
       end)
     [ Full; Dedup_only; Wider_branch; Relaxed_steps ];
   match !result with
-  | Some o -> { o with rungs = List.rev !tried }
+  | Some o ->
+    (* Persist the store last, so planner/validation solver verdicts
+       are captured alongside the harvest summaries. *)
+    { o with
+      rungs = List.rev !tried;
+      stats =
+        { o.stats with
+          quarantined = store_save o.stats.quarantined cache_dir } }
   | None -> assert false

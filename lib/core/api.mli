@@ -51,6 +51,21 @@ type stage_stats = {
   plan_discarded : int;
       (** complete plans rejected by the accept gate (duplicate chain,
           unbuildable payload, failed validation) *)
+  summary_hits : int;
+  summary_misses : int;
+      (** content-addressed summary store traffic during the harvest
+          (DESIGN.md §11): starts answered from the store vs
+          symbolically executed.  Temperature-dependent, like the
+          solver-memo counters — reported but excluded from
+          differential comparisons. *)
+  decode_saved : int;
+      (** repeat decodes absorbed by the decode-once extraction memo *)
+  store_loaded : int;
+      (** entries imported from the on-disk store (0 on a cold run) *)
+  store_stale : int;
+      (** 1 when a store file was found but rejected (corrupt or
+          version-stale) and the run was demoted to cold; the rejection
+          is also quarantined under the "store" label *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
@@ -73,19 +88,31 @@ type analysis = {
   analysis_unknowns : int;             (** solver Unknowns in stages 1-2 *)
   analysis_cache_hits : int;           (** solver memo hits in stages 1-2 *)
   analysis_cache_misses : int;
+  analysis_summary_hits : int;         (** summary-store hits (stage 1) *)
+  analysis_summary_misses : int;
+  analysis_decode_saved : int;         (** decode-once memo savings *)
+  analysis_store_loaded : int;         (** on-disk entries imported *)
+  analysis_store_stale : int;          (** 1 if the store was rejected *)
 }
 
 val timed : (unit -> 'a) -> 'a * float
 
 val analyze :
   ?extract_config:Extract.config -> ?subsume:bool -> ?budget:Budget.t ->
-  ?jobs:int -> Gp_util.Image.t -> analysis
+  ?jobs:int -> ?cache_dir:string -> Gp_util.Image.t -> analysis
 (** Stages 1–2.  [budget] bounds both stages (extract gets the larger
     slice); exhaustion degrades — a partial harvest, or a pool passed
     through un-subsumed — and is recorded, never raised.  [jobs] > 1
     runs both stages on that many domains; results are deterministic
     and identical to [jobs = 1] (DESIGN.md "Parallel execution &
-    determinism"). *)
+    determinism").
+
+    [cache_dir] names a directory holding the content-addressed
+    incremental store (DESIGN.md §11): loaded before stage 1, saved
+    after stage 2.  Strictly a warm start — the analysis is
+    bit-identical with or without it, at any job count.  A corrupt or
+    version-stale store demotes to a cold run ([analysis_store_stale],
+    "store" quarantine entry); nothing is ever raised. *)
 
 (** {1 Degradation ladder}
 
@@ -133,6 +160,7 @@ val run :
   ?validate:bool ->
   ?budget:Budget.t ->
   ?jobs:int ->
+  ?cache_dir:string ->
   Gp_util.Image.t ->
   Goal.t ->
   outcome
@@ -141,4 +169,10 @@ val run :
     Relaxed_steps until a chain is found, the root budget dies, or the
     ladder ends.  [jobs] > 1 parallelizes all four stages over that
     many domains; the outcome (pool, plans, chains, tallies) is
-    identical to the default [jobs = 1]. *)
+    identical to the default [jobs = 1].
+
+    [cache_dir] enables the on-disk incremental store (DESIGN.md §11):
+    summaries and solver verdicts load before stage 1 and persist after
+    the ladder finishes, so planner-phase verdicts are captured too.
+    The outcome is bit-identical with or without it; unusable stores
+    demote to cold and are quarantined under "store". *)

@@ -42,13 +42,16 @@ type raw = {
    transfer ENDS the gadget, matching the paper's taxonomy: UDJ/CDJ end
    with a direct jump, UIJ/CIJ with an indirect one, conditional kinds
    contain a jcc on the way. *)
-let scan_run ?(merge = true) ~config (image : Gp_util.Image.t) pos =
+let scan_run ?(merge = true) ?decode ~config (image : Gp_util.Image.t) pos =
   let code = image.Gp_util.Image.code in
   let limit = Bytes.length code in
+  let decode =
+    match decode with Some f -> f | None -> fun p -> Decode.decode code p
+  in
   let rec go acc pos n merges has_cond =
     if n > config.max_insns || pos < 0 || pos >= limit then None
     else
-      match Decode.decode code pos with
+      match decode pos with
       | None -> None
       | Some (insn, len) -> (
         let acc = insn :: acc in
@@ -74,15 +77,20 @@ let scan_run ?(merge = true) ~config (image : Gp_util.Image.t) pos =
   in
   go [] pos 0 0 false
 
-let start_positions ~config (image : Gp_util.Image.t) =
+let start_positions ?decode ~config (image : Gp_util.Image.t) =
   let n = Gp_util.Image.code_size image in
+  let decode =
+    match decode with
+    | Some f -> f
+    | None -> fun p -> Decode.decode image.Gp_util.Image.code p
+  in
   if config.unaligned then List.init n Fun.id
   else begin
     (* aligned mode: decode forward from 0, collecting boundaries *)
     let rec walk pos acc =
       if pos >= n then List.rev acc
       else
-        match Decode.decode image.Gp_util.Image.code pos with
+        match decode pos with
         | Some (_, len) -> walk (pos + len) (pos :: acc)
         | None -> walk (pos + 1) acc
     in
@@ -92,16 +100,20 @@ let start_positions ~config (image : Gp_util.Image.t) =
 let raw_scan ?(config = { default_config with max_insns = 24 })
     (image : Gp_util.Image.t) : raw list =
   let base = image.Gp_util.Image.code_base in
+  (* decode-once: every position is decoded a single time up front and
+     the census's overlapping runs share the results *)
+  let memo = Decode.memo image.Gp_util.Image.code in
+  let decode = Decode.decode_memo memo in
   List.filter_map
     (fun pos ->
-      match scan_run ~merge:false ~config image pos with
+      match scan_run ~merge:false ~decode ~config image pos with
       | Some (insns, kind) ->
         Some
           { raw_addr = Int64.add base (Int64.of_int pos);
             raw_insns = insns;
             raw_kind = kind }
       | None -> None)
-    (start_positions ~config image)
+    (start_positions ~decode ~config image)
 
 let raw_counts ?config image =
   let raws = raw_scan ?config image in
@@ -139,7 +151,18 @@ type harvest_stats = {
   h_starts : int;                       (* start offsets examined *)
   h_quarantined : (string * int) list;  (* Fail.label -> count *)
   h_budget_hit : bool;                  (* harvest stopped early *)
+  h_summary_hits : int;                 (* starts served from the content store *)
+  h_summary_misses : int;               (* starts symbolically executed *)
+  h_decode_saved : int;                 (* decodes the decode-once memo absorbed *)
 }
+
+(* Per-chunk summary-store counters.  Each worker owns one and the merge
+   sums them in chunk index order — deterministic aggregation whatever
+   the domain schedule (the VALUES can still differ with cache
+   temperature, e.g. two domains racing to a double miss, which is why
+   hit/miss counts are excluded from differential fingerprints, same as
+   the solver-cache counters). *)
+type sctr = { mutable sc_hits : int; mutable sc_misses : int }
 
 let sym_config_of config =
   { Gp_symx.Exec.max_insns = config.max_insns;
@@ -153,10 +176,10 @@ let sym_config_of config =
    per CONVERTED summary: [Some g] when usable, [None] when converted
    but unusable.  The distinction matters because every conversion
    consumes a gadget id, so renumbering must see both. *)
-let examine_start ~config ~sym_config ~mk ~tally (image : Gp_util.Image.t)
-    pos : Gadget.t option list =
+let examine_start ~config ~sym_config ~decode ~sctr ~mk ~tally
+    (image : Gp_util.Image.t) pos : Gadget.t option list =
   (* cheap prefilter: must syntactically reach a terminator *)
-  match scan_run ~config image pos with
+  match scan_run ~decode ~config image pos with
   | None -> []
   | Some _ ->
     let addr =
@@ -168,7 +191,29 @@ let examine_start ~config ~sym_config ~mk ~tally (image : Gp_util.Image.t)
     end
     else begin
       let summaries, refused =
-        Gp_symx.Exec.summarize_r ~config:sym_config image addr
+        (* Content-addressed store consult (DESIGN.md §11): the injected
+           chaos check stays BEFORE the lookup, so a quarantined start
+           never reads or seeds the store — mirroring the solver memo's
+           injection discipline. *)
+        if not (Incr.enabled ()) then
+          Gp_symx.Exec.summarize_r ~config:sym_config ~decode image addr
+        else begin
+          let key =
+            Gadget.content_key ~config:sym_config ~decode
+              ~code_size:(Gp_util.Image.code_size image) ~pos
+          in
+          match Incr.find key with
+          | Some (ss, refused) ->
+            sctr.sc_hits <- sctr.sc_hits + 1;
+            (List.map (Gp_symx.Exec.rebase ~addr) ss, refused)
+          | None ->
+            sctr.sc_misses <- sctr.sc_misses + 1;
+            let v =
+              Gp_symx.Exec.summarize_r ~config:sym_config ~decode image addr
+            in
+            Incr.add key v;
+            v
+        end
       in
       (match refused with
        | Some why -> Fail.tally_add tally (Fail.Symx_unsupported (addr, why))
@@ -194,7 +239,11 @@ let examine_start ~config ~sym_config ~mk ~tally (image : Gp_util.Image.t)
 let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
     Gadget.t list * harvest_stats =
   let sym_config = sym_config_of config in
-  let positions = Array.of_list (start_positions ~config image) in
+  (* decode-once memo: built eagerly on the main domain, immutable
+     thereafter, so every worker reads it lock-free *)
+  let memo = Decode.memo image.Gp_util.Image.code in
+  let decode = Decode.decode_memo memo in
+  let positions = Array.of_list (start_positions ~decode ~config image) in
   let n = Array.length positions in
   let fuel0 = Budget.remaining_fuel budget in
   let chunk = Gp_util.Par.chunk_size ~min_chunk:64 ~jobs n in
@@ -203,6 +252,7 @@ let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
       (fun (lo, hi) ->
         fun () ->
           let tally = Fail.tally_create () in
+          let sctr = { sc_hits = 0; sc_misses = 0 } in
           let allot =
             if fuel0 = max_int then hi - lo else max 0 (min hi fuel0 - lo)
           in
@@ -216,7 +266,7 @@ let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
                 Budget.spend b;
                 incr examined;
                 out :=
-                  examine_start ~config ~sym_config
+                  examine_start ~config ~sym_config ~decode ~sctr
                     ~mk:(Gadget.of_summary ~id:(-1)) ~tally image
                     positions.(k)
                   :: !out
@@ -224,23 +274,31 @@ let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
               allot < hi - lo
             with Budget.Exhausted _ -> true
           in
-          (List.concat (List.rev !out), tally, !examined, hit))
+          (List.concat (List.rev !out), tally, !examined, hit, sctr))
       (Gp_util.Par.ranges ~chunk n)
   in
   let results = Array.to_list (Gp_util.Par.run ~jobs tasks) in
-  (* associative merges, in chunk order *)
+  (* Associative merges, in chunk index order — including the summary
+     hit/miss counters: workers count into chunk-local records and only
+     this fold, on the main domain, sums them, so aggregation can never
+     undercount however domains interleave. *)
   let quarantined =
     List.fold_left
-      (fun acc (_, t, _, _) -> Fail.merge_counts acc (Fail.tally_list t))
+      (fun acc (_, t, _, _, _) -> Fail.merge_counts acc (Fail.tally_list t))
       [] results
   in
   let examined =
-    List.fold_left (fun acc (_, _, e, _) -> acc + e) 0 results
+    List.fold_left (fun acc (_, _, e, _, _) -> acc + e) 0 results
   in
-  let hit = List.exists (fun (_, _, _, h) -> h) results in
+  let s_hits, s_misses =
+    List.fold_left
+      (fun (h, m) (_, _, _, _, sctr) -> (h + sctr.sc_hits, m + sctr.sc_misses))
+      (0, 0) results
+  in
+  let hit = List.exists (fun (_, _, _, h, _) -> h) results in
   Budget.spend budget ~amount:examined;
   let gadgets =
-    List.concat_map (fun (entries, _, _, _) -> entries) results
+    List.concat_map (fun (entries, _, _, _, _) -> entries) results
     |> List.filter_map (fun entry ->
            let id = Gadget.fresh_id () in
            match entry with
@@ -248,7 +306,12 @@ let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
            | None -> None)
   in
   ( gadgets,
-    { h_starts = examined; h_quarantined = quarantined; h_budget_hit = hit } )
+    { h_starts = examined;
+      h_quarantined = quarantined;
+      h_budget_hit = hit;
+      h_summary_hits = s_hits;
+      h_summary_misses = s_misses;
+      h_decode_saved = max 0 (Decode.memo_lookups memo - Decode.memo_size memo) } )
 
 (* Budgeted, fault-isolating harvest.  One poisoned start — injected
    decode fault, symbolic-executor refusal, or an exception out of
@@ -263,7 +326,10 @@ let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
   if jobs > 1 then harvest_par ~jobs ~config ~budget image
   else begin
     let sym_config = sym_config_of config in
+    let memo = Decode.memo image.Gp_util.Image.code in
+    let decode = Decode.decode_memo memo in
     let tally = Fail.tally_create () in
+    let sctr = { sc_hits = 0; sc_misses = 0 } in
     let acc = ref [] in
     let examined = ref 0 in
     let budget_hit =
@@ -274,18 +340,22 @@ let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
             Budget.spend budget;
             incr examined;
             let entries =
-              examine_start ~config ~sym_config ~mk:Gadget.of_summary ~tally
-                image pos
+              examine_start ~config ~sym_config ~decode ~sctr
+                ~mk:Gadget.of_summary ~tally image pos
             in
             acc := List.filter_map Fun.id entries :: !acc)
-          (start_positions ~config image);
+          (start_positions ~decode ~config image);
         false
       with Budget.Exhausted _ -> true
     in
     ( List.concat (List.rev !acc),
       { h_starts = !examined;
         h_quarantined = Fail.tally_list tally;
-        h_budget_hit = budget_hit } )
+        h_budget_hit = budget_hit;
+        h_summary_hits = sctr.sc_hits;
+        h_summary_misses = sctr.sc_misses;
+        h_decode_saved =
+          max 0 (Decode.memo_lookups memo - Decode.memo_size memo) } )
   end
 
 let harvest ?config ?jobs image = fst (harvest_r ?config ?jobs image)

@@ -26,6 +26,7 @@ type raw = {
 
 val scan_run :
   ?merge:bool ->
+  ?decode:(int -> (Gp_x86.Insn.t * int) option) ->
   config:config ->
   Gp_util.Image.t ->
   int ->
@@ -33,7 +34,9 @@ val scan_run :
 (** Follow a run from a byte offset until a control transfer.  With
     [merge] (the harvest prefilter) direct jumps/calls are followed;
     without it (the census) a direct transfer ends the gadget, matching
-    the paper's UDJ/CDJ taxonomy. *)
+    the paper's UDJ/CDJ taxonomy.  [decode] (default: plain
+    [Decode.decode] on the image) lets callers share a decode-once
+    memo across overlapping runs. *)
 
 val raw_scan : ?config:config -> Gp_util.Image.t -> raw list
 (** The census behind Fig. 1 / Table I (default census depth: 24
@@ -61,6 +64,14 @@ type harvest_stats = {
   h_starts : int;                       (** start offsets examined *)
   h_quarantined : (string * int) list;  (** {!Fail.label} -> count *)
   h_budget_hit : bool;                  (** harvest stopped early *)
+  h_summary_hits : int;
+      (** starts answered from the content-addressed store ({!Incr}) *)
+  h_summary_misses : int;               (** starts symbolically executed *)
+  h_decode_saved : int;
+      (** repeat decodes absorbed by the decode-once memo (lookups
+          beyond one per position); cache-temperature-dependent, like
+          the hit/miss counts, so excluded from differential
+          fingerprints *)
 }
 
 val harvest_r :

@@ -22,6 +22,9 @@ type t =
       (* concrete execution crashed (unmapped access, bad fetch, ...) *)
   | Budget_exhausted of string * [ `Time | `Fuel ]
       (* the named budget ran dry *)
+  | Store_rejected of string
+      (* an on-disk incremental store was unusable (corrupt/stale);
+         the run proceeded cold *)
 
 (* Short bucket name, used as the tally key so stats stay readable. *)
 let label = function
@@ -31,6 +34,7 @@ let label = function
   | Solver_timeout _ -> "solver-timeout"
   | Emu_fault _ -> "emu"
   | Budget_exhausted _ -> "budget"
+  | Store_rejected _ -> "store"
 
 let to_string = function
   | Decode_fault (addr, d) -> Printf.sprintf "decode fault at 0x%Lx: %s" addr d
@@ -41,6 +45,7 @@ let to_string = function
   | Emu_fault d -> "emulator fault: " ^ d
   | Budget_exhausted (l, `Time) -> Printf.sprintf "budget %s: deadline exhausted" l
   | Budget_exhausted (l, `Fuel) -> Printf.sprintf "budget %s: fuel exhausted" l
+  | Store_rejected d -> "incremental store rejected: " ^ d
 
 (* ----- tallies ----- *)
 

@@ -20,6 +20,9 @@ type t =
       (** concrete execution crashed (unmapped access, bad fetch, ...) *)
   | Budget_exhausted of string * [ `Time | `Fuel ]
       (** the named budget ran dry *)
+  | Store_rejected of string
+      (** an on-disk incremental store was unusable (corrupt/stale);
+          the run was demoted to cold *)
 
 val label : t -> string
 (** Short bucket name ("decode", "symx", "solver-unknown", ...); used as

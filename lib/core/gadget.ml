@@ -136,6 +136,70 @@ let of_summary ?id (s : Gp_symx.Exec.summary) : t =
 
 let post_of g r = List.assoc r g.post
 
+(* ----- content addressing (DESIGN.md §11) -----
+
+   A start offset's summaries are a pure function of the instruction
+   bytes the symbolic executor CAN read from it, so two starts whose
+   reachable byte content agrees — across images, configs, obfuscation
+   variants — share one summary.  The key is built by a purely syntactic
+   walk that mirrors [Exec.summarize_r]'s driver exactly (same bounds
+   checks, same fork/merge counters) except at a conditional jump, where
+   it explores BOTH arms unconditionally.  The executor prunes a fork
+   semantically (inexpressible condition, contradictory path), but that
+   pruning is itself a deterministic function of the instructions
+   executed so far — so the syntactic walk covers a superset of every
+   semantic path, and key equality implies the executor reads identical
+   instruction sequences and therefore produces identical summaries
+   (modulo the start address, restored by [Exec.rebase]).
+
+   Each decoded instruction contributes its stable serialization plus
+   its encoded length (two encodings of one instruction at the same
+   length are indistinguishable to the executor, and length feeds the
+   successor position — so keying on the decoded form shares MORE than
+   raw bytes would, never less).  Path-terminating causes that depend on
+   the image rather than the trace — running off the code section,
+   hitting undecodable bytes — get explicit markers, as do the two arms
+   of a fork; ends forced by the insn/fork/merge limits are implied by
+   the trace and the config header. *)
+
+let content_key ~(config : Gp_symx.Exec.config)
+    ~(decode : int -> (Insn.t * int) option) ~code_size ~pos : string =
+  let module Bin = Gp_util.Store.Bin in
+  let b = Buffer.create 192 in
+  Bin.u8 b 1;                          (* key schema *)
+  Bin.int_ b config.Gp_symx.Exec.max_insns;
+  Bin.int_ b config.Gp_symx.Exec.max_forks;
+  Bin.int_ b config.Gp_symx.Exec.max_merges;
+  let rec walk pos ninsns nforks nmerges =
+    if ninsns > config.Gp_symx.Exec.max_insns then ()
+    else if pos < 0 || pos >= code_size then Bin.u8 b 0x42 (* out of code *)
+    else
+      match decode pos with
+      | None -> Bin.u8 b 0x43                              (* undecodable *)
+      | Some (insn, len) -> (
+        Bin.u8 b 0x41;
+        Bin.u8 b len;
+        Gp_symx.Exec.put_insn b insn;
+        let next = pos + len in
+        match insn with
+        | Insn.Ret | Insn.RetImm _ | Insn.JmpReg _ | Insn.JmpMem _
+        | Insn.CallReg _ | Insn.CallMem _ | Insn.Int3 | Insn.Hlt ->
+          ()                                               (* End / Abort *)
+        | Insn.Jmp rel | Insn.Call rel ->
+          if nmerges < config.Gp_symx.Exec.max_merges then
+            walk (next + rel) (ninsns + 1) nforks (nmerges + 1)
+        | Insn.Jcc (_, rel) ->
+          if nforks < config.Gp_symx.Exec.max_forks then begin
+            Bin.u8 b 0x44;                                 (* taken arm *)
+            walk (next + rel) (ninsns + 1) (nforks + 1) (nmerges + 1);
+            Bin.u8 b 0x45;                                 (* fall-through *)
+            walk next (ninsns + 1) (nforks + 1) nmerges
+          end
+        | _ -> walk next (ninsns + 1) nforks nmerges)
+  in
+  walk pos 0 0 0;
+  Buffer.contents b
+
 let to_string g =
   Printf.sprintf "0x%Lx [%s] %s" g.addr (kind_name g.kind)
     (String.concat "; " (List.map Insn.to_string g.insns))

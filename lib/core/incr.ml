@@ -1,0 +1,105 @@
+(* Content-addressed incremental analysis (DESIGN.md §11).
+
+   One process-wide table maps {!Gadget.content_key} strings to the full
+   result of symbolically executing that content — [(summaries,
+   refusal)] exactly as [Exec.summarize_r] returns them.  The table is
+   consulted by [Extract.examine_start] before executing, so identical
+   byte content — unaligned siblings inside one image, or the same run
+   harvested from [original]/[llvm-obf]/[tigress] builds — is summarized
+   once.  Because the key determines the summaries exactly (see
+   [Gadget.content_key]) and [Exec.rebase] restores the one
+   position-dependent field, a hit is bit-identical to a fresh compute:
+   the layer is semantically transparent and on by default, like the
+   term and solver memos ([set_enabled false] for ablation).
+
+   [load]/[save] round-trip the table — plus the solver verdict memos,
+   which is how SUBSUMPTION consults the store: its probe verdicts are
+   pure functions of canonical formula keys, so pre-seeding them answers
+   warm-start probes without a solve — through [Gp_util.Store]'s
+   checksummed format.  A store that fails any check (missing, corrupt,
+   version-stale) degrades to a cold run; the caller records the reason
+   and carries on.
+
+   Thread safety: same discipline as the other shared caches — mutex
+   around table operations, nothing user-supplied under the lock,
+   first-write-wins so racing domains at worst duplicate a compute.
+   [load]/[save] are main-domain operations (called outside the
+   parallel sections by Api). *)
+
+open Gp_smt
+
+let schema_version = 1
+let file_name = "summaries.gpst"
+let summaries_section = "summaries"
+
+type value = Gp_symx.Exec.summary list * string option
+
+let tbl : (string, value) Hashtbl.t = Hashtbl.create 4096
+let lock = Mutex.create ()
+let on = ref true
+
+let enabled () = !on
+let set_enabled b = on := b
+let size () = Mutex.protect lock (fun () -> Hashtbl.length tbl)
+let reset () = Mutex.protect lock (fun () -> Hashtbl.reset tbl)
+
+let find key = Mutex.protect lock (fun () -> Hashtbl.find_opt tbl key)
+
+let add key v =
+  Mutex.protect lock (fun () ->
+      if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v)
+
+type status =
+  | Loaded of int      (* entries imported (summaries + solver verdicts) *)
+  | Absent             (* no store file: a plain cold run *)
+  | Rejected of string (* found but unusable; demoted to cold, reason kept *)
+
+let path ~dir = Filename.concat dir file_name
+
+let load ~dir =
+  match Gp_util.Store.load ~schema:schema_version (path ~dir) with
+  | Error Gp_util.Store.Missing -> Absent
+  | Error e -> Rejected (Gp_util.Store.error_reason e)
+  | Ok sections -> (
+    match
+      let n = ref 0 in
+      List.iter
+        (fun { Gp_util.Store.name; entries } ->
+          if name = summaries_section then begin
+            n := !n + List.length entries;
+            (* deserialize outside the lock; first-write-wins inside *)
+            let decoded =
+              List.map (fun (k, v) -> (k, Gp_symx.Exec.read_summaries v)) entries
+            in
+            Mutex.protect lock (fun () ->
+                List.iter
+                  (fun (k, v) ->
+                    if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k v)
+                  decoded)
+          end)
+        sections;
+      n := !n + Solver.import_memos sections;
+      !n
+    with
+    | n -> Loaded n
+    | exception Gp_util.Store.Bin.Truncated ->
+      (* checksummed bytes that still fail to decode mean a writer/reader
+         schema skew the version field missed; treat exactly like any
+         other unusable store *)
+      Rejected "corrupt: entry decode")
+
+let save ~dir =
+  let snapshot =
+    Mutex.protect lock (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  let entries =
+    snapshot
+    |> List.map (fun (k, v) -> (k, Gp_symx.Exec.write_summaries v))
+    |> List.sort compare
+  in
+  let sections =
+    { Gp_util.Store.name = summaries_section; entries }
+    :: Solver.export_memos ()
+  in
+  Gp_util.Store.save ~schema:schema_version (path ~dir) sections

@@ -1,0 +1,54 @@
+(** Content-addressed incremental analysis (DESIGN.md §11).
+
+    A process-wide store from {!Gadget.content_key} strings to the full
+    [Exec.summarize_r] result for that content, consulted by the
+    harvest before symbolically executing a start.  Semantically
+    transparent: the key determines the summaries exactly, so cached
+    and uncached runs are bit-identical (the differential suite checks
+    this at jobs 1 and 4).  {!load}/{!save} persist the table — along
+    with the solver verdict memos, which is how subsumption probes
+    consult the store — via [Gp_util.Store]'s checksummed format,
+    giving warm starts across process invocations and across
+    obfuscation configs of the same program. *)
+
+type value = Gp_symx.Exec.summary list * string option
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** [false] disables in-run summary sharing (benchmark ablation); the
+    other pipeline caches have the same switch. *)
+
+val find : string -> value option
+
+val add : string -> value -> unit
+(** First-write-wins, like every shared cache here: racing domains at
+    worst duplicate a compute, and both arrive at the same value. *)
+
+val size : unit -> int
+val reset : unit -> unit
+
+(** {1 Persistence} *)
+
+val schema_version : int
+(** Bump whenever summary/term/verdict encodings change; older store
+    files are then rejected as stale and runs fall back to cold. *)
+
+val file_name : string
+(** Store file inside a [cache_dir] ("summaries.gpst"). *)
+
+val path : dir:string -> string
+
+type status =
+  | Loaded of int      (** entries imported (summaries + solver verdicts) *)
+  | Absent             (** no store file: a plain cold run *)
+  | Rejected of string (** found but unusable (corrupt/stale); cold run *)
+
+val load : dir:string -> status
+(** Merge the on-disk store into the in-memory table and solver memos
+    (existing entries win).  Never raises: every failure mode is a
+    {!status}. *)
+
+val save : dir:string -> (unit, string) result
+(** Write the current table + solver memos atomically (temp file +
+    rename).  Errors are returned, never raised. *)

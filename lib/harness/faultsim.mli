@@ -26,6 +26,13 @@ val disabled : config
 val uniform : ?seed:int -> float -> config
 (** Same rate across decode/solver/memory; no clock skips. *)
 
+val corrupt_file : ?seed:int -> rate:float -> string -> int
+(** Flip bits in an existing file, one keyed Bernoulli decision per byte
+    (deterministic from [seed]; the nonzero XOR mask is keyed too).
+    Returns the number of bytes flipped — possibly 0 at tiny rates.
+    Used to prove the incremental store's checksums demote a damaged
+    file to a cold run (DESIGN.md §11). *)
+
 val with_faults : config -> (unit -> 'a) -> 'a
 (** Run the thunk with the fault schedule installed; every hook (and the
     clock) is restored on the way out, exception or not.  Each fault

@@ -71,6 +71,21 @@ let find_or_add (c : ('k, 'v) t) (key : 'k) (f : unit -> 'v) : 'v =
       v
   end
 
+(* Persistence hooks (DESIGN.md §11).  [export] snapshots the table as
+   an association list; [import] merges entries, keeping whatever is
+   already present (first-write-wins, same as [find_or_add]).  Importing
+   can never change a verdict: stored values are pure functions of their
+   canonical keys, so a pre-seeded entry answers exactly what a fresh
+   compute would.  Neither touches the hit/miss counters. *)
+
+let export c = Mutex.protect c.lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.tbl [])
+
+let import c entries =
+  Mutex.protect c.lock (fun () ->
+      List.iter
+        (fun (k, v) -> if not (Hashtbl.mem c.tbl k) then Hashtbl.add c.tbl k v)
+        entries)
+
 (* ----- canonical formula keys ----- *)
 
 (* Canonical form of a query: simplify every atom, then sort (and

@@ -401,6 +401,114 @@ let prove_equal_real ?(rng = Gp_util.Rng.create 0x7e57) ?(trials = 32) a b =
     not !refuted
   end
 
+(* ----- memo persistence (DESIGN.md §11) -----
+
+   The three verdict memos are exactly the caches whose keys are pure
+   structural data, so they can be dumped into the on-disk store and
+   pre-seeded on the next run: every stored verdict is a pure function
+   of its canonical key, so importing can only skip solves, never change
+   one.  Each entry is self-contained (its own Term.Ser pool); sections
+   are sorted by serialized key so the file bytes are deterministic. *)
+
+module Bin = Gp_util.Store.Bin
+
+let put_result _w b = function
+  | Sat m ->
+    Bin.u8 b 0;
+    let bindings = Smap.bindings m in
+    Bin.int_ b (List.length bindings);
+    List.iter (fun (v, x) -> Bin.str b v; Bin.i64 b x) bindings
+  | Unsat -> Bin.u8 b 1
+  | Unknown -> Bin.u8 b 2
+
+let get_result _r s pos =
+  match Bin.gu8 s pos with
+  | 0 ->
+    let n = Bin.gint s pos in
+    if n < 0 then raise Bin.Truncated;
+    let m = ref Smap.empty in
+    for _ = 1 to n do
+      let v = Bin.gstr s pos in
+      let x = Bin.gi64 s pos in
+      m := Smap.add v x !m
+    done;
+    Sat !m
+  | 1 -> Unsat
+  | 2 -> Unknown
+  | _ -> raise Bin.Truncated
+
+let ser put_k put_v (k, v) =
+  let w = Term.Ser.writer () in
+  let kb = Buffer.create 64 in
+  put_k w kb k;
+  (* The value continues the key's node pool, so [w] spans the entry and
+     the reader must consume key then value in order. *)
+  let vb = Buffer.create 32 in
+  put_v w vb v;
+  (Buffer.contents kb, Buffer.contents vb)
+
+let deser get_k get_v (ks, vs) =
+  let r = Term.Ser.reader () in
+  let kpos = ref 0 in
+  let k = get_k r ks kpos in
+  (* value pool refs resolve against nodes defined in the key *)
+  let vpos = ref 0 in
+  let v = get_v r vs vpos in
+  (k, v)
+
+let dump_memo cache put_k put_v =
+  Cache.export cache
+  |> List.map (ser put_k put_v)
+  |> List.sort compare
+
+let seed_memo cache get_k get_v entries =
+  Cache.import cache (List.map (deser get_k get_v) entries)
+
+let put_pair w b (a, b') = Term.Ser.put w b a; Term.Ser.put w b b'
+let get_pair r s pos =
+  let a = Term.Ser.get r s pos in
+  let b = Term.Ser.get r s pos in
+  (a, b)
+
+let put_pool_key w b ((base, salt), fs) =
+  Bin.i64 b base; Bin.int_ b salt; Formula.put_list w b fs
+let get_pool_key r s pos =
+  let base = Bin.gi64 s pos in
+  let salt = Bin.gint s pos in
+  let fs = Formula.get_list r s pos in
+  ((base, salt), fs)
+
+let put_bool _w b v = Bin.bool_ b v
+let get_bool _r s pos = Bin.gbool s pos
+let put_formulas w b fs = Formula.put_list w b fs
+let get_formulas r s pos = Formula.get_list r s pos
+
+let memo_section_names = [ "solver.check"; "solver.equal"; "solver.pool" ]
+
+let export_memos () =
+  [ { Gp_util.Store.name = "solver.check";
+      entries = dump_memo memo put_formulas put_result };
+    { Gp_util.Store.name = "solver.equal";
+      entries = dump_memo equal_memo put_pair put_bool };
+    { Gp_util.Store.name = "solver.pool";
+      entries = dump_memo pool_memo put_pool_key put_result } ]
+
+let import_memos (sections : Gp_util.Store.section list) =
+  let count = ref 0 in
+  List.iter
+    (fun { Gp_util.Store.name; entries } ->
+      let seed c gk gv =
+        count := !count + List.length entries;
+        seed_memo c gk gv entries
+      in
+      match name with
+      | "solver.check" -> seed memo get_formulas get_result
+      | "solver.equal" -> seed equal_memo get_pair get_bool
+      | "solver.pool" -> seed pool_memo get_pool_key get_result
+      | _ -> ())
+    sections;
+  !count
+
 (* Default-configuration probes are memoized on the simplified pair;
    equality is symmetric, so the two sides are ordered (structurally)
    first.  Probes run with a fresh default rng each time, so the

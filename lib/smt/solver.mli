@@ -87,6 +87,32 @@ val check :
     Pools carry closures the solver cannot key on itself, which is why
     the key comes from outside. *)
 
+(** {1 Memo persistence}
+
+    The three memos above are the caches whose keys are pure structural
+    data, so they can round-trip through the on-disk store
+    ({!Gp_util.Store}, DESIGN.md §11).  A stored verdict is a pure
+    function of its canonical key, so importing can only skip solves,
+    never change one. *)
+
+val memo_section_names : string list
+(** Store-section names owned by this module. *)
+
+val export_memos : unit -> Gp_util.Store.section list
+(** Serialize the check/equal/pool memos, entries sorted by serialized
+    key (deterministic file bytes). *)
+
+val import_memos : Gp_util.Store.section list -> int
+(** Pre-seed the memos from store sections (unknown section names are
+    ignored, existing entries win); returns the number of entries
+    consumed.  Raises [Gp_util.Store.Bin.Truncated] on malformed entry
+    bytes — unreachable for files that passed the store's checksums, and
+    callers demote it to a cold run regardless. *)
+
+val put_result : Term.Ser.writer -> Buffer.t -> result -> unit
+val get_result : Term.Ser.reader -> string -> int ref -> result
+(** Verdict (de)serialization, exposed for the property tests. *)
+
 val entails : ?rng:Gp_util.Rng.t -> ?pool:pointer_pool -> Formula.t list -> Formula.t -> bool
 (** [entails hyps concl]: true only when [hyps ∧ ¬concl] is provably
     unsat.  [Unknown] counts as "not entailed" — conservative for

@@ -1,0 +1,186 @@
+(* Versioned, checksummed binary store for content-addressed caches.
+
+   Layout (all integers little-endian):
+
+     magic            "GPST"
+     format_version   i64    -- layout of this file (owned here)
+     schema_version   i64    -- meaning of the payload (owned by caller)
+     nsections        i64
+     section*         name:str  nentries:i64  (key:str value:str fnv:i64)*
+     file_checksum    i64    -- FNV-1a over every byte before it
+
+   Per-entry checksums cover key ^ value; the trailing file checksum
+   covers headers and section names too, so a flipped byte anywhere in
+   the file is detected.  [load] never raises: a missing file, a bad
+   magic/truncation/checksum, or a version mismatch each map to their
+   own constructor so callers can demote to a cold run and report why. *)
+
+module Bin = struct
+  exception Truncated
+
+  let u8 b v = Buffer.add_uint8 b (v land 0xff)
+  let i64 b v = Buffer.add_int64_le b v
+  let int_ b v = i64 b (Int64.of_int v)
+
+  let str b s =
+    int_ b (String.length s);
+    Buffer.add_string b s
+
+  let bool_ b v = u8 b (if v then 1 else 0)
+
+  let need s pos n = if !pos < 0 || !pos + n > String.length s then raise Truncated
+
+  let gu8 s pos =
+    need s pos 1;
+    let v = Char.code s.[!pos] in
+    incr pos; v
+
+  let gi64 s pos =
+    need s pos 8;
+    let v = String.get_int64_le s !pos in
+    pos := !pos + 8; v
+
+  let gint s pos =
+    let v = gi64 s pos in
+    let i = Int64.to_int v in
+    if Int64.of_int i <> v then raise Truncated;
+    i
+
+  let gstr s pos =
+    let n = gint s pos in
+    if n < 0 then raise Truncated;
+    need s pos n;
+    let v = String.sub s !pos n in
+    pos := !pos + n; v
+
+  let gbool s pos = gu8 s pos <> 0
+end
+
+(* FNV-1a, 64-bit. *)
+let fnv64 ?(h = 0xcbf29ce484222325L) s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let magic = "GPST"
+let format_version = 1
+
+type section = { name : string; entries : (string * string) list }
+
+type load_error =
+  | Missing
+  | Stale of string   (* readable file, wrong format/schema version *)
+  | Corrupt of string (* bad magic, truncation, checksum mismatch *)
+
+let error_reason = function
+  | Missing -> "missing"
+  | Stale why -> "stale: " ^ why
+  | Corrupt why -> "corrupt: " ^ why
+
+let encode ~schema sections =
+  let b = Buffer.create (1 lsl 16) in
+  Buffer.add_string b magic;
+  Bin.int_ b format_version;
+  Bin.int_ b schema;
+  Bin.int_ b (List.length sections);
+  List.iter
+    (fun { name; entries } ->
+      Bin.str b name;
+      Bin.int_ b (List.length entries);
+      List.iter
+        (fun (k, v) ->
+          Bin.str b k;
+          Bin.str b v;
+          Bin.i64 b (fnv64 ~h:(fnv64 k) v))
+        entries)
+    sections;
+  Bin.i64 b (fnv64 (Buffer.contents b));
+  Buffer.contents b
+
+let decode ~schema s =
+  let pos = ref 0 in
+  try
+    if String.length s < 4 || String.sub s 0 4 <> magic then
+      Error (Corrupt "bad magic")
+    else begin
+      (* Verify the trailing whole-file checksum before trusting any
+         length field: corruption of a length would otherwise misparse. *)
+      let n = String.length s in
+      if n < 12 then raise Bin.Truncated;
+      let body = String.sub s 0 (n - 8) in
+      let tail = ref (n - 8) in
+      if Bin.gi64 s tail <> fnv64 body then Error (Corrupt "file checksum")
+      else begin
+        pos := 4;
+        let fv = Bin.gint s pos in
+        let sv = Bin.gint s pos in
+        if fv <> format_version then
+          Error (Stale (Printf.sprintf "format version %d, want %d" fv format_version))
+        else if sv <> schema then
+          Error (Stale (Printf.sprintf "schema version %d, want %d" sv schema))
+        else begin
+          let nsec = Bin.gint s pos in
+          if nsec < 0 then raise Bin.Truncated;
+          let sections =
+            List.init nsec (fun _ ->
+                let name = Bin.gstr s pos in
+                let nent = Bin.gint s pos in
+                if nent < 0 then raise Bin.Truncated;
+                let entries =
+                  List.init nent (fun _ ->
+                      let k = Bin.gstr s pos in
+                      let v = Bin.gstr s pos in
+                      let sum = Bin.gi64 s pos in
+                      if sum <> fnv64 ~h:(fnv64 k) v then
+                        failwith "entry checksum";
+                      (k, v))
+                in
+                { name; entries })
+          in
+          if !pos <> n - 8 then Error (Corrupt "trailing bytes")
+          else Ok sections
+        end
+      end
+    end
+  with
+  | Bin.Truncated -> Error (Corrupt "truncated")
+  | Failure why -> Error (Corrupt why)
+
+let load ~schema path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> Error Missing
+  | exception End_of_file -> Error (Corrupt "short read")
+  | s -> decode ~schema s
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let save ~schema path sections =
+  try
+    let bytes = encode ~schema sections in
+    let dir = Filename.dirname path in
+    mkdir_p dir;
+    if not (Sys.is_directory dir) then failwith (dir ^ ": not a directory");
+    (* Atomic publish: write a sibling temp file, then rename over the
+       target, so a crash mid-save leaves the old store intact and a
+       concurrent reader never sees a half-written file. *)
+    let tmp = Filename.temp_file ~temp_dir:dir "store" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc bytes);
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error why | Failure why -> Error why

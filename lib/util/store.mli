@@ -1,0 +1,52 @@
+(** Versioned, checksummed binary store for content-addressed caches
+    (DESIGN.md §11).
+
+    A store file is a list of named sections, each a list of
+    [(key, value)] string pairs.  The file carries a magic tag, a
+    format version (owned by this module), a schema version (owned by
+    the caller — bump it whenever the payload encoding changes), a
+    64-bit FNV-1a checksum per entry and one over the whole file.
+    {!load} never raises: every way a file can be unusable maps to a
+    {!load_error} so callers can fall back to a cold run. *)
+
+(** Little-endian binary primitives shared by every serializer in the
+    tree (terms, formulas, summaries).  Readers take the source string
+    and a mutable cursor; out-of-bounds reads raise {!Bin.Truncated}. *)
+module Bin : sig
+  exception Truncated
+
+  val u8 : Buffer.t -> int -> unit
+  val i64 : Buffer.t -> int64 -> unit
+  val int_ : Buffer.t -> int -> unit
+  val str : Buffer.t -> string -> unit
+  val bool_ : Buffer.t -> bool -> unit
+
+  val gu8 : string -> int ref -> int
+  val gi64 : string -> int ref -> int64
+  val gint : string -> int ref -> int
+  val gstr : string -> int ref -> string
+  val gbool : string -> int ref -> bool
+end
+
+val fnv64 : ?h:int64 -> string -> int64
+(** 64-bit FNV-1a; [h] seeds chaining ([fnv64 ~h:(fnv64 k) v]). *)
+
+val format_version : int
+
+type section = { name : string; entries : (string * string) list }
+
+type load_error =
+  | Missing            (** no file at that path *)
+  | Stale of string    (** readable, but format or schema version mismatch *)
+  | Corrupt of string  (** bad magic, truncation, or checksum mismatch *)
+
+val error_reason : load_error -> string
+
+val encode : schema:int -> section list -> string
+val decode : schema:int -> string -> (section list, load_error) result
+
+val load : schema:int -> string -> (section list, load_error) result
+val save : schema:int -> string -> section list -> (unit, string) result
+(** [save] writes to a temp file in the target directory and renames it
+    into place (atomic on POSIX); the directory is created if needed.
+    Errors (permissions, disk full) are returned, never raised. *)

@@ -13,6 +13,30 @@ val decode : ?limit:int -> Bytes.t -> int -> (Insn.t * int) option
     not in the subset.  [limit] caps readable bytes (default: the whole
     buffer); running past it rejects. *)
 
+(** {1 Decode-once memo}
+
+    Unaligned harvesting revisits every byte position many times (runs
+    starting at [p] and [p+1] share their whole suffix — classic
+    Galileo-style sharing).  A {!memo} decodes every position of a
+    buffer once, eagerly, on the constructing domain; the array is
+    immutable afterwards, so worker domains may consult it without
+    locks.  The atomic lookup counter makes the saving observable:
+    [memo_lookups m - memo_size m] decodes were not re-executed. *)
+
+type memo
+
+val memo : ?limit:int -> Bytes.t -> memo
+(** Decode every position in [0, limit) (default: the whole buffer). *)
+
+val decode_memo : memo -> int -> (Insn.t * int) option
+(** Same answers as {!decode} on the memoized buffer, O(1). *)
+
+val memo_size : memo -> int
+(** Positions decoded at construction. *)
+
+val memo_lookups : memo -> int
+(** Lookups served so far (including out-of-bounds probes). *)
+
 val decode_run :
   ?max_insns:int -> ?limit:int -> Bytes.t -> int -> (Insn.t * int * int) list option
 (** Decode consecutive instructions up to and including the first

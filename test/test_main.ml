@@ -27,6 +27,7 @@ let suites =
     ("resilience", Test_resilience.suite);
     ("par", Test_par.suite);
     ("plan_par", Test_plan_par.suite);
+    ("incr", Test_incr.suite);
     ("integration", Test_integration.suite) ]
 
 let () =
