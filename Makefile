@@ -16,10 +16,17 @@
 # `make check-incr` sweeps the incremental-store suite (test_incr:
 # cache_dir differential, serialization round-trips, corrupt/stale
 # store demotion — DESIGN.md §11) the same way.
+#
+# `make check-screen` runs the solver-screening suite (test_screen:
+# screening-on vs screening-off differential over the 21-cell survey at
+# jobs 1 and 4, counter determinism, fault sweeps — DESIGN.md §12), and
+# `make check-bench` smoke-tests the benchmark harness end to end in
+# `--quick` mode (one program, one config, every experiment).
 
 CHECK_TIMEOUT ?= 600
 
-.PHONY: all build test check check-par check-plan-par check-incr clean
+.PHONY: all build test check check-par check-plan-par check-incr \
+	check-screen check-bench clean
 
 all: build
 
@@ -29,7 +36,7 @@ build:
 test:
 	dune runtest
 
-check: build check-par check-plan-par check-incr
+check: build check-par check-plan-par check-incr check-screen check-bench
 
 check-par:
 	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
@@ -44,6 +51,14 @@ check-incr:
 	dune build test/test_main.exe
 	SUITES=incr JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 	SUITES=incr JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+
+check-screen:
+	dune build test/test_main.exe
+	SUITES=screen timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+
+check-bench:
+	dune build bench/main.exe
+	timeout $(CHECK_TIMEOUT) ./_build/default/bench/main.exe --quick
 
 clean:
 	dune clean

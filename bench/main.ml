@@ -17,6 +17,13 @@
                                               # incremental store: cold vs
                                               # warm-same vs warm-cross analyze
                                               # (writes BENCH_incr.json)
+     dune exec bench/main.exe -- --only screen --jobs 4
+                                              # tiered solver screening off vs
+                                              # on (writes BENCH_screen.json)
+     dune exec bench/main.exe -- --quick      # smoke mode: one program, one
+                                              # config (the `make check-bench`
+                                              # end-to-end assertion)
+     dune exec bench/main.exe -- --no-screen  # ablation: screening disabled
 
    Absolute numbers differ from the paper (their substrate was a real
    x86-64 testbed, ours is the simulator stack described in DESIGN.md);
@@ -38,6 +45,9 @@ let run_experiment ~quick ~jobs ?cache_dir id =
       Gp_harness.Experiments.incr ~quick ~jobs
         ?cache_root:cache_dir ()
     in
+    print_string txt
+  | "screen" ->
+    let txt, _ = Gp_harness.Experiments.screen ~quick ~jobs () in
     print_string txt
   | "fig1" ->
     let txt, _ = Gp_harness.Experiments.fig1 ~quick () in
@@ -83,8 +93,9 @@ let run_experiment ~quick ~jobs ?cache_dir id =
 
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
-    "tab7"; "par"; "plan"; "incr"; "cfi_study"; "ablation_unaligned";
-    "ablation_subsumption"; "ablation_condjump"; "ablation_seeds" ]
+    "tab7"; "par"; "plan"; "incr"; "screen"; "cfi_study";
+    "ablation_unaligned"; "ablation_subsumption"; "ablation_condjump";
+    "ablation_seeds" ]
 
 (* ----- Bechamel micro-benchmarks: the stage behind each table ----- *)
 
@@ -161,6 +172,10 @@ let () =
   let argv = Array.to_list Sys.argv in
   let full = List.mem "--full" argv in
   let quick = not full in
+  let smoke = List.mem "--quick" argv in
+  if smoke then Gp_harness.Experiments.set_smoke true;
+  if List.mem "--no-screen" argv then Gp_smt.Solver.set_screen_enabled false;
+  let mode_name = if smoke then "smoke" else if quick then "quick" else "full" in
   let bechamel = List.mem "--bechamel" argv in
   let only =
     let rec find = function
@@ -193,12 +208,12 @@ let () =
   else begin
     match only with
     | Some id ->
-      header (Printf.sprintf "Experiment %s (%s mode)" id (if quick then "quick" else "full"));
+      header (Printf.sprintf "Experiment %s (%s mode)" id mode_name);
       run_experiment ~quick ~jobs ?cache_dir id
     | None ->
       header
         (Printf.sprintf "Gadget-Planner evaluation — all experiments (%s mode)"
-           (if quick then "quick" else "full"));
+           mode_name);
       List.iter
         (fun id ->
           Printf.printf "\n[%s]\n%!" id;

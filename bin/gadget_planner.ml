@@ -69,6 +69,17 @@ let cache_dir_arg =
                  program.  Results are bit-identical with or without it; \
                  a corrupt or stale store falls back to a cold run.")
 
+let no_screen_arg =
+  Arg.(value & flag
+       & info [ "no-screen" ]
+           ~doc:"Disable the tiered solver screening front-end (abstract \
+                 screening, concrete refutation, elimination reuse — \
+                 DESIGN.md section 12).  Results are bit-identical either \
+                 way; the flag exists for ablation timings.")
+
+let apply_screen no_screen =
+  if no_screen then Gp_smt.Solver.set_screen_enabled false
+
 let compile_image prog obf =
   Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform (obf_of_name obf))
     (load_source prog)
@@ -95,7 +106,8 @@ let compile_cmd =
 (* ----- scan ----- *)
 
 let scan_cmd =
-  let run prog obf jobs cache_dir =
+  let run prog obf jobs cache_dir no_screen =
+    apply_screen no_screen;
     let image = compile_image prog obf in
     let counts = Gp_core.Extract.raw_counts image in
     let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
@@ -113,7 +125,8 @@ let scan_cmd =
         a.Gp_core.Api.analysis_summary_misses
   in
   Cmd.v (Cmd.info "scan" ~doc:"Count gadgets (the Fig. 1 / Table I census).")
-    Term.(const run $ prog_arg $ obf_arg $ jobs_arg $ cache_dir_arg)
+    Term.(const run $ prog_arg $ obf_arg $ jobs_arg $ cache_dir_arg
+          $ no_screen_arg)
 
 (* ----- plan ----- *)
 
@@ -131,7 +144,8 @@ let plan_cmd =
              ~doc:"Print per-stage statistics (planner counters, memo \
                    hits, stage seconds).")
   in
-  let run prog obf goal maxn budget jobs cache_dir stats =
+  let run prog obf goal maxn budget jobs cache_dir stats no_screen =
+    apply_screen no_screen;
     let image = compile_image prog obf in
     let o =
       Gp_core.Api.run ?budget:(budget_of budget) ~jobs ?cache_dir
@@ -167,6 +181,11 @@ let plan_cmd =
         st.Gp_core.Api.cache_hits st.Gp_core.Api.cache_misses
         st.Gp_core.Api.solver_unknowns;
       Printf.printf
+        "screening: %d abstract refutations, %d decided, %d concrete \
+         refutations, %d elimination reuses\n"
+        st.Gp_core.Api.screen_refuted st.Gp_core.Api.screen_decided
+        st.Gp_core.Api.concrete_refuted st.Gp_core.Api.elim_reused;
+      Printf.printf
         "summary store: %d hits / %d misses; %d loaded from disk%s; \
          %d decodes saved\n"
         st.Gp_core.Api.summary_hits st.Gp_core.Api.summary_misses
@@ -188,12 +207,13 @@ let plan_cmd =
   in
   Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
     Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg
-          $ jobs_arg $ cache_dir_arg $ stats_arg)
+          $ jobs_arg $ cache_dir_arg $ stats_arg $ no_screen_arg)
 
 (* ----- netperf ----- *)
 
 let netperf_cmd =
-  let run obf budget jobs cache_dir =
+  let run obf budget jobs cache_dir no_screen =
+    apply_screen no_screen;
     let budget = budget_of budget in
     let b =
       Gp_harness.Workspace.build ~config_name:obf ~cfg:(obf_of_name obf)
@@ -212,7 +232,8 @@ let netperf_cmd =
       | [] -> ()
   in
   Cmd.v (Cmd.info "netperf" ~doc:"Run the netperf end-to-end case study.")
-    Term.(const run $ obf_arg $ budget_arg $ jobs_arg $ cache_dir_arg)
+    Term.(const run $ obf_arg $ budget_arg $ jobs_arg $ cache_dir_arg
+          $ no_screen_arg)
 
 (* ----- disasm ----- *)
 

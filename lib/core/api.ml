@@ -49,6 +49,18 @@ type stage_stats = {
   plan_discarded : int;
       (* complete plans rejected by the accept gate (duplicate chain,
          unbuildable payload, failed validation) *)
+  screen_refuted : int;
+      (* Tier A: prove_equal probes refuted by disjoint abstract values *)
+  screen_decided : int;
+      (* Tier A: check/entails queries decided abstractly *)
+  concrete_refuted : int;
+      (* Tier B: queries refuted by the fixed adversarial valuations *)
+  elim_reused : int;
+      (* Tier C: checks that reused memoized elimination-prefix steps.
+         The three screen tallies above count per query answered and are
+         job-count-invariant (same discipline as solver_unknowns);
+         elim_reused, like the cache counters, depends on cache
+         temperature and is excluded from differential comparisons *)
   summary_hits : int;
   summary_misses : int;
       (* content-addressed summary store traffic during the harvest
@@ -69,6 +81,15 @@ type stage_stats = {
          (validation runs inside the search's accept gate), broken out
          so stage 4 is observable on its own *)
 }
+
+(* Screening-tier counters as a 4-tuple delta-friendly snapshot. *)
+let screen_counters () = Gp_smt.Solver.screen_stats ()
+
+let screen_delta (a0, b0, c0, d0) (a1, b1, c1, d1) =
+  (a1 - a0, b1 - b0, c1 - c0, d1 - d0)
+
+let screen_add (a0, b0, c0, d0) (a1, b1, c1, d1) =
+  (a0 + a1, b0 + b1, c0 + c1, d0 + d1)
 
 (* Combined solver-memo counters, snapshotted around stages. *)
 let cache_counters () =
@@ -91,6 +112,7 @@ type analysis = {
   analysis_unknowns : int;
   analysis_cache_hits : int;
   analysis_cache_misses : int;
+  analysis_screen : int * int * int * int;
   analysis_summary_hits : int;
   analysis_summary_misses : int;
   analysis_decode_saved : int;
@@ -152,6 +174,7 @@ let store_save quarantined = function
 let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
     (image : Gp_util.Image.t) : analysis * Gadget.t list =
   let ch0, cm0 = cache_counters () in
+  let sc0 = screen_counters () in
   let store_loaded, store_stale, store_quar = store_open cache_dir in
   let (harvested, hstats), extract_time =
     match
@@ -201,6 +224,7 @@ let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
       analysis_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
       analysis_cache_hits = fst (cache_counters ()) - ch0;
       analysis_cache_misses = snd (cache_counters ()) - cm0;
+      analysis_screen = screen_delta sc0 (screen_counters ());
       analysis_summary_hits = hstats.Extract.h_summary_hits;
       analysis_summary_misses = hstats.Extract.h_summary_misses;
       analysis_decode_saved = hstats.Extract.h_decode_saved;
@@ -240,6 +264,7 @@ let run_with_analysis ?(planner_config = Planner.default_config)
   let concrete = Goal.concretize a.image goal in
   let u0 = Atomic.get Gp_smt.Solver.unknowns in
   let ch0, cm0 = cache_counters () in
+  let sc0 = screen_counters () in
   (* Stages 3+4 run as a goal portfolio (Planner.search_par) at EVERY
      job count, so the result is job-count-independent by construction.
      Each portfolio root owns a result slot: accepted chains, fault and
@@ -327,6 +352,9 @@ let run_with_analysis ?(planner_config = Planner.default_config)
     |> List.filteri (fun i _ -> i < planner_config.Planner.max_plans)
   in
   let sum_i arr = Array.fold_left ( + ) 0 arr in
+  let screen_refuted, screen_decided, concrete_refuted, elim_reused =
+    screen_add a.analysis_screen (screen_delta sc0 (screen_counters ()))
+  in
   { goal = concrete;
     chains = validated;
     rungs = [ Full ];
@@ -352,6 +380,10 @@ let run_with_analysis ?(planner_config = Planner.default_config)
         plan_inst_hits = result.Planner.inst_memo_hits;
         plan_cand_hits = result.Planner.cand_memo_hits;
         plan_discarded = result.Planner.discarded;
+        screen_refuted;
+        screen_decided;
+        concrete_refuted;
+        elim_reused;
         summary_hits = a.analysis_summary_hits;
         summary_misses = a.analysis_summary_misses;
         decode_saved = a.analysis_decode_saved;

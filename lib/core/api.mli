@@ -51,6 +51,20 @@ type stage_stats = {
   plan_discarded : int;
       (** complete plans rejected by the accept gate (duplicate chain,
           unbuildable payload, failed validation) *)
+  screen_refuted : int;
+      (** Tier A screening (DESIGN.md §12): [prove_equal] probes refuted
+          by disjoint abstract values *)
+  screen_decided : int;
+      (** Tier A: [check]/[entails] queries decided abstractly *)
+  concrete_refuted : int;
+      (** Tier B: queries refuted under the fixed adversarial
+          valuations.  These three tallies count per query answered
+          (before the memos) and are job-count-invariant, same
+          discipline as [solver_unknowns]. *)
+  elim_reused : int;
+      (** Tier C: checks that reused memoized elimination-prefix steps.
+          Temperature-dependent, like the cache counters — reported but
+          excluded from differential comparisons. *)
   summary_hits : int;
   summary_misses : int;
       (** content-addressed summary store traffic during the harvest
@@ -88,6 +102,9 @@ type analysis = {
   analysis_unknowns : int;             (** solver Unknowns in stages 1-2 *)
   analysis_cache_hits : int;           (** solver memo hits in stages 1-2 *)
   analysis_cache_misses : int;
+  analysis_screen : int * int * int * int;
+      (** screening-tier deltas of stages 1-2, in [Solver.screen_stats]
+          order *)
   analysis_summary_hits : int;         (** summary-store hits (stage 1) *)
   analysis_summary_misses : int;
   analysis_decode_saved : int;         (** decode-once memo savings *)

@@ -1,0 +1,46 @@
+(** Known-bits × wrapped-interval abstract domain over terms — Tier A of
+    the solver's screening front-end (DESIGN.md §12).
+
+    Every term is mapped to a sound over-approximation of its value set
+    under all variable valuations: a mask of bit positions with known
+    values plus an unsigned interval (operations that may wrap widen to
+    top).  Soundness invariant, property-tested: for every term [t] and
+    model [m], [mem (Term.eval m t) (of_term t)].  Definite answers from
+    {!disjoint} and {!formula} therefore hold under EVERY valuation,
+    which is what lets the solver use them as screens that only
+    short-circuit verdicts the fall-through path would reproduce. *)
+
+type t = private {
+  kmask : int64;  (** bit set => that bit is known in every concretization *)
+  kval : int64;   (** known bits' values; [kval land kmask = kval] *)
+  lo : int64;     (** unsigned lower bound, inclusive *)
+  hi : int64;     (** unsigned upper bound, inclusive; [lo <=u hi] *)
+}
+
+val top : t
+val of_const : int64 -> t
+
+val is_const : t -> bool
+val const_of : t -> int64 option
+
+val mem : int64 -> t -> bool
+(** Concretization membership (the γ of the Galois connection). *)
+
+val of_term : Term.t -> t
+(** Abstract value of a term with all variables unconstrained (top).
+    Memoized per hash-consed node; thread-safe. *)
+
+val disjoint : t -> t -> bool
+(** No common concretization — the two terms differ under every
+    valuation (disjoint intervals or a bit known in both with opposite
+    values). *)
+
+type verdict = Yes | No | Maybe
+
+val formula : Formula.t -> verdict
+(** Definite truth value of an atom under all valuations, or [Maybe].
+    [Readable]/[Writable] atoms are always [Maybe] (their predicates
+    live in the caller's pointer pool). *)
+
+val reset : unit -> unit
+(** Drop the per-node memo (benchmarks' cold-path resets). *)

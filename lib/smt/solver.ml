@@ -150,8 +150,185 @@ let chaos_unknown : (Formula.t list -> bool) ref = ref (fun _ -> false)
    from worker domains during parallel subsumption. *)
 let unknowns = Atomic.make 0
 
+(* ----- screening front-end (DESIGN.md §12) -----
+
+   Three cheap tiers sit in front of the solver proper.  The contract
+   for every tier: it may only short-circuit a query when the verdict it
+   returns is the one the fall-through path would produce AT THE CALL
+   SITE THAT CONSUMES IT — so results are bit-identical with screening
+   on or off, at any job count, and `--no-screen` is a pure ablation.
+
+   - Tier A (abstract screening, [Absdom]): disjoint abstract values
+     refute [prove_equal] — and the real prover's trial 0 (all zeros)
+     would refute too, since disjointness means the terms differ under
+     EVERY valuation.  An atom that is abstractly definitely-false
+     decides pool-keyed [check] conjunctions as Unsat; the only
+     pool-keyed caller (plan instantiation) treats Unsat and Unknown
+     identically, which is why this tier is scoped to that path and not
+     to the default path that [entails] consumes.
+
+   - Tier B (concrete refutation): a fixed vector of adversarial
+     valuations shared across all queries.  For [entails], any point
+     satisfying hyps ∧ ¬concl is a genuine model, so the real check
+     could not have answered Unsat (Unsat is sound) — "not entailed"
+     either way.  For [prove_equal], only the all-zeros and all-ones
+     points are used: they are literally the real prover's first two
+     trials, so a hit reproduces its verdict exactly.
+
+   - Tier C (shared-prefix elimination reuse): plan instantiation
+     issues families of queries whose canonicalized equality lists
+     share long prefixes (the chain-so-far); the Gaussian elimination
+     fold is memoized in a trie keyed on the exact equation prefix, so
+     an extension only eliminates the new equalities.  The reused state
+     is the fold's own accumulator — identical by construction.
+
+   Counters are bumped per query ANSWERED, before any memo lookup (the
+   same discipline as [unknowns]), so the tallies depend only on the
+   query sequence and are identical under any job count. *)
+
+let screen_on = ref true
+let screen_enabled () = !screen_on
+let set_screen_enabled b = screen_on := b
+
+let screen_refuted = Atomic.make 0
+let screen_decided = Atomic.make 0
+let concrete_refuted = Atomic.make 0
+let elim_reused = Atomic.make 0
+
+let screen_stats () =
+  ( Atomic.get screen_refuted,
+    Atomic.get screen_decided,
+    Atomic.get concrete_refuted,
+    Atomic.get elim_reused )
+
+(* Tier B valuations.  [Fill c] assigns [c] to every variable (the
+   all-zeros and all-ones points double as the real prover's first two
+   trials); the pool pins make pointer atoms satisfiable; [Mix s] gives
+   each variable a distinct deterministic pseudo-random value (splitmix
+   of the seed and the variable name), deterministic and memo-friendly
+   by construction. *)
+type screen_point = Fill of int64 | Mix of int64
+
+let screen_points =
+  [ Fill 0L; Fill 1L; Fill (-1L);
+    Fill 0xAAAAAAAAAAAAAAAAL; Fill 0x5555555555555555L;
+    Fill 0x700000L; Fill 0x700100L;
+    Fill 8L; Fill 0x100L; Fill 0x1000L;
+    Mix 0x9e3779b97f4a7c15L; Mix 0xbf58476d1ce4e5b9L ]
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let point_model = function
+  | Fill c -> fun _ -> c
+  | Mix s -> fun v -> mix64 (Int64.logxor s (Int64.of_int (Hashtbl.hash v)))
+
+(* ----- Tier C: elimination-prefix trie -----
+
+   One step of the Gaussian-elimination fold; [None] = inconsistent.
+   The [hard] list accumulates in the fold's own (reversed) order — the
+   residual construction depends on it, so the memoized state must
+   reproduce it exactly. *)
+let elim_step acc l =
+  match acc with
+  | None -> None
+  | Some (sigma, hard) -> (
+    match solve_eq sigma l with
+    | Ok sigma' -> Some (sigma', hard)
+    | Error `Inconsistent -> None
+    | Error `Hard -> Some (sigma, l :: hard))
+
+(* Trie over equation prefixes: a node's state is the fold accumulator
+   after processing the equations on the path to it — a pure function
+   of that prefix, so a reused state is bit-identical to a recomputed
+   one.  Elimination runs before pointer pinning, so the trie is valid
+   across pools.  The trie is DOMAIN-LOCAL ([Domain.DLS]): this is the
+   expensive half of every [check_real], and a process-shared trie
+   would take a mutex per equation node — worker domains trade a
+   little cross-domain reuse for a lock-free walk.  [elim_reused] is
+   therefore (like the cache hit/miss split) a temperature statistic:
+   reported, excluded from differential comparisons. *)
+type elim_node = {
+  estate : (subst * linear list) option;
+  echildren : (linear, elim_node) Hashtbl.t;
+}
+
+let elim_key : elim_node Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { estate = Some (Smap.empty, []); echildren = Hashtbl.create 256 })
+
+let eliminate eqs =
+  if not !screen_on then
+    List.fold_left elim_step (Some (Smap.empty, [])) eqs
+  else begin
+    let reused = ref false in
+    let rec go node = function
+      | [] -> node.estate
+      | l :: rest ->
+        let child =
+          match Hashtbl.find_opt node.echildren l with
+          | Some c ->
+            reused := true;
+            c
+          | None ->
+            let c =
+              { estate = elim_step node.estate l;
+                echildren = Hashtbl.create 4 }
+            in
+            Hashtbl.add node.echildren l c;
+            c
+        in
+        go child rest
+    in
+    let r = go (Domain.DLS.get elim_key) eqs in
+    if !reused then Atomic.incr elim_reused;
+    r
+  end
+
+(* Tier C, second half: residual-search reuse.  After elimination and
+   pinning, [check_real] hunts for a model of the OPEN residual (the
+   atoms left once sigma substituted every bound variable away) by a
+   deterministic trial sequence: the all-zeros assignment, then draws
+   from a call-local rng with a fixed seed.  That outcome — which
+   assignment (if any) is the first to pass — is therefore a pure
+   function of (open residual, free-variable list, pool), NOT of the
+   full conjunction: instantiation queries that differ only in
+   equalities the eliminator absorbs leave the very same residual
+   system (typically the gadget's own pointer atoms), and the common
+   exhausted-search case burns its whole trial budget on each of them.
+   The memo is keyed on exactly that triple; the pool leg reuses the
+   caller's [pool_key] vouching (or the default pool), so raw-closure
+   pools are never keyed.  A [Found] hit replays the cached free-var
+   assignment through THIS query's sigma and re-runs the defensive
+   double-check against THIS query's formulas — if that ever failed
+   (only possible under an eliminator bug) the code falls back to the
+   full fresh search, so behaviour is bit-identical by construction.
+   Domain-local like the trie, and counted in [elim_reused]. *)
+type pool_id = Pool_default | Pool_keyed of (int64 * int)
+type search_outcome = No_assignment | Found of int64 Smap.t
+
+let residual_key :
+    ((Formula.t list * string list * pool_id), search_outcome) Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let reset_screen () =
+  (* clears the calling domain's trie; worker-domain tries hold only
+     pure-function-of-prefix states, so keeping them is harmless *)
+  Hashtbl.reset (Domain.DLS.get elim_key).echildren;
+  Hashtbl.reset (Domain.DLS.get residual_key);
+  Absdom.reset ();
+  Atomic.set screen_refuted 0;
+  Atomic.set screen_decided 0;
+  Atomic.set concrete_refuted 0;
+  Atomic.set elim_reused 0
+
 let check_real ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
-    ?(max_trials = 200) (formulas : Formula.t list) : result =
+    ?(max_trials = 200) ?pool_id (formulas : Formula.t list) : result =
   let formulas = List.map Formula.simplify formulas in
   if List.mem Formula.False formulas then Unsat
   else begin
@@ -170,17 +347,10 @@ let check_real ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
         ([], [], []) formulas
     in
     let eqs = List.rev eqs and pointers = List.rev pointers and rest = List.rev rest in
-    (* Gaussian elimination on the equalities. *)
-    let step acc l =
-      match acc with
-      | None -> None
-      | Some (sigma, hard) -> (
-        match solve_eq sigma l with
-        | Ok sigma' -> Some (sigma', hard)
-        | Error `Inconsistent -> None
-        | Error `Hard -> Some (sigma, l :: hard))
-    in
-    match List.fold_left step (Some (Smap.empty, [])) eqs with
+    (* Gaussian elimination on the equalities (through the Tier C
+       prefix trie — the same left fold, with shared prefixes of the
+       equation list answered from memoized accumulators). *)
+    match eliminate eqs with
     | None -> Unsat
     | Some (sigma, hard_eqs) ->
       (* Bind pointer atoms: each free-variable pointer term gets pinned to
@@ -258,58 +428,140 @@ let check_real ?(rng = Gp_util.Rng.create 0x5eed) ?(pool = default_pool)
         in
         let readable = pool.readable in
         let writable = pool.writable in
-        let build_model assignment =
-          let free_model = assignment in
-          let m =
-            Smap.fold
-              (fun v l acc ->
-                let value =
-                  List.fold_left
-                    (fun s (v', c) -> Int64.add s (Int64.mul c (model_fn free_model v')))
-                    l.lin_const l.lin_terms
-                in
-                Smap.add v value acc)
-              sigma free_model
+        (* Residual formulas with no variables left (typically concrete
+           pointer atoms) evaluate the same under EVERY assignment —
+           the search can neither fix a false one by retrying nor lose
+           a true one, so judge them once here instead of once per
+           trial.  A false closed atom means no trial can ever succeed:
+           that is exactly an exhausted search, hence Unknown (the
+           search's rng is call-local, so the skipped draws are
+           invisible to every other query). *)
+        let closed, open_residual =
+          List.partition
+            (fun f -> Term.Vset.is_empty (Formula.vars f))
+            residual
+        in
+        let closed_ok =
+          List.for_all
+            (Formula.eval ~readable ~writable (model_fn Smap.empty))
+            closed
+        in
+        if not closed_ok then Unknown
+        else begin
+          let build_model assignment =
+            let free_model = assignment in
+            let m =
+              Smap.fold
+                (fun v l acc ->
+                  let value =
+                    List.fold_left
+                      (fun s (v', c) -> Int64.add s (Int64.mul c (model_fn free_model v')))
+                      l.lin_const l.lin_terms
+                  in
+                  Smap.add v value acc)
+                sigma free_model
+            in
+            m
           in
-          m
-        in
-        let try_assignment assignment =
-          let m = build_model assignment in
-          if
-            List.for_all (Formula.eval ~readable ~writable (model_fn m)) residual
-            (* double-check the original system — guards against any bug in
-               the elimination *)
-            && List.for_all (Formula.eval ~readable ~writable (model_fn m)) formulas
-          then Some m
-          else None
-        in
-        let zero_assignment =
-          List.fold_left (fun m v -> Smap.add v 0L m) Smap.empty free
-        in
-        match try_assignment zero_assignment with
-        | Some m -> Sat m
-        | None ->
-          let rec search k =
-            if k >= max_trials then Unknown
-            else begin
-              let assignment =
-                List.fold_left
-                  (fun m v ->
-                    let value =
-                      if Gp_util.Rng.int rng 4 = 0 then
-                        List.nth special_values
-                          (Gp_util.Rng.int rng (List.length special_values))
-                      else Gp_util.Rng.next_int64 rng
-                    in
-                    Smap.add v value m)
-                  Smap.empty free
-              in
-              match try_assignment assignment with
-              | Some m -> Sat m
-              | None -> search (k + 1)
+          (* [apply_sigma] substituted every bound variable away, so the
+             open residual mentions free variables only — each trial can
+             evaluate it straight off the assignment.  The full model
+             (the sigma fold) is only materialized for the rare trial
+             that passes, where the double-check and the returned [Sat]
+             witness need it; failed trials skip it entirely.  Same
+             verdicts, same witnesses — just no per-trial sigma fold. *)
+          let try_assignment assignment =
+            if
+              List.for_all
+                (Formula.eval ~readable ~writable (model_fn assignment))
+                open_residual
+            then begin
+              let m = build_model assignment in
+              (* double-check the original system — guards against any bug
+                 in the elimination *)
+              if List.for_all (Formula.eval ~readable ~writable (model_fn m)) formulas
+              then Some m
+              else None
             end
+            else None
           in
-          search 0
+          let zero_assignment =
+            List.fold_left (fun m v -> Smap.add v 0L m) Smap.empty free
+          in
+          let run_search () =
+            match try_assignment zero_assignment with
+            | Some m -> Sat m
+            | None ->
+              (* With no free variables there is exactly one candidate
+                 assignment and it just failed: every further trial would
+                 rebuild the same model.  Identical to exhausting the
+                 search, without the [max_trials] rebuilds. *)
+              if free = [] then Unknown
+              else
+                let rec search k =
+                  if k >= max_trials then Unknown
+                  else begin
+                    let assignment =
+                      List.fold_left
+                        (fun m v ->
+                          let value =
+                            if Gp_util.Rng.int rng 4 = 0 then
+                              List.nth special_values
+                                (Gp_util.Rng.int rng (List.length special_values))
+                            else Gp_util.Rng.next_int64 rng
+                          in
+                          Smap.add v value m)
+                        Smap.empty free
+                    in
+                    match try_assignment assignment with
+                    | Some m -> Sat m
+                    | None -> search (k + 1)
+                  end
+                in
+                search 0
+          in
+          (* Tier C residual-search reuse (see [residual_key]): the trial
+             sequence is deterministic, so the first open-residual-passing
+             assignment (or its absence) is a pure function of the key.
+             Free vars are disjoint from sigma's domain, so replaying the
+             cached assignment through THIS query's sigma rebuilds exactly
+             the model the fresh search would have built. *)
+          match pool_id with
+          | Some pid when !screen_on ->
+            let tbl = Domain.DLS.get residual_key in
+            let key = (open_residual, free, pid) in
+            (match Hashtbl.find_opt tbl key with
+            | Some No_assignment ->
+              Atomic.incr elim_reused;
+              Unknown
+            | Some (Found assignment) ->
+              let m = build_model assignment in
+              if
+                List.for_all (Formula.eval ~readable ~writable (model_fn m))
+                  formulas
+              then begin
+                Atomic.incr elim_reused;
+                Sat m
+              end
+              else
+                (* unreachable unless the eliminator mis-solved: fall back
+                   to the fresh search so behaviour cannot diverge *)
+                run_search ()
+            | None ->
+              let r = run_search () in
+              (match r with
+              | Sat m ->
+                let assignment =
+                  List.fold_left
+                    (fun a v -> Smap.add v (model_fn m v) a)
+                    Smap.empty free
+                in
+                Hashtbl.replace tbl key (Found assignment)
+              | Unknown -> Hashtbl.replace tbl key No_assignment
+              | Unsat -> ());
+              r)
+          | _ -> run_search ()
+        end
       end
   end
 
@@ -328,10 +580,27 @@ let equal_memo : (Term.t * Term.t, bool) Cache.t = Cache.create ()
 let pool_memo : (((int64 * int) * Formula.t list), result) Cache.t =
   Cache.create ()
 
-let check ?rng ?pool ?pool_key ?max_trials formulas =
+(* [unsat_screen] guards Tier A's trivially-Unsat decision: an atom
+   that is abstractly definitely-false makes the conjunction Unsat
+   under every valuation, but the full solver may only manage Unknown
+   for it — interchangeable for every [check] consumer (they treat
+   Unsat and Unknown alike), NOT for [entails], which reads Unsat as
+   "entailed".  [entails] therefore falls through with the screen off
+   (it has its own verdict-preserving screens).  The screen runs before
+   the memos, on every rng-free path uniformly, so keyed, raw-pool and
+   default solves of the same query keep answering identically. *)
+let check_gen ~unsat_screen ?rng ?pool ?pool_key ?max_trials formulas =
   if !chaos_unknown formulas then begin
     Atomic.incr unknowns;
     Unknown
+  end
+  else if
+    unsat_screen && !screen_on
+    && Option.is_none rng && Option.is_none max_trials
+    && List.exists (fun f -> Absdom.formula f = Absdom.No) formulas
+  then begin
+    Atomic.incr screen_decided;
+    Unsat
   end
   else begin
     let count r =
@@ -347,7 +616,9 @@ let check ?rng ?pool ?pool_key ?max_trials formulas =
     in
     if cacheable then begin
       let canonical = Cache.canon formulas in
-      count (Cache.find_or_add memo canonical (fun () -> check_real canonical))
+      count
+        (Cache.find_or_add memo canonical (fun () ->
+             check_real ~pool_id:Pool_default canonical))
     end
     else
       match pool_key with
@@ -358,17 +629,61 @@ let check ?rng ?pool ?pool_key ?max_trials formulas =
         let canonical = Cache.canon formulas in
         count
           (Cache.find_or_add pool_memo (pk, canonical) (fun () ->
-               check_real ?pool canonical))
+               check_real ?pool ~pool_id:(Pool_keyed pk) canonical))
       | _ -> count (check_real ?rng ?pool ?max_trials formulas)
   end
 
+let check ?rng ?pool ?pool_key ?max_trials formulas =
+  check_gen ~unsat_screen:true ?rng ?pool ?pool_key ?max_trials formulas
+
 (* Entailment: hyps |= concl.  True only when hyps ∧ ¬concl is provably
    unsat; Unknown is treated as "not entailed" (conservative for
-   subsumption: we keep more gadgets than strictly necessary). *)
+   subsumption: we keep more gadgets than strictly necessary).
+
+   Screening (verdict-preserving at this boolean level):
+
+   - Tier A discharges the entailment when ¬concl alone simplifies to
+     False — exactly the first test the full check would apply after
+     simplification, so the fall-through answer is Unsat either way.
+   - Tier B refutes it when any fixed valuation satisfies hyps ∧ ¬concl
+     (pointer atoms judged by the actual pool's predicates): that is a
+     genuine model, and Unsat is sound, so the full check could only
+     have answered Sat or Unknown — "not entailed" both ways.  This is
+     the common case for subsumption probes between unrelated gadgets,
+     where the full path would burn its entire randomized model search
+     before giving up with Unknown. *)
 let entails ?rng ?pool hyps concl =
-  match check ?rng ?pool (Formula.negate concl :: hyps) with
-  | Unsat -> true
-  | Sat _ | Unknown -> false
+  let screened =
+    if not !screen_on then None
+    else begin
+      let neg = Formula.negate concl in
+      if Formula.simplify neg = Formula.False then begin
+        Atomic.incr screen_decided;
+        Some true
+      end
+      else begin
+        let formulas = neg :: hyps in
+        let p = match pool with Some p -> p | None -> default_pool in
+        let sat m =
+          List.for_all
+            (Formula.eval ~readable:p.readable ~writable:p.writable m)
+            formulas
+        in
+        if List.exists (fun pt -> sat (point_model pt)) screen_points
+        then begin
+          Atomic.incr concrete_refuted;
+          Some false
+        end
+        else None
+      end
+    end
+  in
+  match screened with
+  | Some b -> b
+  | None -> (
+    match check_gen ~unsat_screen:false ?rng ?pool (Formula.negate concl :: hyps) with
+    | Unsat -> true
+    | Sat _ | Unknown -> false)
 
 (* Probabilistic semantic equality of two terms: canonical forms equal, or
    no counterexample found in [trials] random evaluations.  Used by
@@ -512,12 +827,38 @@ let import_memos (sections : Gp_util.Store.section list) =
 (* Default-configuration probes are memoized on the simplified pair;
    equality is symmetric, so the two sides are ordered (structurally)
    first.  Probes run with a fresh default rng each time, so the
-   verdict is a pure function of the (simplified) pair. *)
+   verdict is a pure function of the (simplified) pair.
+
+   Screening, checked before the memo (tallies count per query
+   answered, independent of cache temperature):
+
+   - Tier A: disjoint abstract values mean the terms differ under EVERY
+     valuation — in particular under the real prover's trial 0, so the
+     fall-through verdict is false too.
+   - Tier B: only the all-zeros and all-ones points, which are exactly
+     the real prover's first two trials; a hit reproduces its verdict.
+     The remaining adversarial points are NOT used here — a refutation
+     the 32-trial path might miss would flip a (probabilistically
+     unsound but by-contract authoritative) true to false and change
+     subsumption results. *)
 let prove_equal ?rng ?trials a b =
   match (rng, trials) with
   | None, None ->
     let a = Term.simplify a and b = Term.simplify b in
     if a = b then true
+    else if !screen_on && Absdom.disjoint (Absdom.of_term a) (Absdom.of_term b)
+    then begin
+      Atomic.incr screen_refuted;
+      false
+    end
+    else if
+      !screen_on
+      && (Term.eval (fun _ -> 0L) a <> Term.eval (fun _ -> 0L) b
+         || Term.eval (fun _ -> 1L) a <> Term.eval (fun _ -> 1L) b)
+    then begin
+      Atomic.incr concrete_refuted;
+      false
+    end
     else
       let key = if compare a b <= 0 then (a, b) else (b, a) in
       Cache.find_or_add equal_memo key (fun () -> prove_equal_real a b)

@@ -54,6 +54,39 @@ val unknowns : int Atomic.t
     worker domains answer queries concurrently.  The pipeline snapshots
     it around each stage to attribute solver indecision in its stats. *)
 
+(** {1 Screening front-end (DESIGN.md §12)}
+
+    Three cheap tiers in front of the solver proper: abstract screening
+    over {!Absdom} (Tier A), concrete refutation under a fixed vector
+    of adversarial valuations (Tier B), and shared-prefix reuse of the
+    Gaussian-elimination fold plus residual-search outcomes (Tier C).  Every tier only short-circuits
+    a query when the verdict it returns is the one the fall-through
+    path would produce at the consuming call site, so results are
+    bit-identical with screening on or off at any job count.  Counters
+    are bumped per query answered, before any memo lookup — the same
+    discipline as {!unknowns} — so the tallies depend only on the query
+    sequence (the exception is {!screen_stats}' [elim_reused], which
+    like cache hit counts depends on cache temperature). *)
+
+val screen_enabled : unit -> bool
+
+val set_screen_enabled : bool -> unit
+(** Ablation toggle (the [--no-screen] flag), mirroring
+    {!Term.set_memo_enabled}: disabling restores the seed's uncached,
+    unscreened behavior exactly. *)
+
+val screen_stats : unit -> int * int * int * int
+(** [(screen_refuted, screen_decided, concrete_refuted, elim_reused)]:
+    Tier A [prove_equal] refutations, Tier A decided [check]/[entails]
+    queries, Tier B concrete refutations, and Tier C queries that
+    reused at least one memoized elimination step or a memoized
+    residual-search outcome. *)
+
+val reset_screen : unit -> unit
+(** Clear the elimination trie, the residual-search memo, the
+    abstract-value memo, and the four screening counters (benchmarks'
+    cold-path resets). *)
+
 val memo : (Formula.t list, result) Cache.t
 (** Memo store for {!check} verdicts on default-environment queries
     (no caller rng/pool/trial overrides), keyed on the canonicalized

@@ -28,6 +28,7 @@ let suites =
     ("par", Test_par.suite);
     ("plan_par", Test_plan_par.suite);
     ("incr", Test_incr.suite);
+    ("screen", Test_screen.suite);
     ("integration", Test_integration.suite) ]
 
 let () =
