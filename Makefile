@@ -21,12 +21,20 @@
 # screening-on vs screening-off differential over the 21-cell survey at
 # jobs 1 and 4, counter determinism, fault sweeps — DESIGN.md §12), and
 # `make check-bench` smoke-tests the benchmark harness end to end in
-# `--quick` mode (one program, one config, every experiment).
+# `--quick` mode (one program, one config, every experiment — including
+# the resume smoke, which exercises crash injection + recovery).
+#
+# `make check-resume` sweeps the crash-safety surface (DESIGN.md §13):
+# the WAL truncation/bit-flip properties and lock tests in test_util,
+# the supervised-runner + checkpoint-manifest suite in test_runner, and
+# the crash-injection differential in test_resilience (kill the sweep
+# at each durability point, resume, require bit-identical results) at
+# JOBS=1 and JOBS=4.
 
 CHECK_TIMEOUT ?= 600
 
 .PHONY: all build test check check-par check-plan-par check-incr \
-	check-screen check-bench clean
+	check-screen check-resume check-bench clean
 
 all: build
 
@@ -36,7 +44,8 @@ build:
 test:
 	dune runtest
 
-check: build check-par check-plan-par check-incr check-screen check-bench
+check: build check-par check-plan-par check-incr check-screen \
+	check-resume check-bench
 
 check-par:
 	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
@@ -55,6 +64,11 @@ check-incr:
 check-screen:
 	dune build test/test_main.exe
 	SUITES=screen timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+
+check-resume:
+	dune build test/test_main.exe
+	SUITES=util,runner,resilience JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+	SUITES=util,runner,resilience JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 
 check-bench:
 	dune build bench/main.exe

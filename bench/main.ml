@@ -20,6 +20,11 @@
      dune exec bench/main.exe -- --only screen --jobs 4
                                               # tiered solver screening off vs
                                               # on (writes BENCH_screen.json)
+     dune exec bench/main.exe -- --only resume --jobs 4
+                                              # WAL overhead + crash/resume
+                                              # differential under injected
+                                              # crash points (writes
+                                              # BENCH_resume.json)
      dune exec bench/main.exe -- --quick      # smoke mode: one program, one
                                               # config (the `make check-bench`
                                               # end-to-end assertion)
@@ -48,6 +53,11 @@ let run_experiment ~quick ~jobs ?cache_dir id =
     print_string txt
   | "screen" ->
     let txt, _ = Gp_harness.Experiments.screen ~quick ~jobs () in
+    print_string txt
+  | "resume" ->
+    let txt, _ =
+      Gp_harness.Experiments.resume ~quick ~jobs ?cache_root:cache_dir ()
+    in
     print_string txt
   | "fig1" ->
     let txt, _ = Gp_harness.Experiments.fig1 ~quick () in
@@ -93,7 +103,7 @@ let run_experiment ~quick ~jobs ?cache_dir id =
 
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
-    "tab7"; "par"; "plan"; "incr"; "screen"; "cfi_study";
+    "tab7"; "par"; "plan"; "incr"; "screen"; "resume"; "cfi_study";
     "ablation_unaligned"; "ablation_subsumption"; "ablation_condjump";
     "ablation_seeds" ]
 

@@ -3,11 +3,16 @@
      gadget_planner compile  <prog> [--obf PRESET]    run a corpus program
      gadget_planner scan     <prog> [--obf PRESET]    gadget census
      gadget_planner plan     <prog> [--obf PRESET] [--goal G] [--max N]
+     gadget_planner survey   [--manifest DIR] [--resume]   checkpointed sweep
      gadget_planner netperf  [--obf PRESET]           end-to-end case study
      gadget_planner list                              list corpus programs
 
    <prog> is a corpus program name (see `list`) or a path to a mini-C
-   source file. *)
+   source file.
+
+   Failure exit codes follow the Fail taxonomy (DESIGN.md §13):
+   75 transient timeout/budget, 70 hard analysis fault, 78 store
+   problem; cmdliner owns usage errors (124). *)
 
 open Cmdliner
 
@@ -80,6 +85,20 @@ let no_screen_arg =
 let apply_screen no_screen =
   if no_screen then Gp_smt.Solver.set_screen_enabled false
 
+let json_errors_arg =
+  Arg.(value & flag
+       & info [ "json-errors" ]
+           ~doc:"Emit each failure as a one-line JSON record on stderr \
+                 (class, detail, exit code) for machine supervision; \
+                 the process exit code matches the record's.")
+
+(* One failure on stderr: structured when --json-errors, human text
+   otherwise.  The label keys both the record's class and the exit
+   code (Fail.exit_code_of_label). *)
+let emit_failure ~json label detail =
+  if json then prerr_endline (Gp_core.Fail.json_record ~label ~detail)
+  else Printf.eprintf "error: %s: %s\n%!" label detail
+
 let compile_image prog obf =
   Gp_codegen.Pipeline.compile ~transform:(Gp_obf.Obf.transform (obf_of_name obf))
     (load_source prog)
@@ -144,7 +163,7 @@ let plan_cmd =
              ~doc:"Print per-stage statistics (planner counters, memo \
                    hits, stage seconds).")
   in
-  let run prog obf goal maxn budget jobs cache_dir stats no_screen =
+  let run prog obf goal maxn budget jobs cache_dir stats no_screen json_errors =
     apply_screen no_screen;
     let image = compile_image prog obf in
     let o =
@@ -203,16 +222,157 @@ let plan_cmd =
       (fun i c ->
         Printf.printf "--- payload %d ---\n%s\n" (i + 1)
           (Gp_core.Payload.describe c))
-      o.Gp_core.Api.chains
+      o.Gp_core.Api.chains;
+    if json_errors then
+      List.iter
+        (fun (label, n) ->
+          emit_failure ~json:true label
+            (Printf.sprintf "%d item(s) quarantined" n))
+        st.Gp_core.Api.quarantined;
+    (* an empty result caused by budget starvation is a timeout, not
+       "no chains exist" — surface it in the exit code *)
+    if o.Gp_core.Api.chains = [] && st.Gp_core.Api.budget_hits <> [] then begin
+      emit_failure ~json:json_errors "budget"
+        ("no payload before budget ran out in: "
+         ^ String.concat ", " st.Gp_core.Api.budget_hits);
+      exit (Gp_core.Fail.exit_code_of_label "budget")
+    end
   in
   Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
     Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg
-          $ jobs_arg $ cache_dir_arg $ stats_arg $ no_screen_arg)
+          $ jobs_arg $ cache_dir_arg $ stats_arg $ no_screen_arg
+          $ json_errors_arg)
+
+(* ----- survey ----- *)
+
+(* Checkpointed grid sweep (program x obfuscation config) through the
+   supervised corpus runner (DESIGN.md §13).  With --manifest the
+   incremental-store journal and the per-cell completion manifest live
+   in DIR, fsync'd as the sweep progresses; a killed sweep re-run with
+   --resume replays completed cells and recomputes the rest,
+   bit-identical to an uninterrupted run. *)
+
+let survey_cmd =
+  let goal_arg =
+    Arg.(value & opt string "execve"
+         & info [ "goal" ] ~docv:"GOAL" ~doc:"execve, mprotect, or mmap.")
+  in
+  let manifest_arg =
+    Arg.(value & opt (some string) None
+         & info [ "manifest" ] ~docv:"DIR"
+             ~doc:"Checkpoint directory: the write-ahead store journal \
+                   and the per-cell completion manifest are fsync'd \
+                   here as the sweep progresses, so a killed sweep can \
+                   be picked up with $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Replay cells already recorded in the manifest \
+                   instead of recomputing them (requires \
+                   $(b,--manifest)).  A resumed sweep's results are \
+                   bit-identical to an uninterrupted one.")
+  in
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Sweep the full corpus grid instead of the quick \
+                   subset.")
+  in
+  let attempts_arg =
+    Arg.(value & opt int 3
+         & info [ "max-attempts" ] ~docv:"N"
+             ~doc:"Attempts per cell before a transient failure \
+                   (timeout, exhausted budget) is recorded as final.")
+  in
+  let run goal manifest resume full budget jobs max_attempts json_errors
+      no_screen =
+    apply_screen no_screen;
+    let module R = Gp_harness.Runner in
+    let module E = Gp_harness.Experiments in
+    if resume && manifest = None then begin
+      emit_failure ~json:json_errors "usage" "--resume requires --manifest DIR";
+      exit Cmd.Exit.cli_error
+    end;
+    let policy =
+      { R.default_policy with R.max_attempts; attempt_seconds = budget }
+    in
+    let cells =
+      E.resume_cell_fns ~quick:(not full) ~jobs ~goal:(goal_of_name goal) ()
+    in
+    let outcomes, report, jo =
+      match manifest with
+      | Some dir ->
+        let o, r, jo = E.resume_sweep ~policy ~dir ~resume cells in
+        (o, r, Some jo)
+      | None ->
+        let o, r =
+          R.run_corpus ~policy ~encode:E.resume_payload_encode
+            ~decode:E.resume_payload_decode cells
+        in
+        (o, r, None)
+    in
+    List.iter
+      (fun (c : E.resume_payload R.cell_outcome) ->
+        match c.R.c_result with
+        | Ok p ->
+          Printf.printf "%-32s %s  pool %4d  chains %d  rungs %s%s\n"
+            c.R.c_key
+            (if c.R.c_resumed then "resumed " else "computed")
+            p.E.rp_pool
+            (List.length p.E.rp_chains)
+            (String.concat "," p.E.rp_rungs)
+            (if c.R.c_retries > 0 then
+               Printf.sprintf "  (%d retries)" c.R.c_retries
+             else "")
+        | Error f ->
+          Printf.printf "%-32s FAILED: %s\n" c.R.c_key
+            (Gp_core.Fail.to_string f))
+      outcomes;
+    Printf.printf "\n%d cell(s): %d computed, %d resumed, %d retries, %d failed\n"
+      report.R.r_total report.R.r_computed report.R.r_resumed
+      report.R.r_retries
+      (List.length report.R.r_failed);
+    (match jo with
+     | None -> ()
+     | Some jo ->
+       (match jo.Gp_core.Incr.jo_status with
+        | Gp_core.Incr.Loaded li
+          when li.Gp_core.Incr.li_wal_replayed > 0
+               || li.Gp_core.Incr.li_wal_truncated > 0 ->
+          Printf.printf "store journal: %d entr(ies) replayed%s\n"
+            li.Gp_core.Incr.li_wal_replayed
+            (if li.Gp_core.Incr.li_wal_truncated > 0 then
+               Printf.sprintf " (torn tail of %d byte(s) dropped)"
+                 li.Gp_core.Incr.li_wal_truncated
+             else "")
+        | _ -> ());
+       (* read-only demotion is a warning, not a failure: the sweep's
+          results are correct, only persistence was skipped *)
+       match jo.Gp_core.Incr.jo_mode with
+       | `Read_only why -> emit_failure ~json:json_errors "store-locked" why
+       | `Journaling -> ());
+    match report.R.r_failed with
+    | [] -> ()
+    | ((_, first) :: _) as fails ->
+      List.iter
+        (fun (k, f) ->
+          emit_failure ~json:json_errors (Gp_core.Fail.label f)
+            (k ^ ": " ^ Gp_core.Fail.to_string f))
+        fails;
+      exit (Gp_core.Fail.exit_code first)
+  in
+  Cmd.v
+    (Cmd.info "survey"
+       ~doc:"Checkpointed corpus sweep with crash-safe resume.")
+    Term.(const run $ goal_arg $ manifest_arg $ resume_arg $ full_arg
+          $ budget_arg $ jobs_arg $ attempts_arg $ json_errors_arg
+          $ no_screen_arg)
 
 (* ----- netperf ----- *)
 
 let netperf_cmd =
-  let run obf budget jobs cache_dir no_screen =
+  let run obf budget jobs cache_dir no_screen json_errors =
     apply_screen no_screen;
     let budget = budget_of budget in
     let b =
@@ -220,7 +380,10 @@ let netperf_cmd =
         ?budget ~jobs ?cache_dir Gp_corpus.Netperf.entry
     in
     match Gp_harness.Netperf_attack.run ?budget b with
-    | None -> print_endline "probe failed"
+    | None ->
+      emit_failure ~json:json_errors "emu"
+        "probe failed: overflow did not reach the return-address cell";
+      exit (Gp_core.Fail.exit_code_of_label "emu")
     | Some r ->
       Printf.printf "return-address cell at 0x%Lx (%d filler words)\n"
         r.Gp_harness.Netperf_attack.probe.Gp_harness.Netperf_attack.ret_cell
@@ -233,7 +396,7 @@ let netperf_cmd =
   in
   Cmd.v (Cmd.info "netperf" ~doc:"Run the netperf end-to-end case study.")
     Term.(const run $ obf_arg $ budget_arg $ jobs_arg $ cache_dir_arg
-          $ no_screen_arg)
+          $ no_screen_arg $ json_errors_arg)
 
 (* ----- disasm ----- *)
 
@@ -284,4 +447,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "gadget_planner" ~version:"1.0.0"
              ~doc:"Code-reuse attack construction on obfuscated binaries.")
-          [ compile_cmd; scan_cmd; plan_cmd; netperf_cmd; disasm_cmd; list_cmd ]))
+          [ compile_cmd; scan_cmd; plan_cmd; survey_cmd; netperf_cmd;
+            disasm_cmd; list_cmd ]))

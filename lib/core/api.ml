@@ -73,6 +73,16 @@ type stage_stats = {
   store_stale : int;
       (* 1 when a store file was found but rejected (corrupt/stale) and
          the run was demoted to cold *)
+  wal_replayed : int;
+      (* entries recovered from the store's write-ahead journal *)
+  wal_truncated : int;
+      (* bytes dropped from a torn journal tail (crash mid-append) *)
+  retries : int;
+      (* supervised retry attempts consumed (filled by the corpus
+         runner; 0 for a bare Api.run) *)
+  cells_resumed : int;
+      (* sweep cells replayed from a checkpoint manifest instead of
+         recomputed (filled by the corpus runner) *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
@@ -118,6 +128,8 @@ type analysis = {
   analysis_decode_saved : int;
   analysis_store_loaded : int;
   analysis_store_stale : int;
+  analysis_wal_replayed : int;
+  analysis_wal_truncated : int;
 }
 
 let timed f =
@@ -147,18 +159,39 @@ let passthrough_stats gadgets =
    run: [Rejected] (corrupt bytes, stale versions) is quarantined under
    the "store" label and counted in [store_stale], never raised. *)
 let store_open = function
-  | None -> (0, 0, [])
+  | None -> (0, 0, 0, 0, [])
+  | Some _ when Incr.journaling () ->
+    (* a corpus-runner journal is open: [Incr.journal_open] already
+       merged base + WAL, and re-reading the files mid-run would race
+       our own writer.  The runner carries the open's WAL counters. *)
+    (0, 0, 0, 0, [])
   | Some dir -> (
     match Incr.load ~dir with
-    | Incr.Loaded n -> (n, 0, [])
-    | Incr.Absent -> (0, 0, [])
+    | Incr.Loaded li ->
+      (* WAL-recovered entries count toward the warm start; a torn tail
+         is quarantined (the work it held is simply recomputed) *)
+      let quar =
+        if li.Incr.li_wal_truncated > 0 then
+          [ (Fail.label (Fail.Wal_torn ""), 1) ]
+        else []
+      in
+      ( li.Incr.li_entries + li.Incr.li_wal_replayed,
+        0,
+        li.Incr.li_wal_replayed,
+        li.Incr.li_wal_truncated,
+        quar )
+    | Incr.Absent -> (0, 0, 0, 0, [])
     | Incr.Rejected why ->
-      (0, 1, [ (Fail.label (Fail.Store_rejected why), 1) ]))
+      (0, 1, 0, 0, [ (Fail.label (Fail.Store_rejected why), 1) ]))
 
 (* Persist the store after the run.  A write failure costs only the
    warm start of the NEXT run, so it too is a quarantine entry. *)
 let store_save quarantined = function
   | None -> quarantined
+  | Some _ when Incr.journaling () ->
+    (* journal checkpoints own durability; a per-cell whole-store save
+       would just duplicate the WAL's contents *)
+    quarantined
   | Some dir -> (
     match Incr.save ~dir with
     | Ok () -> quarantined
@@ -175,7 +208,9 @@ let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
     (image : Gp_util.Image.t) : analysis * Gadget.t list =
   let ch0, cm0 = cache_counters () in
   let sc0 = screen_counters () in
-  let store_loaded, store_stale, store_quar = store_open cache_dir in
+  let store_loaded, store_stale, wal_replayed, wal_truncated, store_quar =
+    store_open cache_dir
+  in
   let (harvested, hstats), extract_time =
     match
       stage "extract" root (fun () ->
@@ -229,7 +264,9 @@ let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
       analysis_summary_misses = hstats.Extract.h_summary_misses;
       analysis_decode_saved = hstats.Extract.h_decode_saved;
       analysis_store_loaded = store_loaded;
-      analysis_store_stale = store_stale },
+      analysis_store_stale = store_stale;
+      analysis_wal_replayed = wal_replayed;
+      analysis_wal_truncated = wal_truncated },
     harvested )
 
 let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
@@ -389,6 +426,10 @@ let run_with_analysis ?(planner_config = Planner.default_config)
         decode_saved = a.analysis_decode_saved;
         store_loaded = a.analysis_store_loaded;
         store_stale = a.analysis_store_stale;
+        wal_replayed = a.analysis_wal_replayed;
+        wal_truncated = a.analysis_wal_truncated;
+        retries = 0;
+        cells_resumed = 0;
         extract_time = a.extract_time;
         subsume_time = a.subsume_time;
         plan_time;

@@ -80,6 +80,19 @@ type stage_stats = {
       (** 1 when a store file was found but rejected (corrupt or
           version-stale) and the run was demoted to cold; the rejection
           is also quarantined under the "store" label *)
+  wal_replayed : int;
+      (** entries recovered from the store's write-ahead journal
+          (DESIGN.md §13); counted inside [store_loaded] too *)
+  wal_truncated : int;
+      (** bytes dropped from a torn journal tail; a nonzero value is
+          also quarantined under the "wal-torn" label *)
+  retries : int;
+      (** supervised retry attempts consumed; filled by
+          [Runner.run_corpus], 0 for a bare [run] *)
+  cells_resumed : int;
+      (** sweep cells replayed from a checkpoint manifest instead of
+          recomputed; filled by [Runner.run_corpus], 0 for a bare
+          [run] *)
   extract_time : float;
   subsume_time : float;
   plan_time : float;
@@ -110,6 +123,8 @@ type analysis = {
   analysis_decode_saved : int;         (** decode-once memo savings *)
   analysis_store_loaded : int;         (** on-disk entries imported *)
   analysis_store_stale : int;          (** 1 if the store was rejected *)
+  analysis_wal_replayed : int;         (** journal entries recovered *)
+  analysis_wal_truncated : int;        (** torn-tail bytes dropped *)
 }
 
 val timed : (unit -> 'a) -> 'a * float

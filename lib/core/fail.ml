@@ -25,6 +25,12 @@ type t =
   | Store_rejected of string
       (* an on-disk incremental store was unusable (corrupt/stale);
          the run proceeded cold *)
+  | Store_locked of string
+      (* another writer holds the cache dir's advisory lock; this run
+         demoted to read-only instead of corrupting *)
+  | Wal_torn of string
+      (* the write-ahead journal ended in a torn tail (crash
+         mid-append); the valid prefix was replayed, the tail dropped *)
 
 (* Short bucket name, used as the tally key so stats stay readable. *)
 let label = function
@@ -35,6 +41,8 @@ let label = function
   | Emu_fault _ -> "emu"
   | Budget_exhausted _ -> "budget"
   | Store_rejected _ -> "store"
+  | Store_locked _ -> "store-locked"
+  | Wal_torn _ -> "wal-torn"
 
 let to_string = function
   | Decode_fault (addr, d) -> Printf.sprintf "decode fault at 0x%Lx: %s" addr d
@@ -46,6 +54,52 @@ let to_string = function
   | Budget_exhausted (l, `Time) -> Printf.sprintf "budget %s: deadline exhausted" l
   | Budget_exhausted (l, `Fuel) -> Printf.sprintf "budget %s: fuel exhausted" l
   | Store_rejected d -> "incremental store rejected: " ^ d
+  | Store_locked d -> "store locked: " ^ d
+  | Wal_torn d -> "wal torn tail: " ^ d
+
+(* ----- supervision ----- *)
+
+(* Transient failures are worth retrying under the runner's backoff
+   ladder: a timeout says "starved", not "impossible", and a larger or
+   luckier attempt may land.  Everything else is a property of the
+   input (undecodable bytes, refused run, unusable store) and retrying
+   just burns budget. *)
+let retryable = function
+  | Solver_timeout _ | Budget_exhausted _ -> true
+  | Decode_fault _ | Symx_unsupported _ | Solver_unknown _ | Emu_fault _
+  | Store_rejected _ | Store_locked _ | Wal_torn _ -> false
+
+(* Process exit codes, BSD-sysexits-adjacent so supervisors can
+   classify without parsing prose: 75 (tempfail) = transient timeout,
+   70 (software) = hard analysis fault, 78 (config) = store problem.
+   Cmdliner owns usage errors (124). *)
+let exit_timeout = 75
+let exit_fault = 70
+let exit_store = 78
+
+let exit_code f =
+  match f with
+  | Solver_timeout _ | Budget_exhausted _ -> exit_timeout
+  | Decode_fault _ | Symx_unsupported _ | Solver_unknown _ | Emu_fault _ ->
+    exit_fault
+  | Store_rejected _ | Store_locked _ | Wal_torn _ -> exit_store
+
+(* Same classification keyed by ledger label, for call sites that only
+   kept the tally bucket (quarantine ledgers in stage stats). *)
+let exit_code_of_label = function
+  | "solver-timeout" | "budget" -> exit_timeout
+  | "store" | "store-locked" | "wal-torn" -> exit_store
+  | _ -> exit_fault
+
+(* One-line JSON failure record for [--json-errors] (stderr, one per
+   line).  OCaml's %S escaping is JSON-compatible for the ASCII
+   diagnostics this module produces. *)
+let json_record ~label ~detail =
+  Printf.sprintf "{\"class\": %S, \"detail\": %S, \"exit_code\": %d}" label
+    detail
+    (exit_code_of_label label)
+
+let to_json f = json_record ~label:(label f) ~detail:(to_string f)
 
 (* ----- tallies ----- *)
 

@@ -23,12 +23,42 @@ type t =
   | Store_rejected of string
       (** an on-disk incremental store was unusable (corrupt/stale);
           the run was demoted to cold *)
+  | Store_locked of string
+      (** another writer holds the cache dir's advisory lock; demoted
+          to read-only *)
+  | Wal_torn of string
+      (** the write-ahead journal ended in a torn tail; valid prefix
+          replayed, tail dropped *)
 
 val label : t -> string
 (** Short bucket name ("decode", "symx", "solver-unknown", ...); used as
     the tally key. *)
 
 val to_string : t -> string
+
+(** {1 Supervision}
+
+    The runner's retry ladder and process exit codes are both derived
+    from the taxonomy, so every supervisor — in-process or outside —
+    classifies failures the same way. *)
+
+val retryable : t -> bool
+(** [true] for transient failures (timeouts, exhausted budgets) worth
+    retrying with backoff; [false] for permanent properties of the
+    input. *)
+
+val exit_code : t -> int
+(** Distinct process exit codes per failure class: 75 transient
+    timeout, 70 hard analysis fault, 78 store problem. *)
+
+val exit_code_of_label : string -> int
+(** Same mapping keyed by {!label} bucket (for quarantine ledgers). *)
+
+val to_json : t -> string
+(** One-line JSON failure record ({["{\"class\": ..., \"detail\": ...,
+    \"exit_code\": ...}"]}) for [--json-errors] stderr streams. *)
+
+val json_record : label:string -> detail:string -> string
 
 (** {1 Tallies}
 

@@ -39,16 +39,67 @@ val file_name : string
 
 val path : dir:string -> string
 
+type load_info = {
+  li_entries : int;
+      (** entries imported from the base store (summaries + verdicts) *)
+  li_wal_replayed : int;
+      (** entries recovered from the journal's valid prefix *)
+  li_wal_truncated : int;
+      (** bytes dropped from a torn journal tail; 0 = clean *)
+}
+
 type status =
-  | Loaded of int      (** entries imported (summaries + solver verdicts) *)
+  | Loaded of load_info
   | Absent             (** no store file: a plain cold run *)
   | Rejected of string (** found but unusable (corrupt/stale); cold run *)
 
 val load : dir:string -> status
-(** Merge the on-disk store into the in-memory table and solver memos
-    (existing entries win).  Never raises: every failure mode is a
-    {!status}. *)
+(** Merge the on-disk store — base file plus the valid prefix of any
+    write-ahead journal sibling — into the in-memory table and solver
+    memos (existing entries win).  Never raises: every failure mode is
+    a {!status}. *)
 
 val save : dir:string -> (unit, string) result
 (** Write the current table + solver memos atomically (temp file +
-    rename).  Errors are returned, never raised. *)
+    fsync + rename).  Errors are returned, never raised. *)
+
+(** {1 Write-ahead journal mode}
+
+    For long sweeps (DESIGN.md §13): {!journal_open} takes the cache
+    dir's advisory lock and opens [summaries.gpst.wal]; from then on
+    every fresh summary is appended as produced and solver-memo deltas
+    are appended + fsync'd at each {!journal_checkpoint}, so a crash
+    at any instant loses at most the work since the last checkpoint.
+    {!journal_close} compacts WAL → base store atomically.  A second
+    writer demotes to [`Read_only] instead of corrupting. *)
+
+val wal_path : dir:string -> string
+
+type journal_open_result = {
+  jo_status : status;  (** what the open loaded (base + WAL replay) *)
+  jo_mode : [ `Journaling | `Read_only of string ];
+}
+
+val journal_open : dir:string -> journal_open_result
+val journaling : unit -> bool
+
+val journal_error : unit -> string option
+(** Sticky reason if journal I/O failed mid-run and the run demoted to
+    in-memory-only. *)
+
+val journal_checkpoint : unit -> (int, string) result
+(** Append the solver-memo delta since the last checkpoint, then
+    fsync.  Returns the delta size.  No-op [Ok 0] when not
+    journaling. *)
+
+val journal_compact : unit -> (unit, string) result
+(** Fold the journal into the base store (fsync'd atomic save), then
+    reset the WAL to a bare header. *)
+
+val journal_close : unit -> (unit, string) result
+(** Compact, then release the writer and the lock. *)
+
+val journal_abandon : unit -> unit
+(** Simulated-crash teardown: drop fds and the lock {e without}
+    flushing or compacting, leaving the on-disk state exactly as at
+    the crash.  Test harness only. *)

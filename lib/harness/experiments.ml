@@ -1134,7 +1134,8 @@ let incr ?(quick = true) ?(jobs = 4) ?(cache_root = ".gp-cache/bench")
   let loaded, load_s =
     Gp_core.Api.timed (fun () ->
         match Gp_core.Incr.load ~dir:survey_dir with
-        | Gp_core.Incr.Loaded n -> n
+        | Gp_core.Incr.Loaded li ->
+          li.Gp_core.Incr.li_entries + li.Gp_core.Incr.li_wal_replayed
         | Gp_core.Incr.Absent | Gp_core.Incr.Rejected _ -> 0)
   in
   let warm_cross =
@@ -1155,7 +1156,8 @@ let incr ?(quick = true) ?(jobs = 4) ?(cache_root = ".gp-cache/bench")
         reset_world ();
         let n =
           match Gp_core.Incr.load ~dir:d with
-          | Gp_core.Incr.Loaded n -> n
+          | Gp_core.Incr.Loaded li ->
+            li.Gp_core.Incr.li_entries + li.Gp_core.Incr.li_wal_replayed
           | _ -> 0
         in
         let a, t = timed_analyze image in
@@ -1179,7 +1181,8 @@ let incr ?(quick = true) ?(jobs = 4) ?(cache_root = ".gp-cache/bench")
           reset_world ();
           let n =
             match Gp_core.Incr.load ~dir:orig_dir with
-            | Gp_core.Incr.Loaded n -> n
+            | Gp_core.Incr.Loaded li ->
+              li.Gp_core.Incr.li_entries + li.Gp_core.Incr.li_wal_replayed
             | _ -> 0
           in
           let a, t = timed_analyze image in
@@ -1620,3 +1623,332 @@ let ablation_condjump () =
           string_of_int (List.length restr.Gp_core.Api.chains) ])
     (benchmark_entries ~quick:true);
   Table.render t
+
+(* ---------- crash-safe resumable sweeps (DESIGN.md §13) ---------- *)
+
+(* One survey cell's result, reduced to exactly the data that must be
+   invariant across job counts, cache temperature, AND
+   interrupt/resume: the chains, the pool, the deterministic
+   planner/validator tallies, and the degradation rungs.  This is the
+   payload the checkpoint manifest records, so "resume ≡ uninterrupted"
+   is checked byte-for-byte on the encoded form. *)
+type resume_payload = {
+  rp_program : string;
+  rp_config : string;
+  rp_pool : int;
+  rp_chains : string list;           (* Payload.chain_set_key per chain *)
+  rp_rungs : string list;            (* degradation rungs attempted *)
+  rp_counters : (string * int) list; (* jobs/temperature-invariant tallies *)
+}
+
+let resume_payload_encode p =
+  let b = Buffer.create 256 in
+  let module B = Gp_util.Store.Bin in
+  B.str b p.rp_program;
+  B.str b p.rp_config;
+  B.int_ b p.rp_pool;
+  B.int_ b (List.length p.rp_chains);
+  List.iter (B.str b) p.rp_chains;
+  B.int_ b (List.length p.rp_rungs);
+  List.iter (B.str b) p.rp_rungs;
+  B.int_ b (List.length p.rp_counters);
+  List.iter
+    (fun (k, v) ->
+      B.str b k;
+      B.int_ b v)
+    p.rp_counters;
+  Buffer.contents b
+
+let resume_payload_decode s =
+  let module B = Gp_util.Store.Bin in
+  let pos = ref 0 in
+  let rp_program = B.gstr s pos in
+  let rp_config = B.gstr s pos in
+  let rp_pool = B.gint s pos in
+  let rp_chains = List.init (B.gint s pos) (fun _ -> B.gstr s pos) in
+  let rp_rungs = List.init (B.gint s pos) (fun _ -> B.gstr s pos) in
+  let rp_counters =
+    List.init (B.gint s pos) (fun _ ->
+        let k = B.gstr s pos in
+        (k, B.gint s pos))
+  in
+  { rp_program; rp_config; rp_pool; rp_chains; rp_rungs; rp_counters }
+
+(* The deterministic tallies, by the same selection discipline as
+   [plan_fingerprint]; cache/summary-hit counters are temperature-
+   dependent and excluded, as are the store quarantine labels (a
+   resumed run legitimately differs there). *)
+let resume_counters (o : Gp_core.Api.outcome) =
+  let st = o.Gp_core.Api.stats in
+  [ ("plans_found", st.Gp_core.Api.plans_found);
+    ("chains_built", st.Gp_core.Api.chains_built);
+    ("chains_validated", st.Gp_core.Api.chains_validated);
+    ("plan_expanded", st.Gp_core.Api.plan_expanded);
+    ("plan_peak_queue", st.Gp_core.Api.plan_peak_queue);
+    ("plan_inst_hits", st.Gp_core.Api.plan_inst_hits);
+    ("plan_cand_hits", st.Gp_core.Api.plan_cand_hits);
+    ("plan_discarded", st.Gp_core.Api.plan_discarded);
+    ("validate_faults", st.Gp_core.Api.validate_faults);
+    ("validate_timeouts", st.Gp_core.Api.validate_timeouts) ]
+  @ List.filter_map
+      (fun (l, n) ->
+        if l = "store" || l = "store-locked" || l = "wal-torn" then None
+        else Some ("q:" ^ l, n))
+      st.Gp_core.Api.quarantined
+
+let resume_cell_key prog cname = prog ^ "/" ^ cname
+
+(* Build the runner-shaped cell list for a survey sweep: each cell
+   compiles, analyzes, and plans one (program, config) pair, firing
+   the "mid-stage" crash point between the two pipeline halves.  The
+   per-cell [cache_dir] is deliberately absent: under a journal the
+   store was merged at [journal_open] and summaries stream to the WAL
+   through [Incr.add]; in atomic mode the caller brackets the sweep
+   with one load/save. *)
+let resume_cell_fns ?entries ?configs ?(quick = true) ~jobs ~goal () :
+    (string * (attempt:int -> Gp_core.Budget.t ->
+               (resume_payload, Gp_core.Fail.t) result))
+    list =
+  let planner_config =
+    { Gp_core.Planner.default_config with
+      Gp_core.Planner.node_budget = 1200; max_plans = 6 }
+  in
+  survey_cells ?entries ?configs ~quick (fun entry cname cfg ->
+      let prog = entry.Gp_corpus.Programs.name in
+      ( resume_cell_key prog cname,
+        fun ~attempt:_ budget ->
+          let image =
+            Gp_codegen.Pipeline.compile
+              ~transform:(Gp_obf.Obf.transform cfg)
+              entry.Gp_corpus.Programs.source
+          in
+          Gp_core.Gadget.reset_ids ();
+          let a = Gp_core.Api.analyze ~budget ~jobs image in
+          Gp_util.Store.crash_point "mid-stage";
+          let o =
+            Gp_core.Api.run_with_analysis ~planner_config ~budget ~jobs a goal
+          in
+          Ok
+            { rp_program = prog;
+              rp_config = cname;
+              rp_pool = Gp_core.Pool.size a.Gp_core.Api.pool;
+              rp_chains =
+                List.map Gp_core.Payload.chain_set_key o.Gp_core.Api.chains;
+              rp_rungs = List.map Gp_core.Api.rung_name o.Gp_core.Api.rungs;
+              rp_counters = resume_counters o } ))
+
+(* One journaled, checkpointed sweep over [cells] in [dir]: open the
+   store journal and the cell manifest, run the corpus (replaying
+   completed cells when [resume]), then compact and close.  Returns
+   the outcomes, the runner report, and the journal-open info. *)
+let resume_sweep ?(policy = Runner.default_policy) ~dir ~resume cells =
+  let jo = Gp_core.Incr.journal_open ~dir in
+  let m = Runner.Manifest.open_ ~dir in
+  match
+    Runner.run_corpus ~policy ~manifest:m ~resume
+      ~encode:resume_payload_encode ~decode:resume_payload_decode cells
+  with
+  | outcomes, report ->
+    if Gp_core.Incr.journaling () then ignore (Gp_core.Incr.journal_close ());
+    Runner.Manifest.close m;
+    (outcomes, report, jo)
+  | exception e ->
+    (* simulated process death (or any real abort): drop fds WITHOUT
+       flushing — a normal close here would complete the very writes
+       the crash is supposed to have torn *)
+    Gp_core.Incr.journal_abandon ();
+    Runner.Manifest.abandon m;
+    raise e
+
+let resume_json path ~jobs ~t_atomic ~t_wal ~overhead ~rows ~all_identical
+    ~jobs_invariant =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"resume\",\n";
+  p "  \"generated_unix\": %.0f,\n" (Unix.time ());
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"cores\": %d,\n" (Gp_util.Par.available ());
+  p "  \"note\": \"crash-safe resumable sweeps (DESIGN.md section 13).  \
+     overhead compares a warm survey sweep persisting through the \
+     write-ahead journal (per-summary WAL appends + per-cell fsync'd \
+     checkpoints + final compaction) against the same sweep with one \
+     atomic save at the end.  Each crash row kills the sweep at an \
+     injected durability point (hits-th firing), then resumes from \
+     the WAL + cell manifest in a fresh world: completed_before cells \
+     replay from the checkpoint, the rest recompute, and 'identical' \
+     asserts the resumed sweep's encoded payloads equal the \
+     uninterrupted reference byte for byte.\",\n";
+  p "  \"wal_overhead\": %.4f,\n" overhead;
+  p "  \"t_atomic_s\": %.4f,\n" t_atomic;
+  p "  \"t_wal_s\": %.4f,\n" t_wal;
+  p "  \"jobs_invariant\": %b,\n" jobs_invariant;
+  p "  \"all_identical\": %b,\n" all_identical;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i (point, j, hits, crashed, completed, total, resumed, recomputed,
+            retries, wal_replayed, wal_torn, recovery_s, identical) ->
+      p "    { \"point\": %S, \"jobs\": %d, \"hits\": %d, \"crashed\": %b, \
+         \"completed_before\": %d, \"total\": %d, \"resumed\": %d, \
+         \"recomputed\": %d, \"retries\": %d, \"wal_replayed\": %d, \
+         \"wal_torn_bytes\": %d, \"recovery_s\": %.4f, \
+         \"recovered_fraction\": %.3f, \"identical\": %b }%s\n"
+        point j hits crashed completed total resumed recomputed retries
+        wal_replayed wal_torn recovery_s
+        (float_of_int resumed /. float_of_int (max 1 total))
+        identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let resume ?(quick = true) ?(jobs = 4) ?(cache_root = ".gp-cache/resume")
+    ?(out = "BENCH_resume.json") () =
+  let goal = Gp_core.Goal.Execve "/bin/sh" in
+  (* two programs x all configs keeps the many-sweep matrix inside
+     bench-suite time; full mode widens to the quick benchmark set *)
+  let entries =
+    if !smoke_mode then None
+    else if quick then
+      Some (List.map Gp_corpus.Programs.find [ "fibonacci"; "bubble_sort" ])
+    else Some (List.map Gp_corpus.Programs.find quick_benchmark_names)
+  in
+  let cells ~jobs = resume_cell_fns ?entries ~quick ~jobs ~goal () in
+  let jobs_list = if !smoke_mode then [ 1 ] else [ 1; jobs ] in
+  rm_rf cache_root;
+  (* --- uninterrupted references, one per job count --- *)
+  let payloads outcomes =
+    List.map
+      (fun (c : resume_payload Runner.cell_outcome) ->
+        match c.Runner.c_result with
+        | Ok p -> (c.Runner.c_key, resume_payload_encode p)
+        | Error f -> (c.Runner.c_key, "FAIL:" ^ Gp_core.Fail.label f))
+      outcomes
+  in
+  (* count wal-append firings during the reference so crash indices can
+     land mid-sweep deterministically *)
+  let append_fires = ref 0 in
+  let reference =
+    List.map
+      (fun j ->
+        let dir = Filename.concat cache_root (Printf.sprintf "ref-%d" j) in
+        reset_world ();
+        let saved = !Gp_util.Store.crash_hook in
+        Gp_util.Store.crash_hook :=
+          (fun p -> if p = "wal-append" then append_fires := !append_fires + 1);
+        let r =
+          Fun.protect
+            ~finally:(fun () -> Gp_util.Store.crash_hook := saved)
+            (fun () -> resume_sweep ~dir ~resume:false (cells ~jobs:j))
+        in
+        let outcomes, _, _ = r in
+        (j, payloads outcomes))
+      jobs_list
+  in
+  let ref_for j = List.assoc j reference in
+  let jobs_invariant =
+    match reference with
+    | (_, first) :: rest ->
+      List.for_all (fun (_, p) -> List.map snd p = List.map snd first) rest
+    | [] -> true
+  in
+  (* --- WAL overhead vs atomic save, warm sweep --- *)
+  let warm_dir = Filename.concat cache_root "warm" in
+  reset_world ();
+  ignore (resume_sweep ~dir:warm_dir ~resume:false (cells ~jobs));
+  (* manifest from the priming run must not short-circuit the timed
+     sweeps: they measure recompute + persistence, not replay *)
+  (try Sys.remove (Runner.Manifest.wal_path ~dir:warm_dir)
+   with Sys_error _ -> ());
+  reset_world ();
+  let (), t_atomic =
+    Gp_core.Api.timed (fun () ->
+        ignore (Gp_core.Incr.load ~dir:warm_dir);
+        ignore
+          (Runner.run_corpus ~encode:resume_payload_encode
+             ~decode:resume_payload_decode (cells ~jobs));
+        match Gp_core.Incr.save ~dir:warm_dir with Ok () | Error _ -> ())
+  in
+  (try Sys.remove (Runner.Manifest.wal_path ~dir:warm_dir)
+   with Sys_error _ -> ());
+  reset_world ();
+  let (), t_wal =
+    Gp_core.Api.timed (fun () ->
+        ignore (resume_sweep ~dir:warm_dir ~resume:false (cells ~jobs)))
+  in
+  let overhead = (t_wal /. Float.max 1e-9 t_atomic) -. 1. in
+  (* --- crash injection x resume differential --- *)
+  let points =
+    [ ("wal-append", max 1 (!append_fires / (2 * List.length jobs_list)));
+      ("save-rename", 1);
+      ("mid-stage", if !smoke_mode then 1 else 2) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (point, hits) ->
+        List.map
+          (fun j ->
+            let dir =
+              Filename.concat cache_root (Printf.sprintf "%s-%d" point j)
+            in
+            reset_world ();
+            let crashed =
+              match
+                Faultsim.with_crash_at ~hits ~point (fun () ->
+                    resume_sweep ~dir ~resume:false (cells ~jobs:j))
+              with
+              | Error _ -> true (* resume_sweep already abandoned the fds *)
+              | Ok _ -> false
+            in
+            reset_world ();
+            let (outcomes, report, jo), recovery_s =
+              Gp_core.Api.timed (fun () ->
+                  resume_sweep ~dir ~resume:true (cells ~jobs:j))
+            in
+            let wal_replayed, wal_torn =
+              match jo.Gp_core.Incr.jo_status with
+              | Gp_core.Incr.Loaded li ->
+                (li.Gp_core.Incr.li_wal_replayed,
+                 li.Gp_core.Incr.li_wal_truncated)
+              | _ -> (0, 0)
+            in
+            let identical = payloads outcomes = ref_for j in
+            ( point, j, hits, crashed, report.Runner.r_resumed,
+              report.Runner.r_total, report.Runner.r_resumed,
+              report.Runner.r_computed, report.Runner.r_retries,
+              wal_replayed, wal_torn, recovery_s, identical ))
+          jobs_list)
+      points
+  in
+  let all_identical =
+    List.for_all
+      (fun (_, _, _, _, _, _, _, _, _, _, _, _, id) -> id)
+      rows
+  in
+  let t =
+    Table.create ~title:"Crash-safe resumable sweeps (DESIGN.md §13)"
+      ~header:
+        [ "point"; "jobs"; "crashed"; "resumed"; "recomputed"; "total";
+          "recovery(s)"; "identical" ]
+  in
+  List.iter
+    (fun (point, j, _, crashed, _, total, resumed, recomputed, _, _, _,
+          recovery_s, identical) ->
+      Table.add_row t
+        [ point; string_of_int j;
+          (if crashed then "yes" else "no");
+          string_of_int resumed; string_of_int recomputed;
+          string_of_int total; Printf.sprintf "%.2f" recovery_s;
+          (if identical then "yes" else "NO") ])
+    rows;
+  let body =
+    Table.render t
+    ^ Printf.sprintf
+        "\nWAL overhead vs atomic save (warm sweep): %.1f%% (wal %.2fs, \
+         atomic %.2fs)\njobs-invariant: %b   all resumes identical: %b\n"
+        (overhead *. 100.) t_wal t_atomic jobs_invariant all_identical
+  in
+  resume_json (out_path out) ~jobs ~t_atomic ~t_wal ~overhead ~rows
+    ~all_identical ~jobs_invariant;
+  (body, (overhead, rows, all_identical, jobs_invariant))

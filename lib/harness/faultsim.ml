@@ -134,3 +134,52 @@ let with_faults (cfg : config) (f : unit -> 'a) : 'a =
     if cfg.clock_skip_rate > 0. then Gp_core.Budget.reset_clock ()
   in
   Fun.protect ~finally f
+
+(* ----- crash-point injection (DESIGN.md §13) ----- *)
+
+(* Simulated process death.  [Store.crash_point] names the durability
+   points ("wal-append", "save-rename", "mid-stage"); installing a
+   raising hook at one of them models the process dying with the
+   channel buffers unflushed — callers must then tear state down with
+   the [abandon] entry points (which drop fds WITHOUT flushing, unlike
+   a normal close) so the on-disk bytes are exactly what a real kill
+   would have left.  Nothing in the tree catches [Crashed] except the
+   experiment driving the injection. *)
+exception Crashed of string
+
+(* Run [f] with a crash armed at the [hits]-th firing of [point]
+   (1-based; durability points fire many times per sweep, so the index
+   selects WHERE in the run the process dies).  Returns [Error point]
+   if the crash fired, [Ok v] if the run outlived the fuse.  The
+   previous hook is chained and always restored. *)
+let with_crash_at ?(hits = 1) ~point f =
+  let saved = !Gp_util.Store.crash_hook in
+  let count = ref 0 in
+  Gp_util.Store.crash_hook :=
+    (fun p ->
+      saved p;
+      if p = point then begin
+        incr count;
+        if !count = hits then raise (Crashed p)
+      end);
+  Fun.protect
+    ~finally:(fun () -> Gp_util.Store.crash_hook := saved)
+    (fun () ->
+      match f () with v -> Ok v | exception Crashed p -> Error p)
+
+(* Torn-write simulator: keep only the first [k] bytes of [path], as
+   if the process died with the tail not yet on disk.  The complement
+   of [corrupt_file]: truncation instead of bit flips, for the WAL's
+   valid-prefix recovery path. *)
+let truncate_file ~k path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let keep = min k n in
+  let b =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic keep)
+  in
+  let oc = open_out_bin path in
+  output_string oc b;
+  close_out oc

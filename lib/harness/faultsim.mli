@@ -45,3 +45,25 @@ val with_faults : config -> (unit -> 'a) -> 'a
     pure function of (seed, item), so the injected fault set is
     identical under any job count.  The streamed [Machine.chaos_fuse]
     stays installed for sequential direct-run sites. *)
+
+(** {1 Crash-point injection (DESIGN.md §13)} *)
+
+exception Crashed of string
+(** Simulated process death at a named durability point.  Raised from
+    the [Store.crash_point] hook; nothing in the tree catches it
+    except the experiment driving the injection. *)
+
+val with_crash_at :
+  ?hits:int -> point:string -> (unit -> 'a) -> ('a, string) result
+(** Arm a crash at the [hits]-th firing (1-based, default 1) of the
+    named point ("wal-append", "save-rename", "mid-stage").  [Error
+    point] if the crash fired; [Ok v] if the run outlived the fuse.
+    After a crash, tear state down with the [abandon] entry points
+    ([Incr.journal_abandon], [Runner.Manifest.abandon]) so fds drop
+    WITHOUT flushing, exactly like a real kill.  The previous hook is
+    chained and restored. *)
+
+val truncate_file : k:int -> string -> unit
+(** Torn-write simulator: keep only the first [k] bytes of the file
+    (clamped to its length) — the complement of {!corrupt_file} for
+    the WAL's valid-prefix recovery path. *)

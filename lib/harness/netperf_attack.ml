@@ -86,17 +86,46 @@ let run ?(planner_config = Workspace.gp_planner_config)
           Gp_core.Api.run_with_analysis ~planner_config ~budget
             b.Workspace.analysis goal
         in
+        (* Delivery runs under the corpus runner's retry policy: a
+           Timeout is fuel starvation (transient — classified through
+           the same [Fail] taxonomy the sweeps use), so the chain is
+           redelivered with doubled fuel up to the attempt cap;
+           Fault/Exited refute the chain outright (permanent, no
+           retry).  Zero base delay — the "backoff" here is the fuel
+           escalation, not wall-clock waiting. *)
+        let delivery_policy =
+          { Runner.default_policy with
+            max_attempts = 3;
+            base_delay_s = 0.;
+            jitter = 0. }
+        in
         let timeouts = ref 0 in
         let confirmed =
           List.filter
             (fun c ->
-              let fuel = Gp_core.Budget.emu_fuel ~cap:20_000_000 budget in
-              match fire_run ~fuel b.Workspace.image pr c with
-              | o when Gp_core.Goal.satisfied c.Gp_core.Payload.c_goal o -> true
-              | Gp_emu.Machine.Timeout ->
+              let key = Gp_core.Payload.chain_set_key c in
+              let outcome, _retries =
+                Runner.run_cell ~policy:delivery_policy ~key
+                  (fun ~attempt _watchdog ->
+                    let fuel =
+                      Gp_core.Budget.emu_fuel
+                        ~cap:(20_000_000 * (1 lsl (attempt - 1)))
+                        budget
+                    in
+                    match fire_run ~fuel b.Workspace.image pr c with
+                    | o when Gp_core.Goal.satisfied c.Gp_core.Payload.c_goal o
+                      -> Ok true
+                    | Gp_emu.Machine.Timeout ->
+                      Error
+                        (Gp_core.Fail.Budget_exhausted ("netperf-fire", `Fuel))
+                    | _ -> Ok false)
+              in
+              match outcome with
+              | Ok sat -> sat
+              | Error _ ->
+                (* still starving after every retry *)
                 incr timeouts;
-                false
-              | _ -> false)
+                false)
             o.Gp_core.Api.chains
         in
         Some

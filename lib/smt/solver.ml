@@ -800,6 +800,9 @@ let get_formulas r s pos = Formula.get_list r s pos
 
 let memo_section_names = [ "solver.check"; "solver.equal"; "solver.pool" ]
 
+let memo_count () =
+  Cache.length memo + Cache.length equal_memo + Cache.length pool_memo
+
 let export_memos () =
   [ { Gp_util.Store.name = "solver.check";
       entries = dump_memo memo put_formulas put_result };

@@ -131,6 +131,11 @@ val check :
 val memo_section_names : string list
 (** Store-section names owned by this module. *)
 
+val memo_count : unit -> int
+(** Total entries across the check/equal/pool memos.  O(1); memos are
+    add-only within a run, so an unchanged count means no delta to
+    export — checkpointing uses this to skip the serializing scan. *)
+
 val export_memos : unit -> Gp_util.Store.section list
 (** Serialize the check/equal/pool memos, entries sorted by serialized
     key (deterministic file bytes). *)

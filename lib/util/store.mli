@@ -47,6 +47,85 @@ val decode : schema:int -> string -> (section list, load_error) result
 
 val load : schema:int -> string -> (section list, load_error) result
 val save : schema:int -> string -> section list -> (unit, string) result
-(** [save] writes to a temp file in the target directory and renames it
-    into place (atomic on POSIX); the directory is created if needed.
-    Errors (permissions, disk full) are returned, never raised. *)
+(** [save] writes to a temp file in the target directory, fsyncs it,
+    and renames it into place (atomic on POSIX); the directory is
+    created if needed.  Errors (permissions, disk full) are returned,
+    never raised. *)
+
+val mkdir_p : string -> unit
+
+(** {1 Crash points}
+
+    Named durability points fired just before the dangerous operation
+    ("wal-append", "save-rename", and harness-level points such as
+    "mid-stage").  The default hook is a no-op; [Faultsim.with_crash_at]
+    installs one that raises to simulate process death. *)
+
+val crash_hook : (string -> unit) ref
+val crash_point : string -> unit
+
+(** {1 Advisory locking}
+
+    Single-writer discipline for a cache directory: [lockf] for the
+    cross-process guarantee plus an in-process registry (fcntl locks
+    never conflict within one process).  A second writer gets [Error]
+    and must demote to read-only. *)
+
+type lock
+
+val try_lock : ?name:string -> string -> (lock, string) result
+(** [try_lock dir] takes [dir/name] (default [".lock"]).  Non-blocking:
+    [Error reason] if another writer — in this process or another —
+    holds it. *)
+
+val unlock : lock -> unit
+
+(** {1 Write-ahead log}
+
+    Append-only, per-record checksummed journal kept as a sibling of a
+    store file ([base ^ ".wal"]).  Recovery walks the file from the
+    front and stops at the first short or checksum-failing record:
+    truncating the file at {e any} byte boundary yields the valid
+    record prefix (never an exception, never a wrong entry), and
+    {!Wal.open_append} physically truncates the torn tail before
+    appending resumes. *)
+
+module Wal : sig
+  val path_of : string -> string
+  (** [path_of base] is [base ^ ".wal"]. *)
+
+  type replay = {
+    entries : (string * string * string) list;
+        (** [(section, key, value)] in append order *)
+    torn_bytes : int;   (** bytes dropped from a torn tail; 0 = clean *)
+    valid_bytes : int;  (** file offset where the valid prefix ends *)
+  }
+
+  val decode : schema:int -> string -> (replay, load_error) result
+  val read : schema:int -> string -> (replay, load_error) result
+
+  type t
+
+  val open_append : schema:int -> string -> (t * replay, string) result
+  (** Replay the valid prefix, truncate any torn tail on disk, and
+      open a writer positioned at the end.  Missing/empty files get a
+      fresh header.  Foreign or stale files are an [Error] — the
+      caller decides whether to discard and start over. *)
+
+  val append : t -> section:string -> key:string -> value:string -> unit
+  (** Buffered append of one checksummed record (thread-safe).  Raises
+      [Failure] on I/O errors or append-after-close. *)
+
+  val appended : t -> int
+  val sync : t -> unit
+  (** Flush + fsync: everything appended so far survives power loss. *)
+
+  val reset : t -> unit
+  (** Chop back to a bare header after a successful compaction. *)
+
+  val close : t -> unit
+
+  val abandon : t -> unit
+  (** Simulated-crash teardown: drop the fd {e without} flushing, as if
+      the process had died.  Test harness only. *)
+end

@@ -24,6 +24,7 @@ let suites =
     ("baselines", Test_baselines.suite);
     ("corpus", Test_corpus.suite);
     ("harness", Test_harness.suite);
+    ("runner", Test_runner.suite);
     ("resilience", Test_resilience.suite);
     ("par", Test_par.suite);
     ("plan_par", Test_plan_par.suite);

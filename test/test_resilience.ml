@@ -348,6 +348,170 @@ let test_summarize_r_consistency () =
     (List.length (Gp_symx.Exec.summarize image 0x400000L))
     (List.length s)
 
+(* ----- crash-safe resumable sweeps (DESIGN.md §13) ----- *)
+
+let jobs_under_test =
+  match Sys.getenv_opt "JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gp-resil-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    Gp_harness.Experiments.rm_rf d;
+    d
+
+(* Atomic-save crash point (the fsync-before-rename fix): a process
+   dying right before the rename leaves the previous store contents
+   intact — the half-written temp file never shadows the target. *)
+let test_save_rename_crash_keeps_old () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "t.gpst" in
+  let v1 = [ { Gp_util.Store.name = "s"; entries = [ ("k", "v1") ] } ] in
+  (match Gp_util.Store.save ~schema:3 path v1 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail ("seed save: " ^ e));
+  let v2 = [ { Gp_util.Store.name = "s"; entries = [ ("k", "v2") ] } ] in
+  (match
+     Gp_harness.Faultsim.with_crash_at ~point:"save-rename" (fun () ->
+         Gp_util.Store.save ~schema:3 path v2)
+   with
+   | Error "save-rename" -> ()
+   | Ok _ -> Alcotest.fail "crash fuse did not fire"
+   | Error p -> Alcotest.fail ("wrong point: " ^ p));
+  (match Gp_util.Store.load ~schema:3 path with
+   | Ok s -> Alcotest.(check bool) "old contents intact" true (s = v1)
+   | Error e ->
+     Alcotest.fail ("reload: " ^ Gp_util.Store.error_reason e));
+  Gp_harness.Experiments.rm_rf dir
+
+(* Store-independent analysis fingerprint (as in test_incr), minus the
+   store-health quarantine labels a recovered run legitimately adds. *)
+let incr_fingerprint (a : Gp_core.Api.analysis) =
+  ( List.map (fun (g : Gp_core.Gadget.t) -> g.Gp_core.Gadget.addr)
+      a.Gp_core.Api.gadgets,
+    a.Gp_core.Api.raw_extracted,
+    List.filter
+      (fun (label, _) ->
+        label <> "store" && label <> "store-locked" && label <> "wal-torn")
+      a.Gp_core.Api.quarantined,
+    a.Gp_core.Api.analysis_budget_hits )
+
+(* Truncating the store journal at assorted byte boundaries (including
+   mid-header and zero) must never raise, and a warm run over the
+   damaged journal must equal the cold run bit for bit: the valid
+   prefix replays, the tail is recomputed. *)
+let test_incr_wal_truncation_demotes_cleanly () =
+  let dir = tmp_dir () in
+  let image = Lazy.force fib_image in
+  Gp_harness.Experiments.reset_world ();
+  let jo = Gp_core.Incr.journal_open ~dir in
+  (match jo.Gp_core.Incr.jo_mode with
+   | `Journaling -> ()
+   | `Read_only why -> Alcotest.fail ("unexpected demotion: " ^ why));
+  ignore (Gp_core.Api.analyze ~jobs:1 image);
+  (match Gp_core.Incr.journal_checkpoint () with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail ("checkpoint: " ^ e));
+  (* die without compacting: the WAL is the only copy on disk *)
+  Gp_core.Incr.journal_abandon ();
+  let wal = Gp_core.Incr.wal_path ~dir in
+  let size = (Unix.stat wal).Unix.st_size in
+  Alcotest.(check bool) "journal captured summaries" true (size > 100);
+  Gp_harness.Experiments.reset_world ();
+  let reference = incr_fingerprint (Gp_core.Api.analyze ~jobs:1 image) in
+  List.iter
+    (fun k ->
+      Gp_harness.Faultsim.truncate_file ~k wal;
+      (* keep the WAL the only source: analyze re-saves a base store *)
+      (try Sys.remove (Gp_core.Incr.path ~dir) with Sys_error _ -> ());
+      Gp_harness.Experiments.reset_world ();
+      (match Gp_core.Incr.load ~dir with
+       | Gp_core.Incr.Loaded _ | Gp_core.Incr.Absent
+       | Gp_core.Incr.Rejected _ -> ());
+      Gp_harness.Experiments.reset_world ();
+      let warm = Gp_core.Api.analyze ~cache_dir:dir ~jobs:1 image in
+      Alcotest.(check bool)
+        (Printf.sprintf "truncated at %d: identical to cold" k)
+        true
+        (incr_fingerprint warm = reference))
+    [ size - 1; size * 3 / 4; size / 2; 21; 20; 7; 0 ];
+  Gp_harness.Experiments.rm_rf dir
+
+(* The acceptance differential: kill a checkpointed sweep at each
+   injected crash point, resume it in a fresh world, and require the
+   resumed sweep's encoded payloads to equal an uninterrupted
+   reference byte for byte.  JOBS sweeps the job count (make
+   check-resume runs 1 and 4). *)
+let crash_cells ~jobs () =
+  Gp_harness.Experiments.resume_cell_fns
+    ~entries:[ Gp_corpus.Programs.find "fibonacci" ]
+    ~configs:
+      (List.filter
+         (fun (n, _) -> n = "original" || n = "tigress")
+         Gp_harness.Workspace.obf_configs)
+    ~quick:true ~jobs ~goal:(Gp_core.Goal.Execve "/bin/sh") ()
+
+let sweep_payloads outcomes =
+  List.map
+    (fun (c : Gp_harness.Experiments.resume_payload
+             Gp_harness.Runner.cell_outcome) ->
+      match c.Gp_harness.Runner.c_result with
+      | Ok p ->
+        (c.Gp_harness.Runner.c_key,
+         Gp_harness.Experiments.resume_payload_encode p)
+      | Error f ->
+        (c.Gp_harness.Runner.c_key, "FAIL:" ^ Gp_core.Fail.label f))
+    outcomes
+
+let check_crash_resume jobs () =
+  let refdir = tmp_dir () in
+  Gp_harness.Experiments.reset_world ();
+  let ro, _, _ =
+    Gp_harness.Experiments.resume_sweep ~dir:refdir ~resume:false
+      (crash_cells ~jobs ())
+  in
+  let reference = sweep_payloads ro in
+  Gp_harness.Experiments.rm_rf refdir;
+  Alcotest.(check int) "reference covers the grid" 2 (List.length reference);
+  List.iter
+    (fun (point, hits) ->
+      let dir = tmp_dir () in
+      Gp_harness.Experiments.reset_world ();
+      let crashed =
+        match
+          Gp_harness.Faultsim.with_crash_at ~hits ~point (fun () ->
+              Gp_harness.Experiments.resume_sweep ~dir ~resume:false
+                (crash_cells ~jobs ()))
+        with
+        | Ok _ -> false
+        | Error p ->
+          Alcotest.(check string) "died at the armed point" point p;
+          true
+      in
+      Alcotest.(check bool) (point ^ ": fuse fired") true crashed;
+      Gp_harness.Experiments.reset_world ();
+      let ro2, report, _ =
+        Gp_harness.Experiments.resume_sweep ~dir ~resume:true
+          (crash_cells ~jobs ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (jobs %d): resume == uninterrupted" point jobs)
+        true
+        (sweep_payloads ro2 = reference);
+      Alcotest.(check int)
+        (point ^ ": resume covers everything")
+        2
+        (report.Gp_harness.Runner.r_resumed
+         + report.Gp_harness.Runner.r_computed);
+      Gp_harness.Experiments.rm_rf dir)
+    [ ("wal-append", 5); ("mid-stage", 2); ("save-rename", 1) ]
+
 let suite =
   [ Alcotest.test_case "budget fuel" `Quick test_budget_fuel;
     Alcotest.test_case "budget deadline + monotonic clock" `Quick
@@ -382,4 +546,12 @@ let suite =
     Alcotest.test_case "sweep under 10% injection" `Slow
       test_sweep_under_injection;
     Alcotest.test_case "summarize_r consistency" `Quick
-      test_summarize_r_consistency ]
+      test_summarize_r_consistency;
+    Alcotest.test_case "save-rename crash keeps old store" `Quick
+      test_save_rename_crash_keeps_old;
+    Alcotest.test_case "store WAL truncation demotes cleanly" `Slow
+      test_incr_wal_truncation_demotes_cleanly;
+    Alcotest.test_case
+      (Printf.sprintf "crash/resume differential (jobs %d)" jobs_under_test)
+      `Slow
+      (check_crash_resume jobs_under_test) ]

@@ -88,6 +88,200 @@ let test_image_cstring () =
   Alcotest.(check string) "second" "there"
     (Gp_util.Image.read_cstring img 0x600003L)
 
+(* ----- Store: advisory locks and the write-ahead log ----- *)
+
+let store_schema = 7
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gp-util-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Sys.remove d with Sys_error _ -> ());
+    Gp_util.Store.mkdir_p d;
+    d
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Deliberately awkward payloads: empties, embedded NULs and
+   newlines, a record-length-sized blob. *)
+let wal_records =
+  [ ("summaries", "k1", "v1");
+    ("summaries", "", "");
+    ("memos", "key\x00with\nnoise", String.make 300 '\xab');
+    ("memos", "k2", "last") ]
+
+let wal_write dir records =
+  let path = Gp_util.Store.Wal.path_of (Filename.concat dir "s") in
+  (match Gp_util.Store.Wal.open_append ~schema:store_schema path with
+   | Ok (w, _) ->
+     List.iter
+       (fun (s, k, v) ->
+         Gp_util.Store.Wal.append w ~section:s ~key:k ~value:v)
+       records;
+     Gp_util.Store.Wal.close w
+   | Error e -> Alcotest.fail ("open_append: " ^ e));
+  path
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let test_wal_roundtrip () =
+  let dir = tmp_dir () in
+  let path = wal_write dir wal_records in
+  (match Gp_util.Store.Wal.read ~schema:store_schema path with
+   | Ok r ->
+     Alcotest.(check bool) "entries back in order" true
+       (r.Gp_util.Store.Wal.entries = wal_records);
+     Alcotest.(check int) "clean tail" 0 r.Gp_util.Store.Wal.torn_bytes
+   | Error e ->
+     Alcotest.fail ("read: " ^ Gp_util.Store.error_reason e));
+  Sys.remove path
+
+(* The recovery contract, exhaustively: chopping the journal at ANY
+   byte boundary yields the valid record prefix — never an exception,
+   never a reordered or invented entry. *)
+let test_wal_truncation_every_byte () =
+  let dir = tmp_dir () in
+  let path = wal_write dir wal_records in
+  let full = read_file path in
+  let n = String.length full in
+  for k = 0 to n do
+    match Gp_util.Store.Wal.decode ~schema:store_schema (String.sub full 0 k) with
+    | Ok r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "prefix at %d/%d bytes" k n)
+        true
+        (is_prefix r.Gp_util.Store.Wal.entries wal_records);
+      Alcotest.(check bool)
+        (Printf.sprintf "accounting at %d" k)
+        true
+        (r.Gp_util.Store.Wal.valid_bytes + r.Gp_util.Store.Wal.torn_bytes = k);
+      if k = n then begin
+        Alcotest.(check bool) "full file replays all" true
+          (r.Gp_util.Store.Wal.entries = wal_records);
+        Alcotest.(check int) "full file clean" 0 r.Gp_util.Store.Wal.torn_bytes
+      end
+    | Error e ->
+      Alcotest.fail
+        (Printf.sprintf "truncation at %d raised %s" k
+           (Gp_util.Store.error_reason e))
+  done;
+  Sys.remove path
+
+let prop_wal_truncation (records, cut) =
+  let dir = tmp_dir () in
+  let path = wal_write dir records in
+  let full = read_file path in
+  let k = cut mod (String.length full + 1) in
+  let ok =
+    match Gp_util.Store.Wal.decode ~schema:store_schema (String.sub full 0 k) with
+    | Ok r ->
+      is_prefix r.Gp_util.Store.Wal.entries records
+      && r.Gp_util.Store.Wal.valid_bytes + r.Gp_util.Store.Wal.torn_bytes = k
+    | Error _ -> false
+  in
+  Sys.remove path;
+  ok
+
+(* Single flipped bytes anywhere in the file: recovery returns a
+   prefix of the true entries (the per-record checksum stops the walk)
+   or rejects the file outright — never raises, never a wrong entry. *)
+let test_wal_bitflip_prefix_or_reject () =
+  let dir = tmp_dir () in
+  let path = wal_write dir wal_records in
+  let full = read_file path in
+  let n = String.length full in
+  List.iter
+    (fun i ->
+      let i = i mod n in
+      let b = Bytes.of_string full in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+      match Gp_util.Store.Wal.decode ~schema:store_schema (Bytes.to_string b) with
+      | Ok r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "flip at %d yields a true prefix" i)
+          true
+          (is_prefix r.Gp_util.Store.Wal.entries wal_records)
+      | Error _ -> ())
+    [ 0; 3; 4; 11; 19; 20; 25; 40; n / 2; n - 300; n - 20; n - 1 ];
+  Sys.remove path
+
+let test_wal_open_after_torn () =
+  let dir = tmp_dir () in
+  let path = wal_write dir wal_records in
+  let n = String.length (read_file path) in
+  (* tear the last record mid-body *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (n - 2);
+  Unix.close fd;
+  (match Gp_util.Store.Wal.open_append ~schema:store_schema path with
+   | Error e -> Alcotest.fail ("open after tear: " ^ e)
+   | Ok (w, replay) ->
+     Alcotest.(check int) "valid prefix survives" 3
+       (List.length replay.Gp_util.Store.Wal.entries);
+     Alcotest.(check bool) "tear measured" true
+       (replay.Gp_util.Store.Wal.torn_bytes > 0);
+     Gp_util.Store.Wal.append w ~section:"memos" ~key:"k3" ~value:"appended";
+     Gp_util.Store.Wal.close w);
+  (match Gp_util.Store.Wal.read ~schema:store_schema path with
+   | Ok r ->
+     Alcotest.(check bool) "append lands after the truncated tail" true
+       (r.Gp_util.Store.Wal.entries
+      = [ ("summaries", "k1", "v1"); ("summaries", "", "");
+          ("memos", "key\x00with\nnoise", String.make 300 '\xab');
+          ("memos", "k3", "appended") ])
+   | Error e -> Alcotest.fail ("reread: " ^ Gp_util.Store.error_reason e));
+  Sys.remove path
+
+let test_wal_foreign_rejected () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "foreign.wal" in
+  let oc = open_out_bin path in
+  output_string oc "NOPE and then some bytes";
+  close_out oc;
+  (match Gp_util.Store.Wal.read ~schema:store_schema path with
+   | Error (Gp_util.Store.Corrupt _) -> ()
+   | Ok _ -> Alcotest.fail "foreign magic must not replay"
+   | Error e -> Alcotest.fail ("wrong class: " ^ Gp_util.Store.error_reason e));
+  (match Gp_util.Store.Wal.open_append ~schema:store_schema path with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "open_append must refuse a foreign file");
+  (* wrong schema version: stale, not corrupt *)
+  let path2 = wal_write dir [ ("s", "k", "v") ] in
+  (match Gp_util.Store.Wal.read ~schema:(store_schema + 1) path2 with
+   | Error (Gp_util.Store.Stale _) -> ()
+   | _ -> Alcotest.fail "schema bump must read as stale");
+  Sys.remove path;
+  Sys.remove path2
+
+let test_store_lock_exclusion () =
+  let dir = tmp_dir () in
+  match Gp_util.Store.try_lock dir with
+  | Error e -> Alcotest.fail ("first lock: " ^ e)
+  | Ok l ->
+    (match Gp_util.Store.try_lock dir with
+     | Ok _ -> Alcotest.fail "second writer must be refused"
+     | Error _ -> ());
+    (* distinct lock names don't conflict *)
+    (match Gp_util.Store.try_lock ~name:".other.lock" dir with
+     | Ok l2 -> Gp_util.Store.unlock l2
+     | Error e -> Alcotest.fail ("distinct name: " ^ e));
+    Gp_util.Store.unlock l;
+    (match Gp_util.Store.try_lock dir with
+     | Ok l3 -> Gp_util.Store.unlock l3
+     | Error e -> Alcotest.fail ("relock after unlock: " ^ e))
+
 let suite =
   [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
@@ -100,4 +294,23 @@ let suite =
     Alcotest.test_case "image bounds" `Quick test_image_bounds;
     Alcotest.test_case "image unmapped raises" `Quick test_image_unmapped_raises;
     Alcotest.test_case "image symbols" `Quick test_image_symbols;
-    Alcotest.test_case "image cstring" `Quick test_image_cstring ]
+    Alcotest.test_case "image cstring" `Quick test_image_cstring;
+    Alcotest.test_case "wal roundtrip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal truncation every byte" `Quick
+      test_wal_truncation_every_byte;
+    Gen.qtest "wal truncation (random records)" ~count:60
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 0 6)
+             (triple (string_size (int_range 0 8))
+                (string_size (int_range 0 12))
+                (string_size (int_range 0 64))))
+          (int_range 0 10_000))
+      prop_wal_truncation;
+    Alcotest.test_case "wal bit flips: prefix or reject" `Quick
+      test_wal_bitflip_prefix_or_reject;
+    Alcotest.test_case "wal append after torn tail" `Quick
+      test_wal_open_after_torn;
+    Alcotest.test_case "wal foreign/stale rejected" `Quick
+      test_wal_foreign_rejected;
+    Alcotest.test_case "store lock exclusion" `Quick test_store_lock_exclusion ]
