@@ -30,11 +30,16 @@
 # the crash-injection differential in test_resilience (kill the sweep
 # at each durability point, resume, require bit-identical results) at
 # JOBS=1 and JOBS=4.
+#
+# `make check-sweep` sweeps the pipelined corpus scheduler (test_sweep:
+# deque/DAG property tests, 4-domain shared-state stress, and the
+# DAG-vs-sequential-loop byte differential incl. fault injection and
+# crash/resume — DESIGN.md §14) at JOBS=1 and JOBS=4.
 
 CHECK_TIMEOUT ?= 600
 
 .PHONY: all build test check check-par check-plan-par check-incr \
-	check-screen check-resume check-bench clean
+	check-screen check-resume check-sweep check-bench clean
 
 all: build
 
@@ -45,7 +50,7 @@ test:
 	dune runtest
 
 check: build check-par check-plan-par check-incr check-screen \
-	check-resume check-bench
+	check-resume check-sweep check-bench
 
 check-par:
 	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
@@ -69,6 +74,11 @@ check-resume:
 	dune build test/test_main.exe
 	SUITES=util,runner,resilience JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 	SUITES=util,runner,resilience JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+
+check-sweep:
+	dune build test/test_main.exe
+	SUITES=sweep JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+	SUITES=sweep JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 
 check-bench:
 	dune build bench/main.exe

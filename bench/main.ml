@@ -25,10 +25,16 @@
                                               # differential under injected
                                               # crash points (writes
                                               # BENCH_resume.json)
+     dune exec bench/main.exe -- --only sweep --jobs 4
+                                              # sequential cell loop vs the
+                                              # pipelined cell x stage DAG
+                                              # (writes BENCH_sweep.json)
      dune exec bench/main.exe -- --quick      # smoke mode: one program, one
                                               # config (the `make check-bench`
                                               # end-to-end assertion)
      dune exec bench/main.exe -- --no-screen  # ablation: screening disabled
+     dune exec bench/main.exe -- --no-sweep   # ablation: corpus scheduler off
+                                              # (sweeps run the sequential loop)
 
    Absolute numbers differ from the paper (their substrate was a real
    x86-64 testbed, ours is the simulator stack described in DESIGN.md);
@@ -58,6 +64,9 @@ let run_experiment ~quick ~jobs ?cache_dir id =
     let txt, _ =
       Gp_harness.Experiments.resume ~quick ~jobs ?cache_root:cache_dir ()
     in
+    print_string txt
+  | "sweep" ->
+    let txt, _ = Gp_harness.Experiments.sweep ~quick ~jobs () in
     print_string txt
   | "fig1" ->
     let txt, _ = Gp_harness.Experiments.fig1 ~quick () in
@@ -103,7 +112,7 @@ let run_experiment ~quick ~jobs ?cache_dir id =
 
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
-    "tab7"; "par"; "plan"; "incr"; "screen"; "resume"; "cfi_study";
+    "tab7"; "par"; "plan"; "incr"; "screen"; "resume"; "sweep"; "cfi_study";
     "ablation_unaligned"; "ablation_subsumption"; "ablation_condjump";
     "ablation_seeds" ]
 
@@ -185,6 +194,7 @@ let () =
   let smoke = List.mem "--quick" argv in
   if smoke then Gp_harness.Experiments.set_smoke true;
   if List.mem "--no-screen" argv then Gp_smt.Solver.set_screen_enabled false;
+  if List.mem "--no-sweep" argv then Gp_harness.Experiments.set_sched false;
   let mode_name = if smoke then "smoke" else if quick then "quick" else "full" in
   let bechamel = List.mem "--bechamel" argv in
   let only =

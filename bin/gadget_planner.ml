@@ -286,31 +286,56 @@ let survey_cmd =
                    (timeout, exhausted budget) is recorded as final.")
   in
   let run goal manifest resume full budget jobs max_attempts json_errors
-      no_screen =
+      no_screen no_sweep =
     apply_screen no_screen;
     let module R = Gp_harness.Runner in
     let module E = Gp_harness.Experiments in
+    let module S = Gp_harness.Sched in
     if resume && manifest = None then begin
       emit_failure ~json:json_errors "usage" "--resume requires --manifest DIR";
       exit Cmd.Exit.cli_error
     end;
+    if no_sweep then E.set_sched false;
     let policy =
       { R.default_policy with R.max_attempts; attempt_seconds = budget }
     in
-    let cells =
-      E.resume_cell_fns ~quick:(not full) ~jobs ~goal:(goal_of_name goal) ()
-    in
     let outcomes, report, jo =
-      match manifest with
-      | Some dir ->
-        let o, r, jo = E.resume_sweep ~policy ~dir ~resume cells in
-        (o, r, Some jo)
-      | None ->
-        let o, r =
-          R.run_corpus ~policy ~encode:E.resume_payload_encode
-            ~decode:E.resume_payload_decode cells
+      if no_sweep then begin
+        (* legacy sequential cell loop: [jobs] parallelizes WITHIN each
+           cell's stages *)
+        let cells =
+          E.resume_cell_fns ~quick:(not full) ~jobs ~goal:(goal_of_name goal)
+            ()
         in
-        (o, r, None)
+        match manifest with
+        | Some dir ->
+          let o, r, jo = E.resume_sweep ~policy ~dir ~resume cells in
+          (o, r, Some jo)
+        | None ->
+          let o, r =
+            R.run_corpus ~policy ~encode:E.resume_payload_encode
+              ~decode:E.resume_payload_decode cells
+          in
+          (o, r, None)
+      end
+      else begin
+        (* pipelined cell x stage DAG (DESIGN.md §14): [jobs] sizes the
+           shared work-stealing pool ACROSS cells; results are
+           bit-identical to the sequential loop at any job count *)
+        let cells =
+          E.sweep_cell_steps ~quick:(not full) ~goal:(goal_of_name goal) ()
+        in
+        match manifest with
+        | Some dir ->
+          let o, r, jo = E.sched_sweep ~policy ~dir ~resume ~jobs cells in
+          (o, r, Some jo)
+        | None ->
+          let o, r =
+            S.run_cells ~policy ~encode:E.resume_payload_encode
+              ~decode:E.resume_payload_decode ~jobs cells
+          in
+          (o, r, None)
+      end
     in
     List.iter
       (fun (c : E.resume_payload R.cell_outcome) ->
@@ -362,12 +387,21 @@ let survey_cmd =
         fails;
       exit (Gp_core.Fail.exit_code first)
   in
+  let no_sweep_arg =
+    Arg.(value & flag
+         & info [ "no-sweep" ]
+             ~doc:"Ablation: run the legacy sequential cell loop \
+                   instead of the pipelined cell x stage scheduler.  \
+                   $(b,--jobs) then parallelizes within each cell \
+                   rather than across cells.  Results are identical \
+                   either way.")
+  in
   Cmd.v
     (Cmd.info "survey"
        ~doc:"Checkpointed corpus sweep with crash-safe resume.")
     Term.(const run $ goal_arg $ manifest_arg $ resume_arg $ full_arg
           $ budget_arg $ jobs_arg $ attempts_arg $ json_errors_arg
-          $ no_screen_arg)
+          $ no_screen_arg $ no_sweep_arg)
 
 (* ----- netperf ----- *)
 

@@ -199,15 +199,38 @@ let store_save quarantined = function
       Fail.merge_counts quarantined
         [ (Fail.label (Fail.Store_rejected why), 1) ])
 
-(* Stages 1-2, shared by [analyze] and [run]: harvest (quarantining
-   poisoned starts internally), then subsumption (which only ever
-   shrinks the pool, so budget death or an error degrades to passing
-   the harvest through untouched).  Also returns the RAW harvest, which
-   the degradation ladder re-pools without subsumption. *)
-let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
-    (image : Gp_util.Image.t) : analysis * Gadget.t list =
-  let ch0, cm0 = cache_counters () in
-  let sc0 = screen_counters () in
+(* ----- per-stage continuations (DESIGN.md §14) -----
+
+   The four stages are also exposed one at a time, each returning the
+   explicit intermediate state the next one consumes, so a corpus
+   scheduler (Sched) can interleave stages of DIFFERENT cells on one
+   domain pool.  The monolithic entry points below ([analyze_raw],
+   [run_with_analysis]) are compositions of these, so the sequential
+   path and the staged path are the same code. *)
+
+type extracted = {
+  ex_image : Gp_util.Image.t;
+  ex_harvested : Gadget.t list;
+  ex_hstats : Extract.harvest_stats;
+  ex_extract_time : float;
+  ex_store_loaded : int;
+  ex_store_stale : int;
+  ex_wal_replayed : int;
+  ex_wal_truncated : int;
+  ex_store_quar : (string * int) list;
+  ex_cache0 : int * int;
+      (* solver-memo counter snapshot at stage-1 entry.  Global deltas:
+         when stages of different cells interleave, another cell's
+         traffic lands in them — which is why every temperature counter
+         is excluded from the differential payload (DESIGN.md §14). *)
+  ex_screen0 : int * int * int * int;
+}
+
+let stage_extract ?(extract_config = Extract.default_config) ?cache_dir
+    ?budget ?(jobs = 1) ?ids (image : Gp_util.Image.t) : extracted =
+  let root = match budget with Some b -> b | None -> Budget.unlimited () in
+  let ex_cache0 = cache_counters () in
+  let ex_screen0 = screen_counters () in
   let store_loaded, store_stale, wal_replayed, wal_truncated, store_quar =
     store_open cache_dir
   in
@@ -217,7 +240,7 @@ let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
           timed (fun () ->
               Extract.harvest_r ~config:extract_config
                 ~budget:(Budget.sub root ~label:"extract" ~fraction:0.6 ())
-                ~jobs image))
+                ~jobs ?ids image))
     with
     | Ok v -> v
     | Error f ->
@@ -230,6 +253,23 @@ let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
             h_decode_saved = 0 } ),
         0. )
   in
+  { ex_image = image;
+    ex_harvested = harvested;
+    ex_hstats = hstats;
+    ex_extract_time = extract_time;
+    ex_store_loaded = store_loaded;
+    ex_store_stale = store_stale;
+    ex_wal_replayed = wal_replayed;
+    ex_wal_truncated = wal_truncated;
+    ex_store_quar = store_quar;
+    ex_cache0;
+    ex_screen0 }
+
+let stage_subsume ?(subsume = true) ?budget ?(jobs = 1) (ex : extracted) :
+    analysis * Gadget.t list =
+  let root = match budget with Some b -> b | None -> Budget.unlimited () in
+  let harvested = ex.ex_harvested in
+  let hstats = ex.ex_hstats in
   let u0 = Atomic.get Gp_smt.Solver.unknowns in
   let (minimal, sstats), subsume_time =
     match
@@ -245,29 +285,41 @@ let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
     | Error _ ->
       ((harvested, { (passthrough_stats harvested) with timed_out = true }), 0.)
   in
-  ( { image;
+  ( { image = ex.ex_image;
       gadgets = minimal;
       pool = Pool.build minimal;
       raw_extracted = List.length harvested;
-      extract_time;
+      extract_time = ex.ex_extract_time;
       subsume_time;
       quarantined =
-        Fail.merge_counts store_quar hstats.Extract.h_quarantined;
+        Fail.merge_counts ex.ex_store_quar hstats.Extract.h_quarantined;
       analysis_budget_hits =
         (if hstats.Extract.h_budget_hit then [ "extract" ] else [])
         @ (if sstats.Subsume.timed_out then [ "subsume" ] else []);
       analysis_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
-      analysis_cache_hits = fst (cache_counters ()) - ch0;
-      analysis_cache_misses = snd (cache_counters ()) - cm0;
-      analysis_screen = screen_delta sc0 (screen_counters ());
+      analysis_cache_hits = fst (cache_counters ()) - fst ex.ex_cache0;
+      analysis_cache_misses = snd (cache_counters ()) - snd ex.ex_cache0;
+      analysis_screen = screen_delta ex.ex_screen0 (screen_counters ());
       analysis_summary_hits = hstats.Extract.h_summary_hits;
       analysis_summary_misses = hstats.Extract.h_summary_misses;
       analysis_decode_saved = hstats.Extract.h_decode_saved;
-      analysis_store_loaded = store_loaded;
-      analysis_store_stale = store_stale;
-      analysis_wal_replayed = wal_replayed;
-      analysis_wal_truncated = wal_truncated },
+      analysis_store_loaded = ex.ex_store_loaded;
+      analysis_store_stale = ex.ex_store_stale;
+      analysis_wal_replayed = ex.ex_wal_replayed;
+      analysis_wal_truncated = ex.ex_wal_truncated },
     harvested )
+
+(* Stages 1-2, shared by [analyze] and [run]: harvest (quarantining
+   poisoned starts internally), then subsumption (which only ever
+   shrinks the pool, so budget death or an error degrades to passing
+   the harvest through untouched).  Also returns the RAW harvest, which
+   the degradation ladder re-pools without subsumption. *)
+let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
+    (image : Gp_util.Image.t) : analysis * Gadget.t list =
+  let ex =
+    stage_extract ~extract_config ?cache_dir ~budget:root ~jobs image
+  in
+  stage_subsume ~subsume ~budget:root ~jobs ex
 
 let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
     ?budget ?(jobs = 1) ?cache_dir (image : Gp_util.Image.t) : analysis =
@@ -294,9 +346,28 @@ type outcome = {
   rungs : rung list;             (* ladder rungs attempted, in order *)
 }
 
-let run_with_analysis ?(planner_config = Planner.default_config)
+(* Stage-3 output: everything stage 4 needs to merge, dedup, re-quota,
+   and assemble the outcome — per-root chain lists still separate so
+   the deterministic root-order merge happens in [stage_finalize]. *)
+type planned = {
+  pl_analysis : analysis;
+  pl_goal : Goal.concrete;
+  pl_config : Planner.config;
+  pl_result : Planner.result;
+  pl_chains_by_root : Payload.chain list array;  (* newest-first per root *)
+  pl_vfaults : int;
+  pl_vtimeouts : int;
+  pl_vtime : float;
+  pl_plan_time : float;
+  pl_unknowns : int;                (* deltas over stages 3+4 *)
+  pl_cache_hits : int;
+  pl_cache_misses : int;
+  pl_screen : int * int * int * int;
+}
+
+let stage_plan ?(planner_config = Planner.default_config)
     ?(validate = true) ?budget ?(jobs = 1) (a : analysis) (goal : Goal.t) :
-    outcome =
+    planned =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let concrete = Goal.concretize a.image goal in
   let u0 = Atomic.get Gp_smt.Solver.unknowns in
@@ -369,11 +440,35 @@ let run_with_analysis ?(planner_config = Planner.default_config)
           exhausted = false; budget_hit = true },
         0. )
   in
+  let sum_i arr = Array.fold_left ( + ) 0 arr in
+  { pl_analysis = a;
+    pl_goal = concrete;
+    pl_config = planner_config;
+    pl_result = result;
+    pl_chains_by_root = chains_by_root;
+    pl_vfaults = sum_i vfaults;
+    pl_vtimeouts = sum_i vtimeouts;
+    pl_vtime = Array.fold_left ( +. ) 0. vtime;
+    pl_plan_time = plan_time;
+    pl_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
+    pl_cache_hits = fst (cache_counters ()) - ch0;
+    pl_cache_misses = snd (cache_counters ()) - cm0;
+    pl_screen = screen_delta sc0 (screen_counters ()) }
+
+(* Stage 4 proper: the deterministic post-processing that turns raw
+   per-root search output into the final outcome.  Candidate VALIDATION
+   already ran inside the stage-3 workers (the accept gate needs the
+   verdicts; moving it would change results) — what remains here is the
+   cross-root merge, global dedup, plan re-quota, and stats assembly.
+   Pure: no solver, no emulator, no global counters. *)
+let stage_finalize (p : planned) : outcome =
+  let a = p.pl_analysis in
+  let result = p.pl_result in
   (* Deterministic merge: concatenate per-root chains in root order,
      dedupe across roots by chain_set_key (each root already deduped
      locally), then re-apply the global plan quota. *)
   let built =
-    List.concat_map List.rev (Array.to_list chains_by_root)
+    List.concat_map List.rev (Array.to_list p.pl_chains_by_root)
   in
   let validated =
     let seen = Hashtbl.create 16 in
@@ -386,13 +481,12 @@ let run_with_analysis ?(planner_config = Planner.default_config)
           true
         end)
       built
-    |> List.filteri (fun i _ -> i < planner_config.Planner.max_plans)
+    |> List.filteri (fun i _ -> i < p.pl_config.Planner.max_plans)
   in
-  let sum_i arr = Array.fold_left ( + ) 0 arr in
   let screen_refuted, screen_decided, concrete_refuted, elim_reused =
-    screen_add a.analysis_screen (screen_delta sc0 (screen_counters ()))
+    screen_add a.analysis_screen p.pl_screen
   in
-  { goal = concrete;
+  { goal = p.pl_goal;
     chains = validated;
     rungs = [ Full ];
     stats =
@@ -403,15 +497,14 @@ let run_with_analysis ?(planner_config = Planner.default_config)
         chains_built = List.length built;
         chains_validated = List.length validated;
         quarantined = a.quarantined;
-        solver_unknowns = a.analysis_unknowns + (Atomic.get Gp_smt.Solver.unknowns - u0);
-        validate_faults = sum_i vfaults;
-        validate_timeouts = sum_i vtimeouts;
+        solver_unknowns = a.analysis_unknowns + p.pl_unknowns;
+        validate_faults = p.pl_vfaults;
+        validate_timeouts = p.pl_vtimeouts;
         budget_hits =
           a.analysis_budget_hits
           @ (if result.Planner.budget_hit then [ "plan" ] else []);
-        cache_hits = a.analysis_cache_hits + (fst (cache_counters ()) - ch0);
-        cache_misses =
-          a.analysis_cache_misses + (snd (cache_counters ()) - cm0);
+        cache_hits = a.analysis_cache_hits + p.pl_cache_hits;
+        cache_misses = a.analysis_cache_misses + p.pl_cache_misses;
         plan_expanded = result.Planner.expanded;
         plan_peak_queue = result.Planner.peak_queue;
         plan_inst_hits = result.Planner.inst_memo_hits;
@@ -432,8 +525,12 @@ let run_with_analysis ?(planner_config = Planner.default_config)
         cells_resumed = 0;
         extract_time = a.extract_time;
         subsume_time = a.subsume_time;
-        plan_time;
-        validate_time = Array.fold_left ( +. ) 0. vtime } }
+        plan_time = p.pl_plan_time;
+        validate_time = p.pl_vtime } }
+
+let run_with_analysis ?planner_config ?validate ?budget ?jobs (a : analysis)
+    (goal : Goal.t) : outcome =
+  stage_finalize (stage_plan ?planner_config ?validate ?budget ?jobs a goal)
 
 (* Loosen the planner config one rung at a time.  Degradation is
    cumulative: the last rung is also the widest. *)

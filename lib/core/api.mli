@@ -129,6 +129,47 @@ type analysis = {
 
 val timed : (unit -> 'a) -> 'a * float
 
+(** {1 Per-stage continuations (DESIGN.md §14)}
+
+    The pipeline split into resumable steps, each returning the
+    explicit intermediate state the next consumes, so a corpus
+    scheduler ({!Gp_harness.Sched}) can interleave stages of different
+    cells on one domain pool.  {!analyze} and {!run_with_analysis} are
+    compositions of these — the sequential and staged paths share code
+    and therefore results.
+
+    The only caveat under interleaving: the global-delta counters
+    ([analysis_unknowns], cache/screen traffic) are snapshots of
+    process-wide counters, so a concurrent cell's traffic can land in
+    another cell's deltas.  Every such counter is temperature-class and
+    excluded from the differential payload; all result-bearing state
+    (pool, chains, quarantine tallies, per-cell counters) is
+    interleaving-invariant. *)
+
+type extracted
+(** Stage-1 output: the raw harvest plus store/meter state, consumed
+    by {!stage_subsume}. *)
+
+type planned
+(** Stage-3 output: per-root search results awaiting the deterministic
+    merge in {!stage_finalize}. *)
+
+val stage_extract :
+  ?extract_config:Extract.config -> ?cache_dir:string -> ?budget:Budget.t ->
+  ?jobs:int -> ?ids:Gadget.id_source -> Gp_util.Image.t -> extracted
+(** Stage 1 alone.  [budget] is the ROOT pipeline budget: the harvest
+    draws its usual 0.6-fraction slice from it, so passing the same
+    root to {!stage_subsume} reproduces {!analyze} exactly.  [ids] is
+    where gadget ids are drawn (default: the process-global sequence);
+    concurrently scheduled cells each pass [Gadget.local_ids ()]. *)
+
+val stage_subsume :
+  ?subsume:bool -> ?budget:Budget.t -> ?jobs:int -> extracted ->
+  analysis * Gadget.t list
+(** Stage 2 alone: minimize the harvested pool (or pass it through when
+    [subsume:false]) and assemble the {!analysis}.  Also returns the
+    raw harvest for the degradation ladder's dedup-only re-pool. *)
+
 val analyze :
   ?extract_config:Extract.config -> ?subsume:bool -> ?budget:Budget.t ->
   ?jobs:int -> ?cache_dir:string -> Gp_util.Image.t -> analysis
@@ -166,6 +207,17 @@ type outcome = {
   stats : stage_stats;           (** of the final rung attempted *)
   rungs : rung list;             (** ladder rungs attempted, in order *)
 }
+
+val stage_plan :
+  ?planner_config:Planner.config -> ?validate:bool -> ?budget:Budget.t ->
+  ?jobs:int -> analysis -> Goal.t -> planned
+(** Stage 3 alone (with candidate validation riding inside the search
+    workers, as always — the accept gate consumes the verdicts). *)
+
+val stage_finalize : planned -> outcome
+(** Stage 4 proper: cross-root merge in root order, global dedup by
+    gadget set, plan re-quota, stats assembly.  Pure — no solver, no
+    emulator, no global counters — so it can run on any domain. *)
 
 val run_with_analysis :
   ?planner_config:Planner.config ->

@@ -236,7 +236,7 @@ let examine_start ~config ~sym_config ~decode ~sctr ~mk ~tally
    checkpointed per chunk: a global allowance of F start offsets covers
    positions [0, F) exactly as the sequential meter would, so each
    chunk's share is its overlap with that prefix. *)
-let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
+let harvest_par ~jobs ~config ~budget ~ids (image : Gp_util.Image.t) :
     Gadget.t list * harvest_stats =
   let sym_config = sym_config_of config in
   (* decode-once memo: built eagerly on the main domain, immutable
@@ -300,7 +300,7 @@ let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
   let gadgets =
     List.concat_map (fun (entries, _, _, _, _) -> entries) results
     |> List.filter_map (fun entry ->
-           let id = Gadget.fresh_id () in
+           let id = ids () in
            match entry with
            | Some g -> Some { g with Gadget.id }
            | None -> None)
@@ -322,8 +322,9 @@ let harvest_par ~jobs ~config ~budget (image : Gp_util.Image.t) :
    results merged back in deterministic order (identical pool, ids,
    and tallies; see DESIGN.md "Parallel execution & determinism"). *)
 let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
-    ?(jobs = 1) (image : Gp_util.Image.t) : Gadget.t list * harvest_stats =
-  if jobs > 1 then harvest_par ~jobs ~config ~budget image
+    ?(jobs = 1) ?(ids = Gadget.global_ids) (image : Gp_util.Image.t) :
+    Gadget.t list * harvest_stats =
+  if jobs > 1 then harvest_par ~jobs ~config ~budget ~ids image
   else begin
     let sym_config = sym_config_of config in
     let memo = Decode.memo image.Gp_util.Image.code in
@@ -341,7 +342,13 @@ let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
             incr examined;
             let entries =
               examine_start ~config ~sym_config ~decode ~sctr
-                ~mk:Gadget.of_summary ~tally image pos
+                ~mk:(fun summ ->
+                  (* draw only after conversion succeeds, mirroring
+                     of_summary's own end-of-body draw: a raising
+                     conversion must not consume an id *)
+                  let g = Gadget.of_summary ~id:(-1) summ in
+                  { g with Gadget.id = ids () })
+                ~tally image pos
             in
             acc := List.filter_map Fun.id entries :: !acc)
           (start_positions ~decode ~config image);

@@ -75,7 +75,8 @@ type harvest_stats = {
 }
 
 val harvest_r :
-  ?config:config -> ?budget:Budget.t -> ?jobs:int -> Gp_util.Image.t ->
+  ?config:config -> ?budget:Budget.t -> ?jobs:int ->
+  ?ids:Gadget.id_source -> Gp_util.Image.t ->
   Gadget.t list * harvest_stats
 (** Budgeted, fault-isolating {!harvest}: a poisoned start (injected
     decode fault, [Symx] refusal, exception out of summary conversion)
@@ -87,4 +88,10 @@ val harvest_r :
     start offsets; results merge back in chunk order and gadget ids are
     renumbered on the main domain, so the pool, id sequence, quarantine
     tallies, and budget accounting are identical to the sequential run
-    (DESIGN.md "Parallel execution & determinism"). *)
+    (DESIGN.md "Parallel execution & determinism").
+
+    [ids] is where successful conversions draw gadget ids (default:
+    the process-global sequence).  Scheduler cells pass
+    [Gadget.local_ids ()] so concurrent harvests never share the
+    counter; a fresh local source yields exactly the ids a sequential
+    [Gadget.reset_ids (); harvest_r] would (DESIGN.md §14). *)

@@ -66,6 +66,22 @@ let fresh_id () =
   incr next_id;
   id
 
+type id_source = unit -> int
+
+let global_ids : id_source = fresh_id
+
+(* A private 0-based sequence.  A scheduler cell harvesting on a worker
+   domain cannot touch [next_id] (racy, and the draw order would depend
+   on interleaving); drawing from its own source reproduces exactly the
+   ids a sequential [reset_ids (); harvest] would assign, because both
+   number the converted summaries 0, 1, 2, ... in decode order. *)
+let local_ids () : id_source =
+  let n = ref 0 in
+  fun () ->
+    let id = !n in
+    incr n;
+    id
+
 let classify (s : Gp_symx.Exec.summary) =
   if s.Gp_symx.Exec.s_syscall then Sys
   else

@@ -61,6 +61,19 @@ val fresh_id : unit -> int
     merge uses this to renumber worker-built gadgets on the main domain,
     reproducing exactly the sequence a sequential harvest assigns. *)
 
+type id_source = unit -> int
+(** Where a harvest draws gadget ids from (ids seed the layout pool's
+    address salt, so the draw sequence is result-affecting). *)
+
+val global_ids : id_source
+(** The process-global sequence ([fresh_id]).  Only safe when harvests
+    run one at a time. *)
+
+val local_ids : unit -> id_source
+(** A fresh private 0-based sequence.  Scheduler cells use one per cell
+    so concurrent harvests never share a counter; it yields exactly the
+    ids a sequential [reset_ids (); harvest] would. *)
+
 val of_summary : ?id:int -> Gp_symx.Exec.summary -> t
 (** Build the record from a symbolic summary.  Without [id], a fresh id
     is drawn from the global sequence (the sequential path); with it,

@@ -1952,3 +1952,271 @@ let resume ?(quick = true) ?(jobs = 4) ?(cache_root = ".gp-cache/resume")
   resume_json (out_path out) ~jobs ~t_atomic ~t_wal ~overhead ~rows
     ~all_identical ~jobs_invariant;
   (body, (overhead, rows, all_identical, jobs_invariant))
+
+(* ---------- whole-corpus pipelined sweeps (DESIGN.md §14) ---------- *)
+
+(* Kill switch for the `--no-sweep` ablation: when false, scheduler
+   entry points fall back to driving the same staged cells to
+   completion sequentially, so an ablated run exercises identical cell
+   code through the legacy corpus loop. *)
+let sched_enabled = ref true
+let set_sched b = sched_enabled := b
+
+(* The resume-sweep cell bodies re-cut along the Api stage seams, so
+   the scheduler can interleave one cell's plan stage with another's
+   extract.  Cell-for-cell equivalent to [resume_cell_fns ~jobs:1]:
+   same compile, same budget threading (both stages draw from the one
+   per-attempt root), same "mid-stage" crash point between the pipeline
+   halves, same payload.  Gadget ids come from a per-cell local source
+   — exactly the sequence [Gadget.reset_ids ()] + the global source
+   yields — so concurrent cells cannot interleave draws. *)
+let sweep_cell_steps ?entries ?configs ?(quick = true) ~goal () :
+    (string * (attempt:int -> Gp_core.Budget.t -> resume_payload Sched.step))
+    list =
+  let planner_config =
+    { Gp_core.Planner.default_config with
+      Gp_core.Planner.node_budget = 1200; max_plans = 6 }
+  in
+  survey_cells ?entries ?configs ~quick (fun entry cname cfg ->
+      let prog = entry.Gp_corpus.Programs.name in
+      ( resume_cell_key prog cname,
+        fun ~attempt:_ budget ->
+          Sched.Next
+            ( "extract",
+              fun () ->
+                let image =
+                  Gp_codegen.Pipeline.compile
+                    ~transform:(Gp_obf.Obf.transform cfg)
+                    entry.Gp_corpus.Programs.source
+                in
+                let ex =
+                  Gp_core.Api.stage_extract ~budget ~jobs:1
+                    ~ids:(Gp_core.Gadget.local_ids ()) image
+                in
+                Sched.Next
+                  ( "subsume",
+                    fun () ->
+                      let a, _raw =
+                        Gp_core.Api.stage_subsume ~budget ~jobs:1 ex
+                      in
+                      Gp_util.Store.crash_point "mid-stage";
+                      Sched.Next
+                        ( "plan",
+                          fun () ->
+                            let p =
+                              Gp_core.Api.stage_plan ~planner_config ~budget
+                                ~jobs:1 a goal
+                            in
+                            Sched.Next
+                              ( "validate",
+                                fun () ->
+                                  let o = Gp_core.Api.stage_finalize p in
+                                  Sched.Finished
+                                    (Ok
+                                       { rp_program = prog;
+                                         rp_config = cname;
+                                         rp_pool =
+                                           Gp_core.Pool.size
+                                             a.Gp_core.Api.pool;
+                                         rp_chains =
+                                           List.map
+                                             Gp_core.Payload.chain_set_key
+                                             o.Gp_core.Api.chains;
+                                         rp_rungs =
+                                           List.map Gp_core.Api.rung_name
+                                             o.Gp_core.Api.rungs;
+                                         rp_counters = resume_counters o }) )
+                        ) ) ) ))
+
+(* Drive one staged cell to completion inline: the sequential
+   equivalent of what the scheduler does node by node.  Turns a staged
+   cell into a [Runner.run_corpus]-shaped one for the `--no-sweep`
+   ablation path. *)
+let rec sweep_step_drive = function
+  | Sched.Finished r -> r
+  | Sched.Next (_, k) -> sweep_step_drive (k ())
+
+let sweep_cells_sequential cells =
+  List.map
+    (fun (key, sc) ->
+      (key, fun ~attempt b -> sweep_step_drive (sc ~attempt b)))
+    cells
+
+(* [resume_sweep]'s journaled checkpointed bracket around the
+   scheduler: same open/close/abandon discipline, the corpus executed
+   as a cell x stage DAG on [jobs] workers (or sequentially when the
+   scheduler is ablated). *)
+let sched_sweep ?(policy = Runner.default_policy) ~dir ~resume ~jobs cells =
+  let jo = Gp_core.Incr.journal_open ~dir in
+  let m = Runner.Manifest.open_ ~dir in
+  match
+    if !sched_enabled then
+      Sched.run_cells ~policy ~manifest:m ~resume
+        ~encode:resume_payload_encode ~decode:resume_payload_decode ~jobs
+        cells
+    else
+      Runner.run_corpus ~policy ~manifest:m ~resume
+        ~encode:resume_payload_encode ~decode:resume_payload_decode
+        (sweep_cells_sequential cells)
+  with
+  | outcomes, report ->
+    if Gp_core.Incr.journaling () then ignore (Gp_core.Incr.journal_close ());
+    Runner.Manifest.close m;
+    (outcomes, report, jo)
+  | exception e ->
+    Gp_core.Incr.journal_abandon ();
+    Runner.Manifest.abandon m;
+    raise e
+
+let sweep_json path ~jobs ~rows ~obf ~sched_overhead ~all_identical
+    ~ablated =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"sweep\",\n";
+  p "  \"generated_unix\": %.0f,\n" (Unix.time ());
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"cores\": %d,\n" (Gp_util.Par.available ());
+  p "  \"ablated\": %b,\n" ablated;
+  p "  \"note\": \"whole-corpus pipelined scheduler (DESIGN.md section \
+     14).  Each row times the same survey sweep two ways: 'seq' is the \
+     sequential cell loop (Runner.run_corpus, within-cell parallelism \
+     at the row's job count), 'dag' is the cell x stage DAG on a \
+     work-stealing pool of that many workers (cells internally \
+     single-threaded).  'identical' asserts the DAG sweep's encoded \
+     cell payloads equal the sequential reference byte for byte.  \
+     sched_overhead is the jobs=1 DAG wall-clock over the jobs=1 \
+     sequential loop, minus one: pure scheduler bookkeeping, no \
+     parallelism in play.  The obf block repeats the comparison on the \
+     obfuscated configs only.  Speedups are honest wall-clock ratios \
+     on THIS host; with fewer cores than workers the pool is \
+     timesliced and pipelining cannot beat the loop — see the cores \
+     field before reading the ratios.\",\n";
+  p "  \"sched_overhead\": %.4f,\n" sched_overhead;
+  p "  \"all_identical\": %b,\n" all_identical;
+  (match obf with
+  | None -> ()
+  | Some (t_seq, t_dag, identical) ->
+    p "  \"obf_seq_s\": %.4f,\n" t_seq;
+    p "  \"obf_dag_s\": %.4f,\n" t_dag;
+    p "  \"obf_speedup\": %.3f,\n" (t_seq /. Float.max 1e-9 t_dag);
+    p "  \"obf_identical\": %b,\n" identical);
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i (j, t_seq, t_dag, identical) ->
+      p "    { \"jobs\": %d, \"seq_s\": %.4f, \"dag_s\": %.4f, \
+         \"speedup\": %.3f, \"identical\": %b }%s\n"
+        j t_seq t_dag
+        (t_seq /. Float.max 1e-9 t_dag)
+        identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let sweep ?(quick = true) ?(jobs = 4) ?(out = "BENCH_sweep.json") () =
+  let goal = Gp_core.Goal.Execve "/bin/sh" in
+  let entries =
+    if !smoke_mode then None
+    else if quick then
+      Some (List.map Gp_corpus.Programs.find [ "fibonacci"; "bubble_sort" ])
+    else Some (List.map Gp_corpus.Programs.find quick_benchmark_names)
+  in
+  let jobs_list = if !smoke_mode then [ 1 ] else [ 1; jobs ] in
+  let payloads outcomes =
+    List.map
+      (fun (c : resume_payload Runner.cell_outcome) ->
+        match c.Runner.c_result with
+        | Ok p -> (c.Runner.c_key, resume_payload_encode p)
+        | Error f -> (c.Runner.c_key, "FAIL:" ^ Gp_core.Fail.label f))
+      outcomes
+  in
+  let seq_sweep ?configs ~jobs () =
+    reset_world ();
+    let cells = resume_cell_fns ?entries ?configs ~quick ~jobs ~goal () in
+    Gp_core.Api.timed (fun () ->
+        let outcomes, _ =
+          Runner.run_corpus ~encode:resume_payload_encode
+            ~decode:resume_payload_decode cells
+        in
+        payloads outcomes)
+  in
+  let dag_sweep ?configs ~jobs () =
+    reset_world ();
+    let cells = sweep_cell_steps ?entries ?configs ~quick ~goal () in
+    Gp_core.Api.timed (fun () ->
+        let outcomes, _ =
+          if !sched_enabled then
+            Sched.run_cells ~encode:resume_payload_encode
+              ~decode:resume_payload_decode ~jobs cells
+          else
+            Runner.run_corpus ~encode:resume_payload_encode
+              ~decode:resume_payload_decode (sweep_cells_sequential cells)
+        in
+        payloads outcomes)
+  in
+  (* one untimed warmup pass so neither contender pays first-run costs *)
+  ignore (seq_sweep ~jobs:1 ());
+  let reference, _ = seq_sweep ~jobs:1 () in
+  let rows =
+    List.map
+      (fun j ->
+        let seq_p, t_seq = seq_sweep ~jobs:j () in
+        let dag_p, t_dag = dag_sweep ~jobs:j () in
+        let identical = dag_p = reference && seq_p = reference in
+        (j, t_seq, t_dag, identical))
+      jobs_list
+  in
+  let sched_overhead =
+    match rows with
+    | (1, t_seq1, t_dag1, _) :: _ -> (t_dag1 /. Float.max 1e-9 t_seq1) -. 1.
+    | _ -> 0.
+  in
+  (* the paper-relevant subset: obfuscated configs only, where cells
+     are slow and stage-imbalanced — the case pipelining targets *)
+  let obf =
+    if !smoke_mode then None
+    else begin
+      let configs =
+        List.filter (fun (n, _) -> n <> "original") Workspace.obf_configs
+      in
+      let oref, t_seq = seq_sweep ~configs ~jobs () in
+      let odag, t_dag = dag_sweep ~configs ~jobs () in
+      Some (t_seq, t_dag, odag = oref)
+    end
+  in
+  let all_identical =
+    List.for_all (fun (_, _, _, id) -> id) rows
+    && match obf with Some (_, _, id) -> id | None -> true
+  in
+  let t =
+    Table.create ~title:"Pipelined corpus scheduler (DESIGN.md §14)"
+      ~header:[ "jobs"; "seq(s)"; "dag(s)"; "speedup"; "identical" ]
+  in
+  List.iter
+    (fun (j, t_seq, t_dag, identical) ->
+      Table.add_row t
+        [ string_of_int j; Printf.sprintf "%.2f" t_seq;
+          Printf.sprintf "%.2f" t_dag;
+          Printf.sprintf "%.2fx" (t_seq /. Float.max 1e-9 t_dag);
+          (if identical then "yes" else "NO") ])
+    rows;
+  let body =
+    Table.render t
+    ^ Printf.sprintf
+        "\nscheduler overhead (jobs=1 dag vs loop): %.1f%%   cores: %d%s\n\
+         all payloads identical: %b%s\n"
+        (sched_overhead *. 100.)
+        (Gp_util.Par.available ())
+        (match obf with
+        | Some (ts, td, _) ->
+          Printf.sprintf "   obf-only at jobs=%d: %.2fx" jobs
+            (ts /. Float.max 1e-9 td)
+        | None -> "")
+        all_identical
+        (if !sched_enabled then "" else "   (--no-sweep: scheduler ablated)")
+  in
+  sweep_json (out_path out) ~jobs ~rows ~obf ~sched_overhead ~all_identical
+    ~ablated:(not !sched_enabled);
+  (body, (rows, sched_overhead, all_identical))

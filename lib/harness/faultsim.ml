@@ -154,14 +154,16 @@ exception Crashed of string
    previous hook is chained and always restored. *)
 let with_crash_at ?(hits = 1) ~point f =
   let saved = !Gp_util.Store.crash_hook in
-  let count = ref 0 in
+  (* crash points fire from scheduler worker domains too ("mid-stage"
+     under Sched runs concurrently), so the hit counter must be atomic:
+     with a plain ref, racing increments could skip the armed count and
+     the fuse would never blow *)
+  let count = Atomic.make 0 in
   Gp_util.Store.crash_hook :=
     (fun p ->
       saved p;
-      if p = point then begin
-        incr count;
-        if !count = hits then raise (Crashed p)
-      end);
+      if p = point && Atomic.fetch_and_add count 1 + 1 = hits then
+        raise (Crashed p));
   Fun.protect
     ~finally:(fun () -> Gp_util.Store.crash_hook := saved)
     (fun () ->

@@ -123,6 +123,10 @@ module Manifest = struct
   type t = {
     m_dir : string;
     m_tbl : (string, entry) Hashtbl.t;
+    m_mutex : Mutex.t;
+        (* guards m_tbl AND the append+fsync pair: scheduler workers
+           record cells from several domains, and a record must be
+           atomic against a concurrent find/completed (DESIGN.md §14) *)
     m_wal : Gp_util.Store.Wal.t option; (* None = read-only *)
     m_lock : Gp_util.Store.lock option;
     m_replayed : int;
@@ -176,8 +180,9 @@ module Manifest = struct
           Hashtbl.length tbl
         | Error _ -> 0
       in
-      { m_dir = dir; m_tbl = tbl; m_wal = None; m_lock = None;
-        m_replayed = replayed; m_torn_bytes = 0; m_read_only = read_only }
+      { m_dir = dir; m_tbl = tbl; m_mutex = Mutex.create (); m_wal = None;
+        m_lock = None; m_replayed = replayed; m_torn_bytes = 0;
+        m_read_only = read_only }
     | Some l -> (
       match Gp_util.Store.Wal.open_append ~schema:schema_version path with
       | Error why ->
@@ -187,12 +192,13 @@ module Manifest = struct
         (match Gp_util.Store.Wal.open_append ~schema:schema_version path with
         | Error why2 ->
           Gp_util.Store.unlock l;
-          { m_dir = dir; m_tbl = tbl; m_wal = None; m_lock = None;
-            m_replayed = 0; m_torn_bytes = 0;
+          { m_dir = dir; m_tbl = tbl; m_mutex = Mutex.create ();
+            m_wal = None; m_lock = None; m_replayed = 0; m_torn_bytes = 0;
             m_read_only = Some (why ^ "; " ^ why2) }
         | Ok (w, _) ->
-          { m_dir = dir; m_tbl = tbl; m_wal = Some w; m_lock = Some l;
-            m_replayed = 0; m_torn_bytes = 0; m_read_only = None })
+          { m_dir = dir; m_tbl = tbl; m_mutex = Mutex.create ();
+            m_wal = Some w; m_lock = Some l; m_replayed = 0; m_torn_bytes = 0;
+            m_read_only = None })
       | Ok (w, replay) ->
         List.iter
           (fun (sec, k, v) ->
@@ -203,7 +209,8 @@ module Manifest = struct
               | _ -> ()
               | exception Gp_util.Store.Bin.Truncated -> ())
           replay.Gp_util.Store.Wal.entries;
-        { m_dir = dir; m_tbl = tbl; m_wal = Some w; m_lock = Some l;
+        { m_dir = dir; m_tbl = tbl; m_mutex = Mutex.create ();
+          m_wal = Some w; m_lock = Some l;
           m_replayed = Hashtbl.length tbl;
           m_torn_bytes = replay.Gp_util.Store.Wal.torn_bytes;
           m_read_only = None })
@@ -211,19 +218,23 @@ module Manifest = struct
   let read_only t = t.m_read_only
   let replayed t = t.m_replayed
   let torn_bytes t = t.m_torn_bytes
-  let find t key = Hashtbl.find_opt t.m_tbl key
-  let completed t = Hashtbl.length t.m_tbl
+  let find t key =
+    Mutex.protect t.m_mutex (fun () -> Hashtbl.find_opt t.m_tbl key)
+
+  let completed t =
+    Mutex.protect t.m_mutex (fun () -> Hashtbl.length t.m_tbl)
 
   (* Record one completed cell: append + fsync, so the checkpoint
      survives the very next instruction being a crash. *)
   let record t ~key ~payload =
     let e = { e_digest = Gp_util.Store.fnv64 payload; e_payload = payload } in
-    Hashtbl.replace t.m_tbl key e;
-    match t.m_wal with
-    | None -> ()
-    | Some w ->
-      Gp_util.Store.Wal.append w ~section ~key ~value:(encode_entry e);
-      Gp_util.Store.Wal.sync w
+    Mutex.protect t.m_mutex (fun () ->
+        Hashtbl.replace t.m_tbl key e;
+        match t.m_wal with
+        | None -> ()
+        | Some w ->
+          Gp_util.Store.Wal.append w ~section ~key ~value:(encode_entry e);
+          Gp_util.Store.Wal.sync w)
 
   let close t =
     (match t.m_wal with Some w -> Gp_util.Store.Wal.close w | None -> ());

@@ -5,11 +5,14 @@
 
 open Gp_ir
 
-let junk_counter = ref 0
+(* Domain-local and reset per [Obf.apply]; see Opaque.reset_counter. *)
+let junk_counter = Domain.DLS.new_key (fun () -> ref 0)
+let reset_counter () = Domain.DLS.get junk_counter := 0
 
 let fresh_junk_global (prog : Ir.program) =
-  let n = !junk_counter in
-  incr junk_counter;
+  let r = Domain.DLS.get junk_counter in
+  let n = !r in
+  incr r;
   let name = Printf.sprintf "junk$%d" n in
   Ir.add_data prog name (Bytes.make 8 '\000');
   name

@@ -3,5 +3,9 @@
     to junk code.  The junk never executes but is present in the binary —
     decoded by every gadget-harvesting tool. *)
 
+val reset_counter : unit -> unit
+(** Zero this domain's fresh-junk-global counter; called by [Obf.apply]
+    (see [Opaque.reset_counter]). *)
+
 val run : ?prob:float -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program
 (** Guard each block with probability [prob] (default 0.4). *)

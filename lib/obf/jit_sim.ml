@@ -13,7 +13,12 @@
 open Gp_x86
 open Gp_ir
 
-let counter = ref 0
+(* Domain-local and reset per [Obf.apply]; see Opaque.reset_counter.
+   The counter value lands in image bytes (the stub tag and the
+   jit-area destination immediates), so without the reset a program's
+   compiled bytes would depend on every compile that ran before it. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
+let reset_counter () = Domain.DLS.get counter := 0
 
 (* Scratch addresses must stay inside the emulator's scratch region but
    clear of the solver's pointer pool; see Emu.Machine. *)
@@ -24,8 +29,9 @@ let instrument_func rng (prog : Ir.program) (f : Ir.func) =
   match f.Ir.f_blocks with
   | [] -> ()
   | old_entry :: _ ->
-    let n = !counter in
-    incr counter;
+    let r = Domain.DLS.get counter in
+    let n = !r in
+    incr r;
     if n >= 200 then ()   (* don't run out of scratch space *)
     else begin
       let tag = Int64.logor 0x4a170000L (Int64.of_int n) in

@@ -9,4 +9,8 @@
 val jit_area_base : int64
 (** Where jitted stubs are copied (inside the emulator scratch region). *)
 
+val reset_counter : unit -> unit
+(** Zero this domain's fresh-stub counter; called by [Obf.apply]
+    (see [Opaque.reset_counter]). *)
+
 val run : ?prob:float -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program

@@ -76,6 +76,14 @@ let apply_pass rng intensity prog = function
   | Jit -> Jit_sim.run rng prog
 
 let apply (cfg : config) (prog : Gp_ir.Ir.program) : Gp_ir.Ir.program =
+  (* Fresh-name counters restart at 0 for every compile: generated
+     globals, jit tags, and jit-area destinations must depend only on
+     (source, config) so that concurrently scheduled cell compiles
+     (Sched, DESIGN.md §14) produce the same bytes as sequential ones. *)
+  Opaque.reset_counter ();
+  Bogus_cf.reset_counter ();
+  Jit_sim.reset_counter ();
+  Self_mod.reset_counter ();
   let rng = Gp_util.Rng.create cfg.seed in
   let prog = Gp_ir.Ir.clone_program prog in
   List.fold_left (apply_pass rng cfg.intensity) prog cfg.passes

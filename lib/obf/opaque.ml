@@ -10,12 +10,22 @@
 
 open Gp_ir
 
-let counter = ref 0
+(* Fresh-name counter: domain-local so concurrent compiles on worker
+   domains never tear an increment, and reset by [Obf.apply] so each
+   compile's generated names depend only on (source, config), not on
+   how many compiles ran earlier in the process. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
+let reset_counter () = Domain.DLS.get counter := 0
+
+let next_counter () =
+  let r = Domain.DLS.get counter in
+  let n = !r in
+  incr r;
+  n
 
 (* One global "entropy" cell per predicate instance. *)
 let fresh_opaque_global rng (prog : Ir.program) =
-  let n = !counter in
-  incr counter;
+  let n = next_counter () in
   let name = Printf.sprintf "opq$%d" n in
   Ir.add_data prog name (Gp_util.Hex.int64_le (Gp_util.Rng.next_int64 rng));
   name

@@ -4,6 +4,13 @@
     the branch.  Identities hold mod 2{^64}: x(x+1) is even;
     (x&1)((x+1)&1) = 0; 7y²-1 is never a square mod 8. *)
 
+val reset_counter : unit -> unit
+(** Zero this domain's fresh-name counter.  [Obf.apply] calls it so
+    each compile's generated globals are numbered from 0 regardless of
+    earlier compiles on the same domain — the pipeline determinism
+    contract (DESIGN.md §14) needs compiled bytes to be a pure
+    function of (source, config). *)
+
 val fresh_opaque_global : Gp_util.Rng.t -> Gp_ir.Ir.program -> string
 (** Add one random 8-byte "entropy" global; returns its name. *)
 

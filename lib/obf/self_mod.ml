@@ -11,14 +11,17 @@
 
 open Gp_ir
 
-let counter = ref 0
+(* Domain-local and reset per [Obf.apply]; see Opaque.reset_counter. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
+let reset_counter () = Domain.DLS.get counter := 0
 
 let instrument_func rng (prog : Ir.program) (f : Ir.func) =
   match f.Ir.f_blocks with
   | [] -> ()
   | old_entry :: _ ->
-    let n = !counter in
-    incr counter;
+    let r = Domain.DLS.get counter in
+    let n = !r in
+    incr r;
     (* the "encrypted region": 32 random words of data *)
     let region = Printf.sprintf "sm$%d" n in
     let words = 32 in

@@ -8,4 +8,8 @@
     flipping actual instruction bytes, keeping the pass
     semantics-preserving by construction. *)
 
+val reset_counter : unit -> unit
+(** Zero this domain's fresh-region counter; called by [Obf.apply]
+    (see [Opaque.reset_counter]). *)
+
 val run : ?prob:float -> Gp_util.Rng.t -> Gp_ir.Ir.program -> Gp_ir.Ir.program

@@ -47,14 +47,45 @@ let run ~jobs (tasks : (unit -> 'a) array) : 'a array =
       in
       loop ()
     in
-    let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
+    (* A failed [Domain.spawn] (domain limit, out of memory) must not
+       orphan the domains already running: keep every successful spawn
+       and drain the queue with the workers we have — the atomic cursor
+       makes any worker count complete all n tasks. *)
+    let spawned = ref [] in
+    (try
+       for _ = 2 to min jobs n do
+         spawned := Domain.spawn worker :: !spawned
+       done
+     with _ -> ());
+    (* The calling domain participates, but it must reach the joins
+       even if its worker dies (only asynchronous exceptions — e.g.
+       Out_of_memory — can escape the per-task handler): an early
+       propagation here would leave sibling domains unjoined. *)
+    let caller_exn = (try worker (); None with e -> Some e) in
+    (* Domain.join re-raises an exception that escaped that worker;
+       join EVERY domain before propagating so none is orphaned. *)
+    let join_exns =
+      List.filter_map
+        (fun d -> try Domain.join d; None with e -> Some e)
+        !spawned
+    in
+    let escaped =
+      match caller_exn with
+      | Some _ as e -> e
+      | None -> (match join_exns with e :: _ -> Some e | [] -> None)
+    in
+    (* All domains are joined; now surface failures.  The exception of
+       the LOWEST-indexed failed task wins — a fault in task 7 never
+       hides one in task 3 — then anything that escaped a worker. *)
+    Array.iter (function Some (Error e) -> raise e | _ -> ()) results;
+    (match escaped with Some e -> raise e | None -> ());
     Array.map
       (function
         | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false)
+        | _ ->
+          (* unreachable: every index the cursor handed out was either
+             written or its worker's death was re-raised above *)
+          assert false)
       results
   end
 

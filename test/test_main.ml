@@ -27,6 +27,7 @@ let suites =
     ("runner", Test_runner.suite);
     ("resilience", Test_resilience.suite);
     ("par", Test_par.suite);
+    ("sweep", Test_sweep.suite);
     ("plan_par", Test_plan_par.suite);
     ("incr", Test_incr.suite);
     ("screen", Test_screen.suite);

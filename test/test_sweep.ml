@@ -1,0 +1,471 @@
+(* Pipelined corpus scheduler tests (DESIGN.md §14).  Four angles:
+
+   - scheduler core properties: random DAGs (diamonds, disconnected
+     components, dynamic growth) always complete, never run a node
+     before its predecessors, and never deadlock at 1-8 workers; the
+     work-stealing deque obeys owner-LIFO / thief-FIFO semantics and
+     loses nothing under concurrent pop/steal;
+   - shared-state stress: the [Incr] summary table and the solver-memo
+     [Cache] hammered from 4 domains over overlapping content keys —
+     first-write-wins, no lost updates, counters that add up;
+   - the acceptance differential: the cell x stage DAG at jobs 1, 2,
+     and JOBS produces byte-identical encoded payloads to the
+     sequential cell loop over the full quick survey corpus, including
+     under 10% keyed fault injection (Faultsim's schedules are keyed,
+     not streamed, so the injected fault set is interleaving-proof);
+   - crash/resume composed with the scheduler: kill a scheduled sweep
+     at the wal-append and mid-stage crash points, resume, and require
+     byte-equality with both an uninterrupted scheduled sweep and the
+     sequential reference.
+
+   JOBS sweeps the worker count (make check-sweep runs 1 and 4). *)
+
+module E = Gp_harness.Experiments
+module S = Gp_harness.Sched
+module R = Gp_harness.Runner
+
+let jobs_under_test =
+  match Sys.getenv_opt "JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gp-sweep-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    E.rm_rf d;
+    d
+
+(* ----- deque semantics ----- *)
+
+let test_deque_owner_lifo_thief_fifo () =
+  let d = S.Deque.create () in
+  List.iter (S.Deque.push d) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "length" 5 (S.Deque.length d);
+  Alcotest.(check (option int)) "owner pops newest" (Some 5) (S.Deque.pop d);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1)
+    (S.Deque.steal d);
+  Alcotest.(check (option int)) "owner again" (Some 4) (S.Deque.pop d);
+  Alcotest.(check (option int)) "thief again" (Some 2) (S.Deque.steal d);
+  Alcotest.(check (option int)) "last item either end" (Some 3)
+    (S.Deque.pop d);
+  Alcotest.(check (option int)) "empty pop" None (S.Deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (S.Deque.steal d)
+
+(* Owner pushes and pops while a thief steals: every pushed item comes
+   out exactly once, whichever end it left by. *)
+let test_deque_concurrent_conservation () =
+  let d = S.Deque.create () in
+  let n = 2000 in
+  let stolen = ref [] in
+  let thief =
+    Domain.spawn (fun () ->
+        let rec loop misses =
+          if misses < 10_000 then
+            match S.Deque.steal d with
+            | Some x ->
+              stolen := x :: !stolen;
+              loop 0
+            | None ->
+              Domain.cpu_relax ();
+              loop (misses + 1)
+        in
+        loop 0)
+  in
+  let popped = ref [] in
+  for i = 1 to n do
+    S.Deque.push d i;
+    if i mod 3 = 0 then
+      match S.Deque.pop d with
+      | Some x -> popped := x :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match S.Deque.pop d with
+    | Some x ->
+      popped := x :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join thief;
+  (* the thief may still have missed a late push; drain once more *)
+  drain ();
+  let all = List.sort compare (!popped @ !stolen) in
+  Alcotest.(check int) "nothing lost, nothing duplicated" n
+    (List.length all);
+  Alcotest.(check bool) "exactly the pushed set" true
+    (all = List.init n (fun i -> i + 1))
+
+(* ----- DAG unit tests ----- *)
+
+let record_order () =
+  let m = Mutex.create () in
+  let order = ref [] in
+  let record i = Mutex.protect m (fun () -> order := i :: !order) in
+  (record, fun () -> List.rev !order)
+
+let test_dag_diamond () =
+  let dag = S.Dag.create () in
+  let record, seen = record_order () in
+  let a = S.Dag.node dag ~label:"a" (fun () -> record "a") in
+  let b = S.Dag.node dag ~after:[ a ] ~label:"b" (fun () -> record "b") in
+  let c = S.Dag.node dag ~after:[ a ] ~label:"c" (fun () -> record "c") in
+  let _d =
+    S.Dag.node dag ~after:[ b; c ] ~label:"d" (fun () -> record "d")
+  in
+  S.Dag.run ~jobs:jobs_under_test dag;
+  let order = seen () in
+  Alcotest.(check int) "all ran" 4 (List.length order);
+  Alcotest.(check string) "source first" "a" (List.hd order);
+  Alcotest.(check string) "sink last" "d" (List.nth order 3)
+
+let test_dag_dynamic_growth () =
+  (* a node's fn grows the graph while running: the staged-cell pattern *)
+  let dag = S.Dag.create () in
+  let record, seen = record_order () in
+  let _a =
+    S.Dag.node dag ~label:"a" (fun () ->
+        record "a";
+        let b =
+          S.Dag.node dag ~label:"b" (fun () ->
+              record "b";
+              ignore (S.Dag.node dag ~label:"d" (fun () -> record "d")))
+        in
+        ignore (S.Dag.node dag ~after:[ b ] ~label:"c" (fun () -> record "c")))
+  in
+  S.Dag.run ~jobs:jobs_under_test dag;
+  let order = seen () in
+  Alcotest.(check int) "all four ran" 4 (List.length order);
+  let pos x =
+    let rec go i = function
+      | [] -> -1
+      | y :: _ when x = y -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "a before b" true (pos "a" < pos "b");
+  Alcotest.(check bool) "b before c (declared edge)" true (pos "b" < pos "c");
+  Alcotest.(check bool) "b before d (creation order)" true
+    (pos "b" < pos "d")
+
+let test_dag_failure_aborts_and_joins () =
+  let dag = S.Dag.create () in
+  let a = S.Dag.node dag (fun () -> failwith "boom") in
+  let ran_after = ref false in
+  let _b = S.Dag.node dag ~after:[ a ] (fun () -> ran_after := true) in
+  (match S.Dag.run ~jobs:jobs_under_test dag with
+  | () -> Alcotest.fail "failed node must re-raise"
+  | exception Failure msg -> Alcotest.(check string) "the node's exn" "boom" msg);
+  Alcotest.(check bool) "successor never ran" false !ran_after
+
+(* ----- DAG qcheck properties ----- *)
+
+(* Random graph shape: node i depends on a random subset of earlier
+   nodes (possibly none — disconnected components arise naturally),
+   run at a random worker count.  The raw generator output is mapped
+   into valid earlier-index edges, so every generated graph is a DAG
+   by construction, like the real API. *)
+let dag_shape_gen =
+  QCheck2.Gen.(
+    pair (int_range 1 8)
+      (list_size (int_range 0 30) (list_size (int_range 0 3) (int_bound 1000))))
+
+let deps_of_shape shape =
+  List.mapi
+    (fun i raw ->
+      if i = 0 then []
+      else List.sort_uniq compare (List.map (fun d -> d mod i) raw))
+    shape
+
+let run_shape ~jobs shape =
+  let deps = deps_of_shape shape in
+  let n = List.length deps in
+  let dag = S.Dag.create () in
+  let m = Mutex.create () in
+  let order = ref [] in
+  let ids = Array.make n (-1) in
+  List.iteri
+    (fun i ds ->
+      ids.(i) <-
+        S.Dag.node dag
+          ~after:(List.map (fun d -> ids.(d)) ds)
+          ~label:(string_of_int i)
+          (fun () -> Mutex.protect m (fun () -> order := i :: !order)))
+    deps;
+  S.Dag.run ~jobs dag;
+  (deps, List.rev !order)
+
+let qcheck_dag_completes =
+  QCheck2.Test.make ~count:120 ~name:"random DAGs complete at 1-8 workers"
+    dag_shape_gen (fun (jobs, shape) ->
+      let deps, order = run_shape ~jobs shape in
+      List.length order = List.length deps
+      && List.sort_uniq compare order
+         = List.init (List.length deps) (fun i -> i))
+
+let qcheck_dag_respects_edges =
+  QCheck2.Test.make ~count:120
+    ~name:"no node runs before its predecessors" dag_shape_gen
+    (fun (jobs, shape) ->
+      let deps, order = run_shape ~jobs shape in
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun at i -> Hashtbl.replace pos i at) order;
+      List.for_all
+        (fun (i, ds) ->
+          List.for_all
+            (fun d -> Hashtbl.find pos d < Hashtbl.find pos i)
+            ds)
+        (List.mapi (fun i ds -> (i, ds)) deps))
+
+let qcheck_deque_steal_order =
+  (* thief-FIFO: stealing k times from a freshly pushed deque yields
+     the oldest k items in push order; the owner's pops then resume
+     LIFO on what's left *)
+  QCheck2.Test.make ~count:200 ~name:"deque owner-LIFO / thief-FIFO"
+    QCheck2.Gen.(pair (int_range 0 20) (int_range 0 20))
+    (fun (npush, nsteal) ->
+      let d = S.Deque.create () in
+      for i = 1 to npush do
+        S.Deque.push d i
+      done;
+      let stolen = List.init (min nsteal npush) (fun _ -> S.Deque.steal d) in
+      let expected_stolen =
+        List.init (min nsteal npush) (fun i -> Some (i + 1))
+      in
+      let rec pops acc =
+        match S.Deque.pop d with
+        | Some x -> pops (x :: acc)
+        | None -> List.rev acc
+      in
+      let popped = pops [] in
+      let expected_popped =
+        (* remaining items, newest first *)
+        List.init (npush - min nsteal npush) (fun i -> npush - i)
+      in
+      stolen = expected_stolen && popped = expected_popped)
+
+(* ----- shared-state stress from 4 domains ----- *)
+
+let test_incr_table_stress () =
+  E.reset_world ();
+  Gp_core.Incr.set_enabled true;
+  let nkeys = 50 in
+  let key i = Printf.sprintf "stress-key-%02d" i in
+  let value i : Gp_core.Incr.value = ([], Some (Printf.sprintf "v%02d" i)) in
+  let domains =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            (* every domain walks ALL keys, offset so lookups and
+               inserts of the same key collide across domains *)
+            for round = 0 to 40 do
+              for j = 0 to nkeys - 1 do
+                let i = (j + (w * 13) + round) mod nkeys in
+                match Gp_core.Incr.find (key i) with
+                | Some v -> assert (v = value i)
+                | None -> Gp_core.Incr.add (key i) (value i)
+              done
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates, no phantom keys" nkeys
+    (Gp_core.Incr.size ());
+  for i = 0 to nkeys - 1 do
+    match Gp_core.Incr.find (key i) with
+    | Some v -> Alcotest.(check bool) (key i) true (v = value i)
+    | None -> Alcotest.fail (key i ^ " lost")
+  done;
+  E.reset_world ()
+
+let test_cache_stress () =
+  (* [Gp_smt.Cache] is the implementation under every solver memo
+     (check/equal/pool); hammer a fresh instance the way planner
+     workers hammer those *)
+  let c : (int, int) Gp_smt.Cache.t = Gp_smt.Cache.create () in
+  let nkeys = 100 in
+  let per_domain = 5000 in
+  let computed = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            for k = 0 to per_domain - 1 do
+              let key = (k + (w * 31)) mod nkeys in
+              let v =
+                Gp_smt.Cache.find_or_add c key (fun () ->
+                    Atomic.incr computed;
+                    key * 7)
+              in
+              assert (v = key * 7)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every key present once" nkeys
+    (Gp_smt.Cache.length c);
+  (* counter determinism: every lookup was either a hit or a miss *)
+  Alcotest.(check int) "hits + misses = lookups" (4 * per_domain)
+    (Gp_smt.Cache.hits c + Gp_smt.Cache.misses c);
+  (* first-write-wins may duplicate a compute under a race, but never
+     more than once per racing domain *)
+  Alcotest.(check bool) "computes bounded" true
+    (Atomic.get computed >= nkeys && Atomic.get computed <= 4 * nkeys)
+
+(* ----- the acceptance differential ----- *)
+
+let goal = Gp_core.Goal.Execve "/bin/sh"
+
+let sweep_payloads outcomes =
+  List.map
+    (fun (c : E.resume_payload R.cell_outcome) ->
+      match c.R.c_result with
+      | Ok p -> (c.R.c_key, E.resume_payload_encode p)
+      | Error f -> (c.R.c_key, "FAIL:" ^ Gp_core.Fail.label f))
+    outcomes
+
+let sequential_reference cells =
+  E.reset_world ();
+  let outcomes, _ =
+    R.run_corpus ~encode:E.resume_payload_encode
+      ~decode:E.resume_payload_decode (E.sweep_cells_sequential cells)
+  in
+  sweep_payloads outcomes
+
+let scheduled ~jobs cells =
+  E.reset_world ();
+  let outcomes, report =
+    S.run_cells ~encode:E.resume_payload_encode
+      ~decode:E.resume_payload_decode ~jobs cells
+  in
+  (sweep_payloads outcomes, report)
+
+(* The DAG at jobs 1, 2, and JOBS equals the sequential cell loop byte
+   for byte over the full quick survey corpus (4 programs x 3 configs,
+   tigress included). *)
+let test_differential_sweep () =
+  let cells = E.sweep_cell_steps ~quick:true ~goal () in
+  let reference = sequential_reference cells in
+  Alcotest.(check int) "full quick grid" 12 (List.length reference);
+  Alcotest.(check bool) "no failed cells in reference" true
+    (List.for_all
+       (fun (_, p) -> not (String.length p >= 5 && String.sub p 0 5 = "FAIL:"))
+       reference);
+  List.iter
+    (fun j ->
+      let got, report = scheduled ~jobs:j cells in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: byte-identical to sequential loop" j)
+        true (got = reference);
+      Alcotest.(check int)
+        (Printf.sprintf "jobs %d: everything computed" j)
+        (List.length reference) report.R.r_computed)
+    (List.sort_uniq compare [ 1; 2; jobs_under_test ])
+
+(* Same differential under 10% keyed fault injection: Faultsim's
+   decode/solver/mem schedules are keyed on content, not streamed, so
+   the injected fault set — and therefore every payload — must be
+   interleaving-invariant too. *)
+let test_differential_under_injection () =
+  let cells =
+    E.sweep_cell_steps
+      ~entries:[ Gp_corpus.Programs.find "fibonacci" ]
+      ~quick:true ~goal ()
+  in
+  let cfg = Gp_harness.Faultsim.uniform ~seed:11 0.1 in
+  Gp_harness.Faultsim.with_faults cfg (fun () ->
+      let reference = sequential_reference cells in
+      Alcotest.(check int) "one program, all configs" 3
+        (List.length reference);
+      let got, report = scheduled ~jobs:jobs_under_test cells in
+      Alcotest.(check bool) "injected sweep byte-identical" true
+        (got = reference);
+      Alcotest.(check int) "every cell terminated" 3
+        (report.R.r_computed + List.length report.R.r_failed))
+
+(* ----- crash/resume composed with the scheduler ----- *)
+
+let crash_cells () =
+  E.sweep_cell_steps
+    ~entries:[ Gp_corpus.Programs.find "fibonacci" ]
+    ~configs:
+      (List.filter
+         (fun (n, _) -> n = "original" || n = "tigress")
+         Gp_harness.Workspace.obf_configs)
+    ~quick:true ~goal ()
+
+let check_sched_crash_resume jobs () =
+  (* uninterrupted references: the sequential manifest path (PR-6
+     machinery) and the scheduled one must already agree *)
+  let seqdir = tmp_dir () in
+  E.reset_world ();
+  let so, _, _ =
+    E.resume_sweep ~dir:seqdir ~resume:false
+      (E.sweep_cells_sequential (crash_cells ()))
+  in
+  let reference = sweep_payloads so in
+  E.rm_rf seqdir;
+  Alcotest.(check int) "reference covers the grid" 2 (List.length reference);
+  let refdir = tmp_dir () in
+  E.reset_world ();
+  let ro, _, _ = E.sched_sweep ~dir:refdir ~resume:false ~jobs (crash_cells ()) in
+  E.rm_rf refdir;
+  Alcotest.(check bool) "scheduled == sequential, uninterrupted" true
+    (sweep_payloads ro = reference);
+  List.iter
+    (fun (point, hits) ->
+      let dir = tmp_dir () in
+      E.reset_world ();
+      let crashed =
+        match
+          Gp_harness.Faultsim.with_crash_at ~hits ~point (fun () ->
+              E.sched_sweep ~dir ~resume:false ~jobs (crash_cells ()))
+        with
+        | Ok _ -> false
+        | Error p ->
+          Alcotest.(check string) "died at the armed point" point p;
+          true
+      in
+      Alcotest.(check bool) (point ^ ": fuse fired") true crashed;
+      E.reset_world ();
+      let ro2, report, _ =
+        E.sched_sweep ~dir ~resume:true ~jobs (crash_cells ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (jobs %d): resume == uninterrupted" point jobs)
+        true
+        (sweep_payloads ro2 = reference);
+      Alcotest.(check int)
+        (point ^ ": resume covers everything")
+        2
+        (report.R.r_resumed + report.R.r_computed);
+      E.rm_rf dir)
+    [ ("wal-append", 5); ("mid-stage", 1) ]
+
+let suite =
+  [ Alcotest.test_case "deque owner-LIFO thief-FIFO" `Quick
+      test_deque_owner_lifo_thief_fifo;
+    Alcotest.test_case "deque concurrent conservation" `Quick
+      test_deque_concurrent_conservation;
+    Alcotest.test_case "dag diamond" `Quick test_dag_diamond;
+    Alcotest.test_case "dag dynamic growth" `Quick test_dag_dynamic_growth;
+    Alcotest.test_case "dag failure aborts and joins" `Quick
+      test_dag_failure_aborts_and_joins;
+    QCheck_alcotest.to_alcotest qcheck_dag_completes;
+    QCheck_alcotest.to_alcotest qcheck_dag_respects_edges;
+    QCheck_alcotest.to_alcotest qcheck_deque_steal_order;
+    Alcotest.test_case "Incr table stress (4 domains)" `Quick
+      test_incr_table_stress;
+    Alcotest.test_case "solver-memo cache stress (4 domains)" `Quick
+      test_cache_stress;
+    Alcotest.test_case
+      (Printf.sprintf "differential sweep (jobs %d)" jobs_under_test)
+      `Slow test_differential_sweep;
+    Alcotest.test_case "differential under 10% injection" `Slow
+      test_differential_under_injection;
+    Alcotest.test_case
+      (Printf.sprintf "crash/resume with scheduler (jobs %d)" jobs_under_test)
+      `Slow
+      (check_sched_crash_resume jobs_under_test) ]
