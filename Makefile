@@ -35,11 +35,16 @@
 # deque/DAG property tests, 4-domain shared-state stress, and the
 # DAG-vs-sequential-loop byte differential incl. fault injection and
 # crash/resume — DESIGN.md §14) at JOBS=1 and JOBS=4.
+#
+# `make check-serve` sweeps the analysis daemon (test_serve: frame-codec
+# totality properties, sharded-table vs single-lock equivalence, and the
+# daemon-vs-CLI round-trip byte differential incl. the wire-fault sweep,
+# lock demotion and crash/abandon — DESIGN.md §15) at JOBS=1 and JOBS=4.
 
 CHECK_TIMEOUT ?= 600
 
 .PHONY: all build test check check-par check-plan-par check-incr \
-	check-screen check-resume check-sweep check-bench clean
+	check-screen check-resume check-sweep check-serve check-bench clean
 
 all: build
 
@@ -50,7 +55,7 @@ test:
 	dune runtest
 
 check: build check-par check-plan-par check-incr check-screen \
-	check-resume check-sweep check-bench
+	check-resume check-sweep check-serve check-bench
 
 check-par:
 	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
@@ -79,6 +84,11 @@ check-sweep:
 	dune build test/test_main.exe
 	SUITES=sweep JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 	SUITES=sweep JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+
+check-serve:
+	dune build test/test_main.exe
+	SUITES=serve JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+	SUITES=serve JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 
 check-bench:
 	dune build bench/main.exe

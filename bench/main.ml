@@ -29,6 +29,11 @@
                                               # sequential cell loop vs the
                                               # pipelined cell x stage DAG
                                               # (writes BENCH_sweep.json)
+     dune exec bench/main.exe -- --only serve --jobs 4
+                                              # resident analysis daemon vs
+                                              # cold process-per-request:
+                                              # req/s, p50/p99, WAL overhead
+                                              # (writes BENCH_serve.json)
      dune exec bench/main.exe -- --quick      # smoke mode: one program, one
                                               # config (the `make check-bench`
                                               # end-to-end assertion)
@@ -67,6 +72,9 @@ let run_experiment ~quick ~jobs ?cache_dir id =
     print_string txt
   | "sweep" ->
     let txt, _ = Gp_harness.Experiments.sweep ~quick ~jobs () in
+    print_string txt
+  | "serve" ->
+    let txt, _ = Gp_harness.Experiments.serve ~quick ~jobs () in
     print_string txt
   | "fig1" ->
     let txt, _ = Gp_harness.Experiments.fig1 ~quick () in
@@ -112,7 +120,8 @@ let run_experiment ~quick ~jobs ?cache_dir id =
 
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
-    "tab7"; "par"; "plan"; "incr"; "screen"; "resume"; "sweep"; "cfi_study";
+    "tab7"; "par"; "plan"; "incr"; "screen"; "resume"; "sweep"; "serve";
+    "cfi_study";
     "ablation_unaligned"; "ablation_subsumption"; "ablation_condjump";
     "ablation_seeds" ]
 

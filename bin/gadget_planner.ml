@@ -5,6 +5,8 @@
      gadget_planner plan     <prog> [--obf PRESET] [--goal G] [--max N]
      gadget_planner survey   [--manifest DIR] [--resume]   checkpointed sweep
      gadget_planner netperf  [--obf PRESET]           end-to-end case study
+     gadget_planner serve    --socket PATH [--cache-dir DIR]   resident daemon
+     gadget_planner submit   <prog> --socket PATH [--goal G]   ask the daemon
      gadget_planner list                              list corpus programs
 
    <prog> is a corpus program name (see `list`) or a path to a mini-C
@@ -432,6 +434,147 @@ let netperf_cmd =
     Term.(const run $ obf_arg $ budget_arg $ jobs_arg $ cache_dir_arg
           $ no_screen_arg $ json_errors_arg)
 
+(* ----- serve / submit (DESIGN.md §15) ----- *)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/gadget_planner.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let ckpt_every_arg =
+    Arg.(value & opt int 8
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Write a WAL checkpoint after every N analyses.")
+  in
+  let ckpt_secs_arg =
+    Arg.(value & opt float 5.
+         & info [ "checkpoint-secs" ] ~docv:"S"
+             ~doc:"... or after the store has been dirty S seconds.")
+  in
+  let run socket cache_dir jobs ckpt_every ckpt_secs no_screen json_errors =
+    apply_screen no_screen;
+    let module Sv = Gp_harness.Serve in
+    let sm =
+      Sv.serve
+        { Sv.d_socket = socket; d_cache_dir = cache_dir; d_jobs = jobs;
+          d_checkpoint_every = ckpt_every; d_checkpoint_s = ckpt_secs }
+    in
+    Printf.printf "served %d analyses; %d checkpoint(s); store %s\n"
+      sm.Sv.sm_served sm.Sv.sm_checkpoints sm.Sv.sm_mode;
+    if sm.Sv.sm_faults <> [] then begin
+      Printf.printf "wire faults quarantined: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+              sm.Sv.sm_faults));
+      if json_errors then
+        List.iter
+          (fun (label, n) ->
+            emit_failure ~json:true label
+              (Printf.sprintf "%d frame(s) quarantined" n))
+          sm.Sv.sm_faults
+    end;
+    (* read-only demotion is a warning, as for survey: analyses are
+       correct, only persistence was skipped *)
+    match String.index_opt sm.Sv.sm_mode ':' with
+    | Some _ -> emit_failure ~json:json_errors "store-locked" sm.Sv.sm_mode
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident analysis daemon: caches stay memory-hot \
+             across requests, summaries persist through the write-ahead \
+             journal with batched checkpoints, and concurrent requests \
+             pipeline across pipeline stages on one domain pool.  \
+             Stops on a client $(b,shutdown) request.")
+    Term.(const run $ socket_arg $ cache_dir_arg $ jobs_arg $ ckpt_every_arg
+          $ ckpt_secs_arg $ no_screen_arg $ json_errors_arg)
+
+let submit_cmd =
+  let goal_arg =
+    Arg.(value & opt string "execve"
+         & info [ "goal" ] ~docv:"GOAL" ~doc:"execve, mprotect, or mmap.")
+  in
+  let max_arg =
+    Arg.(value & opt int 8 & info [ "max" ] ~docv:"N" ~doc:"Payloads to emit.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"After the analysis, ask the daemon to shut down.")
+  in
+  let run prog obf goal maxn budget jobs socket shutdown json_errors =
+    let module Sv = Gp_harness.Serve in
+    let fail label detail =
+      emit_failure ~json:json_errors label detail;
+      exit (Gp_core.Fail.exit_code_of_label label)
+    in
+    let image = compile_image prog obf in
+    let rq =
+      { (Sv.default_request image) with
+        Sv.rq_goal = goal;
+        rq_budget_s = Option.value budget ~default:0.;
+        rq_max_plans = maxn;
+        rq_node_budget = 4000;
+        rq_time_budget = 30.;
+        rq_branch_cap = 10;
+        rq_goal_cap = 6;
+        rq_max_steps = 14;
+        rq_jobs = jobs }
+    in
+    match Sv.Client.connect socket with
+    | Error why -> fail "frame-disconnect" ("cannot reach daemon: " ^ why)
+    | Ok cl ->
+      let finish () =
+        if shutdown then ignore (Sv.Client.shutdown cl);
+        Sv.Client.close cl
+      in
+      (match Sv.Client.submit cl rq with
+      | Error f ->
+        finish ();
+        fail (Gp_core.Fail.label f) (Gp_core.Fail.to_string f)
+      | Ok r ->
+        finish ();
+        (* same report shape as `plan`, fed from the daemon's reply *)
+        Printf.printf "pool %d gadgets; %d validated payload(s); rungs: %s\n"
+          r.Sv.sr_pool
+          (List.length r.Sv.sr_chains)
+          (String.concat "," r.Sv.sr_rungs);
+        if r.Sv.sr_budget_hits <> [] then
+          Printf.printf "budget exhausted in: %s\n"
+            (String.concat ", " r.Sv.sr_budget_hits);
+        if r.Sv.sr_quarantined <> [] then
+          Printf.printf "quarantined: %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+                  r.Sv.sr_quarantined));
+        print_newline ();
+        List.iteri
+          (fun i (_, desc) ->
+            Printf.printf "--- payload %d ---\n%s\n" (i + 1) desc)
+          r.Sv.sr_chains;
+        if json_errors then
+          List.iter
+            (fun (label, n) ->
+              emit_failure ~json:true label
+                (Printf.sprintf "%d item(s) quarantined" n))
+            r.Sv.sr_quarantined;
+        if r.Sv.sr_chains = [] && r.Sv.sr_budget_hits <> [] then begin
+          emit_failure ~json:json_errors "budget"
+            ("no payload before budget ran out in: "
+             ^ String.concat ", " r.Sv.sr_budget_hits);
+          exit (Gp_core.Fail.exit_code_of_label "budget")
+        end)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Compile a program and submit it to a running daemon; the \
+             report is identical to running $(b,plan) locally.")
+    Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg
+          $ jobs_arg $ socket_arg $ shutdown_arg $ json_errors_arg)
+
 (* ----- disasm ----- *)
 
 let disasm_cmd =
@@ -482,4 +625,4 @@ let () =
           (Cmd.info "gadget_planner" ~version:"1.0.0"
              ~doc:"Code-reuse attack construction on obfuscated binaries.")
           [ compile_cmd; scan_cmd; plan_cmd; survey_cmd; netperf_cmd;
-            disasm_cmd; list_cmd ]))
+            serve_cmd; submit_cmd; disasm_cmd; list_cmd ]))

@@ -195,6 +195,12 @@ let store_save quarantined = function
   | Some dir -> (
     match Incr.save ~dir with
     | Ok () -> quarantined
+    | Error why when Incr.save_locked why ->
+      (* another writer (a resident daemon) holds the dir: demote to
+         read-only — this run's results stand, only the warm start of
+         the next cold run is lost *)
+      Fail.merge_counts quarantined
+        [ (Fail.label (Fail.Store_locked why), 1) ]
     | Error why ->
       Fail.merge_counts quarantined
         [ (Fail.label (Fail.Store_rejected why), 1) ])
@@ -314,18 +320,18 @@ let stage_subsume ?(subsume = true) ?budget ?(jobs = 1) (ex : extracted) :
    shrinks the pool, so budget death or an error degrades to passing
    the harvest through untouched).  Also returns the RAW harvest, which
    the degradation ladder re-pools without subsumption. *)
-let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs
+let analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs ?ids
     (image : Gp_util.Image.t) : analysis * Gadget.t list =
   let ex =
-    stage_extract ~extract_config ?cache_dir ~budget:root ~jobs image
+    stage_extract ~extract_config ?cache_dir ~budget:root ~jobs ?ids image
   in
   stage_subsume ~subsume ~budget:root ~jobs ex
 
 let analyze ?(extract_config = Extract.default_config) ?(subsume = true)
-    ?budget ?(jobs = 1) ?cache_dir (image : Gp_util.Image.t) : analysis =
+    ?budget ?(jobs = 1) ?cache_dir ?ids (image : Gp_util.Image.t) : analysis =
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
   let a, _ =
-    analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs image
+    analyze_raw ~extract_config ~subsume ?cache_dir ~root ~jobs ?ids image
   in
   { a with quarantined = store_save a.quarantined cache_dir }
 
@@ -558,24 +564,28 @@ let dedup_only (gadgets : Gadget.t list) : Gadget.t list =
       end)
     gadgets
 
+(* The Dedup_only rung's analysis: re-pool the raw harvest with exact
+   duplicates removed — a superset of the subsumed pool.  Exposed so
+   the daemon's staged ladder ([Gp_harness.Serve]) degrades exactly
+   like [run]. *)
+let dedup_analysis (a : analysis) (harvested : Gadget.t list) : analysis =
+  let m = dedup_only harvested in
+  { a with gadgets = m; pool = Pool.build m }
+
 let run ?(extract_config = Extract.default_config)
     ?(planner_config = Planner.default_config) ?(validate = true) ?budget
-    ?(jobs = 1) ?cache_dir (image : Gp_util.Image.t) (goal : Goal.t) :
+    ?(jobs = 1) ?cache_dir ?ids (image : Gp_util.Image.t) (goal : Goal.t) :
     outcome =
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
   (* Stages 1-2 run ONCE: the harvest is the expensive part and every
      rung shares it (the degraded rungs re-pool from the same gadget
      records, so gadget ids stay stable too). *)
   let a_full, harvested =
-    analyze_raw ~extract_config ~subsume:true ?cache_dir ~root ~jobs image
+    analyze_raw ~extract_config ~subsume:true ?cache_dir ~root ~jobs ?ids image
   in
   (* Degraded stage 2: dedup the RAW harvest without subsumption — the
      Dedup_only rung's pool is a superset of the subsumed one. *)
-  let a_degraded =
-    lazy
-      (let m = dedup_only harvested in
-       { a_full with gadgets = m; pool = Pool.build m })
-  in
+  let a_degraded = lazy (dedup_analysis a_full harvested) in
   let tried = ref [] in
   let result : outcome option ref = ref None in
   List.iter

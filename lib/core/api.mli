@@ -172,7 +172,8 @@ val stage_subsume :
 
 val analyze :
   ?extract_config:Extract.config -> ?subsume:bool -> ?budget:Budget.t ->
-  ?jobs:int -> ?cache_dir:string -> Gp_util.Image.t -> analysis
+  ?jobs:int -> ?cache_dir:string -> ?ids:Gadget.id_source ->
+  Gp_util.Image.t -> analysis
 (** Stages 1–2.  [budget] bounds both stages (extract gets the larger
     slice); exhaustion degrades — a partial harvest, or a pool passed
     through un-subsumed — and is recorded, never raised.  [jobs] > 1
@@ -200,6 +201,17 @@ type rung =
   | Relaxed_steps  (** previous + relaxed plan-size cap *)
 
 val rung_name : rung -> string
+
+val rung_planner_config : Planner.config -> rung -> Planner.config
+(** Loosen the planner config for a ladder rung (cumulative: the last
+    rung is also the widest).  Exposed so the daemon's staged ladder
+    degrades exactly like {!run}. *)
+
+val dedup_analysis : analysis -> Gadget.t list -> analysis
+(** The [Dedup_only] rung's analysis: re-pool the raw harvest (the
+    second component {!stage_subsume} returns) with exact duplicates
+    removed — a superset of the subsumed pool.  Exposed for the same
+    reason as {!rung_planner_config}. *)
 
 type outcome = {
   goal : Goal.concrete;
@@ -245,6 +257,7 @@ val run :
   ?budget:Budget.t ->
   ?jobs:int ->
   ?cache_dir:string ->
+  ?ids:Gadget.id_source ->
   Gp_util.Image.t ->
   Goal.t ->
   outcome

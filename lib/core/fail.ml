@@ -31,6 +31,11 @@ type t =
   | Wal_torn of string
       (* the write-ahead journal ended in a torn tail (crash
          mid-append); the valid prefix was replayed, the tail dropped *)
+  | Frame_fault of [ `Torn | `Checksum | `Disconnect ] * string
+      (* a daemon wire frame was unusable: connection closed mid-frame,
+         payload checksum/format mismatch, or the client vanished while
+         the response was being written.  The request is quarantined and
+         the connection dropped; resident caches are untouched *)
 
 (* Short bucket name, used as the tally key so stats stay readable. *)
 let label = function
@@ -43,6 +48,9 @@ let label = function
   | Store_rejected _ -> "store"
   | Store_locked _ -> "store-locked"
   | Wal_torn _ -> "wal-torn"
+  | Frame_fault (`Torn, _) -> "frame-torn"
+  | Frame_fault (`Checksum, _) -> "frame-checksum"
+  | Frame_fault (`Disconnect, _) -> "frame-disconnect"
 
 let to_string = function
   | Decode_fault (addr, d) -> Printf.sprintf "decode fault at 0x%Lx: %s" addr d
@@ -56,6 +64,9 @@ let to_string = function
   | Store_rejected d -> "incremental store rejected: " ^ d
   | Store_locked d -> "store locked: " ^ d
   | Wal_torn d -> "wal torn tail: " ^ d
+  | Frame_fault (`Torn, d) -> "torn wire frame: " ^ d
+  | Frame_fault (`Checksum, d) -> "wire frame checksum: " ^ d
+  | Frame_fault (`Disconnect, d) -> "client disconnected: " ^ d
 
 (* ----- supervision ----- *)
 
@@ -67,15 +78,17 @@ let to_string = function
 let retryable = function
   | Solver_timeout _ | Budget_exhausted _ -> true
   | Decode_fault _ | Symx_unsupported _ | Solver_unknown _ | Emu_fault _
-  | Store_rejected _ | Store_locked _ | Wal_torn _ -> false
+  | Store_rejected _ | Store_locked _ | Wal_torn _ | Frame_fault _ -> false
 
 (* Process exit codes, BSD-sysexits-adjacent so supervisors can
    classify without parsing prose: 75 (tempfail) = transient timeout,
-   70 (software) = hard analysis fault, 78 (config) = store problem.
-   Cmdliner owns usage errors (124). *)
+   70 (software) = hard analysis fault, 78 (config) = store problem,
+   76 (protocol) = daemon wire-frame fault.  Cmdliner owns usage
+   errors (124). *)
 let exit_timeout = 75
 let exit_fault = 70
 let exit_store = 78
+let exit_proto = 76
 
 let exit_code f =
   match f with
@@ -83,12 +96,14 @@ let exit_code f =
   | Decode_fault _ | Symx_unsupported _ | Solver_unknown _ | Emu_fault _ ->
     exit_fault
   | Store_rejected _ | Store_locked _ | Wal_torn _ -> exit_store
+  | Frame_fault _ -> exit_proto
 
 (* Same classification keyed by ledger label, for call sites that only
    kept the tally bucket (quarantine ledgers in stage stats). *)
 let exit_code_of_label = function
   | "solver-timeout" | "budget" -> exit_timeout
   | "store" | "store-locked" | "wal-torn" -> exit_store
+  | "frame-torn" | "frame-checksum" | "frame-disconnect" -> exit_proto
   | _ -> exit_fault
 
 (* One-line JSON failure record for [--json-errors] (stderr, one per

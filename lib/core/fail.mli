@@ -29,6 +29,11 @@ type t =
   | Wal_torn of string
       (** the write-ahead journal ended in a torn tail; valid prefix
           replayed, tail dropped *)
+  | Frame_fault of [ `Torn | `Checksum | `Disconnect ] * string
+      (** a daemon wire frame was unusable (torn stream, checksum or
+          format mismatch, client hangup mid-response); the request is
+          quarantined, the connection dropped, resident caches
+          untouched *)
 
 val label : t -> string
 (** Short bucket name ("decode", "symx", "solver-unknown", ...); used as
@@ -49,7 +54,8 @@ val retryable : t -> bool
 
 val exit_code : t -> int
 (** Distinct process exit codes per failure class: 75 transient
-    timeout, 70 hard analysis fault, 78 store problem. *)
+    timeout, 70 hard analysis fault, 78 store problem, 76 wire
+    protocol fault. *)
 
 val exit_code_of_label : string -> int
 (** Same mapping keyed by {!label} bucket (for quarantine ledgers). *)

@@ -20,11 +20,15 @@
    version-stale) degrades to a cold run; the caller records the reason
    and carries on.
 
-   Thread safety: same discipline as the other shared caches — mutex
-   around table operations, nothing user-supplied under the lock,
-   first-write-wins so racing domains at worst duplicate a compute.
-   [load]/[save] are main-domain operations (called outside the
-   parallel sections by Api). *)
+   Thread safety: same discipline as the other shared caches — nothing
+   user-supplied under a lock, first-write-wins so racing domains at
+   worst duplicate a compute.  The table is SHARDED by key hash (16
+   hashtables, one mutex each, mirroring [Gp_smt.Cache]) so resident
+   daemon workers contend per shard instead of on one global lock
+   (DESIGN.md §15); sharding is invisible in the API and the serve
+   suite checks observational equivalence against a single-lock
+   reference.  [load]/[save] are main-domain operations (called outside
+   the parallel sections by Api). *)
 
 open Gp_smt
 
@@ -34,31 +38,59 @@ let summaries_section = "summaries"
 
 type value = Gp_symx.Exec.summary list * string option
 
-let tbl : (string, value) Hashtbl.t = Hashtbl.create 4096
-let lock = Mutex.create ()
+let shard_count = 16
+
+type shard = { s_tbl : (string, value) Hashtbl.t; s_lock : Mutex.t }
+
+let shards : shard array =
+  Array.init shard_count (fun _ ->
+      { s_tbl = Hashtbl.create 512; s_lock = Mutex.create () })
+
+let shard_of key = shards.(Hashtbl.hash key land (shard_count - 1))
+
 let on = ref true
 
 let enabled () = !on
 let set_enabled b = on := b
-let size () = Mutex.protect lock (fun () -> Hashtbl.length tbl)
-let reset () = Mutex.protect lock (fun () -> Hashtbl.reset tbl)
 
-let find key = Mutex.protect lock (fun () -> Hashtbl.find_opt tbl key)
+let size () =
+  Array.fold_left
+    (fun acc s -> acc + Mutex.protect s.s_lock (fun () -> Hashtbl.length s.s_tbl))
+    0 shards
+
+let reset () =
+  Array.iter
+    (fun s -> Mutex.protect s.s_lock (fun () -> Hashtbl.reset s.s_tbl))
+    shards
+
+let find key =
+  let s = shard_of key in
+  Mutex.protect s.s_lock (fun () -> Hashtbl.find_opt s.s_tbl key)
 
 (* Forward hook into the journal (defined below): fired once per fresh
    insert so journaled runs append summaries as they are produced. *)
 let fresh_hook : (string -> value -> unit) ref = ref (fun _ _ -> ())
 
 let add key v =
+  let s = shard_of key in
   let fresh =
-    Mutex.protect lock (fun () ->
-        if Hashtbl.mem tbl key then false
+    Mutex.protect s.s_lock (fun () ->
+        if Hashtbl.mem s.s_tbl key then false
         else begin
-          Hashtbl.add tbl key v;
+          Hashtbl.add s.s_tbl key v;
           true
         end)
   in
   if fresh then !fresh_hook key v
+
+(* Snapshot the whole table shard by shard (each under its own lock;
+   no cross-shard atomicity needed — callers snapshot outside the
+   parallel sections). *)
+let fold_all f acc =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.protect s.s_lock (fun () -> Hashtbl.fold f s.s_tbl acc))
+    acc shards
 
 type load_info = {
   li_entries : int;       (* entries imported from the base store *)
@@ -88,11 +120,12 @@ let import_sections sections =
         let decoded =
           List.map (fun (k, v) -> (k, Gp_symx.Exec.read_summaries v)) entries
         in
-        Mutex.protect lock (fun () ->
-            List.iter
-              (fun (k, v) ->
-                if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k v)
-              decoded)
+        List.iter
+          (fun (k, v) ->
+            let s = shard_of k in
+            Mutex.protect s.s_lock (fun () ->
+                if not (Hashtbl.mem s.s_tbl k) then Hashtbl.add s.s_tbl k v))
+          decoded
       end)
     sections;
   n := !n + Solver.import_memos sections;
@@ -166,21 +199,69 @@ let load ~dir =
              exactly like any other unusable store *)
           Rejected "corrupt: entry decode")))
 
+(* Journal state, declared before [save] because the snapshot path
+   must recognize its own open journal (compaction saves while the
+   journal legitimately holds the dir's lock). *)
+
+type journal = {
+  j_dir : string;
+  j_wal : Gp_util.Store.Wal.t;
+  j_lock : Gp_util.Store.lock;
+  j_seen : (string, unit) Hashtbl.t; (* section ^ "\x00" ^ key already durable *)
+  j_mutex : Mutex.t;
+  mutable j_memo_mark : int;
+      (* [Solver.memo_count] at the last checkpoint: memos are add-only
+         within a run, so an unchanged count means no delta — the
+         checkpoint skips the serializing export scan entirely *)
+}
+
+let journal_st : journal option ref = ref None
+let journal_error_r : string option ref = ref None
+let lock_name = ".store.lock"
+
+let locked_prefix = "locked: "
+
 let save ~dir =
-  let snapshot =
-    Mutex.protect lock (fun () ->
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  (* Single-writer discipline on the snapshot path too: take the dir's
+     advisory lock for the duration of the write, unless this process's
+     own journal already holds it for [dir] (the compaction path saves
+     under the journal's lock).  When a resident daemon holds the lock,
+     a CLI save demotes cleanly — the caller quarantines the
+     [locked_prefix]-tagged reason as [Fail.Store_locked] and keeps its
+     in-memory results, the PR-6 second-writer demotion extended from
+     journal open to plain saves (DESIGN.md §15). *)
+  let own_journal =
+    match !journal_st with Some j -> j.j_dir = dir | None -> false
   in
-  let entries =
-    snapshot
-    |> List.map (fun (k, v) -> (k, Gp_symx.Exec.write_summaries v))
-    |> List.sort compare
+  let guard =
+    if own_journal then Ok None
+    else
+      match Gp_util.Store.try_lock ~name:lock_name dir with
+      | Ok l -> Ok (Some l)
+      | Error who -> Error (locked_prefix ^ who)
   in
-  let sections =
-    { Gp_util.Store.name = summaries_section; entries }
-    :: Solver.export_memos ()
-  in
-  Gp_util.Store.save ~schema:schema_version (path ~dir) sections
+  match guard with
+  | Error why -> Error why
+  | Ok l ->
+    Fun.protect
+      ~finally:(fun () ->
+        match l with Some l -> Gp_util.Store.unlock l | None -> ())
+      (fun () ->
+        let snapshot = fold_all (fun k v acc -> (k, v) :: acc) [] in
+        let entries =
+          snapshot
+          |> List.map (fun (k, v) -> (k, Gp_symx.Exec.write_summaries v))
+          |> List.sort compare
+        in
+        let sections =
+          { Gp_util.Store.name = summaries_section; entries }
+          :: Solver.export_memos ()
+        in
+        Gp_util.Store.save ~schema:schema_version (path ~dir) sections)
+
+let save_locked why =
+  String.length why >= String.length locked_prefix
+  && String.sub why 0 (String.length locked_prefix) = locked_prefix
 
 (* ----- write-ahead journal mode ----- *)
 
@@ -197,21 +278,6 @@ let save ~dir =
    reports [Store_locked].  Journal I/O errors mid-run demote to
    in-memory-only (sticky [journal_error]) rather than killing the
    sweep. *)
-
-type journal = {
-  j_dir : string;
-  j_wal : Gp_util.Store.Wal.t;
-  j_lock : Gp_util.Store.lock;
-  j_seen : (string, unit) Hashtbl.t; (* section ^ "\x00" ^ key already durable *)
-  j_mutex : Mutex.t;
-  mutable j_memo_mark : int;
-      (* [Solver.memo_count] at the last checkpoint: memos are add-only
-         within a run, so an unchanged count means no delta — the
-         checkpoint skips the serializing export scan entirely *)
-}
-
-let journal_st : journal option ref = ref None
-let journal_error_r : string option ref = ref None
 
 let journaling () = !journal_st <> None
 let journal_error () = !journal_error_r
@@ -232,8 +298,6 @@ type journal_open_result = {
   jo_mode : [ `Journaling | `Read_only of string ];
 }
 
-let lock_name = ".store.lock"
-
 let journal_close_writer () =
   match !journal_st with
   | None -> ()
@@ -246,11 +310,10 @@ let journal_close_writer () =
    already-exported memos) so checkpoints only append deltas. *)
 let journal_mark_existing j =
   Mutex.protect j.j_mutex (fun () ->
-      Mutex.protect lock (fun () ->
-          Hashtbl.iter
-            (fun k _ ->
-              Hashtbl.replace j.j_seen (seen_key summaries_section k) ())
-            tbl);
+      fold_all
+        (fun k _ () ->
+          Hashtbl.replace j.j_seen (seen_key summaries_section k) ())
+        ();
       List.iter
         (fun { Gp_util.Store.name; entries } ->
           List.iter

@@ -61,7 +61,17 @@ val load : dir:string -> status
 
 val save : dir:string -> (unit, string) result
 (** Write the current table + solver memos atomically (temp file +
-    fsync + rename).  Errors are returned, never raised. *)
+    fsync + rename), holding the dir's advisory lock for the duration
+    — unless this process's own journal already holds it (compaction).
+    A dir locked by another writer (e.g. a resident daemon) returns an
+    [Error] that {!save_locked} recognizes, so callers demote to
+    read-only instead of clobbering.  Errors are returned, never
+    raised. *)
+
+val save_locked : string -> bool
+(** [true] iff a {!save} error means the dir was locked by another
+    writer (the clean second-writer demotion) rather than an I/O
+    failure. *)
 
 (** {1 Write-ahead journal mode}
 

@@ -40,11 +40,12 @@ type config = {
   mem_rate : float;
   clock_skip_rate : float;
   clock_skip_s : float;
+  frame_rate : float;
 }
 
 let disabled =
   { seed = 0; decode_rate = 0.; solver_rate = 0.; mem_rate = 0.;
-    clock_skip_rate = 0.; clock_skip_s = 0. }
+    clock_skip_rate = 0.; clock_skip_s = 0.; frame_rate = 0. }
 
 let uniform ?(seed = 0xfa17) rate =
   { disabled with seed; decode_rate = rate; solver_rate = rate;
@@ -96,6 +97,7 @@ let with_faults (cfg : config) (f : unit -> 'a) : 'a =
   let saved_solver = !Gp_smt.Solver.chaos_unknown in
   let saved_fuse = !Gp_emu.Machine.chaos_fuse in
   let saved_fuse_keyed = !Gp_emu.Machine.chaos_fuse_keyed in
+  let saved_wire = !Gp_util.Frame.chaos_wire in
   if cfg.decode_rate > 0. then
     Gp_core.Extract.chaos_decode :=
       (fun addr -> keyed_flip (cfg.seed lxor 0x11) addr cfg.decode_rate);
@@ -119,6 +121,25 @@ let with_faults (cfg : config) (f : unit -> 'a) : 'a =
           Some (Gp_util.Rng.int r 100_000)
         else None)
   end;
+  if cfg.frame_rate > 0. then
+    (* keyed on the frame PAYLOAD, so the damaged-request set is a pure
+       function of (seed, request bytes) — independent of send order
+       across connections.  The fault MODE is a second independent draw
+       from the same key, so all four wire faults appear at high
+       rates. *)
+    Gp_util.Frame.chaos_wire :=
+      (fun payload ->
+        if keyed_flip (cfg.seed lxor 0x66) payload cfg.frame_rate then
+          let r =
+            Gp_util.Rng.create ((cfg.seed lxor 0x77) lxor Hashtbl.hash payload)
+          in
+          Some
+            (match Gp_util.Rng.int r 4 with
+            | 0 -> Gp_util.Frame.Torn_len
+            | 1 -> Gp_util.Frame.Torn_body
+            | 2 -> Gp_util.Frame.Flip_sum
+            | _ -> Gp_util.Frame.Hangup)
+        else None);
   if cfg.clock_skip_rate > 0. then begin
     let skew = ref 0. in
     Gp_core.Budget.set_clock (fun () ->
@@ -131,6 +152,7 @@ let with_faults (cfg : config) (f : unit -> 'a) : 'a =
     Gp_smt.Solver.chaos_unknown := saved_solver;
     Gp_emu.Machine.chaos_fuse := saved_fuse;
     Gp_emu.Machine.chaos_fuse_keyed := saved_fuse_keyed;
+    Gp_util.Frame.chaos_wire := saved_wire;
     if cfg.clock_skip_rate > 0. then Gp_core.Budget.reset_clock ()
   in
   Fun.protect ~finally f

@@ -18,6 +18,11 @@ type config = {
   clock_skip_rate : float;
       (** per clock read: time jumps forward [clock_skip_s] seconds *)
   clock_skip_s : float;
+  frame_rate : float;
+      (** per daemon wire frame sent: the frame is damaged on the way
+          out — torn length prefix, torn body, corrupted checksum, or a
+          clean send followed by a client hangup, the mode itself a
+          keyed draw.  Exercises the {!Serve} quarantine paths. *)
 }
 
 val disabled : config

@@ -300,6 +300,138 @@ module Dag = struct
       | None -> (match join_exns with e :: _ -> raise e | [] -> ()))
 end
 
+(* ----- persistent worker pool: the daemon's execution substrate ----- *)
+
+(* [Dag.run] is a batch construct: workers exit when the outstanding
+   count hits zero, which for a daemon is just "between requests".
+   [Service] keeps the same deques, stealing discipline and idle
+   backoff, but workers park until an explicit [stop] — the resident
+   pool requests are dispatched onto (DESIGN.md §15).
+
+   Failure discipline differs from the batch DAG on purpose: a request
+   handler owns its errors (it catches everything and turns it into an
+   error response — one poisoned request must not kill the daemon), so
+   any exception that still reaches a worker is by definition fatal to
+   the process ([Faultsim.Crashed], or a handler bug).  The first one
+   is kept, the pool stops, and [check]/[stop] re-raise it on the
+   daemon's main loop — where the journal teardown lives, exactly like
+   a crashed sweep. *)
+module Service = struct
+  type t = {
+    sv_deques : (unit -> unit) Deque.t array;
+    sv_m : Mutex.t;
+    sv_assign : (int, int) Hashtbl.t; (* Domain id -> worker index *)
+    sv_stop : bool Atomic.t;
+    sv_fatal : exn option Atomic.t;   (* first fatal exception, kept *)
+    sv_pending : int Atomic.t;        (* submitted, not yet finished *)
+    sv_rr : int Atomic.t;             (* round-robin for outside submits *)
+    mutable sv_domains : unit Domain.t list;
+  }
+
+  let jobs sv = Array.length sv.sv_deques
+  let pending sv = Atomic.get sv.sv_pending
+
+  let worker_index_opt sv =
+    Mutex.protect sv.sv_m (fun () ->
+        Hashtbl.find_opt sv.sv_assign (Domain.self () :> int))
+
+  (* Queue one task.  From a worker domain it lands on that worker's
+     own deque (owner-LIFO keeps a request's next stage hot, thieves
+     take other requests' opening stages from the top — the same
+     pipelining as [Dag.node] during a run); from any other domain
+     (the daemon's accept loop) tasks are spread round-robin. *)
+  let submit sv (fn : unit -> unit) =
+    Atomic.incr sv.sv_pending;
+    let w =
+      match worker_index_opt sv with
+      | Some w -> w
+      | None -> Atomic.fetch_and_add sv.sv_rr 1 mod jobs sv
+    in
+    Deque.push sv.sv_deques.(w) fn
+
+  let fatal sv e =
+    ignore (Atomic.compare_and_set sv.sv_fatal None (Some e));
+    Atomic.set sv.sv_stop true
+
+  let rec worker sv w ~idle =
+    if Atomic.get sv.sv_fatal <> None then ()
+    else begin
+      let task =
+        match Deque.pop sv.sv_deques.(w) with
+        | Some fn -> Some fn
+        | None ->
+          let jobs = Array.length sv.sv_deques in
+          let rec scan k =
+            if k >= jobs then None
+            else
+              match Deque.steal sv.sv_deques.((w + k) mod jobs) with
+              | Some fn -> Some fn
+              | None -> scan (k + 1)
+          in
+          scan 1
+      in
+      match task with
+      | Some fn ->
+        (match fn () with
+        | () -> ()
+        | exception e -> fatal sv e);
+        Atomic.decr sv.sv_pending;
+        worker sv w ~idle:0
+      | None ->
+        if Atomic.get sv.sv_stop && Atomic.get sv.sv_pending = 0 then ()
+        else begin
+          (* same spin-then-sleep backoff as [Dag.worker]: parked
+             daemon workers must not burn the cores the active ones
+             need *)
+          if idle < 100 then Domain.cpu_relax ()
+          else Unix.sleepf (Float.min 0.002 (0.0001 *. float_of_int (idle - 99)));
+          worker sv w ~idle:(idle + 1)
+        end
+    end
+
+  let start ~jobs:n =
+    let n = max 1 n in
+    let sv =
+      { sv_deques = Array.init n (fun _ -> Deque.create ());
+        sv_m = Mutex.create ();
+        sv_assign = Hashtbl.create 8;
+        sv_stop = Atomic.make false;
+        sv_fatal = Atomic.make None;
+        sv_pending = Atomic.make 0;
+        sv_rr = Atomic.make 0;
+        sv_domains = [] }
+    in
+    (* Unlike [Dag.run] the caller is NOT a worker: the daemon's main
+       domain stays in its accept/select loop.  Same spawn hardening —
+       keep every successful spawn, degrade to fewer workers. *)
+    (try
+       for w = 0 to n - 1 do
+         sv.sv_domains <-
+           Domain.spawn (fun () ->
+               Mutex.protect sv.sv_m (fun () ->
+                   Hashtbl.replace sv.sv_assign (Domain.self () :> int) w);
+               worker sv w ~idle:0)
+           :: sv.sv_domains
+       done
+     with _ -> ());
+    sv
+
+  let check sv =
+    match Atomic.get sv.sv_fatal with Some e -> raise e | None -> ()
+
+  (* Drain and join.  Queued work still runs (a shutdown request must
+     not drop in-flight analyses) unless a fatal exception already
+     stopped the pool; the fatal exception, if any, is re-raised after
+     every domain is joined. *)
+  let stop sv =
+    Atomic.set sv.sv_stop true;
+    List.iter
+      (fun d -> try Domain.join d with e -> fatal sv e)
+      sv.sv_domains;
+    sv.sv_domains <- [];
+    check sv
+end
+
 (* ----- staged cells: the corpus pipeline on the DAG ----- *)
 
 (* A cell's work as a chain of resumable steps.  Each [Next] becomes

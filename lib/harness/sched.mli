@@ -56,6 +56,41 @@ module Dag : sig
       escapes here just as it does from a sequential sweep. *)
 end
 
+(** Persistent work-stealing pool for the analysis daemon (DESIGN.md
+    §15): the [Dag] deque/steal/backoff machinery without the batch
+    exit — workers park until {!Service.stop}.  The caller is not a
+    worker (the daemon's main domain stays in its accept loop).
+
+    Failure discipline: request handlers own their errors, so any
+    exception reaching a worker is fatal to the process
+    ([Faultsim.Crashed], handler bugs).  The first is kept, the pool
+    stops claiming work, and {!Service.check}/{!Service.stop} re-raise
+    it on the main loop — where journal teardown lives. *)
+module Service : sig
+  type t
+
+  val start : jobs:int -> t
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Queue a task.  From a worker domain it lands on that worker's own
+      deque (owner-LIFO pipelines a request's stages, thieves take
+      other requests' opening stages); from other domains tasks spread
+      round-robin. *)
+
+  val pending : t -> int
+  (** Tasks submitted but not yet finished. *)
+
+  val jobs : t -> int
+
+  val check : t -> unit
+  (** Re-raise the pool's fatal exception, if one happened. *)
+
+  val stop : t -> unit
+  (** Stop accepting park-forever semantics: queued work still drains
+      (in-flight analyses are not dropped), every domain is joined,
+      then any fatal exception is re-raised. *)
+end
+
 (** A cell's work as a chain of resumable steps.  Each [Next (stage,
     k)] becomes its own DAG node labeled with [stage]. *)
 type 'a step =

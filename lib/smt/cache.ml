@@ -20,34 +20,60 @@
    verdict a fresh solve would have produced.  A cache hit can
    therefore never change a verdict; the property suite checks this.
 
-   Thread safety: the table is guarded by a mutex; computation runs
-   OUTSIDE the lock so a slow solve never serializes the other domains.
-   Two domains racing on the same fresh key may both compute it — both
-   arrive at the same value, so first-write-wins is harmless.  Hit/miss
-   counters are atomics, surfaced through [Api.stage_stats]. *)
+   Thread safety: the table is SHARDED by key hash — 16 independent
+   hashtables, each behind its own mutex — so resident-daemon workers
+   hammering the memo from many domains contend only when their keys
+   collide on a shard, not on one global lock (DESIGN.md §15).
+   Computation runs OUTSIDE the shard lock so a slow solve never
+   serializes the other domains.  Two domains racing on the same fresh
+   key may both compute it — both arrive at the same value, so
+   first-write-wins is harmless.  Sharding is invisible in the API:
+   first-write-wins, size/reset and the hit/miss counters behave
+   exactly like the old single-lock table (the serve suite holds a
+   reference implementation against it).  Hit/miss counters are
+   process-wide atomics, surfaced through [Api.stage_stats]. *)
+
+let shard_count = 16
+
+type ('k, 'v) shard = {
+  s_tbl : ('k, 'v) Hashtbl.t;
+  s_lock : Mutex.t;
+}
 
 type ('k, 'v) t = {
-  tbl : ('k, 'v) Hashtbl.t;
-  lock : Mutex.t;
+  shards : ('k, 'v) shard array;
   hits : int Atomic.t;
   misses : int Atomic.t;
   mutable enabled : bool;
 }
 
 let create ?(size = 4096) () =
-  { tbl = Hashtbl.create size;
-    lock = Mutex.create ();
+  { shards =
+      Array.init shard_count (fun _ ->
+          { s_tbl = Hashtbl.create (max 16 (size / shard_count));
+            s_lock = Mutex.create () });
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     enabled = true }
+
+(* [Hashtbl.hash] is deterministic on immutable data; the low bits pick
+   the shard, so a key's shard is a pure function of its structure. *)
+let shard_of c key = c.shards.(Hashtbl.hash key land (shard_count - 1))
 
 let enabled c = c.enabled
 let set_enabled c b = c.enabled <- b
 let hits c = Atomic.get c.hits
 let misses c = Atomic.get c.misses
-let length c = Mutex.protect c.lock (fun () -> Hashtbl.length c.tbl)
 
-let clear c = Mutex.protect c.lock (fun () -> Hashtbl.reset c.tbl)
+let length c =
+  Array.fold_left
+    (fun acc s -> acc + Mutex.protect s.s_lock (fun () -> Hashtbl.length s.s_tbl))
+    0 c.shards
+
+let clear c =
+  Array.iter
+    (fun s -> Mutex.protect s.s_lock (fun () -> Hashtbl.reset s.s_tbl))
+    c.shards
 
 let reset c =
   clear c;
@@ -59,15 +85,16 @@ let reset c =
 let find_or_add (c : ('k, 'v) t) (key : 'k) (f : unit -> 'v) : 'v =
   if not c.enabled then f ()
   else begin
-    match Mutex.protect c.lock (fun () -> Hashtbl.find_opt c.tbl key) with
+    let s = shard_of c key in
+    match Mutex.protect s.s_lock (fun () -> Hashtbl.find_opt s.s_tbl key) with
     | Some v ->
       Atomic.incr c.hits;
       v
     | None ->
       Atomic.incr c.misses;
       let v = f () in
-      Mutex.protect c.lock (fun () ->
-          if not (Hashtbl.mem c.tbl key) then Hashtbl.add c.tbl key v);
+      Mutex.protect s.s_lock (fun () ->
+          if not (Hashtbl.mem s.s_tbl key) then Hashtbl.add s.s_tbl key v);
       v
   end
 
@@ -76,15 +103,24 @@ let find_or_add (c : ('k, 'v) t) (key : 'k) (f : unit -> 'v) : 'v =
    already present (first-write-wins, same as [find_or_add]).  Importing
    can never change a verdict: stored values are pure functions of their
    canonical keys, so a pre-seeded entry answers exactly what a fresh
-   compute would.  Neither touches the hit/miss counters. *)
+   compute would.  Neither touches the hit/miss counters.  Export order
+   was never specified (callers sort serialized entries), so walking
+   shard by shard changes nothing observable. *)
 
-let export c = Mutex.protect c.lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.tbl [])
+let export c =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.protect s.s_lock (fun () ->
+          Hashtbl.fold (fun k v l -> (k, v) :: l) s.s_tbl acc))
+    [] c.shards
 
 let import c entries =
-  Mutex.protect c.lock (fun () ->
-      List.iter
-        (fun (k, v) -> if not (Hashtbl.mem c.tbl k) then Hashtbl.add c.tbl k v)
-        entries)
+  List.iter
+    (fun (k, v) ->
+      let s = shard_of c k in
+      Mutex.protect s.s_lock (fun () ->
+          if not (Hashtbl.mem s.s_tbl k) then Hashtbl.add s.s_tbl k v))
+    entries
 
 (* ----- canonical formula keys ----- *)
 

@@ -10,9 +10,11 @@
     Correctness contract: the solver answers the canonical form itself,
     so a stored verdict is a pure function of the key — a cache hit can
     never change a verdict (the property suite checks this).  Safe to
-    share across domains: the table is mutex-guarded, computation runs
-    outside the lock, and a race on a fresh key at worst computes the
-    same value twice. *)
+    share across domains: the table is sharded by key hash behind
+    per-shard mutexes (DESIGN.md §15), computation runs outside the
+    lock, and a race on a fresh key at worst computes the same value
+    twice.  Sharding is invisible here — first-write-wins, size/reset
+    and the counters behave exactly like a single-lock table. *)
 
 type ('k, 'v) t
 

@@ -1,0 +1,62 @@
+(** Length-prefixed, checksummed wire frames for the analysis daemon
+    (DESIGN.md §15).
+
+    Layout: ["GPFR" | version i64 | len i64 | payload | fnv64(payload)]
+    — the store's FNV-1a checksum discipline applied per frame.  The
+    reader is incremental ({!parse} over a growing buffer) and total:
+    every malformed prefix a peer can send maps to a {!parse_error},
+    never an exception.  After any error the stream has lost sync and
+    the connection must be dropped. *)
+
+exception Truncated
+(** Alias of [Store.Bin.Truncated] for payload decoders. *)
+
+val format_version : int
+
+val header_bytes : int
+val trailer_bytes : int
+
+val max_payload : int
+(** Frames promising more than this are rejected ([Bad_length]) before
+    any allocation — a corrupted length field must not OOM the daemon. *)
+
+val encode : string -> string
+(** Wrap one payload into a complete frame. *)
+
+type parse_error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_length of int
+  | Bad_checksum
+
+val error_reason : parse_error -> string
+
+type parse =
+  | Complete of string * int
+      (** payload and total bytes consumed from the buffer *)
+  | Incomplete  (** valid so far; read more bytes and re-parse *)
+  | Malformed of parse_error
+
+val parse : ?off:int -> ?len:int -> string -> parse
+(** Parse one frame starting at [off] (considering bytes below [len],
+    default the whole string).  Pure and restartable: on {!Incomplete}
+    call again once more bytes have arrived.  Never raises. *)
+
+(** {1 Wire fault injection}
+
+    Same layering as [Store.crash_hook]: the harness's [Faultsim]
+    installs a keyed schedule here; the client send path applies it via
+    {!mangle}.  Default hook injects nothing. *)
+
+type wire_fault =
+  | Torn_len   (** truncate inside the length field, then disconnect *)
+  | Torn_body  (** truncate inside the payload, then disconnect *)
+  | Flip_sum   (** deliver fully with a corrupted checksum *)
+  | Hangup     (** deliver fully, then disconnect before the reply *)
+
+val chaos_wire : (string -> wire_fault option) ref
+
+val mangle : payload:string -> string -> string * bool
+(** [mangle ~payload frame] consults {!chaos_wire} and returns the
+    bytes to write plus whether to close the connection immediately
+    after writing them. *)

@@ -31,6 +31,7 @@ let suites =
     ("plan_par", Test_plan_par.suite);
     ("incr", Test_incr.suite);
     ("screen", Test_screen.suite);
+    ("serve", Test_serve.suite);
     ("integration", Test_integration.suite) ]
 
 let () =

@@ -1,0 +1,659 @@
+(* Analysis daemon tests (DESIGN.md §15).  Five angles:
+
+   - the wire: frame codec round-trips, incremental parsing across
+     arbitrary split points, and totality — truncations and bit flips
+     map to Incomplete/Malformed, never an exception (qcheck);
+   - sharded shared state: the sharded solver [Cache] and [Incr]
+     summary table are observationally identical to a single-lock
+     model — first-write-wins, size/reset, hit/miss counters exact
+     under a sequential op stream (qcheck) and conserved under a
+     4-domain stress;
+   - the [Sched.Service] persistent pool: everything submitted runs,
+     chained resubmission works (the daemon's stage chains), worker
+     exceptions are fatal and re-raised at [stop];
+   - the acceptance differential: a resident daemon serving a shuffled
+     replay (each survey cell twice) answers bit-identically to the
+     inline CLI path, at pool jobs 1 and JOBS, and batched journal
+     checkpoints fire and survive a [journal_close] compaction;
+   - failure stories: every keyed wire-fault mode (torn length, torn
+     body, bad checksum, client hangup) is quarantined under the right
+     [Fail.Frame_fault] label WITHOUT poisoning resident caches (the
+     next clean request is still bit-identical); a CLI run pointed at
+     the daemon's locked cache dir demotes to read-only cleanly; a
+     crash at the wal-append point abandons the journal exactly like a
+     crashed sweep, and the dir is reopenable. *)
+
+module E = Gp_harness.Experiments
+module S = Gp_harness.Sched
+module Sv = Gp_harness.Serve
+module F = Gp_util.Frame
+module Fault = Gp_harness.Faultsim
+
+let jobs_under_test =
+  match Sys.getenv_opt "JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gp-serve-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    E.rm_rf d;
+    d
+
+let fib = Gp_corpus.Programs.find "fibonacci"
+
+let one_request () =
+  match
+    E.serve_requests ~entries:[ fib ]
+      ~configs:[ ("original", Gp_obf.Obf.none) ] ~quick:true ()
+  with
+  | [ (_, rq) ] -> rq
+  | _ -> assert false
+
+(* ----- frame codec ----- *)
+
+let test_frame_roundtrip () =
+  let payload = "hello frames" in
+  let f = F.encode payload in
+  Alcotest.(check int) "frame length"
+    (F.header_bytes + String.length payload + F.trailer_bytes)
+    (String.length f);
+  (match F.parse f with
+  | F.Complete (p, used) ->
+    Alcotest.(check string) "payload" payload p;
+    Alcotest.(check int) "consumed" (String.length f) used
+  | _ -> Alcotest.fail "expected Complete");
+  (* two frames back to back parse in sequence *)
+  let f2 = F.encode "second" in
+  let buf = f ^ f2 in
+  match F.parse buf with
+  | F.Complete (p, used) ->
+    Alcotest.(check string) "first of two" payload p;
+    (match F.parse ~off:used buf with
+    | F.Complete (p2, _) -> Alcotest.(check string) "second of two" "second" p2
+    | _ -> Alcotest.fail "second frame expected Complete")
+  | _ -> Alcotest.fail "first frame expected Complete"
+
+let test_frame_incremental () =
+  let f = F.encode "abc" in
+  for k = 0 to String.length f - 1 do
+    match F.parse ~len:k f with
+    | F.Incomplete -> ()
+    | F.Complete _ -> Alcotest.failf "Complete at %d/%d bytes" k (String.length f)
+    | F.Malformed e -> Alcotest.failf "Malformed (%s) at prefix %d" (F.error_reason e) k
+  done
+
+let test_frame_malformed () =
+  let f = Bytes.of_string (F.encode "payload") in
+  let with_byte i v =
+    let b = Bytes.copy f in
+    Bytes.set_uint8 b i v;
+    Bytes.to_string b
+  in
+  (match F.parse (with_byte 0 0x58) with
+  | F.Malformed F.Bad_magic -> ()
+  | _ -> Alcotest.fail "expected Bad_magic");
+  (match F.parse (with_byte 4 99) with
+  | F.Malformed (F.Bad_version _) -> ()
+  | _ -> Alcotest.fail "expected Bad_version");
+  (* length field promising more than max_payload: rejected before
+     any allocation *)
+  (match F.parse (with_byte 18 0x7f) with
+  | F.Malformed (F.Bad_length _) -> ()
+  | _ -> Alcotest.fail "expected Bad_length");
+  (* flip a payload byte: checksum must catch it *)
+  match F.parse (with_byte (F.header_bytes + 2) 0x00) with
+  | F.Malformed F.Bad_checksum -> ()
+  | _ -> Alcotest.fail "expected Bad_checksum"
+
+let qcheck_frame_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"frame encode/parse round-trip"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 500))
+    (fun payload ->
+      match F.parse (F.encode payload) with
+      | F.Complete (p, used) ->
+        p = payload
+        && used = F.header_bytes + String.length payload + F.trailer_bytes
+      | _ -> false)
+
+let qcheck_frame_truncation =
+  QCheck2.Test.make ~count:300 ~name:"truncated frames are never Complete"
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(char_range '\000' '\255') (int_range 0 200))
+        (float_bound_inclusive 1.))
+    (fun (payload, frac) ->
+      let f = F.encode payload in
+      let k = int_of_float (frac *. float (String.length f - 1)) in
+      match F.parse ~len:k f with
+      | F.Complete _ -> false
+      | F.Incomplete | F.Malformed _ -> true)
+
+let qcheck_frame_bitflip =
+  QCheck2.Test.make ~count:300
+    ~name:"bit-flipped frames never yield the original payload"
+    QCheck2.Gen.(
+      triple
+        (string_size ~gen:(char_range '\000' '\255') (int_range 1 200))
+        small_nat (int_range 1 255))
+    (fun (payload, pos, mask) ->
+      let f = Bytes.of_string (F.encode payload) in
+      let i = pos mod Bytes.length f in
+      Bytes.set_uint8 f i (Bytes.get_uint8 f i lxor mask);
+      match F.parse (Bytes.to_string f) with
+      | F.Complete (p, _) -> p <> payload
+      | F.Incomplete | F.Malformed _ -> true)
+
+(* ----- request/report payload codecs ----- *)
+
+let test_request_codec_roundtrip () =
+  let rq =
+    { (one_request ()) with Sv.rq_goal = "mprotect"; rq_budget_s = 2.5;
+      rq_jobs = 3 }
+  in
+  let rq' = Sv.request_decode (Sv.request_encode rq) (ref 0) in
+  Alcotest.(check bool) "request round-trips" true (rq = rq')
+
+let test_report_codec_roundtrip () =
+  let r =
+    { Sv.sr_pool = 42;
+      sr_chains = [ ("k1", "desc one\nline 2"); ("k2", "desc two") ];
+      sr_rungs = [ "full"; "dedup-only" ];
+      sr_budget_hits = [ "plan" ];
+      sr_quarantined = [ ("decode", 3) ];
+      sr_counters = [ ("plans_found", 2); ("q:emu", 1) ] }
+  in
+  let r' = Sv.report_decode (Sv.report_encode r) (ref 0) in
+  Alcotest.(check bool) "report round-trips" true (r = r')
+
+(* ----- sharded tables vs the single-lock model (qcheck) ----- *)
+
+let qcheck_cache_model =
+  QCheck2.Test.make ~count:300
+    ~name:"sharded Cache ≡ single-lock model (values, size, counters)"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 40))
+    (fun keys ->
+      let c = Gp_smt.Cache.create ~size:4 () in
+      let m = Hashtbl.create 16 in
+      let mhits = ref 0 and mmiss = ref 0 in
+      let ok =
+        List.for_all
+          (fun k ->
+            let v = Gp_smt.Cache.find_or_add c k (fun () -> (k * 7) + 1) in
+            let mv =
+              match Hashtbl.find_opt m k with
+              | Some v -> incr mhits; v
+              | None ->
+                incr mmiss;
+                let v = (k * 7) + 1 in
+                Hashtbl.add m k v;
+                v
+            in
+            v = mv)
+          keys
+      in
+      ok
+      && Gp_smt.Cache.length c = Hashtbl.length m
+      && Gp_smt.Cache.hits c = !mhits
+      && Gp_smt.Cache.misses c = !mmiss
+      &&
+      (Gp_smt.Cache.reset c;
+       Gp_smt.Cache.length c = 0 && Gp_smt.Cache.hits c = 0
+       && Gp_smt.Cache.misses c = 0))
+
+let test_cache_first_write_wins () =
+  let c = Gp_smt.Cache.create () in
+  let v1 = Gp_smt.Cache.find_or_add c "k" (fun () -> 1) in
+  Alcotest.(check int) "computed" 1 v1;
+  (* import of a conflicting binding must not override *)
+  Gp_smt.Cache.import c [ ("k", 99); ("fresh", 7) ];
+  Alcotest.(check int) "existing binding kept" 1
+    (Gp_smt.Cache.find_or_add c "k" (fun () -> Alcotest.fail "recompute"));
+  Alcotest.(check int) "imported fresh binding" 7
+    (Gp_smt.Cache.find_or_add c "fresh" (fun () -> Alcotest.fail "recompute"));
+  Alcotest.(check int) "export sees both shards' entries" 2
+    (List.length (Gp_smt.Cache.export c))
+
+let test_cache_stress_domains () =
+  let c = Gp_smt.Cache.create () in
+  let nkeys = 100 and per = 400 and ndom = 4 in
+  let computes = Atomic.make 0 in
+  let doms =
+    List.init ndom (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              (* strides 7,8,9,10 over Z/100: overlapping coverage *)
+              let k = i * (d + 7) mod nkeys in
+              let v =
+                Gp_smt.Cache.find_or_add c k (fun () ->
+                    Atomic.incr computes;
+                    k * 3)
+              in
+              assert (v = k * 3)
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "every key present exactly once" nkeys
+    (Gp_smt.Cache.length c);
+  Alcotest.(check int) "hits+misses = lookups" (ndom * per)
+    (Gp_smt.Cache.hits c + Gp_smt.Cache.misses c);
+  Alcotest.(check int) "every miss computed exactly once" (Atomic.get computes)
+    (Gp_smt.Cache.misses c);
+  Alcotest.(check bool) "misses cover the key space" true
+    (Gp_smt.Cache.misses c >= nkeys)
+
+let qcheck_incr_model =
+  QCheck2.Test.make ~count:200
+    ~name:"sharded Incr ≡ single-lock model (first-write-wins, size)"
+    QCheck2.Gen.(list_size (int_range 0 120) (pair (int_range 0 25) small_nat))
+    (fun ops ->
+      E.reset_world ();
+      let m = Hashtbl.create 16 in
+      let ok =
+        List.for_all
+          (fun (k, salt) ->
+            let key = Printf.sprintf "content-%d" k in
+            let v : Gp_core.Incr.value =
+              ([], Some (Printf.sprintf "v%d-%d" k salt))
+            in
+            if not (Hashtbl.mem m key) then Hashtbl.add m key v;
+            Gp_core.Incr.add key v;
+            Gp_core.Incr.find key = Hashtbl.find_opt m key)
+          ops
+      in
+      let size_ok = Gp_core.Incr.size () = Hashtbl.length m in
+      E.reset_world ();
+      ok && size_ok && Gp_core.Incr.size () = 0)
+
+let test_incr_stress_domains () =
+  E.reset_world ();
+  let nkeys = 50 and ndom = 4 in
+  let doms =
+    List.init ndom (fun d ->
+        Domain.spawn (fun () ->
+            for k = 0 to nkeys - 1 do
+              let key = Printf.sprintf "content-%d" k in
+              Gp_core.Incr.add key ([], Some (Printf.sprintf "writer-%d" d));
+              (* whatever we read back must already be the winner *)
+              match Gp_core.Incr.find key with
+              | Some _ -> ()
+              | None -> assert false
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "no lost keys" nkeys (Gp_core.Incr.size ());
+  for k = 0 to nkeys - 1 do
+    match Gp_core.Incr.find (Printf.sprintf "content-%d" k) with
+    | Some ([], Some w) ->
+      Alcotest.(check bool) "winner is one of the writers" true
+        (List.exists
+           (fun d -> w = Printf.sprintf "writer-%d" d)
+           (List.init ndom Fun.id))
+    | _ -> Alcotest.fail "missing or malformed entry"
+  done;
+  E.reset_world ()
+
+(* ----- Service pool ----- *)
+
+let test_service_runs_all () =
+  let sv = S.Service.start ~jobs:4 in
+  let n = Atomic.make 0 in
+  for _ = 1 to 200 do
+    S.Service.submit sv (fun () -> Atomic.incr n)
+  done;
+  S.Service.stop sv;
+  Alcotest.(check int) "every task ran" 200 (Atomic.get n);
+  Alcotest.(check int) "nothing pending" 0 (S.Service.pending sv)
+
+let test_service_chained () =
+  (* the daemon's request shape: each task resubmits its continuation *)
+  let sv = S.Service.start ~jobs:2 in
+  let hops = Atomic.make 0 in
+  let rec chain k =
+    S.Service.submit sv (fun () ->
+        Atomic.incr hops;
+        if k > 1 then chain (k - 1))
+  in
+  chain 50;
+  chain 50;
+  S.Service.stop sv;
+  Alcotest.(check int) "both chains completed" 100 (Atomic.get hops)
+
+let test_service_fatal () =
+  let sv = S.Service.start ~jobs:2 in
+  S.Service.submit sv (fun () -> failwith "handler bug");
+  Alcotest.check_raises "worker exception is fatal at stop"
+    (Failure "handler bug") (fun () -> S.Service.stop sv)
+
+(* ----- daemon plumbing shared by the integration tests ----- *)
+
+let fresh_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gp-serve-t-%d-%d.sock" (Unix.getpid ()) !n)
+
+(* Run [f ~sock cl] against a fresh in-process daemon.  The daemon's
+   own crash (e.g. an injected [Faultsim.Crashed]) re-raises from
+   [Domain.join], taking precedence over [f]'s result — exactly the
+   observation order a supervisor would have. *)
+let with_daemon ?cache_dir ~jobs f =
+  E.reset_world ();
+  let sock = fresh_sock () in
+  let cfg =
+    { (Sv.default_config ~socket:sock) with
+      Sv.d_cache_dir = cache_dir;
+      d_jobs = jobs }
+  in
+  let dmn = Domain.spawn (fun () -> Sv.serve cfg) in
+  let rec conn tries =
+    match Sv.Client.connect sock with
+    | Ok cl -> cl
+    | Error why ->
+      if tries > 500 then failwith ("daemon never came up: " ^ why)
+      else begin
+        Unix.sleepf 0.01;
+        conn (tries + 1)
+      end
+  in
+  let cl = conn 0 in
+  let fin = match f ~sock cl with v -> Ok v | exception e -> Error e in
+  (match Sv.Client.shutdown cl with
+  | Ok () -> ()
+  | Error _ -> (
+    (* the connection [f] used may be gone; a fresh one still reaches a
+       living daemon, and a dead daemon surfaces at the join below *)
+    match Sv.Client.connect sock with
+    | Ok c2 ->
+      ignore (Sv.Client.shutdown c2);
+      Sv.Client.close c2
+    | Error _ -> ()));
+  Sv.Client.close cl;
+  let sm = Domain.join dmn in
+  match fin with Ok v -> (v, sm) | Error e -> raise e
+
+let rec stats_until cl pred tries =
+  match Sv.Client.stats cl with
+  | Ok ds when pred ds || tries > 100 -> ds
+  | Ok _ ->
+    Unix.sleepf 0.02;
+    stats_until cl pred (tries + 1)
+  | Error f -> Alcotest.failf "stats: %s" (Gp_core.Fail.to_string f)
+
+(* ----- the acceptance differential ----- *)
+
+let test_daemon_differential () =
+  let requests = E.serve_requests ~entries:[ fib ] ~quick:true () in
+  let replay = requests @ requests in
+  let refs =
+    List.map
+      (fun (_, rq) ->
+        E.reset_world ();
+        Sv.report_encode (Sv.handle rq))
+      replay
+  in
+  List.iter
+    (fun j ->
+      let results, sm = E.serve_daemon_pass ~pool_jobs:j replay in
+      Alcotest.(check int)
+        (Printf.sprintf "served count at pool jobs %d" j)
+        (List.length replay) sm.Sv.sm_served;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "no wire faults at pool jobs %d" j)
+        [] sm.Sv.sm_faults;
+      Alcotest.(check (list string))
+        (Printf.sprintf "bit-identical to the CLI path at pool jobs %d" j)
+        refs
+        (List.map fst results))
+    (List.sort_uniq compare [ 1; jobs_under_test ])
+
+let test_daemon_checkpoints () =
+  let dir = tmp_dir () in
+  let rq = one_request () in
+  let replay = List.init 9 (fun i -> (Printf.sprintf "r%d" i, rq)) in
+  let results, sm = E.serve_daemon_pass ~cache_dir:dir ~pool_jobs:1 replay in
+  Alcotest.(check int) "all served" 9 (List.length results);
+  Alcotest.(check string) "journaling mode" "journaling" sm.Sv.sm_mode;
+  Alcotest.(check bool)
+    (Printf.sprintf "batched checkpoints fired (%d)" sm.Sv.sm_checkpoints)
+    true
+    (sm.Sv.sm_checkpoints >= 1);
+  (* shutdown compacted WAL -> base store; it must load warm *)
+  E.reset_world ();
+  (match Gp_core.Incr.load ~dir with
+  | Gp_core.Incr.Loaded li ->
+    Alcotest.(check bool) "compacted store is non-empty" true
+      (li.Gp_core.Incr.li_entries > 0)
+  | _ -> Alcotest.fail "compacted store did not load");
+  E.reset_world ();
+  E.rm_rf dir
+
+(* ----- wire-fault injection (satellite: Faultsim frame faults) ----- *)
+
+let fault_label = function
+  | F.Torn_len | F.Torn_body -> "frame-torn"
+  | F.Flip_sum -> "frame-checksum"
+  | F.Hangup -> "frame-disconnect"
+
+let test_wire_fault_modes () =
+  let rq = one_request () in
+  E.reset_world ();
+  let reference = Sv.report_encode (Sv.handle rq) in
+  let saved = !F.chaos_wire in
+  let ((), sm) =
+    with_daemon ~jobs:1 (fun ~sock cl ->
+        Fun.protect
+          ~finally:(fun () -> F.chaos_wire := saved)
+          (fun () ->
+            let last = ref cl in
+            List.iter
+              (fun mode ->
+                (* damage only Analyze frames, so the daemon's own
+                   stats/shutdown traffic stays clean *)
+                F.chaos_wire :=
+                  (fun p ->
+                    if String.length p > 0 && p.[0] = '\001' then Some mode
+                    else None);
+                (match Sv.Client.submit !last rq with
+                | Error (Gp_core.Fail.Frame_fault _) -> ()
+                | Error f ->
+                  Alcotest.failf "expected a frame fault, got %s"
+                    (Gp_core.Fail.to_string f)
+                | Ok _ -> Alcotest.fail "injected wire fault did not fire");
+                F.chaos_wire := saved;
+                (* the faulted connection is gone; a clean request on a
+                   fresh one must still be bit-identical — the resident
+                   caches never saw the damaged frame *)
+                (match Sv.Client.connect sock with
+                | Error why -> Alcotest.failf "reconnect: %s" why
+                | Ok cl2 ->
+                  (match Sv.Client.submit cl2 rq with
+                  | Ok r ->
+                    Alcotest.(check string)
+                      (Printf.sprintf "clean request after %s unpoisoned"
+                         (fault_label mode))
+                      reference (Sv.report_encode r)
+                  | Error f ->
+                    Alcotest.failf "clean request failed: %s"
+                      (Gp_core.Fail.to_string f));
+                  Sv.Client.close !last;
+                  last := cl2))
+              [ F.Torn_len; F.Torn_body; F.Flip_sum; F.Hangup ];
+            let ds =
+              stats_until !last
+                (fun ds ->
+                  List.mem_assoc "frame-torn" ds.Sv.ds_faults
+                  && List.mem_assoc "frame-checksum" ds.Sv.ds_faults
+                  && List.mem_assoc "frame-disconnect" ds.Sv.ds_faults)
+                0
+            in
+            Alcotest.(check int) "both torn modes quarantined" 2
+              (List.assoc "frame-torn" ds.Sv.ds_faults);
+            Alcotest.(check int) "checksum mode quarantined" 1
+              (List.assoc "frame-checksum" ds.Sv.ds_faults);
+            Alcotest.(check int) "hangup mode quarantined" 1
+              (List.assoc "frame-disconnect" ds.Sv.ds_faults);
+            Sv.Client.close !last))
+  in
+  (* the daemon's final ledger repeats the stats view *)
+  Alcotest.(check int) "summary ledger total" 4
+    (List.fold_left (fun a (_, n) -> a + n) 0 sm.Sv.sm_faults)
+
+let test_wire_faults_via_faultsim () =
+  let rq = one_request () in
+  E.reset_world ();
+  let reference = Sv.report_encode (Sv.handle rq) in
+  let ((), _sm) =
+    with_daemon ~jobs:1 (fun ~sock cl ->
+        Fault.with_faults
+          { Fault.disabled with seed = 0x5eed; frame_rate = 1.0 }
+          (fun () ->
+            match Sv.Client.submit cl rq with
+            | Error (Gp_core.Fail.Frame_fault _) -> ()
+            | Error f ->
+              Alcotest.failf "expected a frame fault, got %s"
+                (Gp_core.Fail.to_string f)
+            | Ok _ -> Alcotest.fail "keyed schedule at rate 1.0 did not fire");
+        (* hooks restored: a clean request still answers identically *)
+        match Sv.Client.connect sock with
+        | Error why -> Alcotest.failf "reconnect: %s" why
+        | Ok cl2 ->
+          (match Sv.Client.submit cl2 rq with
+          | Ok r ->
+            Alcotest.(check string) "post-fault request unpoisoned" reference
+              (Sv.report_encode r)
+          | Error f ->
+            Alcotest.failf "clean request failed: %s"
+              (Gp_core.Fail.to_string f));
+          Sv.Client.close cl2)
+  in
+  ()
+
+(* ----- graceful coexistence: CLI vs the daemon's lock ----- *)
+
+let test_cli_demotes_when_daemon_holds_lock () =
+  let dir = tmp_dir () in
+  let rq = one_request () in
+  (* seed a store on disk *)
+  E.reset_world ();
+  ignore (Sv.handle rq);
+  (match Gp_core.Incr.save ~dir with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "seed save: %s" why);
+  let read_file p =
+    let ic = open_in_bin p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let store_path = Gp_core.Incr.path ~dir in
+  let before = read_file store_path in
+  (* stand in for the daemon process: hold the dir's advisory lock the
+     way [journal_open] does (same [.store.lock] name).  From this
+     process's own journal [Incr.save] would legitimately skip locking,
+     so the foreign-holder case is modeled with a bare [Store.try_lock]. *)
+  E.reset_world ();
+  let lock =
+    match Gp_util.Store.try_lock ~name:".store.lock" dir with
+    | Ok l -> l
+    | Error who -> Alcotest.failf "seed lock refused: %s" who
+  in
+  (* a second writer must refuse cleanly... *)
+  (match Gp_core.Incr.save ~dir with
+  | Ok () -> Alcotest.fail "save must refuse a locked dir"
+  | Error why ->
+    Alcotest.(check bool) "save_locked recognizes the demotion" true
+      (Gp_core.Incr.save_locked why));
+  (* ...and the full CLI pipeline demotes to read-only: completes, the
+     skipped save quarantined under store-locked, store bytes
+     untouched *)
+  let o =
+    Gp_core.Api.run ~cache_dir:dir
+      ~planner_config:(Sv.planner_config_of rq)
+      ~ids:(Gp_core.Gadget.local_ids ())
+      rq.Sv.rq_image
+      (Sv.goal_of_name rq.Sv.rq_goal)
+  in
+  Alcotest.(check bool) "read-only run quarantines store-locked" true
+    (List.mem_assoc "store-locked" o.Gp_core.Api.stats.Gp_core.Api.quarantined);
+  Alcotest.(check int) "exit code class is a store problem" 78
+    (Gp_core.Fail.exit_code_of_label "store-locked");
+  Alcotest.(check string) "store bytes untouched by the demoted run" before
+    (read_file store_path);
+  Gp_util.Store.unlock lock;
+  (* lock released: a saver succeeds again *)
+  (match Gp_core.Incr.save ~dir with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "save after release: %s" why);
+  E.reset_world ();
+  E.rm_rf dir
+
+(* ----- the daemon crash story ----- *)
+
+let test_daemon_crash_abandons_journal () =
+  let dir = tmp_dir () in
+  let rq = one_request () in
+  (match
+     Fault.with_crash_at ~hits:5 ~point:"wal-append" (fun () ->
+         with_daemon ~cache_dir:dir ~jobs:1 (fun ~sock:_ cl ->
+             match Sv.Client.submit cl rq with
+             | Ok _ -> Alcotest.fail "request outlived an armed wal crash"
+             | Error _ -> ()))
+   with
+  | Error "wal-append" -> ()
+  | Error p -> Alcotest.failf "crashed at unexpected point %s" p
+  | Ok _ -> Alcotest.fail "crash fuse never blew");
+  (* abandon released the lock without flushing: the dir reopens in
+     journaling mode and replays whatever prefix reached the disk *)
+  E.reset_world ();
+  let jo = Gp_core.Incr.journal_open ~dir in
+  (match jo.Gp_core.Incr.jo_mode with
+  | `Journaling -> ()
+  | `Read_only why ->
+    Alcotest.failf "crashed daemon still holds the lock: %s" why);
+  (match Gp_core.Incr.journal_close () with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "journal_close after crash: %s" why);
+  E.reset_world ();
+  E.rm_rf dir
+
+let suite =
+  [ Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame incremental parse" `Quick test_frame_incremental;
+    Alcotest.test_case "frame malformed prefixes" `Quick test_frame_malformed;
+    QCheck_alcotest.to_alcotest qcheck_frame_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_frame_truncation;
+    QCheck_alcotest.to_alcotest qcheck_frame_bitflip;
+    Alcotest.test_case "request codec round-trip" `Quick
+      test_request_codec_roundtrip;
+    Alcotest.test_case "report codec round-trip" `Quick
+      test_report_codec_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_cache_model;
+    Alcotest.test_case "cache first-write-wins across shards" `Quick
+      test_cache_first_write_wins;
+    Alcotest.test_case "cache 4-domain stress" `Quick test_cache_stress_domains;
+    QCheck_alcotest.to_alcotest qcheck_incr_model;
+    Alcotest.test_case "incr 4-domain stress" `Quick test_incr_stress_domains;
+    Alcotest.test_case "service runs everything" `Quick test_service_runs_all;
+    Alcotest.test_case "service chained resubmission" `Quick
+      test_service_chained;
+    Alcotest.test_case "service fatal worker exception" `Quick
+      test_service_fatal;
+    Alcotest.test_case "daemon differential vs CLI path" `Quick
+      test_daemon_differential;
+    Alcotest.test_case "daemon batched checkpoints" `Quick
+      test_daemon_checkpoints;
+    Alcotest.test_case "wire-fault modes quarantined, caches unpoisoned"
+      `Quick test_wire_fault_modes;
+    Alcotest.test_case "keyed wire faults via Faultsim" `Quick
+      test_wire_faults_via_faultsim;
+    Alcotest.test_case "CLI demotes when daemon holds the lock" `Quick
+      test_cli_demotes_when_daemon_holds_lock;
+    Alcotest.test_case "daemon crash abandons the journal" `Quick
+      test_daemon_crash_abandons_journal ]
