@@ -40,11 +40,18 @@
 # totality properties, sharded-table vs single-lock equivalence, and the
 # daemon-vs-CLI round-trip byte differential incl. the wire-fault sweep,
 # lock demotion and crash/abandon — DESIGN.md §15) at JOBS=1 and JOBS=4.
+#
+# `make check-compose` sweeps the suffix-compositional summarizer
+# (test_compose: extend-vs-monolithic qcheck differential, the full
+# harvest differential compose-on vs --no-compose incl. fault
+# injection, and the suffix-store round-trip/transfer tests —
+# DESIGN.md §16) at JOBS=1 and JOBS=4.
 
 CHECK_TIMEOUT ?= 600
 
 .PHONY: all build test check check-par check-plan-par check-incr \
-	check-screen check-resume check-sweep check-serve check-bench clean
+	check-screen check-resume check-sweep check-serve check-compose \
+	check-bench clean
 
 all: build
 
@@ -55,7 +62,7 @@ test:
 	dune runtest
 
 check: build check-par check-plan-par check-incr check-screen \
-	check-resume check-sweep check-serve check-bench
+	check-resume check-sweep check-serve check-compose check-bench
 
 check-par:
 	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
@@ -89,6 +96,11 @@ check-serve:
 	dune build test/test_main.exe
 	SUITES=serve JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 	SUITES=serve JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+
+check-compose:
+	dune build test/test_main.exe
+	SUITES=compose JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+	SUITES=compose JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 
 check-bench:
 	dune build bench/main.exe

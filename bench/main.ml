@@ -20,6 +20,12 @@
      dune exec bench/main.exe -- --only screen --jobs 4
                                               # tiered solver screening off vs
                                               # on (writes BENCH_screen.json)
+     dune exec bench/main.exe -- --only compose --jobs 4
+                                              # suffix-compositional extraction
+                                              # off vs on + original-to-
+                                              # obfuscated suffix-store
+                                              # transfer (writes
+                                              # BENCH_compose.json)
      dune exec bench/main.exe -- --only resume --jobs 4
                                               # WAL overhead + crash/resume
                                               # differential under injected
@@ -40,6 +46,9 @@
      dune exec bench/main.exe -- --no-screen  # ablation: screening disabled
      dune exec bench/main.exe -- --no-sweep   # ablation: corpus scheduler off
                                               # (sweeps run the sequential loop)
+     dune exec bench/main.exe -- --no-compose # ablation: suffix-compositional
+                                              # extraction off (monolithic
+                                              # summarizer everywhere)
 
    Absolute numbers differ from the paper (their substrate was a real
    x86-64 testbed, ours is the simulator stack described in DESIGN.md);
@@ -64,6 +73,12 @@ let run_experiment ~quick ~jobs ?cache_dir id =
     print_string txt
   | "screen" ->
     let txt, _ = Gp_harness.Experiments.screen ~quick ~jobs () in
+    print_string txt
+  | "compose" ->
+    let txt, _ =
+      Gp_harness.Experiments.compose ~quick ~jobs
+        ?cache_root:(Option.map (fun d -> d ^ "-compose") cache_dir) ()
+    in
     print_string txt
   | "resume" ->
     let txt, _ =
@@ -120,7 +135,8 @@ let run_experiment ~quick ~jobs ?cache_dir id =
 
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
-    "tab7"; "par"; "plan"; "incr"; "screen"; "resume"; "sweep"; "serve";
+    "tab7"; "par"; "plan"; "incr"; "screen"; "compose"; "resume"; "sweep";
+    "serve";
     "cfi_study";
     "ablation_unaligned"; "ablation_subsumption"; "ablation_condjump";
     "ablation_seeds" ]
@@ -204,6 +220,7 @@ let () =
   if smoke then Gp_harness.Experiments.set_smoke true;
   if List.mem "--no-screen" argv then Gp_smt.Solver.set_screen_enabled false;
   if List.mem "--no-sweep" argv then Gp_harness.Experiments.set_sched false;
+  if List.mem "--no-compose" argv then Gp_symx.Exec.set_compose_enabled false;
   let mode_name = if smoke then "smoke" else if quick then "quick" else "full" in
   let bechamel = List.mem "--bechamel" argv in
   let only =

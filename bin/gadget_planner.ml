@@ -87,6 +87,18 @@ let no_screen_arg =
 let apply_screen no_screen =
   if no_screen then Gp_smt.Solver.set_screen_enabled false
 
+let no_compose_arg =
+  Arg.(value & flag
+       & info [ "no-compose" ]
+           ~doc:"Disable suffix-compositional symbolic extraction \
+                 (DESIGN.md section 16): every start offset is \
+                 re-executed monolithically instead of extending the \
+                 shared tail summary.  Results are bit-identical either \
+                 way; the flag exists for ablation timings.")
+
+let apply_compose no_compose =
+  if no_compose then Gp_symx.Exec.set_compose_enabled false
+
 let json_errors_arg =
   Arg.(value & flag
        & info [ "json-errors" ]
@@ -127,8 +139,9 @@ let compile_cmd =
 (* ----- scan ----- *)
 
 let scan_cmd =
-  let run prog obf jobs cache_dir no_screen =
+  let run prog obf jobs cache_dir no_screen no_compose =
     apply_screen no_screen;
+    apply_compose no_compose;
     let image = compile_image prog obf in
     let counts = Gp_core.Extract.raw_counts image in
     let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
@@ -147,7 +160,7 @@ let scan_cmd =
   in
   Cmd.v (Cmd.info "scan" ~doc:"Count gadgets (the Fig. 1 / Table I census).")
     Term.(const run $ prog_arg $ obf_arg $ jobs_arg $ cache_dir_arg
-          $ no_screen_arg)
+          $ no_screen_arg $ no_compose_arg)
 
 (* ----- plan ----- *)
 
@@ -165,8 +178,10 @@ let plan_cmd =
              ~doc:"Print per-stage statistics (planner counters, memo \
                    hits, stage seconds).")
   in
-  let run prog obf goal maxn budget jobs cache_dir stats no_screen json_errors =
+  let run prog obf goal maxn budget jobs cache_dir stats no_screen no_compose
+      json_errors =
     apply_screen no_screen;
+    apply_compose no_compose;
     let image = compile_image prog obf in
     let o =
       Gp_core.Api.run ?budget:(budget_of budget) ~jobs ?cache_dir
@@ -243,7 +258,7 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
     Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg
           $ jobs_arg $ cache_dir_arg $ stats_arg $ no_screen_arg
-          $ json_errors_arg)
+          $ no_compose_arg $ json_errors_arg)
 
 (* ----- survey ----- *)
 
@@ -288,8 +303,9 @@ let survey_cmd =
                    (timeout, exhausted budget) is recorded as final.")
   in
   let run goal manifest resume full budget jobs max_attempts json_errors
-      no_screen no_sweep =
+      no_screen no_compose no_sweep =
     apply_screen no_screen;
+    apply_compose no_compose;
     let module R = Gp_harness.Runner in
     let module E = Gp_harness.Experiments in
     let module S = Gp_harness.Sched in
@@ -403,13 +419,14 @@ let survey_cmd =
        ~doc:"Checkpointed corpus sweep with crash-safe resume.")
     Term.(const run $ goal_arg $ manifest_arg $ resume_arg $ full_arg
           $ budget_arg $ jobs_arg $ attempts_arg $ json_errors_arg
-          $ no_screen_arg $ no_sweep_arg)
+          $ no_screen_arg $ no_compose_arg $ no_sweep_arg)
 
 (* ----- netperf ----- *)
 
 let netperf_cmd =
-  let run obf budget jobs cache_dir no_screen json_errors =
+  let run obf budget jobs cache_dir no_screen no_compose json_errors =
     apply_screen no_screen;
+    apply_compose no_compose;
     let budget = budget_of budget in
     let b =
       Gp_harness.Workspace.build ~config_name:obf ~cfg:(obf_of_name obf)
@@ -432,7 +449,7 @@ let netperf_cmd =
   in
   Cmd.v (Cmd.info "netperf" ~doc:"Run the netperf end-to-end case study.")
     Term.(const run $ obf_arg $ budget_arg $ jobs_arg $ cache_dir_arg
-          $ no_screen_arg $ json_errors_arg)
+          $ no_screen_arg $ no_compose_arg $ json_errors_arg)
 
 (* ----- serve / submit (DESIGN.md §15) ----- *)
 
@@ -452,8 +469,10 @@ let serve_cmd =
          & info [ "checkpoint-secs" ] ~docv:"S"
              ~doc:"... or after the store has been dirty S seconds.")
   in
-  let run socket cache_dir jobs ckpt_every ckpt_secs no_screen json_errors =
+  let run socket cache_dir jobs ckpt_every ckpt_secs no_screen no_compose
+      json_errors =
     apply_screen no_screen;
+    apply_compose no_compose;
     let module Sv = Gp_harness.Serve in
     let sm =
       Sv.serve
@@ -489,7 +508,7 @@ let serve_cmd =
              pipeline across pipeline stages on one domain pool.  \
              Stops on a client $(b,shutdown) request.")
     Term.(const run $ socket_arg $ cache_dir_arg $ jobs_arg $ ckpt_every_arg
-          $ ckpt_secs_arg $ no_screen_arg $ json_errors_arg)
+          $ ckpt_secs_arg $ no_screen_arg $ no_compose_arg $ json_errors_arg)
 
 let submit_cmd =
   let goal_arg =

@@ -66,6 +66,14 @@ type stage_stats = {
       (* content-addressed summary store traffic during the harvest
          (DESIGN.md §11).  Like the solver-memo counters, temperature-
          dependent — excluded from differential comparisons *)
+  suffix_hits : int;
+  suffix_misses : int;
+      (* suffix-summary memo/store traffic during the harvest
+         (DESIGN.md §16) — temperature-dependent, same discipline as
+         the summary counters *)
+  substitutions : int;
+      (* suffix entries built by Exec.extend (substitution) rather
+         than monolithic re-execution *)
   decode_saved : int;
       (* repeat decodes absorbed by the decode-once extraction memo *)
   store_loaded : int;
@@ -125,6 +133,9 @@ type analysis = {
   analysis_screen : int * int * int * int;
   analysis_summary_hits : int;
   analysis_summary_misses : int;
+  analysis_suffix_hits : int;
+  analysis_suffix_misses : int;
+  analysis_substitutions : int;
   analysis_decode_saved : int;
   analysis_store_loaded : int;
   analysis_store_stale : int;
@@ -256,6 +267,9 @@ let stage_extract ?(extract_config = Extract.default_config) ?cache_dir
             h_budget_hit = true;
             h_summary_hits = 0;
             h_summary_misses = 0;
+            h_suffix_hits = 0;
+            h_suffix_misses = 0;
+            h_substitutions = 0;
             h_decode_saved = 0 } ),
         0. )
   in
@@ -308,6 +322,9 @@ let stage_subsume ?(subsume = true) ?budget ?(jobs = 1) (ex : extracted) :
       analysis_screen = screen_delta ex.ex_screen0 (screen_counters ());
       analysis_summary_hits = hstats.Extract.h_summary_hits;
       analysis_summary_misses = hstats.Extract.h_summary_misses;
+      analysis_suffix_hits = hstats.Extract.h_suffix_hits;
+      analysis_suffix_misses = hstats.Extract.h_suffix_misses;
+      analysis_substitutions = hstats.Extract.h_substitutions;
       analysis_decode_saved = hstats.Extract.h_decode_saved;
       analysis_store_loaded = ex.ex_store_loaded;
       analysis_store_stale = ex.ex_store_stale;
@@ -522,6 +539,9 @@ let stage_finalize (p : planned) : outcome =
         elim_reused;
         summary_hits = a.analysis_summary_hits;
         summary_misses = a.analysis_summary_misses;
+        suffix_hits = a.analysis_suffix_hits;
+        suffix_misses = a.analysis_suffix_misses;
+        substitutions = a.analysis_substitutions;
         decode_saved = a.analysis_decode_saved;
         store_loaded = a.analysis_store_loaded;
         store_stale = a.analysis_store_stale;
@@ -553,13 +573,14 @@ let rung_planner_config (c : Planner.config) = function
    out to need; the dedup-only pool restores them at the price of a
    bigger search space. *)
 let dedup_only (gadgets : Gadget.t list) : Gadget.t list =
-  let seen = Hashtbl.create 1024 in
+  let seen : (int64, Gadget.t list) Hashtbl.t = Hashtbl.create 1024 in
   List.filter
     (fun g ->
-      let k = Subsume.semantic_key g in
-      if Hashtbl.mem seen k then false
+      let h = Subsume.semantic_hash g in
+      let bucket = Option.value (Hashtbl.find_opt seen h) ~default:[] in
+      if List.exists (fun g' -> Subsume.semantic_equal g' g) bucket then false
       else begin
-        Hashtbl.add seen k ();
+        Hashtbl.replace seen h (g :: bucket);
         true
       end)
     gadgets

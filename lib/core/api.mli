@@ -72,6 +72,18 @@ type stage_stats = {
           symbolically executed.  Temperature-dependent, like the
           solver-memo counters — reported but excluded from
           differential comparisons. *)
+  suffix_hits : int;
+  suffix_misses : int;
+      (** suffix-summary memo/store traffic during the harvest
+          (DESIGN.md §16): suffix queries answered from the per-chunk
+          memo or the persistent suffix store vs computed fresh.
+          Temperature-dependent — excluded from differential
+          comparisons. *)
+  substitutions : int;
+      (** suffix entries built compositionally by [Exec.extend] (one
+          instruction grafted onto a memoized tail) rather than by
+          monolithic re-execution — the work the composition layer
+          avoided *)
   decode_saved : int;
       (** repeat decodes absorbed by the decode-once extraction memo *)
   store_loaded : int;
@@ -120,6 +132,9 @@ type analysis = {
           order *)
   analysis_summary_hits : int;         (** summary-store hits (stage 1) *)
   analysis_summary_misses : int;
+  analysis_suffix_hits : int;          (** suffix memo/store hits (stage 1) *)
+  analysis_suffix_misses : int;
+  analysis_substitutions : int;        (** suffixes built by [Exec.extend] *)
   analysis_decode_saved : int;         (** decode-once memo savings *)
   analysis_store_loaded : int;         (** on-disk entries imported *)
   analysis_store_stale : int;          (** 1 if the store was rejected *)

@@ -117,13 +117,22 @@ let raw_scan ?(config = { default_config with max_insns = 24 })
 
 let raw_counts ?config image =
   let raws = raw_scan ?config image in
-  let count k = List.length (List.filter (fun r -> r.raw_kind = k) raws) in
-  [ (Gadget.Return, count Gadget.Return);
-    (Gadget.UDJ, count Gadget.UDJ);
-    (Gadget.UIJ, count Gadget.UIJ);
-    (Gadget.CDJ, count Gadget.CDJ);
-    (Gadget.CIJ, count Gadget.CIJ);
-    (Gadget.Sys, count Gadget.Sys) ]
+  let slot = function
+    | Gadget.Return -> 0
+    | Gadget.UDJ -> 1
+    | Gadget.UIJ -> 2
+    | Gadget.CDJ -> 3
+    | Gadget.CIJ -> 4
+    | Gadget.Sys -> 5
+  in
+  let counts = Array.make 6 0 in
+  List.iter (fun r -> counts.(slot r.raw_kind) <- counts.(slot r.raw_kind) + 1) raws;
+  [ (Gadget.Return, counts.(0));
+    (Gadget.UDJ, counts.(1));
+    (Gadget.UIJ, counts.(2));
+    (Gadget.CDJ, counts.(3));
+    (Gadget.CIJ, counts.(4));
+    (Gadget.Sys, counts.(5)) ]
 
 (* ----- symbolic harvest ----- *)
 
@@ -153,6 +162,9 @@ type harvest_stats = {
   h_budget_hit : bool;                  (* harvest stopped early *)
   h_summary_hits : int;                 (* starts served from the content store *)
   h_summary_misses : int;               (* starts symbolically executed *)
+  h_suffix_hits : int;                  (* suffix queries answered from memo/store *)
+  h_suffix_misses : int;                (* suffix entries computed fresh *)
+  h_substitutions : int;                (* suffixes built by Exec.extend *)
   h_decode_saved : int;                 (* decodes the decode-once memo absorbed *)
 }
 
@@ -169,6 +181,44 @@ let sym_config_of config =
     max_forks = config.max_forks;
     max_merges = config.max_merges }
 
+(* Bridge the compositional summarizer to the persistent suffix store
+   (DESIGN.md §16).  Shared across a harvest's workers — Incr's suffix
+   table is sharded and first-write-wins, and every stored entry is
+   exact, so racing domains at worst duplicate a compute.  A payload
+   that fails to decode (schema skew the store's checksums missed)
+   degrades to a miss. *)
+let suffix_hooks ~decode (image : Gp_util.Image.t) =
+  if not (Incr.enabled () && Gp_symx.Exec.compose_enabled ()) then (None, None)
+  else begin
+    let code_size = Gp_util.Image.code_size image in
+    let base = image.Gp_util.Image.code_base in
+    let store_find ~pos ~cap =
+      let key = Gadget.suffix_key ~cap ~decode ~code_size ~pos in
+      match Incr.find_suffix key with
+      | None -> None
+      | Some payload -> (
+        let addr = Int64.add base (Int64.of_int pos) in
+        match Gp_symx.Exec.read_suffix ~addr payload with
+        | e -> Some e
+        | exception _ -> None)
+    in
+    let store_add ~pos ~cap (e : Gp_symx.Exec.suffix) =
+      (* a trivial entry (no summaries, no refusal) costs more to key
+         and serialize than to recompute — most junk-byte positions
+         produce one, so skipping them keeps the store write traffic
+         proportional to actual content *)
+      if e.Gp_symx.Exec.x_res <> [] || e.Gp_symx.Exec.x_refused <> None then
+        let key = Gadget.suffix_key ~cap ~decode ~code_size ~pos in
+        Incr.add_suffix key (Gp_symx.Exec.write_suffix e)
+    in
+    (* with an empty suffix section every lookup misses by definition;
+       skip the per-position key hashing until something is stored
+       (entries added by this very harvest are shared through the
+       chunk memo, not re-read from the store) *)
+    let find = if Incr.suffix_size () > 0 then Some store_find else None in
+    (find, Some store_add)
+  end
+
 (* Examine one start offset: syntactic prefilter, chaos check, symbolic
    summarization, conversion.  [mk] builds each gadget record — the
    sequential path draws fresh global ids in place; parallel workers
@@ -176,8 +226,8 @@ let sym_config_of config =
    per CONVERTED summary: [Some g] when usable, [None] when converted
    but unusable.  The distinction matters because every conversion
    consumes a gadget id, so renumbering must see both. *)
-let examine_start ~config ~sym_config ~decode ~sctr ~mk ~tally
-    (image : Gp_util.Image.t) pos : Gadget.t option list =
+let examine_start ~config ~sym_config ~decode ~sctr ~smemo ~sfind ~sadd ~mk
+    ~tally (image : Gp_util.Image.t) pos : Gadget.t option list =
   (* cheap prefilter: must syntactically reach a terminator *)
   match scan_run ~decode ~config image pos with
   | None -> []
@@ -190,13 +240,20 @@ let examine_start ~config ~sym_config ~decode ~sctr ~mk ~tally
       []
     end
     else begin
+      let summarize () =
+        (* Compositional summarization (DESIGN.md §16): bit-identical to
+           summarize_r, sharing suffixes through the chunk memo and the
+           persistent suffix store.  With composition off (the
+           --no-compose ablation) this IS summarize_r. *)
+        Gp_symx.Exec.summarize_cr ~config:sym_config ~decode ~memo:smemo
+          ?store_find:sfind ?store_add:sadd image addr
+      in
       let summaries, refused =
         (* Content-addressed store consult (DESIGN.md §11): the injected
            chaos check stays BEFORE the lookup, so a quarantined start
            never reads or seeds the store — mirroring the solver memo's
            injection discipline. *)
-        if not (Incr.enabled ()) then
-          Gp_symx.Exec.summarize_r ~config:sym_config ~decode image addr
+        if not (Incr.enabled ()) then summarize ()
         else begin
           let key =
             Gadget.content_key ~config:sym_config ~decode
@@ -208,9 +265,7 @@ let examine_start ~config ~sym_config ~decode ~sctr ~mk ~tally
             (List.map (Gp_symx.Exec.rebase ~addr) ss, refused)
           | None ->
             sctr.sc_misses <- sctr.sc_misses + 1;
-            let v =
-              Gp_symx.Exec.summarize_r ~config:sym_config ~decode image addr
-            in
+            let v = summarize () in
             Incr.add key v;
             v
         end
@@ -247,12 +302,16 @@ let harvest_par ~jobs ~config ~budget ~ids (image : Gp_util.Image.t) :
   let n = Array.length positions in
   let fuel0 = Budget.remaining_fuel budget in
   let chunk = Gp_util.Par.chunk_size ~min_chunk:64 ~jobs n in
+  let sfind, sadd = suffix_hooks ~decode image in
   let tasks =
     Array.map
       (fun (lo, hi) ->
         fun () ->
           let tally = Fail.tally_create () in
           let sctr = { sc_hits = 0; sc_misses = 0 } in
+          (* one suffix memo per chunk: workers never share it, so the
+             compositional layer needs no locking *)
+          let smemo = Gp_symx.Exec.memo_create () in
           let allot =
             if fuel0 = max_int then hi - lo else max 0 (min hi fuel0 - lo)
           in
@@ -266,15 +325,15 @@ let harvest_par ~jobs ~config ~budget ~ids (image : Gp_util.Image.t) :
                 Budget.spend b;
                 incr examined;
                 out :=
-                  examine_start ~config ~sym_config ~decode ~sctr
-                    ~mk:(Gadget.of_summary ~id:(-1)) ~tally image
+                  examine_start ~config ~sym_config ~decode ~sctr ~smemo
+                    ~sfind ~sadd ~mk:(Gadget.of_summary ~id:(-1)) ~tally image
                     positions.(k)
                   :: !out
               done;
               allot < hi - lo
             with Budget.Exhausted _ -> true
           in
-          (List.concat (List.rev !out), tally, !examined, hit, sctr))
+          (List.concat (List.rev !out), tally, !examined, hit, sctr, smemo))
       (Gp_util.Par.ranges ~chunk n)
   in
   let results = Array.to_list (Gp_util.Par.run ~jobs tasks) in
@@ -284,21 +343,29 @@ let harvest_par ~jobs ~config ~budget ~ids (image : Gp_util.Image.t) :
      undercount however domains interleave. *)
   let quarantined =
     List.fold_left
-      (fun acc (_, t, _, _, _) -> Fail.merge_counts acc (Fail.tally_list t))
+      (fun acc (_, t, _, _, _, _) -> Fail.merge_counts acc (Fail.tally_list t))
       [] results
   in
   let examined =
-    List.fold_left (fun acc (_, _, e, _, _) -> acc + e) 0 results
+    List.fold_left (fun acc (_, _, e, _, _, _) -> acc + e) 0 results
   in
   let s_hits, s_misses =
     List.fold_left
-      (fun (h, m) (_, _, _, _, sctr) -> (h + sctr.sc_hits, m + sctr.sc_misses))
+      (fun (h, m) (_, _, _, _, sctr, _) ->
+        (h + sctr.sc_hits, m + sctr.sc_misses))
       (0, 0) results
   in
-  let hit = List.exists (fun (_, _, _, h, _) -> h) results in
+  let x_hits, x_misses, x_subst =
+    List.fold_left
+      (fun (h, m, s) (_, _, _, _, _, smemo) ->
+        let mh, msh, mm, ms = Gp_symx.Exec.memo_counts smemo in
+        (h + mh + msh, m + mm, s + ms))
+      (0, 0, 0) results
+  in
+  let hit = List.exists (fun (_, _, _, h, _, _) -> h) results in
   Budget.spend budget ~amount:examined;
   let gadgets =
-    List.concat_map (fun (entries, _, _, _, _) -> entries) results
+    List.concat_map (fun (entries, _, _, _, _, _) -> entries) results
     |> List.filter_map (fun entry ->
            let id = ids () in
            match entry with
@@ -311,6 +378,9 @@ let harvest_par ~jobs ~config ~budget ~ids (image : Gp_util.Image.t) :
       h_budget_hit = hit;
       h_summary_hits = s_hits;
       h_summary_misses = s_misses;
+      h_suffix_hits = x_hits;
+      h_suffix_misses = x_misses;
+      h_substitutions = x_subst;
       h_decode_saved = max 0 (Decode.memo_lookups memo - Decode.memo_size memo) } )
 
 (* Budgeted, fault-isolating harvest.  One poisoned start — injected
@@ -331,6 +401,8 @@ let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
     let decode = Decode.decode_memo memo in
     let tally = Fail.tally_create () in
     let sctr = { sc_hits = 0; sc_misses = 0 } in
+    let smemo = Gp_symx.Exec.memo_create () in
+    let sfind, sadd = suffix_hooks ~decode image in
     let acc = ref [] in
     let examined = ref 0 in
     let budget_hit =
@@ -341,7 +413,8 @@ let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
             Budget.spend budget;
             incr examined;
             let entries =
-              examine_start ~config ~sym_config ~decode ~sctr
+              examine_start ~config ~sym_config ~decode ~sctr ~smemo ~sfind
+                ~sadd
                 ~mk:(fun summ ->
                   (* draw only after conversion succeeds, mirroring
                      of_summary's own end-of-body draw: a raising
@@ -355,12 +428,16 @@ let harvest_r ?(config = default_config) ?(budget = Budget.unlimited ())
         false
       with Budget.Exhausted _ -> true
     in
+    let mh, msh, mm, ms = Gp_symx.Exec.memo_counts smemo in
     ( List.concat (List.rev !acc),
       { h_starts = !examined;
         h_quarantined = Fail.tally_list tally;
         h_budget_hit = budget_hit;
         h_summary_hits = sctr.sc_hits;
         h_summary_misses = sctr.sc_misses;
+        h_suffix_hits = mh + msh;
+        h_suffix_misses = mm;
+        h_substitutions = ms;
         h_decode_saved =
           max 0 (Decode.memo_lookups memo - Decode.memo_size memo) } )
   end

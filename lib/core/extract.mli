@@ -67,6 +67,14 @@ type harvest_stats = {
   h_summary_hits : int;
       (** starts answered from the content-addressed store ({!Incr}) *)
   h_summary_misses : int;               (** starts symbolically executed *)
+  h_suffix_hits : int;
+      (** suffix queries answered from the per-chunk memo or the
+          persistent suffix store ([Exec.summarize_cr], DESIGN.md §16) *)
+  h_suffix_misses : int;                (** suffix entries computed fresh *)
+  h_substitutions : int;
+      (** suffix entries built by [Exec.extend] (one instruction
+          grafted onto a memoized tail) rather than monolithic
+          re-execution *)
   h_decode_saved : int;
       (** repeat decodes absorbed by the decode-once memo (lookups
           beyond one per position); cache-temperature-dependent, like

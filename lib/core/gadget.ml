@@ -216,6 +216,16 @@ let content_key ~(config : Gp_symx.Exec.config)
   walk pos 0 0 0;
   Buffer.contents b
 
+(* Content address of a SUFFIX entry: the same syntactic walk, run at
+   the residual budget the suffix was computed under.  The residual
+   triple is part of the key header, so entries for different residuals
+   never collide; whole-gadget and suffix keys live in different store
+   sections, so their byte ranges may overlap freely. *)
+let suffix_key ~cap:(ri, rf, rm) ~decode ~code_size ~pos : string =
+  content_key
+    ~config:{ Gp_symx.Exec.max_insns = ri; max_forks = rf; max_merges = rm }
+    ~decode ~code_size ~pos
+
 let to_string g =
   Printf.sprintf "0x%Lx [%s] %s" g.addr (kind_name g.kind)
     (String.concat "; " (List.map Insn.to_string g.insns))

@@ -32,9 +32,19 @@
 
 open Gp_smt
 
-let schema_version = 1
+(* v2: State.t gained [hazard_cmps] (undecidable alias comparisons,
+   rechecked by Exec.extend after substitution), which Exec.put_state
+   serializes — v1 summary payloads no longer decode. *)
+let schema_version = 2
 let file_name = "summaries.gpst"
 let summaries_section = "summaries"
+
+(* Suffix summaries (DESIGN.md §16) ride in their own section: old
+   readers skip unknown sections, so no schema bump is needed, and the
+   suffix key space (Gadget.suffix_key) never collides with whole-gadget
+   keys.  Values stay RAW (Exec.write_suffix bytes): decoding needs the
+   consulting image's absolute address, so Extract's hook decodes. *)
+let suffixes_section = "suffixes"
 
 type value = Gp_symx.Exec.summary list * string option
 
@@ -48,6 +58,22 @@ let shards : shard array =
 
 let shard_of key = shards.(Hashtbl.hash key land (shard_count - 1))
 
+type sshard = { x_tbl : (string, string) Hashtbl.t; x_lock : Mutex.t }
+
+let sshards : sshard array =
+  Array.init shard_count (fun _ ->
+      { x_tbl = Hashtbl.create 512; x_lock = Mutex.create () })
+
+let sshard_of key = sshards.(Hashtbl.hash key land (shard_count - 1))
+
+(* Store-level temperature counters for the suffix table, reported by
+   the bench transfer rows.  Process-global atomics like the solver's:
+   excluded from differential fingerprints. *)
+let sf_hits = Atomic.make 0
+let sf_misses = Atomic.make 0
+
+let suffix_store_stats () = (Atomic.get sf_hits, Atomic.get sf_misses)
+
 let on = ref true
 
 let enabled () = !on
@@ -58,10 +84,20 @@ let size () =
     (fun acc s -> acc + Mutex.protect s.s_lock (fun () -> Hashtbl.length s.s_tbl))
     0 shards
 
+let suffix_size () =
+  Array.fold_left
+    (fun acc s -> acc + Mutex.protect s.x_lock (fun () -> Hashtbl.length s.x_tbl))
+    0 sshards
+
 let reset () =
   Array.iter
     (fun s -> Mutex.protect s.s_lock (fun () -> Hashtbl.reset s.s_tbl))
-    shards
+    shards;
+  Array.iter
+    (fun s -> Mutex.protect s.x_lock (fun () -> Hashtbl.reset s.x_tbl))
+    sshards;
+  Atomic.set sf_hits 0;
+  Atomic.set sf_misses 0
 
 let find key =
   let s = shard_of key in
@@ -83,6 +119,28 @@ let add key v =
   in
   if fresh then !fresh_hook key v
 
+let suffix_fresh_hook : (string -> string -> unit) ref = ref (fun _ _ -> ())
+
+let find_suffix key =
+  let s = sshard_of key in
+  let r = Mutex.protect s.x_lock (fun () -> Hashtbl.find_opt s.x_tbl key) in
+  (match r with
+  | Some _ -> Atomic.incr sf_hits
+  | None -> Atomic.incr sf_misses);
+  r
+
+let add_suffix key payload =
+  let s = sshard_of key in
+  let fresh =
+    Mutex.protect s.x_lock (fun () ->
+        if Hashtbl.mem s.x_tbl key then false
+        else begin
+          Hashtbl.add s.x_tbl key payload;
+          true
+        end)
+  in
+  if fresh then !suffix_fresh_hook key payload
+
 (* Snapshot the whole table shard by shard (each under its own lock;
    no cross-shard atomicity needed — callers snapshot outside the
    parallel sections). *)
@@ -91,6 +149,12 @@ let fold_all f acc =
     (fun acc s ->
       Mutex.protect s.s_lock (fun () -> Hashtbl.fold f s.s_tbl acc))
     acc shards
+
+let fold_suffixes f acc =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.protect s.x_lock (fun () -> Hashtbl.fold f s.x_tbl acc))
+    acc sshards
 
 type load_info = {
   li_entries : int;       (* entries imported from the base store *)
@@ -126,6 +190,17 @@ let import_sections sections =
             Mutex.protect s.s_lock (fun () ->
                 if not (Hashtbl.mem s.s_tbl k) then Hashtbl.add s.s_tbl k v))
           decoded
+      end
+      else if name = suffixes_section then begin
+        n := !n + List.length entries;
+        (* payloads stay raw; Extract's consulting hook decodes (and
+           rejects) lazily, so a skewed payload degrades to a miss *)
+        List.iter
+          (fun (k, v) ->
+            let s = sshard_of k in
+            Mutex.protect s.x_lock (fun () ->
+                if not (Hashtbl.mem s.x_tbl k) then Hashtbl.add s.x_tbl k v))
+          entries
       end)
     sections;
   n := !n + Solver.import_memos sections;
@@ -253,8 +328,12 @@ let save ~dir =
           |> List.map (fun (k, v) -> (k, Gp_symx.Exec.write_summaries v))
           |> List.sort compare
         in
+        let suffix_entries =
+          fold_suffixes (fun k v acc -> (k, v) :: acc) [] |> List.sort compare
+        in
         let sections =
           { Gp_util.Store.name = summaries_section; entries }
+          :: { Gp_util.Store.name = suffixes_section; entries = suffix_entries }
           :: Solver.export_memos ()
         in
         Gp_util.Store.save ~schema:schema_version (path ~dir) sections)
@@ -313,6 +392,10 @@ let journal_mark_existing j =
       fold_all
         (fun k _ () ->
           Hashtbl.replace j.j_seen (seen_key summaries_section k) ())
+        ();
+      fold_suffixes
+        (fun k _ () ->
+          Hashtbl.replace j.j_seen (seen_key suffixes_section k) ())
         ();
       List.iter
         (fun { Gp_util.Store.name; entries } ->
@@ -389,6 +472,29 @@ let journal_append_summary key v =
       let value = Gp_symx.Exec.write_summaries v in
       try
         Gp_util.Store.Wal.append j.j_wal ~section:summaries_section ~key ~value
+      with
+      | Sys_error why | Failure why -> journal_demote why
+      | Unix.Unix_error (e, fn, _) ->
+        journal_demote (fn ^ ": " ^ Unix.error_message e)
+    end
+
+(* Same discipline for fresh suffix entries (already serialized). *)
+let journal_append_suffix key value =
+  match !journal_st with
+  | None -> ()
+  | Some j ->
+    let fresh =
+      Mutex.protect j.j_mutex (fun () ->
+          let sk = seen_key suffixes_section key in
+          if Hashtbl.mem j.j_seen sk then false
+          else begin
+            Hashtbl.replace j.j_seen sk ();
+            true
+          end)
+    in
+    if fresh then begin
+      try
+        Gp_util.Store.Wal.append j.j_wal ~section:suffixes_section ~key ~value
       with
       | Sys_error why | Failure why -> journal_demote why
       | Unix.Unix_error (e, fn, _) ->
@@ -480,3 +586,4 @@ let journal_abandon () =
   journal_error_r := None
 
 let () = fresh_hook := journal_append_summary
+let () = suffix_fresh_hook := journal_append_suffix

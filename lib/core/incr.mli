@@ -28,6 +28,29 @@ val add : string -> value -> unit
 val size : unit -> int
 val reset : unit -> unit
 
+(** {1 Suffix store (DESIGN.md §16)}
+
+    A parallel table from {!Gadget.suffix_key} strings to serialized
+    [Exec.write_suffix] payloads, persisted in its own store section
+    ("suffixes") — old readers skip it, so the schema version is
+    unchanged.  Payloads stay raw here: decoding needs the consulting
+    image's absolute address, so Extract's harvest hook decodes (a
+    payload that fails to decode degrades to a miss). *)
+
+val find_suffix : string -> string option
+(** Also counts into {!suffix_store_stats}. *)
+
+val add_suffix : string -> string -> unit
+(** First-write-wins; journaled like summaries when a journal is
+    open. *)
+
+val suffix_size : unit -> int
+
+val suffix_store_stats : unit -> int * int
+(** Process-global (hits, misses) of {!find_suffix} since the last
+    {!reset} — the bench transfer rows report these; excluded from
+    differential fingerprints like every temperature counter. *)
+
 (** {1 Persistence} *)
 
 val schema_version : int

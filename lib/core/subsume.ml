@@ -25,36 +25,89 @@ let signature (g : Gadget.t) =
     List.length g.Gadget.pre,
     g.Gadget.syscall_state <> None )
 
-(* Canonical semantic key: printable form of the full post state, the jump
-   target, stack writes, and pre-conditions.  Equal keys = equal
-   semantics (terms are canonicalized by construction). *)
-let semantic_key (g : Gadget.t) =
-  let post =
-    String.concat ";"
-      (List.map
-         (fun (r, t) -> Gp_x86.Reg.name r ^ "=" ^ Term.to_string t)
-         g.Gadget.post)
+(* Canonical semantic identity: the full post state, the jump term,
+   stack/pointer writes, and pre-conditions.  Terms are canonicalized by
+   construction, so structural equality over these components IS
+   semantic-class equality.  Dedup used to build a giant printable key
+   per gadget; on large obfuscated cells the string build dominated the
+   pass, so identity is now a structural FNV-64 hash with a structural
+   compare on collision.  [Jfall] targets are deliberately ignored, as
+   the printable key did (every syscall summary fell into one "sys"
+   class regardless of fall-through address). *)
+
+let h_word = Gp_util.Store.fnv64_i64
+let h_str = Gp_util.Store.fnv64
+
+let rec term_hash h (t : Term.t) =
+  match t with
+  | Term.Var v -> h_str ~h:(h_word ~h 1L) v
+  | Term.Const c -> h_word ~h:(h_word ~h 2L) c
+  | Term.Add (a, b) -> term_hash2 (h_word ~h 3L) a b
+  | Term.Sub (a, b) -> term_hash2 (h_word ~h 4L) a b
+  | Term.Mul (a, b) -> term_hash2 (h_word ~h 5L) a b
+  | Term.Neg a -> term_hash (h_word ~h 6L) a
+  | Term.Not a -> term_hash (h_word ~h 7L) a
+  | Term.And (a, b) -> term_hash2 (h_word ~h 8L) a b
+  | Term.Or (a, b) -> term_hash2 (h_word ~h 9L) a b
+  | Term.Xor (a, b) -> term_hash2 (h_word ~h 10L) a b
+  | Term.Shl (a, b) -> term_hash2 (h_word ~h 11L) a b
+  | Term.Shr (a, b) -> term_hash2 (h_word ~h 12L) a b
+  | Term.Sar (a, b) -> term_hash2 (h_word ~h 13L) a b
+
+and term_hash2 h a b = term_hash (term_hash h a) b
+
+let formula_hash h (f : Formula.t) =
+  match f with
+  | Formula.True -> h_word ~h 1L
+  | Formula.False -> h_word ~h 2L
+  | Formula.Eq (a, b) -> term_hash2 (h_word ~h 3L) a b
+  | Formula.Ne (a, b) -> term_hash2 (h_word ~h 4L) a b
+  | Formula.Slt (a, b) -> term_hash2 (h_word ~h 5L) a b
+  | Formula.Sle (a, b) -> term_hash2 (h_word ~h 6L) a b
+  | Formula.Ult (a, b) -> term_hash2 (h_word ~h 7L) a b
+  | Formula.Ule (a, b) -> term_hash2 (h_word ~h 8L) a b
+  | Formula.Readable a -> term_hash (h_word ~h 9L) a
+  | Formula.Writable a -> term_hash (h_word ~h 10L) a
+
+(* Each list is length-prefixed into the chain so component boundaries
+   can't alias across fields. *)
+let hash_list fold h xs =
+  List.fold_left fold (h_word ~h (Int64.of_int (List.length xs))) xs
+
+let semantic_hash (g : Gadget.t) : int64 =
+  let h =
+    hash_list
+      (fun h (r, t) ->
+        term_hash (h_word ~h (Int64.of_int (Gp_x86.Reg.number r))) t)
+      0xcbf29ce484222325L g.Gadget.post
   in
-  let jmp =
+  let h =
     match g.Gadget.jmp with
-    | Gp_symx.Exec.Jret t -> "ret:" ^ Term.to_string t
-    | Gp_symx.Exec.Jind t -> "ind:" ^ Term.to_string t
-    | Gp_symx.Exec.Jfall _ -> "sys"
+    | Gp_symx.Exec.Jret t -> term_hash (h_word ~h 0x10L) t
+    | Gp_symx.Exec.Jind t -> term_hash (h_word ~h 0x11L) t
+    | Gp_symx.Exec.Jfall _ -> h_word ~h 0x12L
   in
-  let writes =
-    String.concat ";"
-      (List.map
-         (fun (o, t) -> string_of_int o ^ ":" ^ Term.to_string t)
-         g.Gadget.stack_writes)
+  let h =
+    hash_list
+      (fun h (o, t) -> term_hash (h_word ~h (Int64.of_int o)) t)
+      h g.Gadget.stack_writes
   in
-  let ptrw =
-    String.concat ";"
-      (List.map
-         (fun (a, v) -> Term.to_string a ^ "<-" ^ Term.to_string v)
-         g.Gadget.ptr_writes)
+  let h =
+    hash_list (fun h (a, v) -> term_hash (term_hash h a) v) h
+      g.Gadget.ptr_writes
   in
-  let pre = String.concat "&&" (List.map Formula.to_string g.Gadget.pre) in
-  String.concat "|" [ post; jmp; writes; ptrw; pre ]
+  hash_list formula_hash h g.Gadget.pre
+
+let semantic_equal (g1 : Gadget.t) (g2 : Gadget.t) =
+  (match g1.Gadget.jmp, g2.Gadget.jmp with
+   | Gp_symx.Exec.Jret a, Gp_symx.Exec.Jret b
+   | Gp_symx.Exec.Jind a, Gp_symx.Exec.Jind b -> a = b
+   | Gp_symx.Exec.Jfall _, Gp_symx.Exec.Jfall _ -> true
+   | _ -> false)
+  && g1.Gadget.post = g2.Gadget.post
+  && g1.Gadget.stack_writes = g2.Gadget.stack_writes
+  && g1.Gadget.ptr_writes = g2.Gadget.ptr_writes
+  && g1.Gadget.pre = g2.Gadget.pre
 
 (* Same observable effects (post, jump, writes); pre-conditions may differ. *)
 let same_effects (g1 : Gadget.t) (g2 : Gadget.t) =
@@ -97,39 +150,58 @@ type stats = {
    running out of budget — or a solver blow-up on one pair — is never
    fatal: the gadget is kept (conservative) and, once the budget has
    hit, the rest of the bucket passes through unexamined. *)
+(* Survivors accumulate in a flat array (arrival order) instead of the
+   seed's [!survivors @ [g]] per element, which was O(n²) per bucket.
+   The array keeps the probe order identical — earlier survivors are
+   still tried first, so solver traffic and budget consumption match
+   the seed element for element. *)
 let probe_bucket ~budget bucket : Gadget.t list * bool =
-  let survivors = ref [] in
-  let timed_out = ref false in
-  List.iter
-    (fun g ->
-      if !timed_out then survivors := !survivors @ [ g ]
-      else
-        match
-          Budget.guard budget (fun () ->
-              try not (List.exists (fun s -> subsumes s g) !survivors)
-              with
-              | Budget.Exhausted _ as e -> raise e
-              | _ -> true)
-        with
-        | Ok keep -> if keep then survivors := !survivors @ [ g ]
-        | Error _ ->
-          timed_out := true;
-          survivors := !survivors @ [ g ])
-    bucket;
-  (!survivors, !timed_out)
+  match bucket with
+  | [] -> ([], false)
+  | first :: _ ->
+    let arr = Array.make (List.length bucket) first in
+    let count = ref 0 in
+    let keep g =
+      arr.(!count) <- g;
+      incr count
+    in
+    let probed_subsumes g =
+      let rec go i = i < !count && (subsumes arr.(i) g || go (i + 1)) in
+      go 0
+    in
+    let timed_out = ref false in
+    List.iter
+      (fun g ->
+        if !timed_out then keep g
+        else
+          match
+            Budget.guard budget (fun () ->
+                try not (probed_subsumes g)
+                with
+                | Budget.Exhausted _ as e -> raise e
+                | _ -> true)
+          with
+          | Ok k -> if k then keep g
+          | Error _ ->
+            timed_out := true;
+            keep g)
+      bucket;
+    (Array.to_list (Array.sub arr 0 !count), !timed_out)
 
 let minimize ?(max_bucket = 64) ?(budget = Budget.unlimited ()) ?(jobs = 1)
     (gadgets : Gadget.t list) : Gadget.t list * stats =
   let input = List.length gadgets in
-  (* pass 1: exact semantic duplicates *)
-  let seen = Hashtbl.create 1024 in
+  (* pass 1: exact semantic duplicates (hash buckets, structural
+     compare on collision) *)
+  let seen : (int64, Gadget.t list) Hashtbl.t = Hashtbl.create 1024 in
   let dedup =
     List.filter
       (fun g ->
-        let key = semantic_key g in
-        if Hashtbl.mem seen key then false
+        let h = semantic_hash g in
+        let bucket = Option.value (Hashtbl.find_opt seen h) ~default:[] in
+        if List.exists (fun g' -> semantic_equal g' g) bucket then false
         else begin
-          Hashtbl.add seen key ();
+          Hashtbl.replace seen h (g :: bucket);
           true
         end)
       gadgets

@@ -4,10 +4,15 @@
     formula (1): same observable effects under a pre-condition at least
     as weak, so [g2] adds nothing. *)
 
-val semantic_key : Gadget.t -> string
-(** Canonical printable form of the full semantics (post state, jump,
-    writes, pre).  Equal keys = equal semantics, because terms are
-    canonicalized by construction. *)
+val semantic_hash : Gadget.t -> int64
+(** Structural FNV-64 over the full semantics (post state, jump, writes,
+    pre).  Equal semantics hash equally, because terms are canonicalized
+    by construction; confirm collisions with {!semantic_equal}. *)
+
+val semantic_equal : Gadget.t -> Gadget.t -> bool
+(** Structural equality over the same components {!semantic_hash}
+    covers ([Jfall] targets ignored, as always — every syscall summary
+    is one class regardless of fall-through address). *)
 
 val same_effects : Gadget.t -> Gadget.t -> bool
 (** Equal post-conditions, jump behaviour, and memory effects

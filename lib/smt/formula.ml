@@ -43,15 +43,33 @@ let negate = function
     f
 
 let map_terms f = function
+  (* physically unchanged inputs return the original formula, so callers
+     can detect no-op substitutions with [==] and skip re-simplifying *)
   | (True | False) as x -> x
-  | Eq (a, b) -> Eq (f a, f b)
-  | Ne (a, b) -> Ne (f a, f b)
-  | Slt (a, b) -> Slt (f a, f b)
-  | Sle (a, b) -> Sle (f a, f b)
-  | Ult (a, b) -> Ult (f a, f b)
-  | Ule (a, b) -> Ule (f a, f b)
-  | Readable t -> Readable (f t)
-  | Writable t -> Writable (f t)
+  | Eq (a, b) as x ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then x else Eq (a', b')
+  | Ne (a, b) as x ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then x else Ne (a', b')
+  | Slt (a, b) as x ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then x else Slt (a', b')
+  | Sle (a, b) as x ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then x else Sle (a', b')
+  | Ult (a, b) as x ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then x else Ult (a', b')
+  | Ule (a, b) as x ->
+    let a' = f a and b' = f b in
+    if a' == a && b' == b then x else Ule (a', b')
+  | Readable t as x ->
+    let t' = f t in
+    if t' == t then x else Readable t'
+  | Writable t as x ->
+    let t' = f t in
+    if t' == t then x else Writable t'
 
 let vars = function
   | True | False -> Term.Vset.empty

@@ -1,0 +1,206 @@
+(* Suffix-compositional extraction (DESIGN.md §16): the composed
+   summarizer must be BIT-IDENTICAL to the monolithic one — same
+   summaries, same refusals, at every byte position and residual budget —
+   and the full pipeline must produce identical analyses with composition
+   on and off, at any job count, fault injection included. *)
+
+open Gp_x86
+
+let image_of_bytes code =
+  Gp_util.Image.create ~entry:0x400000L ~code ~data:(Bytes.create 16) ()
+
+(* Canonical bytes for a result: State.t contains maps whose tree shape
+   depends on insertion order, so structural compare is wrong — the
+   serializer (sorted bindings, structure-only term DAG) is the
+   canonical form. *)
+let result_bytes (ss, refused) =
+  Gp_symx.Exec.write_summaries
+    (List.map (Gp_symx.Exec.rebase ~addr:0L) ss, refused)
+
+(* ----- qcheck differential: composed == monolithic everywhere ----- *)
+
+let gen_case :
+    (Insn.t list * (int * int * int)) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  (* small budgets explore the gate/limit logic; larger ones the deep
+     composition chains *)
+  let budget = triple (int_range 0 8) (int_range 0 2) (int_range 0 2) in
+  pair (list_size (int_range 1 12) Gen.insn) budget
+
+let prop_compose_matches_monolithic (insns, (mi, mf, mm)) =
+  let code = Encode.insns insns in
+  let image = image_of_bytes code in
+  let config = { Gp_symx.Exec.max_insns = mi; max_forks = mf; max_merges = mm } in
+  let memo = Gp_symx.Exec.memo_create () in
+  let ok = ref true in
+  (* every byte position, like the sliding-window harvest; one shared
+     memo so later positions reuse earlier suffixes *)
+  for pos = 0 to Bytes.length code - 1 do
+    let addr = Int64.add 0x400000L (Int64.of_int pos) in
+    let mono = Gp_symx.Exec.summarize_r ~config image addr in
+    let comp = Gp_symx.Exec.summarize_cr ~config ~memo image addr in
+    if result_bytes mono <> result_bytes comp then ok := false
+  done;
+  !ok
+
+let exec_suite =
+  [ Gen.qtest "composed == monolithic at every (position, budget)" ~count:300
+      gen_case prop_compose_matches_monolithic ]
+
+(* ----- suffix entry serialization round-trips ----- *)
+
+let test_suffix_roundtrip () =
+  let insns = [ Insn.Pop Reg.RDI; Insn.Syscall; Insn.Pop Reg.RAX; Insn.Ret ] in
+  let image = image_of_bytes (Encode.insns insns) in
+  let seen = ref 0 in
+  let tbl : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let key ~pos ~cap:(a, b, c) = Printf.sprintf "%d:%d:%d:%d" pos a b c in
+  let store_add ~pos ~cap e =
+    Hashtbl.replace tbl (key ~pos ~cap) (Gp_symx.Exec.write_suffix e)
+  in
+  let r1 = Gp_symx.Exec.summarize_cr ~store_add image 0x400000L in
+  (* replay against the serialized store only: every lookup must hit *)
+  let store_find ~pos ~cap =
+    match Hashtbl.find_opt tbl (key ~pos ~cap) with
+    | None -> None
+    | Some payload ->
+      incr seen;
+      Some
+        (Gp_symx.Exec.read_suffix
+           ~addr:(Int64.add 0x400000L (Int64.of_int pos))
+           payload)
+  in
+  let r2 = Gp_symx.Exec.summarize_cr ~store_find image 0x400000L in
+  Alcotest.(check bool) "store round-trip identical" true
+    (result_bytes r1 = result_bytes r2);
+  Alcotest.(check bool) "store was consulted" true (!seen > 0)
+
+let base_suite =
+  [ Alcotest.test_case "suffix store round-trip" `Quick test_suffix_roundtrip ]
+
+(* ----- full-pipeline differential: compose on/off x jobs x faults -----
+
+   The ablation flag must be result-invisible: an analysis with
+   composition disabled is the ground truth, and the composed pipeline
+   must reproduce its gadget list (ids included — they seed the layout
+   pool's address salt), quarantine ledger, and budget accounting at
+   every job count, with and without fault injection.  Suffix-STORE
+   state is deliberately not compared: composed entries' reuse metadata
+   is conservative and path-dependent (DESIGN.md §16), only results are
+   canonical. *)
+
+let with_compose b f =
+  let prev = Gp_symx.Exec.compose_enabled () in
+  Gp_symx.Exec.set_compose_enabled b;
+  Fun.protect ~finally:(fun () -> Gp_symx.Exec.set_compose_enabled prev) f
+
+let pipeline_fingerprint ~compose ~jobs image =
+  with_compose compose (fun () ->
+      Gp_core.Gadget.reset_ids ();
+      Gp_core.Incr.reset ();
+      let gs, st = Gp_core.Extract.harvest_r ~jobs image in
+      ( List.map
+          (fun (g : Gp_core.Gadget.t) -> (g.Gp_core.Gadget.id, g.Gp_core.Gadget.addr))
+          gs,
+        st.Gp_core.Extract.h_quarantined,
+        st.Gp_core.Extract.h_budget_hit ))
+
+let diff_cells () =
+  List.concat_map
+    (fun pname ->
+      let entry = Gp_corpus.Programs.find pname in
+      List.map
+        (fun (cname, cfg) ->
+          ( Printf.sprintf "%s/%s" pname cname,
+            Gp_codegen.Pipeline.compile
+              ~transform:(Gp_obf.Obf.transform cfg)
+              entry.Gp_corpus.Programs.source ))
+        Gp_harness.Workspace.obf_configs)
+    [ "fibonacci"; "bubble_sort" ]
+
+let check_cells cells =
+  List.iter
+    (fun (cell, image) ->
+      let base = pipeline_fingerprint ~compose:false ~jobs:1 image in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s compose jobs=%d" cell jobs)
+            true
+            (pipeline_fingerprint ~compose:true ~jobs image = base))
+        [ 1; 4 ];
+      Alcotest.(check bool)
+        (cell ^ " no-compose jobs=4")
+        true
+        (pipeline_fingerprint ~compose:false ~jobs:4 image = base))
+    cells
+
+let test_pipeline_differential () = check_cells (diff_cells ())
+
+(* The same sweep under a 10% uniform fault schedule: injected decode
+   faults hit whole starts (the chaos check precedes both the store and
+   the summarizer), so composition must neither mask nor duplicate a
+   quarantined fault at any job count. *)
+let test_pipeline_differential_faults () =
+  let cells = diff_cells () in
+  let cfg = Gp_harness.Faultsim.uniform ~seed:23 0.1 in
+  Gp_harness.Faultsim.with_faults cfg (fun () ->
+      check_cells cells;
+      (* the sweep must actually inject: zero decode quarantines at 10%
+         over thousands of starts means a dead hook *)
+      let _, tally, _ =
+        pipeline_fingerprint ~compose:true ~jobs:1 (snd (List.hd cells))
+      in
+      match List.assoc_opt "decode" tally with
+      | Some n when n > 0 -> ()
+      | _ -> Alcotest.fail "no decode faults quarantined at 10%")
+
+(* With composition on, the suffix store must actually see traffic, and
+   a LATER harvest must be able to reuse it across whole-gadget-key
+   misses.  A warm same-image re-run never reaches the suffix layer
+   (every whole-gadget key hits first), and canonical suffix entries are
+   keyed at the full budget only — so the cross-run probe is the
+   transfer the paper's 1.12x row is about: harvest the ORIGINAL build,
+   then the obfuscated one at the same config.  Starts whose window the
+   obfuscator perturbed miss the whole-gadget store, but the unperturbed
+   tail positions inside them hit the original's canonical suffix
+   entries (deterministic at jobs=1). *)
+let test_pipeline_suffix_store_traffic () =
+  let entry = Gp_corpus.Programs.find "fibonacci" in
+  let orig =
+    Gp_codegen.Pipeline.compile
+      ~transform:(Gp_obf.Obf.transform Gp_obf.Obf.none)
+      entry.Gp_corpus.Programs.source
+  in
+  let obf =
+    Gp_codegen.Pipeline.compile
+      ~transform:(Gp_obf.Obf.transform Gp_obf.Obf.ollvm)
+      entry.Gp_corpus.Programs.source
+  in
+  with_compose true (fun () ->
+      Gp_core.Gadget.reset_ids ();
+      Gp_core.Incr.reset ();
+      let _, st1 = Gp_core.Extract.harvest_r orig in
+      Alcotest.(check bool) "suffixes persisted" true
+        (Gp_core.Incr.suffix_size () > 0);
+      Alcotest.(check bool) "substitutions happened" true
+        (st1.Gp_core.Extract.h_substitutions > 0);
+      let h0, _ = Gp_core.Incr.suffix_store_stats () in
+      Gp_core.Gadget.reset_ids ();
+      let _, st2 = Gp_core.Extract.harvest_r obf in
+      let h1, _ = Gp_core.Incr.suffix_store_stats () in
+      Alcotest.(check bool) "original-to-obfuscated suffix store hits" true
+        (h1 > h0);
+      Alcotest.(check bool) "suffix hits counted in stats" true
+        (st2.Gp_core.Extract.h_suffix_hits > 0);
+      Gp_core.Incr.reset ())
+
+let pipeline_suite =
+  [ Alcotest.test_case "pipeline: compose on/off x jobs" `Slow
+      test_pipeline_differential;
+    Alcotest.test_case "pipeline: compose x jobs under faults" `Slow
+      test_pipeline_differential_faults;
+    Alcotest.test_case "pipeline: suffix store traffic" `Quick
+      test_pipeline_suffix_store_traffic ]
+
+let suite = base_suite @ exec_suite @ pipeline_suite

@@ -32,6 +32,7 @@ let suites =
     ("incr", Test_incr.suite);
     ("screen", Test_screen.suite);
     ("serve", Test_serve.suite);
+    ("compose", Test_compose.suite);
     ("integration", Test_integration.suite) ]
 
 let () =
