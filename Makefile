@@ -46,12 +46,19 @@
 # harvest differential compose-on vs --no-compose incl. fault
 # injection, and the suffix-store round-trip/transfer tests —
 # DESIGN.md §16) at JOBS=1 and JOBS=4.
+#
+# `make check-fp` sweeps the semantic fingerprint index (test_fp:
+# lane-vs-Term.eval qcheck soundness, fingerprint-inequality implies
+# prove_equal=false, the fp-on vs --no-fp differential over the survey
+# cells incl. a 10% fault-injection sweep, the fp-section store
+# round-trip and v2-store stale demotion — DESIGN.md §17) at JOBS=1
+# and JOBS=4.
 
 CHECK_TIMEOUT ?= 600
 
 .PHONY: all build test check check-par check-plan-par check-incr \
 	check-screen check-resume check-sweep check-serve check-compose \
-	check-bench clean
+	check-fp check-bench clean
 
 all: build
 
@@ -62,7 +69,8 @@ test:
 	dune runtest
 
 check: build check-par check-plan-par check-incr check-screen \
-	check-resume check-sweep check-serve check-compose check-bench
+	check-resume check-sweep check-serve check-compose check-fp \
+	check-bench
 
 check-par:
 	JOBS=1 timeout $(CHECK_TIMEOUT) dune runtest --force
@@ -101,6 +109,11 @@ check-compose:
 	dune build test/test_main.exe
 	SUITES=compose JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 	SUITES=compose JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+
+check-fp:
+	dune build test/test_main.exe
+	SUITES=fp JOBS=1 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
+	SUITES=fp JOBS=4 timeout $(CHECK_TIMEOUT) ./_build/default/test/test_main.exe
 
 check-bench:
 	dune build bench/main.exe

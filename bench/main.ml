@@ -40,6 +40,10 @@
                                               # cold process-per-request:
                                               # req/s, p50/p99, WAL overhead
                                               # (writes BENCH_serve.json)
+     dune exec bench/main.exe -- --only fp --jobs 4
+                                              # semantic fingerprint index off
+                                              # vs on, screening ON both ways
+                                              # (writes BENCH_fp.json)
      dune exec bench/main.exe -- --quick      # smoke mode: one program, one
                                               # config (the `make check-bench`
                                               # end-to-end assertion)
@@ -49,6 +53,9 @@
      dune exec bench/main.exe -- --no-compose # ablation: suffix-compositional
                                               # extraction off (monolithic
                                               # summarizer everywhere)
+     dune exec bench/main.exe -- --no-fp      # ablation: semantic fingerprint
+                                              # index off (probes go straight
+                                              # to the screening tiers)
 
    Absolute numbers differ from the paper (their substrate was a real
    x86-64 testbed, ours is the simulator stack described in DESIGN.md);
@@ -90,6 +97,9 @@ let run_experiment ~quick ~jobs ?cache_dir id =
     print_string txt
   | "serve" ->
     let txt, _ = Gp_harness.Experiments.serve ~quick ~jobs () in
+    print_string txt
+  | "fp" ->
+    let txt, _ = Gp_harness.Experiments.fp ~quick ~jobs () in
     print_string txt
   | "fig1" ->
     let txt, _ = Gp_harness.Experiments.fig1 ~quick () in
@@ -136,7 +146,7 @@ let run_experiment ~quick ~jobs ?cache_dir id =
 let all_ids =
   [ "fig1"; "tab1"; "fig2"; "tab4"; "tab5"; "fig5"; "tab6"; "fig6"; "fig8";
     "tab7"; "par"; "plan"; "incr"; "screen"; "compose"; "resume"; "sweep";
-    "serve";
+    "serve"; "fp";
     "cfi_study";
     "ablation_unaligned"; "ablation_subsumption"; "ablation_condjump";
     "ablation_seeds" ]
@@ -221,6 +231,7 @@ let () =
   if List.mem "--no-screen" argv then Gp_smt.Solver.set_screen_enabled false;
   if List.mem "--no-sweep" argv then Gp_harness.Experiments.set_sched false;
   if List.mem "--no-compose" argv then Gp_symx.Exec.set_compose_enabled false;
+  if List.mem "--no-fp" argv then Gp_smt.Fpeval.set_enabled false;
   let mode_name = if smoke then "smoke" else if quick then "quick" else "full" in
   let bechamel = List.mem "--bechamel" argv in
   let only =

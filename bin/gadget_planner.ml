@@ -76,28 +76,58 @@ let cache_dir_arg =
                  program.  Results are bit-identical with or without it; \
                  a corrupt or stale store falls back to a cold run.")
 
-let no_screen_arg =
-  Arg.(value & flag
-       & info [ "no-screen" ]
-           ~doc:"Disable the tiered solver screening front-end (abstract \
-                 screening, concrete refutation, elimination reuse — \
-                 DESIGN.md section 12).  Results are bit-identical either \
-                 way; the flag exists for ablation timings.")
+(* ----- shared ablation flags -----
 
-let apply_screen no_screen =
-  if no_screen then Gp_smt.Solver.set_screen_enabled false
+   One table row per switchable subsystem.  Every pipeline subcommand
+   composes the same flags from this table, so adding an ablation
+   switch is a one-row change here instead of a per-subcommand edit.
+   All toggles are semantics-preserving: results are bit-identical
+   with the subsystem on or off — the flags exist for ablation
+   timings, and the bench experiments flip the same switches
+   programmatically. *)
 
-let no_compose_arg =
-  Arg.(value & flag
-       & info [ "no-compose" ]
-           ~doc:"Disable suffix-compositional symbolic extraction \
-                 (DESIGN.md section 16): every start offset is \
-                 re-executed monolithically instead of extending the \
-                 shared tail summary.  Results are bit-identical either \
-                 way; the flag exists for ablation timings.")
+let ablation_specs =
+  [ ("no-screen",
+     "Disable the tiered solver screening front-end (abstract \
+      screening, concrete refutation, elimination reuse — DESIGN.md \
+      section 12).",
+     fun () -> Gp_smt.Solver.set_screen_enabled false);
+    ("no-compose",
+     "Disable suffix-compositional symbolic extraction (DESIGN.md \
+      section 16): every start offset is re-executed monolithically \
+      instead of extending the shared tail summary.",
+     fun () -> Gp_symx.Exec.set_compose_enabled false);
+    ("no-fp",
+     "Disable the semantic fingerprint index (DESIGN.md section 17): \
+      subsumption and planner probes go straight to the solver's \
+      screening tiers instead of being pruned by the shared \
+      multi-point fingerprints first.",
+     fun () -> Gp_smt.Fpeval.set_enabled false);
+    ("no-sweep",
+     "Run the legacy sequential cell loop instead of the pipelined \
+      cell x stage scheduler (DESIGN.md section 14); --jobs then \
+      parallelizes within each cell rather than across cells.  Only \
+      the survey subcommand consults this switch.",
+     fun () -> Gp_harness.Experiments.set_sched false) ]
 
-let apply_compose no_compose =
-  if no_compose then Gp_symx.Exec.set_compose_enabled false
+(* One cmdliner term parsing every table row; evaluating it applies
+   the toggles that were set on the command line.  Run functions take
+   the resulting () as their first argument, so application precedes
+   any pipeline work. *)
+let ablation_term =
+  let one (flag_name, doc, apply) =
+    let arg =
+      Arg.(value & flag
+           & info [ flag_name ]
+               ~doc:(doc
+                     ^ "  Results are bit-identical either way; the \
+                        flag exists for ablation timings."))
+    in
+    Term.(const (fun set -> if set then apply ()) $ arg)
+  in
+  List.fold_left
+    (fun acc spec -> Term.(const (fun () () -> ()) $ acc $ one spec))
+    (Term.const ()) ablation_specs
 
 let json_errors_arg =
   Arg.(value & flag
@@ -139,9 +169,7 @@ let compile_cmd =
 (* ----- scan ----- *)
 
 let scan_cmd =
-  let run prog obf jobs cache_dir no_screen no_compose =
-    apply_screen no_screen;
-    apply_compose no_compose;
+  let run () prog obf jobs cache_dir =
     let image = compile_image prog obf in
     let counts = Gp_core.Extract.raw_counts image in
     let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
@@ -159,8 +187,8 @@ let scan_cmd =
         a.Gp_core.Api.analysis_summary_misses
   in
   Cmd.v (Cmd.info "scan" ~doc:"Count gadgets (the Fig. 1 / Table I census).")
-    Term.(const run $ prog_arg $ obf_arg $ jobs_arg $ cache_dir_arg
-          $ no_screen_arg $ no_compose_arg)
+    Term.(const run $ ablation_term $ prog_arg $ obf_arg $ jobs_arg
+          $ cache_dir_arg)
 
 (* ----- plan ----- *)
 
@@ -178,10 +206,7 @@ let plan_cmd =
              ~doc:"Print per-stage statistics (planner counters, memo \
                    hits, stage seconds).")
   in
-  let run prog obf goal maxn budget jobs cache_dir stats no_screen no_compose
-      json_errors =
-    apply_screen no_screen;
-    apply_compose no_compose;
+  let run () prog obf goal maxn budget jobs cache_dir stats json_errors =
     let image = compile_image prog obf in
     let o =
       Gp_core.Api.run ?budget:(budget_of budget) ~jobs ?cache_dir
@@ -222,6 +247,10 @@ let plan_cmd =
         st.Gp_core.Api.screen_refuted st.Gp_core.Api.screen_decided
         st.Gp_core.Api.concrete_refuted st.Gp_core.Api.elim_reused;
       Printf.printf
+        "fingerprints: %d store hits / %d misses; %d probes refuted\n"
+        st.Gp_core.Api.fp_hits st.Gp_core.Api.fp_misses
+        st.Gp_core.Api.fp_refuted;
+      Printf.printf
         "summary store: %d hits / %d misses; %d loaded from disk%s; \
          %d decodes saved\n"
         st.Gp_core.Api.summary_hits st.Gp_core.Api.summary_misses
@@ -256,9 +285,9 @@ let plan_cmd =
     end
   in
   Cmd.v (Cmd.info "plan" ~doc:"Build validated code-reuse payloads.")
-    Term.(const run $ prog_arg $ obf_arg $ goal_arg $ max_arg $ budget_arg
-          $ jobs_arg $ cache_dir_arg $ stats_arg $ no_screen_arg
-          $ no_compose_arg $ json_errors_arg)
+    Term.(const run $ ablation_term $ prog_arg $ obf_arg $ goal_arg $ max_arg
+          $ budget_arg $ jobs_arg $ cache_dir_arg $ stats_arg
+          $ json_errors_arg)
 
 (* ----- survey ----- *)
 
@@ -302,10 +331,7 @@ let survey_cmd =
              ~doc:"Attempts per cell before a transient failure \
                    (timeout, exhausted budget) is recorded as final.")
   in
-  let run goal manifest resume full budget jobs max_attempts json_errors
-      no_screen no_compose no_sweep =
-    apply_screen no_screen;
-    apply_compose no_compose;
+  let run () goal manifest resume full budget jobs max_attempts json_errors =
     let module R = Gp_harness.Runner in
     let module E = Gp_harness.Experiments in
     let module S = Gp_harness.Sched in
@@ -313,7 +339,8 @@ let survey_cmd =
       emit_failure ~json:json_errors "usage" "--resume requires --manifest DIR";
       exit Cmd.Exit.cli_error
     end;
-    if no_sweep then E.set_sched false;
+    (* --no-sweep lands here through the shared ablation table *)
+    let no_sweep = not !E.sched_enabled in
     let policy =
       { R.default_policy with R.max_attempts; attempt_seconds = budget }
     in
@@ -405,28 +432,17 @@ let survey_cmd =
         fails;
       exit (Gp_core.Fail.exit_code first)
   in
-  let no_sweep_arg =
-    Arg.(value & flag
-         & info [ "no-sweep" ]
-             ~doc:"Ablation: run the legacy sequential cell loop \
-                   instead of the pipelined cell x stage scheduler.  \
-                   $(b,--jobs) then parallelizes within each cell \
-                   rather than across cells.  Results are identical \
-                   either way.")
-  in
   Cmd.v
     (Cmd.info "survey"
        ~doc:"Checkpointed corpus sweep with crash-safe resume.")
-    Term.(const run $ goal_arg $ manifest_arg $ resume_arg $ full_arg
-          $ budget_arg $ jobs_arg $ attempts_arg $ json_errors_arg
-          $ no_screen_arg $ no_compose_arg $ no_sweep_arg)
+    Term.(const run $ ablation_term $ goal_arg $ manifest_arg $ resume_arg
+          $ full_arg $ budget_arg $ jobs_arg $ attempts_arg
+          $ json_errors_arg)
 
 (* ----- netperf ----- *)
 
 let netperf_cmd =
-  let run obf budget jobs cache_dir no_screen no_compose json_errors =
-    apply_screen no_screen;
-    apply_compose no_compose;
+  let run () obf budget jobs cache_dir json_errors =
     let budget = budget_of budget in
     let b =
       Gp_harness.Workspace.build ~config_name:obf ~cfg:(obf_of_name obf)
@@ -448,8 +464,8 @@ let netperf_cmd =
       | [] -> ()
   in
   Cmd.v (Cmd.info "netperf" ~doc:"Run the netperf end-to-end case study.")
-    Term.(const run $ obf_arg $ budget_arg $ jobs_arg $ cache_dir_arg
-          $ no_screen_arg $ no_compose_arg $ json_errors_arg)
+    Term.(const run $ ablation_term $ obf_arg $ budget_arg $ jobs_arg
+          $ cache_dir_arg $ json_errors_arg)
 
 (* ----- serve / submit (DESIGN.md §15) ----- *)
 
@@ -469,10 +485,7 @@ let serve_cmd =
          & info [ "checkpoint-secs" ] ~docv:"S"
              ~doc:"... or after the store has been dirty S seconds.")
   in
-  let run socket cache_dir jobs ckpt_every ckpt_secs no_screen no_compose
-      json_errors =
-    apply_screen no_screen;
-    apply_compose no_compose;
+  let run () socket cache_dir jobs ckpt_every ckpt_secs json_errors =
     let module Sv = Gp_harness.Serve in
     let sm =
       Sv.serve
@@ -507,8 +520,8 @@ let serve_cmd =
              journal with batched checkpoints, and concurrent requests \
              pipeline across pipeline stages on one domain pool.  \
              Stops on a client $(b,shutdown) request.")
-    Term.(const run $ socket_arg $ cache_dir_arg $ jobs_arg $ ckpt_every_arg
-          $ ckpt_secs_arg $ no_screen_arg $ no_compose_arg $ json_errors_arg)
+    Term.(const run $ ablation_term $ socket_arg $ cache_dir_arg $ jobs_arg
+          $ ckpt_every_arg $ ckpt_secs_arg $ json_errors_arg)
 
 let submit_cmd =
   let goal_arg =

@@ -71,6 +71,17 @@ type stage_stats = {
       (* suffix-summary memo/store traffic during the harvest
          (DESIGN.md §16) — temperature-dependent, same discipline as
          the summary counters *)
+  fp_hits : int;
+  fp_misses : int;
+      (* fingerprint store traffic (DESIGN.md §17) — temperature-
+         dependent like the summary/suffix splits, excluded from
+         differential comparisons *)
+  fp_refuted : int;
+      (* solver probes refuted from fingerprints alone (subsumption
+         pair skips + planner instantiation refutations).  Counts per
+         probe answered, so it is jobs- AND temperature-invariant —
+         but zero with --no-fp, so differentials exclude it like the
+         screen tallies *)
   substitutions : int;
       (* suffix entries built by Exec.extend (substitution) rather
          than monolithic re-execution *)
@@ -109,6 +120,16 @@ let screen_delta (a0, b0, c0, d0) (a1, b1, c1, d1) =
 let screen_add (a0, b0, c0, d0) (a1, b1, c1, d1) =
   (a0 + a1, b0 + b1, c0 + c1, d0 + d1)
 
+(* Fingerprint counters (DESIGN.md §17) as a (store hits, store
+   misses, probes refuted) snapshot, same delta discipline as the
+   screen tuple. *)
+let fp_counters () =
+  let h, m = Incr.fp_store_stats () in
+  (h, m, Gp_smt.Fpeval.refutations ())
+
+let fp_delta (a0, b0, c0) (a1, b1, c1) = (a1 - a0, b1 - b0, c1 - c0)
+let fp_add (a0, b0, c0) (a1, b1, c1) = (a0 + a1, b0 + b1, c0 + c1)
+
 (* Combined solver-memo counters, snapshotted around stages. *)
 let cache_counters () =
   ( Gp_smt.Cache.hits Gp_smt.Solver.memo
@@ -131,6 +152,7 @@ type analysis = {
   analysis_cache_hits : int;
   analysis_cache_misses : int;
   analysis_screen : int * int * int * int;
+  analysis_fp : int * int * int;
   analysis_summary_hits : int;
   analysis_summary_misses : int;
   analysis_suffix_hits : int;
@@ -241,6 +263,7 @@ type extracted = {
          traffic lands in them — which is why every temperature counter
          is excluded from the differential payload (DESIGN.md §14). *)
   ex_screen0 : int * int * int * int;
+  ex_fp0 : int * int * int;
 }
 
 let stage_extract ?(extract_config = Extract.default_config) ?cache_dir
@@ -248,6 +271,7 @@ let stage_extract ?(extract_config = Extract.default_config) ?cache_dir
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
   let ex_cache0 = cache_counters () in
   let ex_screen0 = screen_counters () in
+  let ex_fp0 = fp_counters () in
   let store_loaded, store_stale, wal_replayed, wal_truncated, store_quar =
     store_open cache_dir
   in
@@ -283,7 +307,8 @@ let stage_extract ?(extract_config = Extract.default_config) ?cache_dir
     ex_wal_truncated = wal_truncated;
     ex_store_quar = store_quar;
     ex_cache0;
-    ex_screen0 }
+    ex_screen0;
+    ex_fp0 }
 
 let stage_subsume ?(subsume = true) ?budget ?(jobs = 1) (ex : extracted) :
     analysis * Gadget.t list =
@@ -320,6 +345,7 @@ let stage_subsume ?(subsume = true) ?budget ?(jobs = 1) (ex : extracted) :
       analysis_cache_hits = fst (cache_counters ()) - fst ex.ex_cache0;
       analysis_cache_misses = snd (cache_counters ()) - snd ex.ex_cache0;
       analysis_screen = screen_delta ex.ex_screen0 (screen_counters ());
+      analysis_fp = fp_delta ex.ex_fp0 (fp_counters ());
       analysis_summary_hits = hstats.Extract.h_summary_hits;
       analysis_summary_misses = hstats.Extract.h_summary_misses;
       analysis_suffix_hits = hstats.Extract.h_suffix_hits;
@@ -386,6 +412,7 @@ type planned = {
   pl_cache_hits : int;
   pl_cache_misses : int;
   pl_screen : int * int * int * int;
+  pl_fp : int * int * int;
 }
 
 let stage_plan ?(planner_config = Planner.default_config)
@@ -396,6 +423,7 @@ let stage_plan ?(planner_config = Planner.default_config)
   let u0 = Atomic.get Gp_smt.Solver.unknowns in
   let ch0, cm0 = cache_counters () in
   let sc0 = screen_counters () in
+  let fp0 = fp_counters () in
   (* Stages 3+4 run as a goal portfolio (Planner.search_par) at EVERY
      job count, so the result is job-count-independent by construction.
      Each portfolio root owns a result slot: accepted chains, fault and
@@ -476,7 +504,8 @@ let stage_plan ?(planner_config = Planner.default_config)
     pl_unknowns = Atomic.get Gp_smt.Solver.unknowns - u0;
     pl_cache_hits = fst (cache_counters ()) - ch0;
     pl_cache_misses = snd (cache_counters ()) - cm0;
-    pl_screen = screen_delta sc0 (screen_counters ()) }
+    pl_screen = screen_delta sc0 (screen_counters ());
+    pl_fp = fp_delta fp0 (fp_counters ()) }
 
 (* Stage 4 proper: the deterministic post-processing that turns raw
    per-root search output into the final outcome.  Candidate VALIDATION
@@ -509,6 +538,7 @@ let stage_finalize (p : planned) : outcome =
   let screen_refuted, screen_decided, concrete_refuted, elim_reused =
     screen_add a.analysis_screen p.pl_screen
   in
+  let fp_hits, fp_misses, fp_refuted = fp_add a.analysis_fp p.pl_fp in
   { goal = p.pl_goal;
     chains = validated;
     rungs = [ Full ];
@@ -541,6 +571,9 @@ let stage_finalize (p : planned) : outcome =
         summary_misses = a.analysis_summary_misses;
         suffix_hits = a.analysis_suffix_hits;
         suffix_misses = a.analysis_suffix_misses;
+        fp_hits;
+        fp_misses;
+        fp_refuted;
         substitutions = a.analysis_substitutions;
         decode_saved = a.analysis_decode_saved;
         store_loaded = a.analysis_store_loaded;

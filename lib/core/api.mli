@@ -79,6 +79,19 @@ type stage_stats = {
           memo or the persistent suffix store vs computed fresh.
           Temperature-dependent — excluded from differential
           comparisons. *)
+  fp_hits : int;
+  fp_misses : int;
+      (** fingerprint store traffic (DESIGN.md §17): gadgets whose
+          semantic fingerprint was answered from the content-addressed
+          table/store vs batch-evaluated.  Temperature-dependent —
+          excluded from differential comparisons. *)
+  fp_refuted : int;
+      (** solver probes refuted from fingerprints alone: subsumption
+          pairs skipped by the partition/precondition masks, plus
+          planner instantiations refuted on closed terms.  Counts per
+          probe answered — jobs- and temperature-invariant — but zero
+          with --no-fp, so differentials exclude it like the screen
+          tallies. *)
   substitutions : int;
       (** suffix entries built compositionally by [Exec.extend] (one
           instruction grafted onto a memoized tail) rather than by
@@ -130,6 +143,9 @@ type analysis = {
   analysis_screen : int * int * int * int;
       (** screening-tier deltas of stages 1-2, in [Solver.screen_stats]
           order *)
+  analysis_fp : int * int * int;
+      (** fingerprint deltas of stages 1-2: (store hits, store misses,
+          probes refuted) — DESIGN.md §17 *)
   analysis_summary_hits : int;         (** summary-store hits (stage 1) *)
   analysis_summary_misses : int;
   analysis_suffix_hits : int;          (** suffix memo/store hits (stage 1) *)

@@ -34,8 +34,14 @@ open Gp_smt
 
 (* v2: State.t gained [hazard_cmps] (undecidable alias comparisons,
    rechecked by Exec.extend after substitution), which Exec.put_state
-   serializes — v1 summary payloads no longer decode. *)
-let schema_version = 2
+   serializes — v1 summary payloads no longer decode.
+   v3: the store gained the "fingerprints" section (DESIGN.md §17).
+   Old readers would skip the unknown section harmlessly, but a NEW
+   reader must not trust fingerprints written by a build whose lane
+   semantics it cannot verify — a wrong mask silently skips real
+   probes — so the addition bumps the schema and v2 stores demote
+   through the usual stale path. *)
+let schema_version = 3
 let file_name = "summaries.gpst"
 let summaries_section = "summaries"
 
@@ -45,6 +51,13 @@ let summaries_section = "summaries"
    keys.  Values stay RAW (Exec.write_suffix bytes): decoding needs the
    consulting image's absolute address, so Extract's hook decodes. *)
 let suffixes_section = "suffixes"
+
+(* Semantic fingerprints (DESIGN.md §17) ride in a third section, keyed
+   by [Gadget.fp_key] — a pure content address of the semantic fields
+   the fingerprint reads, independent of decode position and residual
+   budget — so warm and transfer runs skip even the one-time batched
+   evaluation. *)
+let fingerprints_section = "fingerprints"
 
 type value = Gp_symx.Exec.summary list * string option
 
@@ -74,6 +87,32 @@ let sf_misses = Atomic.make 0
 
 let suffix_store_stats () = (Atomic.get sf_hits, Atomic.get sf_misses)
 
+type fshard = { f_tbl : (string, Gadget.fp) Hashtbl.t; f_lock : Mutex.t }
+
+let fshards : fshard array =
+  Array.init shard_count (fun _ ->
+      { f_tbl = Hashtbl.create 512; f_lock = Mutex.create () })
+
+let fshard_of key = fshards.(Hashtbl.hash key land (shard_count - 1))
+
+(* Fingerprint-table temperature, same discipline as [sf_hits]: a hit
+   means the batched evaluation was skipped (warm within a run via this
+   table, across runs via the store section).  The REFUTATION tally —
+   jobs- and temperature-invariant — lives in [Gp_smt.Fpeval]. *)
+let fp_hits = Atomic.make 0
+let fp_misses = Atomic.make 0
+
+let fp_store_stats () = (Atomic.get fp_hits, Atomic.get fp_misses)
+
+let write_fp fp =
+  let b = Buffer.create 64 in
+  Gadget.put_fp b fp;
+  Buffer.contents b
+
+let read_fp v =
+  let pos = ref 0 in
+  Gadget.get_fp v pos
+
 let on = ref true
 
 let enabled () = !on
@@ -89,6 +128,11 @@ let suffix_size () =
     (fun acc s -> acc + Mutex.protect s.x_lock (fun () -> Hashtbl.length s.x_tbl))
     0 sshards
 
+let fp_size () =
+  Array.fold_left
+    (fun acc s -> acc + Mutex.protect s.f_lock (fun () -> Hashtbl.length s.f_tbl))
+    0 fshards
+
 let reset () =
   Array.iter
     (fun s -> Mutex.protect s.s_lock (fun () -> Hashtbl.reset s.s_tbl))
@@ -96,8 +140,13 @@ let reset () =
   Array.iter
     (fun s -> Mutex.protect s.x_lock (fun () -> Hashtbl.reset s.x_tbl))
     sshards;
+  Array.iter
+    (fun s -> Mutex.protect s.f_lock (fun () -> Hashtbl.reset s.f_tbl))
+    fshards;
   Atomic.set sf_hits 0;
-  Atomic.set sf_misses 0
+  Atomic.set sf_misses 0;
+  Atomic.set fp_hits 0;
+  Atomic.set fp_misses 0
 
 let find key =
   let s = shard_of key in
@@ -141,6 +190,34 @@ let add_suffix key payload =
   in
   if fresh then !suffix_fresh_hook key payload
 
+let fp_fresh_hook : (string -> string -> unit) ref = ref (fun _ _ -> ())
+
+(* Fingerprint of a gadget, through the content-addressed cache: a hit
+   (within a run, or seeded from the store) skips the batched
+   evaluation entirely; a miss computes, publishes first-write-wins,
+   and journals.  The value is a pure function of [Gadget.fp_key], so a
+   racing duplicate compute returns the identical fingerprint. *)
+let fp_of (g : Gadget.t) : Gadget.fp =
+  let key = Gadget.fp_key g in
+  let s = fshard_of key in
+  match Mutex.protect s.f_lock (fun () -> Hashtbl.find_opt s.f_tbl key) with
+  | Some fp ->
+    Atomic.incr fp_hits;
+    fp
+  | None ->
+    Atomic.incr fp_misses;
+    let fp = Gadget.fingerprint g in
+    let fresh =
+      Mutex.protect s.f_lock (fun () ->
+          if Hashtbl.mem s.f_tbl key then false
+          else begin
+            Hashtbl.add s.f_tbl key fp;
+            true
+          end)
+    in
+    if fresh then !fp_fresh_hook key (write_fp fp);
+    fp
+
 (* Snapshot the whole table shard by shard (each under its own lock;
    no cross-shard atomicity needed — callers snapshot outside the
    parallel sections). *)
@@ -155,6 +232,12 @@ let fold_suffixes f acc =
     (fun acc s ->
       Mutex.protect s.x_lock (fun () -> Hashtbl.fold f s.x_tbl acc))
     acc sshards
+
+let fold_fps f acc =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.protect s.f_lock (fun () -> Hashtbl.fold f s.f_tbl acc))
+    acc fshards
 
 type load_info = {
   li_entries : int;       (* entries imported from the base store *)
@@ -201,6 +284,16 @@ let import_sections sections =
             Mutex.protect s.x_lock (fun () ->
                 if not (Hashtbl.mem s.x_tbl k) then Hashtbl.add s.x_tbl k v))
           entries
+      end
+      else if name = fingerprints_section then begin
+        n := !n + List.length entries;
+        let decoded = List.map (fun (k, v) -> (k, read_fp v)) entries in
+        List.iter
+          (fun (k, fp) ->
+            let s = fshard_of k in
+            Mutex.protect s.f_lock (fun () ->
+                if not (Hashtbl.mem s.f_tbl k) then Hashtbl.add s.f_tbl k fp))
+          decoded
       end)
     sections;
   n := !n + Solver.import_memos sections;
@@ -331,9 +424,14 @@ let save ~dir =
         let suffix_entries =
           fold_suffixes (fun k v acc -> (k, v) :: acc) [] |> List.sort compare
         in
+        let fp_entries =
+          fold_fps (fun k fp acc -> (k, write_fp fp) :: acc) []
+          |> List.sort compare
+        in
         let sections =
           { Gp_util.Store.name = summaries_section; entries }
           :: { Gp_util.Store.name = suffixes_section; entries = suffix_entries }
+          :: { Gp_util.Store.name = fingerprints_section; entries = fp_entries }
           :: Solver.export_memos ()
         in
         Gp_util.Store.save ~schema:schema_version (path ~dir) sections)
@@ -396,6 +494,10 @@ let journal_mark_existing j =
       fold_suffixes
         (fun k _ () ->
           Hashtbl.replace j.j_seen (seen_key suffixes_section k) ())
+        ();
+      fold_fps
+        (fun k _ () ->
+          Hashtbl.replace j.j_seen (seen_key fingerprints_section k) ())
         ();
       List.iter
         (fun { Gp_util.Store.name; entries } ->
@@ -472,6 +574,31 @@ let journal_append_summary key v =
       let value = Gp_symx.Exec.write_summaries v in
       try
         Gp_util.Store.Wal.append j.j_wal ~section:summaries_section ~key ~value
+      with
+      | Sys_error why | Failure why -> journal_demote why
+      | Unix.Unix_error (e, fn, _) ->
+        journal_demote (fn ^ ": " ^ Unix.error_message e)
+    end
+
+(* Same discipline for fresh fingerprint entries (already serialized
+   by [fp_of]). *)
+let journal_append_fp key value =
+  match !journal_st with
+  | None -> ()
+  | Some j ->
+    let fresh =
+      Mutex.protect j.j_mutex (fun () ->
+          let sk = seen_key fingerprints_section key in
+          if Hashtbl.mem j.j_seen sk then false
+          else begin
+            Hashtbl.replace j.j_seen sk ();
+            true
+          end)
+    in
+    if fresh then begin
+      try
+        Gp_util.Store.Wal.append j.j_wal ~section:fingerprints_section ~key
+          ~value
       with
       | Sys_error why | Failure why -> journal_demote why
       | Unix.Unix_error (e, fn, _) ->
@@ -587,3 +714,4 @@ let journal_abandon () =
 
 let () = fresh_hook := journal_append_summary
 let () = suffix_fresh_hook := journal_append_suffix
+let () = fp_fresh_hook := journal_append_fp

@@ -149,6 +149,35 @@ let reuse_successors (p : Plan.t) consumer cond : Plan.t list =
    (gadget, condition) pair is solved at most once per search. *)
 type memo = (int * Plan.cond, Plan.step option) Hashtbl.t
 
+(* Fingerprint refutation of an instantiation (DESIGN.md §17): when the
+   require equality [Plan.instantiate_for] would build pins a CLOSED
+   term — same value under every valuation, which lane 0 reports — to
+   the wrong constant, the query conjunction contains an unsatisfiable
+   equality and [Solver.check] can only answer Unsat (linearizable) or
+   Unknown (closed-false residual), never Sat: the fall-through result
+   is None either way, so storing the None without building the query
+   is verdict-preserving.  The structural gates ([Jfall], unclobbered
+   register, no pointer write) mirror [instantiate_for]'s own early
+   exits — those cases never reach the solver, so refuting them would
+   pad the tally without saving a query. *)
+let fp_refutes_cond (g : Gadget.t) (cond : Plan.cond) =
+  (match g.Gadget.jmp with
+  | Gp_symx.Exec.Jfall _ -> false
+  | Gp_symx.Exec.Jret _ | Gp_symx.Exec.Jind _ -> true)
+  &&
+  match cond with
+  | Plan.Creg (r, v) ->
+    List.mem r g.Gadget.clobbered
+    && (let l = Gp_smt.Fpeval.eval (Gadget.post_of g r) in
+        l.Gp_smt.Fpeval.closed && l.Gp_smt.Fpeval.lv.(0) <> v)
+  | Plan.Cmem (a, v) -> (
+    match g.Gadget.ptr_writes with
+    | [] -> false
+    | (at, vt) :: _ ->
+      let la = Gp_smt.Fpeval.eval at and lv = Gp_smt.Fpeval.eval vt in
+      (la.Gp_smt.Fpeval.closed && la.Gp_smt.Fpeval.lv.(0) <> a)
+      || (lv.Gp_smt.Fpeval.closed && lv.Gp_smt.Fpeval.lv.(0) <> v))
+
 let instantiate_counted ?stats (memo : memo) (g : Gadget.t) cond ~sid :
     Plan.step option =
   let key = (g.Gadget.id, cond) in
@@ -160,7 +189,13 @@ let instantiate_counted ?stats (memo : memo) (g : Gadget.t) cond ~sid :
        | None -> ());
       t
     | None ->
-      let t = Plan.instantiate_for g cond ~sid:(-1) in
+      let t =
+        if Gp_smt.Fpeval.enabled () && fp_refutes_cond g cond then begin
+          Gp_smt.Fpeval.note_refuted ();
+          None
+        end
+        else Plan.instantiate_for g cond ~sid:(-1)
+      in
       Hashtbl.add memo key t;
       t
   in
@@ -293,11 +328,32 @@ let search_budget (config : config) = function
     Budget.create ~label:"plan" ~seconds:config.time_budget
       ~fuel:config.node_budget ()
 
+(* Goal-step analogue of [fp_refutes_cond]: a goal register whose
+   syscall-state term is closed with the wrong value makes
+   [instantiate_goal]'s require unsatisfiable — None either way. *)
+let fp_refutes_goal (g : Gadget.t) (goal : Goal.concrete) =
+  match g.Gadget.syscall_state with
+  | None -> false
+  | Some sys ->
+    List.exists
+      (fun (r, v) ->
+        match List.assoc_opt r sys with
+        | Some t ->
+          let l = Gp_smt.Fpeval.eval t in
+          l.Gp_smt.Fpeval.closed && l.Gp_smt.Fpeval.lv.(0) <> v
+        | None -> false)
+      goal.Goal.regs
+
 (* Root plan for one candidate syscall gadget. *)
 let root_plan (goal : Goal.concrete) (g : Gadget.t) : Plan.t option =
-  match Plan.instantiate_goal g goal ~sid:0 with
-  | None -> None
-  | Some step ->
+  if Gp_smt.Fpeval.enabled () && fp_refutes_goal g goal then begin
+    Gp_smt.Fpeval.note_refuted ();
+    None
+  end
+  else
+    match Plan.instantiate_goal g goal ~sid:0 with
+    | None -> None
+    | Some step ->
     (* payload-region cells are delivered with the payload itself;
        only cells elsewhere need write-what-where steps *)
     let mem_conds =

@@ -154,37 +154,77 @@ type stats = {
    seed's [!survivors @ [g]] per element, which was O(n²) per bucket.
    The array keeps the probe order identical — earlier survivors are
    still tried first, so solver traffic and budget consumption match
-   the seed element for element. *)
+   the seed element for element.
+
+   Fingerprint partitioning (DESIGN.md §17): with [Fpeval] on, each
+   pair (survivor, candidate) is first checked against the two
+   per-gadget fingerprints — computed once per gadget via the
+   content-addressed [Incr.fp_of] — and a mismatch skips the
+   [subsumes] probe entirely.  Soundness:
+
+   - [fp_eq] mismatch: the effect structure differs, or some
+     [same_effects]-probed term pair differs under the all-zeros or
+     all-ones valuation — the real prover's two DETERMINISTIC trials —
+     so [same_effects] answers false with screening on or off.
+   - precondition mask: a lane satisfying the candidate's [pre] but
+     not the survivor's is a genuine model of [pre2 ∧ ¬f] for the
+     survivor's failing formula f, so [entails pre2 f] answers false
+     on that lane with screening on, and the fall-through check can at
+     most answer Sat/Unknown (both "not entailed") with it off.
+
+   Either way the skipped probe's verdict is the one [subsumes] would
+   have produced, so survivor sets are bit-identical — only solver
+   traffic changes. *)
 let probe_bucket ~budget bucket : Gadget.t list * bool =
   match bucket with
   | [] -> ([], false)
   | first :: _ ->
-    let arr = Array.make (List.length bucket) first in
+    let n = List.length bucket in
+    let arr = Array.make n first in
+    let use_fp = Fpeval.enabled () in
+    let no_fp = { Gadget.fp_eq = ""; fp_pre = 0 } in
+    let fpa = if use_fp then Array.make n no_fp else [||] in
     let count = ref 0 in
-    let keep g =
+    let keep fp g =
       arr.(!count) <- g;
+      if use_fp then fpa.(!count) <- fp;
       incr count
     in
-    let probed_subsumes g =
-      let rec go i = i < !count && (subsumes arr.(i) g || go (i + 1)) in
+    let probed_subsumes fp g =
+      let rec go i =
+        i < !count
+        && ((if
+               use_fp
+               && (let fi = fpa.(i) in
+                   fi.Gadget.fp_eq <> fp.Gadget.fp_eq
+                   || fp.Gadget.fp_pre land lnot fi.Gadget.fp_pre <> 0)
+             then begin
+               Fpeval.note_refuted ();
+               false
+             end
+             else subsumes arr.(i) g)
+           || go (i + 1))
+      in
       go 0
     in
     let timed_out = ref false in
     List.iter
       (fun g ->
-        if !timed_out then keep g
-        else
+        if !timed_out then keep no_fp g
+        else begin
+          let fp = if use_fp then Incr.fp_of g else no_fp in
           match
             Budget.guard budget (fun () ->
-                try not (probed_subsumes g)
+                try not (probed_subsumes fp g)
                 with
                 | Budget.Exhausted _ as e -> raise e
                 | _ -> true)
           with
-          | Ok k -> if k then keep g
+          | Ok k -> if k then keep fp g
           | Error _ ->
             timed_out := true;
-            keep g)
+            keep fp g
+        end)
       bucket;
     (Array.to_list (Array.sub arr 0 !count), !timed_out)
 

@@ -98,7 +98,11 @@ let invariant_counters (o : Api.outcome) =
     ("plan_cand_hits", st.Api.plan_cand_hits);
     ("plan_discarded", st.Api.plan_discarded);
     ("validate_faults", st.Api.validate_faults);
-    ("validate_timeouts", st.Api.validate_timeouts) ]
+    ("validate_timeouts", st.Api.validate_timeouts);
+    (* refutations are counted per probe answered, so the tally is
+       warm/cold-invariant like the verdicts it mirrors; the fp store
+       hit/miss split is temperature and stays out (DESIGN.md §17) *)
+    ("fp_refuted", st.Api.fp_refuted) ]
   @ List.filter_map
       (fun (l, n) ->
         if l = "store" || l = "store-locked" || l = "wal-torn" then None
@@ -235,6 +239,9 @@ type daemon_stats = {
   ds_checkpoints : int;                 (* WAL checkpoints written *)
   ds_incr_size : int;                   (* resident summary entries *)
   ds_memo_entries : int;                (* resident solver-memo entries *)
+  ds_fp_hits : int;                     (* fingerprint store hits (temperature) *)
+  ds_fp_misses : int;
+  ds_fp_refuted : int;                  (* probes refuted from fingerprints *)
   ds_mode : string;                     (* "journaling" | "read-only: _" | "memory" *)
 }
 
@@ -286,6 +293,9 @@ let reply_encode = function
     B.int_ b ds.ds_checkpoints;
     B.int_ b ds.ds_incr_size;
     B.int_ b ds.ds_memo_entries;
+    B.int_ b ds.ds_fp_hits;
+    B.int_ b ds.ds_fp_misses;
+    B.int_ b ds.ds_fp_refuted;
     B.str b ds.ds_mode;
     Buffer.contents b
   | Shutdown_ack ->
@@ -309,10 +319,13 @@ let reply_decode s =
     let ds_checkpoints = B.gint s pos in
     let ds_incr_size = B.gint s pos in
     let ds_memo_entries = B.gint s pos in
+    let ds_fp_hits = B.gint s pos in
+    let ds_fp_misses = B.gint s pos in
+    let ds_fp_refuted = B.gint s pos in
     let ds_mode = B.gstr s pos in
     Stats_reply
       { ds_served; ds_faults; ds_checkpoints; ds_incr_size; ds_memo_entries;
-        ds_mode }
+        ds_fp_hits; ds_fp_misses; ds_fp_refuted; ds_mode }
   | 3 -> Shutdown_ack
   | 9 ->
     let label = B.gstr s pos in
@@ -550,6 +563,9 @@ type summary = {
   sm_served : int;
   sm_faults : (string * int) list;
   sm_checkpoints : int;
+  sm_fp_hits : int;
+  sm_fp_misses : int;
+  sm_fp_refuted : int;
   sm_mode : string;
 }
 
@@ -636,6 +652,9 @@ let dispatch d c payload =
            ds_checkpoints = d.dm_checkpoints;
            ds_incr_size = Incr.size ();
            ds_memo_entries = Gp_smt.Solver.memo_count ();
+           ds_fp_hits = fst (Incr.fp_store_stats ());
+           ds_fp_misses = snd (Incr.fp_store_stats ());
+           ds_fp_refuted = Gp_smt.Fpeval.refutations ();
            ds_mode = d.dm_mode })
   | Shutdown ->
     send_reply d c Shutdown_ack;
@@ -845,10 +864,14 @@ let serve (cfg : config) : summary =
   with
   | () ->
     teardown ~crashed:false;
+    let fp_hits, fp_misses = Incr.fp_store_stats () in
     { sm_served = Atomic.get d.dm_served;
       sm_faults =
         Mutex.protect d.dm_faults_m (fun () -> Fail.tally_list d.dm_faults);
       sm_checkpoints = d.dm_checkpoints;
+      sm_fp_hits = fp_hits;
+      sm_fp_misses = fp_misses;
+      sm_fp_refuted = Gp_smt.Fpeval.refutations ();
       sm_mode = mode }
   | exception e ->
     (* simulated process death or a fatal bug: tear down WITHOUT

@@ -94,6 +94,14 @@ type summary = {
   sm_served : int;                 (** analyses completed *)
   sm_faults : (string * int) list; (** frame-fault quarantine ledger *)
   sm_checkpoints : int;
+  sm_fp_hits : int;
+  sm_fp_misses : int;
+      (** fingerprint store traffic over the daemon's lifetime
+          (temperature counters — reported in the ledger only, never
+          in the invariant reply counters) *)
+  sm_fp_refuted : int;
+      (** solver probes refuted from fingerprints alone (DESIGN.md
+          §17); warm/cold-invariant like the verdicts it mirrors *)
   sm_mode : string;                (** "journaling" | "read-only: _" | "memory" *)
 }
 
@@ -118,6 +126,9 @@ type daemon_stats = {
   ds_checkpoints : int;
   ds_incr_size : int;     (** resident summary entries *)
   ds_memo_entries : int;  (** resident solver-memo entries *)
+  ds_fp_hits : int;       (** fingerprint store hits (temperature) *)
+  ds_fp_misses : int;
+  ds_fp_refuted : int;    (** probes refuted from fingerprints (§17) *)
   ds_mode : string;
 }
 

@@ -201,31 +201,12 @@ let screen_stats () =
     Atomic.get concrete_refuted,
     Atomic.get elim_reused )
 
-(* Tier B valuations.  [Fill c] assigns [c] to every variable (the
-   all-zeros and all-ones points double as the real prover's first two
-   trials); the pool pins make pointer atoms satisfiable; [Mix s] gives
-   each variable a distinct deterministic pseudo-random value (splitmix
-   of the seed and the variable name), deterministic and memo-friendly
-   by construction. *)
-type screen_point = Fill of int64 | Mix of int64
-
-let screen_points =
-  [ Fill 0L; Fill 1L; Fill (-1L);
-    Fill 0xAAAAAAAAAAAAAAAAL; Fill 0x5555555555555555L;
-    Fill 0x700000L; Fill 0x700100L;
-    Fill 8L; Fill 0x100L; Fill 0x1000L;
-    Mix 0x9e3779b97f4a7c15L; Mix 0xbf58476d1ce4e5b9L ]
-
-let mix64 z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
-            0xbf58476d1ce4e5b9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
-            0x94d049bb133111ebL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let point_model = function
-  | Fill c -> fun _ -> c
-  | Mix s -> fun v -> mix64 (Int64.logxor s (Int64.of_int (Hashtbl.hash v)))
+(* The Tier B valuation family lives in [Fpeval] (DESIGN.md §17):
+   fingerprints and the screen must share one point set by
+   construction, and Fpeval is the module that batch-evaluates terms
+   over all of them in a single traversal. *)
+let screen_points = Fpeval.points
+let point_model = Fpeval.point_model
 
 (* ----- Tier C: elimination-prefix trie -----
 
@@ -322,6 +303,7 @@ let reset_screen () =
   Hashtbl.reset (Domain.DLS.get elim_key).echildren;
   Hashtbl.reset (Domain.DLS.get residual_key);
   Absdom.reset ();
+  Fpeval.reset ();
   Atomic.set screen_refuted 0;
   Atomic.set screen_decided 0;
   Atomic.set concrete_refuted 0;
@@ -664,13 +646,25 @@ let entails ?rng ?pool hyps concl =
       else begin
         let formulas = neg :: hyps in
         let p = match pool with Some p -> p | None -> default_pool in
-        let sat m =
-          List.for_all
-            (Formula.eval ~readable:p.readable ~writable:p.writable m)
-            formulas
+        (* Same refutation condition either way: some screen point
+           satisfies hyps ∧ ¬concl under the pool's predicates.  With
+           fingerprints on, the batched lane masks answer it from one
+           memoized traversal per term instead of |points| fresh
+           [Formula.eval] walks. *)
+        let refutable =
+          if Fpeval.enabled () then
+            Fpeval.conj_mask ~readable:p.readable ~writable:p.writable
+              formulas
+            <> 0
+          else
+            let sat m =
+              List.for_all
+                (Formula.eval ~readable:p.readable ~writable:p.writable m)
+                formulas
+            in
+            Array.exists (fun pt -> sat (point_model pt)) screen_points
         in
-        if List.exists (fun pt -> sat (point_model pt)) screen_points
-        then begin
+        if refutable then begin
           Atomic.incr concrete_refuted;
           Some false
         end
@@ -856,7 +850,16 @@ let prove_equal ?rng ?trials a b =
     end
     else if
       !screen_on
-      && (Term.eval (fun _ -> 0L) a <> Term.eval (fun _ -> 0L) b
+      &&
+      (* lanes 0 and 1 of the fingerprint ARE the all-zeros/all-ones
+         evaluations (Fpeval.points lanes [Fill 0L; Fill 1L; ...]), so
+         the O(1) lane compare reproduces the two-point check exactly;
+         with fingerprints disabled, fall back to the fresh walks *)
+      (if Fpeval.enabled () then
+         let la = (Fpeval.eval a).Fpeval.lv and lb = (Fpeval.eval b).Fpeval.lv in
+         la.(0) <> lb.(0) || la.(1) <> lb.(1)
+       else
+         Term.eval (fun _ -> 0L) a <> Term.eval (fun _ -> 0L) b
          || Term.eval (fun _ -> 1L) a <> Term.eval (fun _ -> 1L) b)
     then begin
       Atomic.incr concrete_refuted;

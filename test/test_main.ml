@@ -33,6 +33,7 @@ let suites =
     ("screen", Test_screen.suite);
     ("serve", Test_serve.suite);
     ("compose", Test_compose.suite);
+    ("fp", Test_fp.suite);
     ("integration", Test_integration.suite) ]
 
 let () =

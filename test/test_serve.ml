@@ -166,7 +166,7 @@ let test_report_codec_roundtrip () =
       sr_rungs = [ "full"; "dedup-only" ];
       sr_budget_hits = [ "plan" ];
       sr_quarantined = [ ("decode", 3) ];
-      sr_counters = [ ("plans_found", 2); ("q:emu", 1) ] }
+      sr_counters = [ ("plans_found", 2); ("fp_refuted", 5); ("q:emu", 1) ] }
   in
   let r' = Sv.report_decode (Sv.report_encode r) (ref 0) in
   Alcotest.(check bool) "report round-trips" true (r = r')
@@ -434,6 +434,49 @@ let test_daemon_checkpoints () =
   E.reset_world ();
   E.rm_rf dir
 
+(* ----- fingerprint counters across the wire (DESIGN.md §17) ----- *)
+
+(* The invariant reply counters carry [fp_refuted] (warm/cold-invariant
+   like the verdicts it mirrors) but NOT the fp store hit/miss split
+   (temperature — it would break the daemon-vs-CLI byte parity the
+   differential above asserts).  The temperature split travels in the
+   stats reply and the final ledger instead. *)
+let test_fp_counters_surfaced () =
+  let rq =
+    match
+      E.serve_requests ~entries:[ fib ]
+        ~configs:[ ("tigress", Gp_obf.Obf.tigress) ] ~quick:true ()
+    with
+    | [ (_, rq) ] -> rq
+    | _ -> assert false
+  in
+  E.reset_world ();
+  let r = Sv.handle rq in
+  Alcotest.(check bool) "fp_refuted in the invariant counters" true
+    (List.mem_assoc "fp_refuted" r.Sv.sr_counters);
+  Alcotest.(check bool) "fp hit/miss split kept out of them" true
+    (not (List.mem_assoc "fp_hits" r.Sv.sr_counters)
+     && not (List.mem_assoc "fp_misses" r.Sv.sr_counters));
+  let cli_refuted = List.assoc "fp_refuted" r.Sv.sr_counters in
+  let (), sm =
+    with_daemon ~jobs:1 (fun ~sock:_ cl ->
+        (match Sv.Client.submit cl rq with
+        | Error f -> Alcotest.failf "submit: %s" (Gp_core.Fail.to_string f)
+        | Ok r' ->
+          Alcotest.(check int) "daemon reply repeats the CLI tally"
+            cli_refuted
+            (List.assoc "fp_refuted" r'.Sv.sr_counters));
+        let ds = stats_until cl (fun ds -> ds.Sv.ds_served >= 1) 0 in
+        Alcotest.(check bool) "cold daemon computed fingerprints" true
+          (ds.Sv.ds_fp_misses > 0);
+        Alcotest.(check int) "stats reply fp_refuted matches" cli_refuted
+          ds.Sv.ds_fp_refuted)
+  in
+  Alcotest.(check int) "ledger repeats the stats view" cli_refuted
+    sm.Sv.sm_fp_refuted;
+  Alcotest.(check bool) "ledger carries the store split" true
+    (sm.Sv.sm_fp_misses > 0 && sm.Sv.sm_fp_hits >= 0)
+
 (* ----- wire-fault injection (satellite: Faultsim frame faults) ----- *)
 
 let fault_label = function
@@ -649,6 +692,8 @@ let suite =
       test_daemon_differential;
     Alcotest.test_case "daemon batched checkpoints" `Quick
       test_daemon_checkpoints;
+    Alcotest.test_case "fp counters surfaced, parity preserved" `Quick
+      test_fp_counters_surfaced;
     Alcotest.test_case "wire-fault modes quarantined, caches unpoisoned"
       `Quick test_wire_fault_modes;
     Alcotest.test_case "keyed wire faults via Faultsim" `Quick
